@@ -1,0 +1,43 @@
+//! Statistics-kernel benchmarks: CCR, P2A, CoV, quantiles, and metric
+//! roll-ups at realistic sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebs_analysis::aggregate::{rollup_compute, ComputeLevel};
+use ebs_analysis::{ccr, normalized_cov, p2a, quantile};
+use ebs_core::metric::Measure;
+use ebs_workload::{generate, WorkloadConfig};
+use std::hint::black_box;
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 2654435761) % 10_007) as f64).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let v = series(10_000);
+    c.bench_function("analysis/ccr_10k", |b| b.iter(|| ccr(black_box(&v), 0.01)));
+    c.bench_function("analysis/p2a_10k", |b| b.iter(|| p2a(black_box(&v))));
+    c.bench_function("analysis/normalized_cov_10k", |b| {
+        b.iter(|| normalized_cov(black_box(&v)))
+    });
+    c.bench_function("analysis/quantile_10k", |b| {
+        b.iter(|| quantile(black_box(&v), 0.99))
+    });
+}
+
+fn bench_rollup(c: &mut Criterion) {
+    let ds = generate(&WorkloadConfig::quick(3)).unwrap();
+    c.bench_function("analysis/rollup_vm_level", |b| {
+        b.iter(|| {
+            rollup_compute(
+                black_box(&ds.fleet),
+                black_box(&ds.compute),
+                ComputeLevel::Vm,
+                Measure::TotalBytes,
+                |_| true,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_rollup);
+criterion_main!(benches);

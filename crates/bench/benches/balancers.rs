@@ -1,0 +1,42 @@
+//! Balancer benchmarks: Algorithm 1 over a cluster per importer strategy,
+//! and the 10 ms QP-rebinding simulation over a fleet's event stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebs_balance::bs_balancer::{run_balancer, BalancerConfig};
+use ebs_balance::importer::ImporterSelect;
+use ebs_balance::wt_rebind::{simulate_fleet, RebindConfig};
+use ebs_core::ids::DcId;
+use ebs_workload::{generate, WorkloadConfig};
+use std::hint::black_box;
+
+fn bench_bs_balancer(c: &mut Criterion) {
+    let ds = generate(&WorkloadConfig::quick(6)).unwrap();
+    let mut g = c.benchmark_group("balance/algorithm1");
+    g.sample_size(20);
+    for strategy in [ImporterSelect::MinTraffic, ImporterSelect::Ideal, ImporterSelect::Lunule] {
+        let cfg = BalancerConfig { strategy, ..BalancerConfig::default() };
+        g.bench_function(strategy.label(), |b| {
+            b.iter(|| run_balancer(black_box(&ds.fleet), black_box(&ds.storage), DcId(0), &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rebind(c: &mut Criterion) {
+    let ds = generate(&WorkloadConfig::quick(7)).unwrap();
+    let mut g = c.benchmark_group("balance/wt_rebind");
+    g.sample_size(20);
+    g.bench_function("fleet_10ms_periods", |b| {
+        b.iter(|| {
+            simulate_fleet(
+                black_box(&ds.fleet),
+                black_box(&ds.events),
+                &RebindConfig::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bs_balancer, bench_rebind);
+criterion_main!(benches);

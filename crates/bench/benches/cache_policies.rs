@@ -1,0 +1,87 @@
+//! Cache-policy benchmarks: per-access cost of FIFO, LRU, and FrozenHot,
+//! and a full per-VD trace-driven simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ebs_cache::hottest_block::{events_by_vd, hottest_block};
+use ebs_cache::policy::CachePolicy;
+use ebs_cache::simulate::{build_policy, simulate, Algorithm};
+use ebs_cache::{FifoCache, FrozenCache, LruCache};
+use ebs_core::ids::VdId;
+use ebs_core::io::Op;
+use ebs_workload::{generate, WorkloadConfig};
+use std::hint::black_box;
+
+fn access_stream(n: usize) -> Vec<u64> {
+    // 70 % hits a 1k-page hot set, 30 % uniform over 1M pages.
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11;
+            if h % 10 < 7 {
+                h % 1024
+            } else {
+                h % 1_000_000
+            }
+        })
+        .collect()
+}
+
+fn bench_policy_access(c: &mut Criterion) {
+    let stream = access_stream(100_000);
+    let mut g = c.benchmark_group("cache/access_100k");
+    g.bench_function("fifo", |b| {
+        b.iter_batched(
+            || FifoCache::new(4096),
+            |mut cache| {
+                for &p in &stream {
+                    black_box(cache.access(p, Op::Read));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("lru", |b| {
+        b.iter_batched(
+            || LruCache::new(4096),
+            |mut cache| {
+                for &p in &stream {
+                    black_box(cache.access(p, Op::Read));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("frozen", |b| {
+        b.iter_batched(
+            || FrozenCache::new(0, 4096),
+            |mut cache| {
+                for &p in &stream {
+                    black_box(cache.access(p, Op::Read));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_trace_simulation(c: &mut Criterion) {
+    let ds = generate(&WorkloadConfig::quick(5)).unwrap();
+    let by_vd = events_by_vd(&ds.fleet, &ds.events);
+    let (idx, events) =
+        by_vd.iter().enumerate().max_by_key(|(_, e)| e.len()).expect("non-empty");
+    let hb = hottest_block(VdId::from_index(idx), events, 256 << 20).unwrap();
+    let mut g = c.benchmark_group("cache/simulate_busiest_vd");
+    for algo in Algorithm::ALL {
+        g.bench_function(algo.label(), |b| {
+            b.iter_batched(
+                || build_policy(algo, &hb),
+                |mut policy| simulate(policy.as_mut(), black_box(events)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policy_access, bench_trace_simulation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Macro-benchmarks: one timed run per paper artifact at quick scale —
+//! how long does it take to regenerate each table/figure end to end?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebs_experiments::*;
+use std::hint::black_box;
+
+fn bench_experiments(c: &mut Criterion) {
+    let ds = dataset(Scale::Quick);
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table2", |b| b.iter(|| table2::run(black_box(&ds))));
+    g.bench_function("table3", |b| b.iter(|| table3::run(black_box(&ds))));
+    g.bench_function("table4", |b| b.iter(|| table4::run(black_box(&ds))));
+    g.bench_function("fig2", |b| b.iter(|| fig2::run(black_box(&ds))));
+    g.bench_function("fig3", |b| b.iter(|| fig3::run(black_box(&ds))));
+    g.bench_function("fig5", |b| b.iter(|| fig5::run(black_box(&ds))));
+    g.bench_function("fig6", |b| b.iter(|| fig6::run(black_box(&ds))));
+    g.finish();
+
+    // fig4 (five balancer runs + five predictors) and fig7 (three cache
+    // policies × six block sizes × all VDs) are the heavy ones; time them
+    // with fewer samples.
+    let mut heavy = c.benchmark_group("experiments_heavy");
+    heavy.sample_size(10);
+    heavy.bench_function("fig4", |b| b.iter(|| fig4::run(black_box(&ds))));
+    let sim = stack_traces(&ds);
+    heavy.bench_function("fig7", |b| b.iter(|| fig7::run(black_box(&ds), black_box(&sim))));
+    heavy.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Predictor benchmarks: fit + one-step forecast cost for the P1–P5
+//! lineup — the training-overhead half of the paper's accuracy/overhead
+//! trade-off (§6.1.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebs_predict::eval::Predictor;
+use ebs_predict::{Arima, AttentionRegressor, Gbdt, LinearFit};
+use std::hint::black_box;
+
+fn traffic_series(n: usize) -> Vec<f64> {
+    let mut s = vec![40.0, 44.0];
+    for i in 2..n {
+        let noise = (((i * 40503) % 89) as f64 - 44.0) * 0.2;
+        let burst = if i % 37 == 0 { 120.0 } else { 0.0 };
+        s.push(0.6 * s[i - 1] + 0.3 * s[i - 2] + 5.0 + noise + burst);
+    }
+    s
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let series = traffic_series(400);
+    let mut g = c.benchmark_group("predict/fit_400_periods");
+    g.bench_function("linear", |b| {
+        let mut m = LinearFit::default();
+        b.iter(|| m.fit(black_box(&series)))
+    });
+    g.bench_function("arima", |b| {
+        let mut m = Arima::default();
+        b.iter(|| m.fit(black_box(&series)))
+    });
+    g.sample_size(10);
+    g.bench_function("gbdt", |b| {
+        let mut m = Gbdt::default();
+        b.iter(|| m.fit(black_box(&series)))
+    });
+    g.bench_function("attention", |b| {
+        let mut m = AttentionRegressor::default();
+        b.iter(|| m.fit(black_box(&series)))
+    });
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let series = traffic_series(400);
+    let mut g = c.benchmark_group("predict/one_step");
+    let mut linear = LinearFit::default();
+    linear.fit(&series);
+    g.bench_function("linear", |b| b.iter(|| linear.predict_next(black_box(&series))));
+    let mut arima = Arima::default();
+    arima.fit(&series);
+    g.bench_function("arima", |b| b.iter(|| arima.predict_next(black_box(&series))));
+    let mut gbdt = Gbdt::default();
+    gbdt.fit(&series);
+    g.bench_function("gbdt", |b| b.iter(|| gbdt.predict_next(black_box(&series))));
+    let mut attention = AttentionRegressor::default();
+    attention.fit(&series);
+    g.bench_function("attention", |b| b.iter(|| attention.predict_next(black_box(&series))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

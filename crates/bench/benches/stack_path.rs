@@ -1,0 +1,48 @@
+//! End-to-end stack-path benchmark: IOs/second through the full simulated
+//! pipeline (hypervisor → throttle → networks → BS → CS), plus the cost of
+//! the per-IO building blocks.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ebs_core::rng::SimRng;
+use ebs_stack::latency::LatencyModel;
+use ebs_stack::sim::{StackConfig, StackSim};
+use ebs_stack::throttle_gate::TokenBucket;
+use ebs_workload::{generate, WorkloadConfig};
+use std::hint::black_box;
+
+fn bench_full_path(c: &mut Criterion) {
+    let ds = generate(&WorkloadConfig::quick(8)).unwrap();
+    let mut g = c.benchmark_group("stack/route_events");
+    g.throughput(Throughput::Elements(ds.events.len() as u64));
+    g.sample_size(10);
+    for (name, throttle) in [("with_throttle", true), ("no_throttle", false)] {
+        let cfg = StackConfig { apply_throttle: throttle, ..StackConfig::default() };
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || StackSim::new(&ds.fleet, cfg.clone()),
+                |mut sim| sim.run(black_box(&ds.events)).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let model = LatencyModel::default();
+    let mut rng = SimRng::seed_from_u64(1);
+    c.bench_function("stack/latency_sample", |b| {
+        b.iter(|| black_box(model.frontend.sample(&mut rng, 65536)))
+    });
+    c.bench_function("stack/token_bucket_admit", |b| {
+        let mut bucket = TokenBucket::new(1e9, 1e9);
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1.0;
+            black_box(bucket.admit(t, 4096.0))
+        })
+    });
+}
+
+criterion_group!(benches, bench_full_path, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Generator benchmarks: fleet construction, envelope generation, and the
+//! full dataset pipeline at quick scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ebs_core::rng::SimRng;
+use ebs_workload::dist::onoff::{OnOffEnvelope, OnOffParams};
+use ebs_workload::dist::zipf::zipf_weights;
+use ebs_workload::{build_fleet, generate, WorkloadConfig};
+use std::hint::black_box;
+
+fn bench_fleet_build(c: &mut Criterion) {
+    let cfg = WorkloadConfig::quick(1);
+    c.bench_function("fleet/build_quick", |b| {
+        b.iter(|| build_fleet(black_box(&cfg)).unwrap())
+    });
+}
+
+fn bench_envelopes(c: &mut Criterion) {
+    c.bench_function("envelope/steady_4320_ticks", |b| {
+        b.iter_batched(
+            || SimRng::seed_from_u64(7),
+            |mut rng| OnOffEnvelope::generate(&mut rng, 4320, &OnOffParams::steady()),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("envelope/bursty_4320_ticks", |b| {
+        b.iter_batched(
+            || SimRng::seed_from_u64(7),
+            |mut rng| OnOffEnvelope::generate(&mut rng, 4320, &OnOffParams::bursty()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    c.bench_function("zipf/weights_10000", |b| {
+        b.iter(|| zipf_weights(black_box(10_000), black_box(1.2)))
+    });
+}
+
+fn bench_full_generation(c: &mut Criterion) {
+    let cfg = WorkloadConfig::quick(2);
+    let mut g = c.benchmark_group("generate");
+    g.sample_size(10);
+    g.bench_function("quick_dataset", |b| b.iter(|| generate(black_box(&cfg)).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fleet_build, bench_envelopes, bench_zipf, bench_full_generation);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Cumulative Contribution Rate (CCR), the paper's spatial-skewness metric.
+//!
+//! "1 %-CCR" at, say, the VM level is the fraction of total traffic
+//! contributed by the top 1 % of VMs when VMs are ranked by their traffic
+//! (§3.1, following Lee et al.).
+
+/// CCR of `contributions` at top-fraction `frac` (e.g. `0.01` for the
+/// paper's "1 %-CCR"). Returns a fraction in `[0, 1]`.
+///
+/// The number of top entities is `ceil(frac · n)`, clamped to at least one,
+/// so tiny fleets still have a well-defined "top 1 %". Returns `None` if the
+/// slice is empty or total contribution is not positive.
+pub fn ccr(contributions: &[f64], frac: f64) -> Option<f64> {
+    if contributions.is_empty() || !(0.0..=1.0).contains(&frac) {
+        return None;
+    }
+    let total: f64 = contributions.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut sorted: Vec<f64> = contributions.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("contributions must not be NaN"));
+    let k = ((frac * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    let top: f64 = sorted[..k].iter().sum();
+    Some(top / total)
+}
+
+/// The full CCR curve: for each rank `k` (1-based), the cumulative share of
+/// traffic carried by the `k` largest contributors. Monotone non-decreasing,
+/// ending at 1.0. Empty if total contribution is not positive.
+pub fn ccr_curve(contributions: &[f64]) -> Vec<f64> {
+    let total: f64 = contributions.iter().sum();
+    if contributions.is_empty() || total <= 0.0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = contributions.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("contributions must not be NaN"));
+    let mut acc = 0.0;
+    sorted
+        .iter()
+        .map(|&x| {
+            acc += x;
+            acc / total
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_contributions_give_proportional_ccr() {
+        let v = vec![1.0; 100];
+        let c = ccr(&v, 0.2).unwrap();
+        assert!((c - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_contributions_concentrate() {
+        let mut v = vec![1.0; 99];
+        v.push(901.0); // one hot entity: 90.1% of 1000 total
+        let c = ccr(&v, 0.01).unwrap();
+        assert!((c - 0.901).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_count_rounds_up_and_floors_at_one() {
+        // 10 entities, 1% → still 1 entity.
+        let mut v = vec![0.0; 9];
+        v.push(10.0);
+        assert_eq!(ccr(&v, 0.01), Some(1.0));
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert_eq!(ccr(&[], 0.01), None);
+        assert_eq!(ccr(&[0.0, 0.0], 0.2), None);
+        assert_eq!(ccr(&[1.0], -0.1), None);
+        assert_eq!(ccr(&[1.0], 1.5), None);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_one() {
+        let v = [5.0, 1.0, 3.0, 1.0];
+        let curve = ccr_curve(&v);
+        assert_eq!(curve.len(), 4);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!((curve.last().unwrap() - 1.0).abs() < 1e-12);
+        assert!((curve[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_fraction_is_total() {
+        let v = [2.0, 3.0, 5.0];
+        assert!((ccr(&v, 1.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,74 @@
+//! Gini coefficient — a companion spatial-skewness score.
+//!
+//! The paper quantifies spatial skew with CCR at two fixed fractions; the
+//! Gini coefficient summarises the whole Lorenz curve in one number
+//! (0 = perfectly even, →1 = one entity carries everything), which makes
+//! cross-level and cross-fleet comparisons easier. Used by downstream
+//! analyses and the ablation harness.
+
+/// Gini coefficient of non-negative contributions. `None` when the slice
+/// is empty or the total is not positive.
+pub fn gini(contributions: &[f64]) -> Option<f64> {
+    if contributions.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = contributions.to_vec();
+    let total: f64 = v.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("contributions must not be NaN"));
+    let n = v.len() as f64;
+    // G = (2·Σ i·x_i) / (n·Σ x_i) − (n+1)/n, with 1-based ranks over the
+    // ascending sort.
+    let weighted: f64 =
+        v.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    Some((2.0 * weighted / (n * total) - (n + 1.0) / n).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_zero() {
+        assert!((gini(&[3.0, 3.0, 3.0, 3.0]).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hot_entity_approaches_one() {
+        let mut v = vec![0.0; 99];
+        v.push(100.0);
+        let g = gini(&v).unwrap();
+        assert!(g > 0.98, "got {g}");
+    }
+
+    #[test]
+    fn known_value_two_entities() {
+        // [1, 3]: Lorenz area gives G = 0.25.
+        let g = gini(&[1.0, 3.0]).unwrap();
+        assert!((g - 0.25).abs() < 1e-12, "got {g}");
+    }
+
+    #[test]
+    fn invariant_to_scale_and_order() {
+        let a = gini(&[5.0, 1.0, 3.0]).unwrap();
+        let b = gini(&[10.0, 2.0, 6.0]).unwrap();
+        let c = gini(&[1.0, 3.0, 5.0]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+        assert!((a - c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(gini(&[]), None);
+        assert_eq!(gini(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn more_skew_more_gini() {
+        let even = gini(&[4.0, 3.0, 3.0]).unwrap();
+        let skewed = gini(&[8.0, 1.0, 1.0]).unwrap();
+        assert!(skewed > even);
+    }
+}

@@ -1,0 +1,87 @@
+//! Normalized write-to-read ratio, Equation 2 of the paper:
+//! `wr_ratio = (W − R) / (W + R)`, ranging in `[-1, 1]`.
+//!
+//! `+1` means pure write traffic, `−1` pure read. The paper calls a sample
+//! *write-dominant* when `wr_ratio > 1/3` (write ≥ 2× read) and
+//! *read-dominant* when `wr_ratio < −1/3`.
+
+/// Threshold above which traffic is write-dominant (write ≥ 2× read).
+pub const WRITE_DOMINANT: f64 = 1.0 / 3.0;
+/// Threshold below which traffic is read-dominant (read ≥ 2× write).
+pub const READ_DOMINANT: f64 = -1.0 / 3.0;
+
+/// `(W − R) / (W + R)`. Returns `None` when there is no traffic at all.
+pub fn wr_ratio(write: f64, read: f64) -> Option<f64> {
+    let total = write + read;
+    if total <= 0.0 {
+        None
+    } else {
+        Some((write - read) / total)
+    }
+}
+
+/// Dominance classification of a `wr_ratio` value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dominance {
+    /// `wr_ratio < −1/3`: read at least twice the write.
+    ReadDominant,
+    /// `|wr_ratio| ≤ 1/3`: balanced traffic.
+    Mixed,
+    /// `wr_ratio > 1/3`: write at least twice the read.
+    WriteDominant,
+}
+
+/// Classify a ratio into read-dominant / mixed / write-dominant.
+pub fn dominance(ratio: f64) -> Dominance {
+    if ratio > WRITE_DOMINANT {
+        Dominance::WriteDominant
+    } else if ratio < READ_DOMINANT {
+        Dominance::ReadDominant
+    } else {
+        Dominance::Mixed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_directions_hit_bounds() {
+        assert_eq!(wr_ratio(10.0, 0.0), Some(1.0));
+        assert_eq!(wr_ratio(0.0, 10.0), Some(-1.0));
+    }
+
+    #[test]
+    fn balanced_traffic_is_zero() {
+        assert_eq!(wr_ratio(5.0, 5.0), Some(0.0));
+    }
+
+    #[test]
+    fn two_to_one_write_is_exactly_one_third() {
+        let r = wr_ratio(2.0, 1.0).unwrap();
+        assert!((r - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(dominance(r), Dominance::Mixed); // boundary is inclusive
+        assert_eq!(dominance(r + 1e-9), Dominance::WriteDominant);
+    }
+
+    #[test]
+    fn dominance_classification() {
+        assert_eq!(dominance(0.9), Dominance::WriteDominant);
+        assert_eq!(dominance(-0.9), Dominance::ReadDominant);
+        assert_eq!(dominance(0.0), Dominance::Mixed);
+    }
+
+    #[test]
+    fn no_traffic_is_none() {
+        assert_eq!(wr_ratio(0.0, 0.0), None);
+    }
+
+    #[test]
+    fn ratio_always_in_unit_interval() {
+        for (w, r) in [(1.0, 3.0), (100.0, 0.5), (0.25, 0.25)] {
+            let x = wr_ratio(w, r).unwrap();
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Migration-log analysis: frequent-migration detection (§6.1.1) and
+//! migration intervals (§6.1.2).
+
+use ebs_core::ids::BsId;
+use ebs_stack::segment::Migration;
+use std::collections::{HashMap, HashSet};
+
+/// A migration is *frequent* when, within one detection window, its source
+/// or destination BlockServer has **both** incoming and outgoing
+/// migrations — the paper's signal that segments bounce in and out of a BS
+/// back-to-back.
+///
+/// Returns the proportion of frequent migrations (0 when the log is empty).
+pub fn frequent_migration_proportion(log: &[Migration], window_periods: u32) -> f64 {
+    if log.is_empty() {
+        return 0.0;
+    }
+    assert!(window_periods > 0);
+    // Per window: sets of BSs with outgoing / incoming moves.
+    let mut out_by_window: HashMap<u32, HashSet<BsId>> = HashMap::new();
+    let mut in_by_window: HashMap<u32, HashSet<BsId>> = HashMap::new();
+    for m in log {
+        let w = m.at / window_periods;
+        out_by_window.entry(w).or_default().insert(m.from);
+        in_by_window.entry(w).or_default().insert(m.to);
+    }
+    let frequent = log
+        .iter()
+        .filter(|m| {
+            let w = m.at / window_periods;
+            let busy = |bs: BsId| {
+                out_by_window.get(&w).is_some_and(|s| s.contains(&bs))
+                    && in_by_window.get(&w).is_some_and(|s| s.contains(&bs))
+            };
+            busy(m.from) || busy(m.to)
+        })
+        .count();
+    frequent as f64 / log.len() as f64
+}
+
+/// Normalized intervals between consecutive *outgoing* migrations of each
+/// BlockServer: for every BS with ≥ 2 outgoing moves, the gaps between
+/// adjacent moves divided by `total_periods`. Larger is better — segments
+/// stay put longer (Figure 4(b)).
+pub fn migration_intervals(log: &[Migration], total_periods: u32) -> Vec<f64> {
+    assert!(total_periods > 0);
+    let mut by_bs: HashMap<BsId, Vec<u32>> = HashMap::new();
+    for m in log {
+        by_bs.entry(m.from).or_default().push(m.at);
+    }
+    let mut intervals = Vec::new();
+    for times in by_bs.values_mut() {
+        times.sort_unstable();
+        times.dedup(); // multiple segments in one period = one balancing act
+        for w in times.windows(2) {
+            intervals.push((w[1] - w[0]) as f64 / total_periods as f64);
+        }
+    }
+    intervals
+}
+
+/// Normalized intervals between consecutive migrations of the *same
+/// segment* — how long a segment stays put after being moved. This is the
+/// Figure 4(b) lens on importer quality: a poorly chosen importer turns
+/// hot and expels the segment again almost immediately. Segments migrated
+/// only once contribute the gap from their move to the end of the window,
+/// so strategies that avoid re-migration are rewarded.
+pub fn segment_residency_intervals(log: &[Migration], total_periods: u32) -> Vec<f64> {
+    assert!(total_periods > 0);
+    let mut by_seg: HashMap<ebs_core::ids::SegId, Vec<u32>> = HashMap::new();
+    for m in log {
+        by_seg.entry(m.seg).or_default().push(m.at);
+    }
+    let mut intervals = Vec::new();
+    for times in by_seg.values_mut() {
+        times.sort_unstable();
+        for w in times.windows(2) {
+            intervals.push((w[1] - w[0]) as f64 / total_periods as f64);
+        }
+        // Censored final residency: from the last move to the window end.
+        if let Some(&last) = times.last() {
+            intervals.push((total_periods.saturating_sub(last)) as f64 / total_periods as f64);
+        }
+    }
+    intervals
+}
+
+/// Count migrations per BlockServer `(outgoing, incoming)`.
+pub fn per_bs_counts(log: &[Migration], bs_total: usize) -> Vec<(usize, usize)> {
+    let mut counts = vec![(0usize, 0usize); bs_total];
+    for m in log {
+        counts[m.from.index()].0 += 1;
+        counts[m.to.index()].1 += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_core::ids::SegId;
+
+    fn mig(at: u32, seg: u32, from: u32, to: u32) -> Migration {
+        Migration { at, seg: SegId(seg), from: BsId(from), to: BsId(to) }
+    }
+
+    #[test]
+    fn empty_log_has_no_frequent_migrations() {
+        assert_eq!(frequent_migration_proportion(&[], 1), 0.0);
+    }
+
+    #[test]
+    fn in_and_out_within_window_is_frequent() {
+        // BS 1 imports at period 0 and exports at period 0: frequent.
+        let log = vec![mig(0, 0, 0, 1), mig(0, 1, 1, 2)];
+        assert_eq!(frequent_migration_proportion(&log, 1), 1.0);
+    }
+
+    #[test]
+    fn separated_windows_are_not_frequent() {
+        // Same pattern but 10 periods apart with window 1.
+        let log = vec![mig(0, 0, 0, 1), mig(10, 1, 1, 2)];
+        assert_eq!(frequent_migration_proportion(&log, 1), 0.0);
+        // A wide window merges them back into frequent.
+        assert_eq!(frequent_migration_proportion(&log, 20), 1.0);
+    }
+
+    #[test]
+    fn one_sided_traffic_is_never_frequent() {
+        // BS 0 only exports; BSs 1..3 only import.
+        let log = vec![mig(0, 0, 0, 1), mig(0, 1, 0, 2), mig(0, 2, 0, 3)];
+        assert_eq!(frequent_migration_proportion(&log, 1), 0.0);
+    }
+
+    #[test]
+    fn intervals_are_normalized_per_bs() {
+        let log = vec![
+            mig(0, 0, 0, 1),
+            mig(10, 1, 0, 1),
+            mig(40, 2, 0, 1),
+            mig(5, 3, 2, 1), // single outgoing for BS 2: no interval
+        ];
+        let mut iv = migration_intervals(&log, 100);
+        iv.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(iv, vec![0.1, 0.3]);
+    }
+
+    #[test]
+    fn same_period_moves_dedup() {
+        // Two segments exported in the same balancing act → one timestamp.
+        let log = vec![mig(3, 0, 0, 1), mig(3, 1, 0, 2), mig(9, 2, 0, 1)];
+        let iv = migration_intervals(&log, 12);
+        assert_eq!(iv, vec![0.5]);
+    }
+
+    #[test]
+    fn segment_residency_measures_stickiness() {
+        // Segment 0 bounces at periods 2 and 4, then stays until 10;
+        // segment 1 moves once at period 1 and never again.
+        let log = vec![mig(2, 0, 0, 1), mig(4, 0, 1, 2), mig(1, 1, 0, 2)];
+        let mut iv = segment_residency_intervals(&log, 10);
+        iv.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(iv, vec![0.2, 0.6, 0.9]); // (4-2), (10-4), (10-1) over 10
+    }
+
+    #[test]
+    fn per_bs_counts_tally_directions() {
+        let log = vec![mig(0, 0, 0, 1), mig(1, 1, 0, 2), mig(2, 2, 1, 0)];
+        let counts = per_bs_counts(&log, 3);
+        assert_eq!(counts[0], (2, 1));
+        assert_eq!(counts[1], (1, 1));
+        assert_eq!(counts[2], (0, 1));
+    }
+}

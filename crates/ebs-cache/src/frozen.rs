@@ -1,0 +1,100 @@
+//! Frozen cache (FrozenHot-style, §7.3.1).
+//!
+//! The frozen cache pins a fixed page range — the VD's hottest block — and
+//! never evicts. Management cost collapses (no metadata churn, no eviction
+//! under concurrency); the price is that only accesses landing inside the
+//! frozen range can hit, which is why small frozen caches lose to FIFO/LRU
+//! but large ones (2 GiB) match them with a higher floor (Figure 7(a)).
+
+use crate::policy::{CachePolicy, PAGE_BYTES};
+use ebs_core::io::Op;
+
+/// A no-eviction cache pinned to a contiguous page range.
+#[derive(Clone, Debug)]
+pub struct FrozenCache {
+    first_page: u64,
+    pages: u64,
+}
+
+impl FrozenCache {
+    /// Freeze `pages` pages starting at page `first_page`.
+    pub fn new(first_page: u64, pages: u64) -> Self {
+        assert!(pages > 0, "cache needs capacity");
+        Self { first_page, pages }
+    }
+
+    /// Freeze the byte range `[start, start + len)` (page-rounded outward).
+    pub fn covering_bytes(start: u64, len: u64) -> Self {
+        let first_page = start / PAGE_BYTES;
+        let last_page = (start + len.max(1) - 1) / PAGE_BYTES;
+        Self::new(first_page, last_page - first_page + 1)
+    }
+
+    /// Whether `page` falls inside the frozen range.
+    pub fn contains(&self, page: u64) -> bool {
+        page >= self.first_page && page < self.first_page + self.pages
+    }
+}
+
+impl CachePolicy for FrozenCache {
+    fn name(&self) -> String {
+        "FrozenHot".into()
+    }
+
+    fn capacity_pages(&self) -> usize {
+        self.pages as usize
+    }
+
+    fn access(&mut self, page: u64, _op: Op) -> bool {
+        self.contains(page)
+    }
+
+    fn len(&self) -> usize {
+        // The frozen range is always fully resident.
+        self.pages as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_only_inside_the_range() {
+        let mut c = FrozenCache::new(10, 5);
+        assert!(!c.access(9, Op::Read));
+        assert!(c.access(10, Op::Read));
+        assert!(c.access(14, Op::Write));
+        assert!(!c.access(15, Op::Read));
+    }
+
+    #[test]
+    fn no_eviction_ever() {
+        let mut c = FrozenCache::new(0, 4);
+        // Hammer pages far outside; the frozen set is untouched.
+        for p in 1000..2000 {
+            assert!(!c.access(p, Op::Write));
+        }
+        for p in 0..4 {
+            assert!(c.access(p, Op::Read));
+        }
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn covering_bytes_rounds_outward() {
+        // 6 KiB starting at 2 KiB → pages 0..=1.
+        let c = FrozenCache::covering_bytes(2048, 6144);
+        assert!(c.contains(0));
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert_eq!(c.capacity_pages(), 2);
+    }
+
+    #[test]
+    fn covering_zero_length_still_pins_one_page() {
+        let c = FrozenCache::covering_bytes(8192, 0);
+        assert_eq!(c.capacity_pages(), 1);
+        assert!(c.contains(2));
+    }
+}

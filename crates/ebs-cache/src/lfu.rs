@@ -1,0 +1,155 @@
+//! Least-Frequently-Used cache — an extra baseline beyond the paper's
+//! FIFO/LRU/FrozenHot lineup.
+//!
+//! LFU is the natural foil for FrozenHot: both bet on long-run popularity,
+//! but LFU keeps paying metadata cost per access while FrozenHot freezes
+//! the decision. On the EBS hot-block pattern (sequential writes, skewed
+//! re-reads) LFU approaches FrozenHot's behaviour with FIFO-like overheads
+//! — useful context for the §7.3.1 trade-off.
+
+use crate::policy::CachePolicy;
+use ebs_core::io::Op;
+use std::collections::{BTreeSet, HashMap};
+
+/// LFU with FIFO tie-breaking (classic O(log n) implementation over a
+/// `(count, seq)` ordered set).
+#[derive(Clone, Debug)]
+pub struct LfuCache {
+    capacity: usize,
+    seq: u64,
+    /// page → (count, seq at insertion/last bump)
+    meta: HashMap<u64, (u64, u64)>,
+    /// ordered victims: (count, seq, page)
+    order: BTreeSet<(u64, u64, u64)>,
+}
+
+impl LfuCache {
+    /// An LFU cache of `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache needs capacity");
+        Self {
+            capacity,
+            seq: 0,
+            meta: HashMap::with_capacity(capacity),
+            order: BTreeSet::new(),
+        }
+    }
+
+    fn bump(&mut self, page: u64) {
+        let (count, seq) = self.meta[&page];
+        self.order.remove(&(count, seq, page));
+        self.seq += 1;
+        self.meta.insert(page, (count + 1, self.seq));
+        self.order.insert((count + 1, self.seq, page));
+    }
+}
+
+impl CachePolicy for LfuCache {
+    fn name(&self) -> String {
+        "LFU".into()
+    }
+
+    fn capacity_pages(&self) -> usize {
+        self.capacity
+    }
+
+    fn access(&mut self, page: u64, _op: Op) -> bool {
+        if self.meta.contains_key(&page) {
+            self.bump(page);
+            return true;
+        }
+        if self.meta.len() == self.capacity {
+            let &(c, s, victim) = self.order.iter().next().expect("non-empty at capacity");
+            self.order.remove(&(c, s, victim));
+            self.meta.remove(&victim);
+        }
+        self.seq += 1;
+        self.meta.insert(page, (1, self.seq));
+        self.order.insert((1, self.seq, page));
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.meta.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn touch(c: &mut LfuCache, page: u64) -> bool {
+        c.access(page, Op::Read)
+    }
+
+    #[test]
+    fn frequency_protects_pages() {
+        let mut c = LfuCache::new(2);
+        touch(&mut c, 1);
+        touch(&mut c, 1);
+        touch(&mut c, 1); // page 1: count 3
+        touch(&mut c, 2); // page 2: count 1
+        touch(&mut c, 3); // evicts 2 (lowest count), not 1
+        assert!(touch(&mut c, 1));
+        assert!(!touch(&mut c, 2));
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut c = LfuCache::new(2);
+        touch(&mut c, 1); // count 1, older
+        touch(&mut c, 2); // count 1, newer
+        touch(&mut c, 3); // evicts 1 (older of the count-1 pair)
+        assert!(!touch(&mut c, 1));
+        // 2 was still resident before this miss chain started evicting it.
+    }
+
+    #[test]
+    fn capacity_never_exceeded_and_maps_agree() {
+        let mut c = LfuCache::new(5);
+        for i in 0..2000u64 {
+            touch(&mut c, (i * 13) % 23);
+            assert!(c.len() <= 5);
+            assert_eq!(c.meta.len(), c.order.len());
+        }
+    }
+
+    #[test]
+    fn hot_set_survives_a_scan() {
+        // The LFU selling point: a one-pass scan cannot flush a hot set.
+        let mut c = LfuCache::new(8);
+        for _ in 0..10 {
+            for p in 0..4 {
+                touch(&mut c, p);
+            }
+        }
+        for p in 100..200 {
+            touch(&mut c, p);
+        }
+        for p in 0..4 {
+            assert!(touch(&mut c, p), "hot page {p} was flushed by the scan");
+        }
+    }
+
+    #[test]
+    fn beats_lru_on_skewed_rereferences() {
+        // 80/20 skew with a working set larger than the cache: LFU should
+        // hold the popular pages while LRU churns.
+        let mut lfu = LfuCache::new(16);
+        let mut lru = crate::lru::LruCache::new(16);
+        let mut lfu_hits = 0u32;
+        let mut lru_hits = 0u32;
+        let mut x: u64 = 12345;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let page = if x % 10 < 8 { (x >> 32) % 12 } else { (x >> 32) % 4096 };
+            if lfu.access(page, Op::Read) {
+                lfu_hits += 1;
+            }
+            if lru.access(page, Op::Read) {
+                lru_hits += 1;
+            }
+        }
+        assert!(lfu_hits > lru_hits, "LFU {lfu_hits} vs LRU {lru_hits}");
+    }
+}

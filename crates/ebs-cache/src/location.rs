@@ -1,0 +1,231 @@
+//! Cache deployment location: CN-cache versus BS-cache (§7.3.2).
+//!
+//! A compute-node cache serves hits without touching the storage cluster
+//! (latency = compute stage only); a BlockServer cache still pays the
+//! frontend network and BS processing but skips the backend network and
+//! ChunkServer. The *latency gain* at percentile q is
+//! `q%ile(with cache) / q%ile(without)` — smaller is better.
+
+use crate::hottest_block::HottestBlock;
+use crate::simulate::frozen_io_hits;
+use ebs_core::ids::VdId;
+use ebs_core::io::{IoEvent, Op};
+use ebs_core::trace::TraceRecord;
+use std::collections::HashMap;
+
+/// Where the frozen cache is deployed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheSite {
+    /// On the compute node (hits skip the entire storage cluster).
+    ComputeNode,
+    /// On the BlockServer (hits skip the backend network + ChunkServer).
+    BlockServer,
+}
+
+impl CacheSite {
+    /// Both sites.
+    pub const ALL: [CacheSite; 2] = [CacheSite::ComputeNode, CacheSite::BlockServer];
+
+    /// Label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheSite::ComputeNode => "CN-cache",
+            CacheSite::BlockServer => "BS-cache",
+        }
+    }
+}
+
+/// Latency gain at the percentiles Figure 7(b/c) reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyGain {
+    /// Gain at the 0th percentile (best case).
+    pub p0: f64,
+    /// Gain at the median.
+    pub p50: f64,
+    /// Gain at the 99th percentile (tail).
+    pub p99: f64,
+}
+
+/// Per-IO cache-hit oracle: which trace records hit a frozen cache pinned
+/// at each cacheable VD's hottest block. VDs whose hottest-block access
+/// rate is below `threshold` get no cache.
+pub fn hit_oracle(
+    hot: &HashMap<VdId, HottestBlock>,
+    records: &[TraceRecord],
+    threshold: f64,
+) -> Vec<bool> {
+    // frozen_io_hits works on IoEvents; adapt records.
+    let events: Vec<IoEvent> = records
+        .iter()
+        .map(|r| IoEvent {
+            t_us: r.t_us,
+            vd: r.vd,
+            qp: r.qp,
+            op: r.op,
+            size: r.size,
+            offset: r.offset,
+        })
+        .collect();
+    let mut hits = vec![false; records.len()];
+    // Group indexes by VD to run the per-VD oracle once.
+    let mut by_vd: HashMap<VdId, Vec<usize>> = HashMap::new();
+    for (i, r) in records.iter().enumerate() {
+        by_vd.entry(r.vd).or_default().push(i);
+    }
+    for (vd, idxs) in by_vd {
+        let Some(hb) = hot.get(&vd) else { continue };
+        if hb.access_rate < threshold {
+            continue;
+        }
+        let sub: Vec<IoEvent> = idxs.iter().map(|&i| events[i]).collect();
+        for (k, hit) in frozen_io_hits(hb, &sub).into_iter().enumerate() {
+            hits[idxs[k]] = hit;
+        }
+    }
+    hits
+}
+
+/// Latency gain of deploying frozen caches at `site`, for `op` traffic,
+/// over the given trace records and hit oracle. `None` when no records of
+/// that op exist.
+pub fn latency_gain(
+    records: &[TraceRecord],
+    hits: &[bool],
+    site: CacheSite,
+    op: Op,
+) -> Option<LatencyGain> {
+    assert_eq!(records.len(), hits.len());
+    let mut without = Vec::new();
+    let mut with = Vec::new();
+    for (r, &hit) in records.iter().zip(hits) {
+        if r.op != op {
+            continue;
+        }
+        let full = r.lat.total_us();
+        without.push(full);
+        with.push(if hit {
+            match site {
+                CacheSite::ComputeNode => r.lat.cn_cache_us(),
+                CacheSite::BlockServer => r.lat.bs_cache_us(),
+            }
+        } else {
+            full
+        });
+    }
+    if without.is_empty() {
+        return None;
+    }
+    let gain = |q: f64| -> f64 {
+        let w = ebs_analysis::quantile(&with, q).expect("non-empty");
+        let o = ebs_analysis::quantile(&without, q).expect("non-empty");
+        if o > 0.0 {
+            w / o
+        } else {
+            1.0
+        }
+    };
+    Some(LatencyGain { p0: gain(0.0), p50: gain(0.5), p99: gain(0.99) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_core::ids::*;
+    use ebs_core::trace::StageLatency;
+
+    fn rec(i: u64, vd: u32, op: Op, offset: u64, tail: bool) -> TraceRecord {
+        let lat = StageLatency {
+            compute_us: 10.0,
+            frontend_us: 40.0,
+            block_server_us: 10.0,
+            backend_us: 20.0,
+            chunk_server_us: if tail { 2000.0 } else { 120.0 },
+        };
+        TraceRecord {
+            id: TraceId(i),
+            t_us: i,
+            op,
+            size: 4096,
+            offset,
+            qp: QpId(0),
+            vd: VdId(vd),
+            vm: VmId(0),
+            cn: CnId(0),
+            wt: WtId(0),
+            seg: SegId(0),
+            bs: BsId(0),
+            sn: SnId(0),
+            lat,
+        }
+    }
+
+    fn hot_for(vd: u32, rate: f64) -> (VdId, HottestBlock) {
+        (
+            VdId(vd),
+            HottestBlock {
+                vd: VdId(vd),
+                block: 0,
+                block_size: 64 << 20,
+                access_rate: rate,
+                total_accesses: 100,
+                reads: 10,
+                writes: 90,
+            },
+        )
+    }
+
+    #[test]
+    fn oracle_marks_in_block_ios_of_cacheable_vds() {
+        let hot: HashMap<_, _> = [hot_for(0, 0.5)].into_iter().collect();
+        let records = vec![
+            rec(0, 0, Op::Write, 0, false),          // in block → hit
+            rec(1, 0, Op::Write, 1 << 30, false),    // outside → miss
+            rec(2, 1, Op::Write, 0, false),          // VD without cache
+        ];
+        let hits = hit_oracle(&hot, &records, 0.25);
+        assert_eq!(hits, vec![true, false, false]);
+    }
+
+    #[test]
+    fn threshold_disables_cold_vds() {
+        let hot: HashMap<_, _> = [hot_for(0, 0.1)].into_iter().collect();
+        let records = vec![rec(0, 0, Op::Write, 0, false)];
+        let hits = hit_oracle(&hot, &records, 0.25);
+        assert_eq!(hits, vec![false]);
+    }
+
+    #[test]
+    fn cn_gain_beats_bs_gain() {
+        let hot: HashMap<_, _> = [hot_for(0, 0.9)].into_iter().collect();
+        let records: Vec<TraceRecord> =
+            (0..100).map(|i| rec(i, 0, Op::Write, 0, false)).collect();
+        let hits = hit_oracle(&hot, &records, 0.25);
+        let cn = latency_gain(&records, &hits, CacheSite::ComputeNode, Op::Write).unwrap();
+        let bs = latency_gain(&records, &hits, CacheSite::BlockServer, Op::Write).unwrap();
+        assert!(cn.p50 < bs.p50, "CN {cn:?} vs BS {bs:?}");
+        assert!(bs.p50 < 1.0);
+    }
+
+    #[test]
+    fn tail_unaffected_when_tail_ios_miss() {
+        // 99 cached fast IOs + tail IOs outside the hot block: the 99%ile
+        // barely moves (the Figure 7(b/c) tail result).
+        let hot: HashMap<_, _> = [hot_for(0, 0.9)].into_iter().collect();
+        let mut records: Vec<TraceRecord> =
+            (0..95).map(|i| rec(i, 0, Op::Write, 0, false)).collect();
+        for i in 95..100 {
+            records.push(rec(i, 0, Op::Write, 1 << 30, true));
+        }
+        let hits = hit_oracle(&hot, &records, 0.25);
+        let g = latency_gain(&records, &hits, CacheSite::ComputeNode, Op::Write).unwrap();
+        assert!(g.p50 < 0.5, "median should improve: {g:?}");
+        assert!(g.p99 > 0.9, "tail should not: {g:?}");
+    }
+
+    #[test]
+    fn missing_op_returns_none() {
+        let records = vec![rec(0, 0, Op::Write, 0, false)];
+        let hits = vec![false];
+        assert!(latency_gain(&records, &hits, CacheSite::ComputeNode, Op::Read).is_none());
+    }
+}

@@ -1,0 +1,59 @@
+//! The cache-policy abstraction of the §7 study.
+//!
+//! Caches operate on 4 KiB pages (the paper's setting). A policy sees one
+//! page access at a time and reports hit or miss; admission and eviction
+//! are the policy's business. Both reads and writes go through the cache —
+//! the §7.3.2 deployment is a *persistent* cache, so writes hitting it
+//! also save the trip down the stack.
+
+use ebs_core::io::Op;
+
+/// Page size used by the study.
+pub const PAGE_BYTES: u64 = ebs_core::units::PAGE_BYTES;
+
+/// A page-granular cache policy.
+pub trait CachePolicy {
+    /// Policy name for reports.
+    fn name(&self) -> String;
+    /// Capacity in pages.
+    fn capacity_pages(&self) -> usize;
+    /// Access one page; returns `true` on hit. On miss the policy may
+    /// admit the page (and evict per its rules).
+    fn access(&mut self, page: u64, op: Op) -> bool;
+    /// Pages currently resident.
+    fn len(&self) -> usize;
+    /// Whether the cache is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Page range `[first, last]` touched by an IO at `offset` of `size` bytes.
+pub fn pages_of(offset: u64, size: u32) -> std::ops::RangeInclusive<u64> {
+    let first = offset / PAGE_BYTES;
+    let last = (offset + size.max(1) as u64 - 1) / PAGE_BYTES;
+    first..=last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_of_single_page_io() {
+        assert_eq!(pages_of(0, 4096), 0..=0);
+        assert_eq!(pages_of(4096, 4096), 1..=1);
+    }
+
+    #[test]
+    fn pages_of_straddling_io() {
+        // 8 KiB at offset 2 KiB touches pages 0 and 2... no: 2 KiB..10 KiB
+        // touches pages 0, 1, 2.
+        assert_eq!(pages_of(2048, 8192), 0..=2);
+    }
+
+    #[test]
+    fn pages_of_zero_size_touches_one_page() {
+        assert_eq!(pages_of(8192, 0), 2..=2);
+    }
+}

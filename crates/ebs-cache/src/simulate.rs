@@ -1,0 +1,188 @@
+//! Trace-driven cache simulation (§7.3.1, Figure 7(a)).
+//!
+//! Protocol from the paper: 4 KiB pages; the cache is sized to the VD's
+//! hottest block; the frozen cache is pinned at the hottest block's LBA.
+//! Hit ratios are measured per VD over its sampled IO stream.
+
+use crate::fifo::FifoCache;
+use crate::frozen::FrozenCache;
+use crate::hottest_block::HottestBlock;
+use crate::lru::LruCache;
+use crate::policy::{pages_of, CachePolicy, PAGE_BYTES};
+use ebs_core::io::IoEvent;
+
+/// The three algorithms compared by Figure 7(a).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// First-in-first-out.
+    Fifo,
+    /// Least-recently-used.
+    Lru,
+    /// Frozen cache pinned at the hottest block.
+    Frozen,
+}
+
+impl Algorithm {
+    /// All three, in the figure's order.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Fifo, Algorithm::Lru, Algorithm::Frozen];
+
+    /// Label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Fifo => "FIFO",
+            Algorithm::Lru => "LRU",
+            Algorithm::Frozen => "FrozenHot",
+        }
+    }
+}
+
+/// Result of simulating one policy over one VD.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HitStats {
+    /// Page accesses offered.
+    pub accesses: u64,
+    /// Page hits.
+    pub hits: u64,
+}
+
+impl HitStats {
+    /// Hit ratio in `[0, 1]`; `None` when no accesses were offered.
+    pub fn ratio(&self) -> Option<f64> {
+        if self.accesses == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / self.accesses as f64)
+        }
+    }
+}
+
+/// Build the policy instance for `algo`, sized/placed per the paper's
+/// protocol for a VD whose hottest block is `hb`.
+pub fn build_policy(algo: Algorithm, hb: &HottestBlock) -> Box<dyn CachePolicy> {
+    let pages = (hb.block_size / PAGE_BYTES).max(1) as usize;
+    match algo {
+        Algorithm::Fifo => Box::new(FifoCache::new(pages)),
+        Algorithm::Lru => Box::new(LruCache::new(pages)),
+        Algorithm::Frozen => {
+            Box::new(FrozenCache::covering_bytes(hb.block * hb.block_size, hb.block_size))
+        }
+    }
+}
+
+/// Run one policy over a VD's event stream, counting page-level hits.
+pub fn simulate(policy: &mut dyn CachePolicy, events: &[IoEvent]) -> HitStats {
+    let mut stats = HitStats { accesses: 0, hits: 0 };
+    for ev in events {
+        for page in pages_of(ev.offset, ev.size) {
+            stats.accesses += 1;
+            if policy.access(page, ev.op) {
+                stats.hits += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Per-page hit flags for one VD under a frozen cache at its hottest block
+/// — used by the latency-gain study to decide which *IOs* are cache hits
+/// (an IO is a hit when every page it touches is frozen).
+pub fn frozen_io_hits(hb: &HottestBlock, events: &[IoEvent]) -> Vec<bool> {
+    let cache = FrozenCache::covering_bytes(hb.block * hb.block_size, hb.block_size);
+    events
+        .iter()
+        .map(|ev| pages_of(ev.offset, ev.size).all(|p| cache.contains(p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hottest_block::hottest_block;
+    use ebs_core::ids::{QpId, VdId};
+    use ebs_core::io::Op;
+
+    fn ev(t: u64, op: Op, offset: u64, size: u32) -> IoEvent {
+        IoEvent { t_us: t, vd: VdId(0), qp: QpId(0), op, size, offset }
+    }
+
+    fn hot_write_stream(block_size: u64) -> Vec<IoEvent> {
+        // 80% of IOs loop inside one block; 20% scattered far away.
+        let mut events = Vec::new();
+        for i in 0..500u64 {
+            if i % 5 == 4 {
+                events.push(ev(i, Op::Read, (i * 131) % 64 * (1 << 30), 4096));
+            } else {
+                events.push(ev(i, Op::Write, block_size * 2 + (i * 4096) % block_size, 4096));
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn frozen_hits_exactly_the_hot_block() {
+        let bs = 64u64 << 20;
+        let events = hot_write_stream(bs);
+        let hb = hottest_block(VdId(0), &events, bs).unwrap();
+        assert_eq!(hb.block, 2);
+        let mut frozen = build_policy(Algorithm::Frozen, &hb);
+        let stats = simulate(frozen.as_mut(), &events);
+        let ratio = stats.ratio().unwrap();
+        assert!((ratio - 0.8).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn fifo_and_lru_agree_on_sequential_hot_writes() {
+        let bs = 64u64 << 20;
+        let events = hot_write_stream(bs);
+        let hb = hottest_block(VdId(0), &events, bs).unwrap();
+        let mut fifo = build_policy(Algorithm::Fifo, &hb);
+        let mut lru = build_policy(Algorithm::Lru, &hb);
+        let f = simulate(fifo.as_mut(), &events).ratio().unwrap();
+        let l = simulate(lru.as_mut(), &events).ratio().unwrap();
+        assert!((f - l).abs() < 0.05, "FIFO {f} vs LRU {l}");
+    }
+
+    #[test]
+    fn multi_page_ios_count_each_page() {
+        let hb = HottestBlock {
+            vd: VdId(0),
+            block: 0,
+            block_size: 64 << 20,
+            access_rate: 1.0,
+            total_accesses: 1,
+            reads: 0,
+            writes: 1,
+        };
+        let mut lru = build_policy(Algorithm::Lru, &hb);
+        // One 64 KiB IO = 16 page accesses, all cold.
+        let stats = simulate(lru.as_mut(), &[ev(0, Op::Write, 0, 65536)]);
+        assert_eq!(stats.accesses, 16);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn empty_stream_has_no_ratio() {
+        let stats = HitStats { accesses: 0, hits: 0 };
+        assert_eq!(stats.ratio(), None);
+    }
+
+    #[test]
+    fn frozen_io_hits_require_all_pages_frozen() {
+        let bs = 64u64 << 20;
+        let hb = HottestBlock {
+            vd: VdId(0),
+            block: 1,
+            block_size: bs,
+            access_rate: 1.0,
+            total_accesses: 3,
+            reads: 0,
+            writes: 3,
+        };
+        let events = vec![
+            ev(0, Op::Write, bs, 4096),              // fully inside
+            ev(1, Op::Write, bs * 2 - 4096, 8192),   // straddles the end
+            ev(2, Op::Write, 0, 4096),               // outside
+        ];
+        assert_eq!(frozen_io_hits(&hb, &events), vec![true, false, false]);
+    }
+}

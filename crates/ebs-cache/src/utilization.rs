@@ -1,0 +1,139 @@
+//! Cache-space utilization (§7.3.2, Figure 7(d)).
+//!
+//! Caches are provisioned per node with identical sizes, so utilization is
+//! driven by how many *cacheable* VDs (hottest-block access rate above a
+//! threshold) each node hosts. A wide spread means heavy over-provisioning
+//! on some nodes; the paper finds BS-cache counts far tighter than
+//! CN-cache counts.
+
+use crate::hottest_block::HottestBlock;
+use ebs_core::ids::{BsId, VdId};
+use ebs_core::topology::Fleet;
+use std::collections::HashMap;
+
+/// The paper's cacheable threshold: hottest-block access rate ≥ 25 %.
+pub const CACHEABLE_THRESHOLD: f64 = 0.25;
+
+/// VDs whose hottest block clears `threshold`.
+pub fn cacheable_vds(
+    hot: &HashMap<VdId, HottestBlock>,
+    threshold: f64,
+) -> Vec<VdId> {
+    let mut v: Vec<VdId> = hot
+        .iter()
+        .filter(|(_, hb)| hb.access_rate >= threshold)
+        .map(|(&vd, _)| vd)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Cacheable-VD count per compute node (CN-cache provisioning unit).
+pub fn per_cn_counts(
+    fleet: &Fleet,
+    hot: &HashMap<VdId, HottestBlock>,
+    threshold: f64,
+) -> Vec<usize> {
+    let mut counts = vec![0usize; fleet.compute_nodes.len()];
+    for vd in cacheable_vds(hot, threshold) {
+        counts[fleet.vms[fleet.vds[vd].vm].cn.index()] += 1;
+    }
+    counts
+}
+
+/// Cacheable-VD count per BlockServer (BS-cache provisioning unit): each
+/// cacheable VD's cache lives at the BS hosting its hottest block's
+/// segment. `seg_home` overrides the fleet's initial placement when given.
+pub fn per_bs_counts(
+    fleet: &Fleet,
+    hot: &HashMap<VdId, HottestBlock>,
+    threshold: f64,
+    seg_home: Option<&[BsId]>,
+) -> Vec<usize> {
+    let mut counts = vec![0usize; fleet.block_servers.len()];
+    for vd in cacheable_vds(hot, threshold) {
+        let hb = &hot[&vd];
+        // Segment containing the hottest block's start offset.
+        let offset = hb.block * hb.block_size;
+        let Some(seg) = fleet.segment_at(vd, offset.min(fleet.vds[vd].spec.capacity_bytes - 1))
+        else {
+            continue;
+        };
+        let bs = match seg_home {
+            Some(map) => map[seg.index()],
+            None => fleet.seg_home[seg],
+        };
+        counts[bs.index()] += 1;
+    }
+    counts
+}
+
+/// Population standard deviation of counts.
+pub fn std_dev(counts: &[usize]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<usize>() as f64 / n;
+    let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hottest_block::{events_by_vd, hottest_block};
+    use ebs_workload::{generate, WorkloadConfig};
+
+    fn hot_map(ds: &ebs_workload::Dataset, block_size: u64) -> HashMap<VdId, HottestBlock> {
+        events_by_vd(&ds.fleet, &ds.events)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, evs)| {
+                hottest_block(VdId::from_index(i), evs, block_size).map(|hb| (hb.vd, hb))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counts_conserve_cacheable_vds() {
+        let ds = generate(&WorkloadConfig::quick(97)).unwrap();
+        let hot = hot_map(&ds, 256 << 20);
+        let cacheable = cacheable_vds(&hot, CACHEABLE_THRESHOLD);
+        let cn: usize = per_cn_counts(&ds.fleet, &hot, CACHEABLE_THRESHOLD).iter().sum();
+        let bs: usize =
+            per_bs_counts(&ds.fleet, &hot, CACHEABLE_THRESHOLD, None).iter().sum();
+        assert_eq!(cn, cacheable.len());
+        assert_eq!(bs, cacheable.len());
+        assert!(!cacheable.is_empty(), "no cacheable VDs generated");
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let ds = generate(&WorkloadConfig::quick(98)).unwrap();
+        let hot = hot_map(&ds, 256 << 20);
+        let loose = cacheable_vds(&hot, 0.0).len();
+        let strict = cacheable_vds(&hot, 0.9).len();
+        assert!(strict <= loose);
+        assert_eq!(loose, hot.len());
+    }
+
+    #[test]
+    fn std_dev_basics() {
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3, 3, 3]), 0.0);
+        assert!((std_dev(&[0, 2]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_placement_changes_bs_counts() {
+        let ds = generate(&WorkloadConfig::quick(99)).unwrap();
+        let hot = hot_map(&ds, 256 << 20);
+        let base = per_bs_counts(&ds.fleet, &hot, 0.0, None);
+        // Move everything to BS 0.
+        let all_zero = vec![BsId(0); ds.fleet.segments.len()];
+        let skewed = per_bs_counts(&ds.fleet, &hot, 0.0, Some(&all_zero));
+        assert_eq!(skewed[0], hot.len());
+        assert!(std_dev(&skewed) >= std_dev(&base));
+    }
+}

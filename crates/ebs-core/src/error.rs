@@ -1,0 +1,70 @@
+//! Workspace error type.
+
+use std::fmt;
+
+/// Errors produced while constructing or operating on EBS domain values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EbsError {
+    /// A specification violated its invariants.
+    InvalidSpec(String),
+    /// A configuration value was out of range or inconsistent.
+    InvalidConfig(String),
+    /// An id referenced an entity that does not exist in the fleet.
+    UnknownEntity(String),
+    /// A dataset did not contain the data an analysis required.
+    EmptyDataset(String),
+}
+
+impl EbsError {
+    /// Build an [`EbsError::InvalidSpec`].
+    pub fn invalid_spec(msg: impl Into<String>) -> Self {
+        EbsError::InvalidSpec(msg.into())
+    }
+
+    /// Build an [`EbsError::InvalidConfig`].
+    pub fn invalid_config(msg: impl Into<String>) -> Self {
+        EbsError::InvalidConfig(msg.into())
+    }
+
+    /// Build an [`EbsError::UnknownEntity`].
+    pub fn unknown_entity(msg: impl Into<String>) -> Self {
+        EbsError::UnknownEntity(msg.into())
+    }
+
+    /// Build an [`EbsError::EmptyDataset`].
+    pub fn empty_dataset(msg: impl Into<String>) -> Self {
+        EbsError::EmptyDataset(msg.into())
+    }
+}
+
+impl fmt::Display for EbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EbsError::InvalidSpec(m) => write!(f, "invalid specification: {m}"),
+            EbsError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            EbsError::UnknownEntity(m) => write!(f, "unknown entity: {m}"),
+            EbsError::EmptyDataset(m) => write!(f, "empty dataset: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EbsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = EbsError::invalid_config("tick width");
+        assert_eq!(e.to_string(), "invalid configuration: tick width");
+        let e = EbsError::empty_dataset("no segments");
+        assert!(e.to_string().contains("empty dataset"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&EbsError::unknown_entity("vd-9"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Virtual-disk specifications (the paper's *specification data*, §2.3).
+//!
+//! Each VD subscription carries a capacity, a queue-pair count (1–8
+//! depending on tier), and the throughput / IOPS caps the hypervisor's
+//! throttle enforces (§5).
+
+use crate::units::{GIB, MIB};
+
+/// Subscription-determined properties of one virtual disk.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VdSpec {
+    /// Address-space capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Number of IO queue pairs (1..=8).
+    pub qp_count: u8,
+    /// Throughput cap in bytes/second (read + write aggregated, §5.2).
+    pub tput_cap: f64,
+    /// IOPS cap (read + write aggregated).
+    pub iops_cap: f64,
+}
+
+impl VdSpec {
+    /// Validate invariants: non-zero capacity, 1..=8 QPs, positive caps.
+    pub fn validate(&self) -> Result<(), crate::error::EbsError> {
+        if self.capacity_bytes == 0 {
+            return Err(crate::error::EbsError::invalid_spec("capacity must be non-zero"));
+        }
+        if self.qp_count == 0 || self.qp_count > 8 {
+            return Err(crate::error::EbsError::invalid_spec("qp_count must be in 1..=8"));
+        }
+        if self.tput_cap <= 0.0 || self.iops_cap <= 0.0 {
+            return Err(crate::error::EbsError::invalid_spec("caps must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Number of 32 GiB segments covering this VD.
+    pub fn segment_count(&self) -> u32 {
+        crate::units::segments_for_capacity(self.capacity_bytes)
+    }
+}
+
+/// Service tiers loosely modelled on public EBS offerings; the workload
+/// generator draws VD specs from these tiers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VdTier {
+    /// Small general-purpose disk: 1 QP, modest caps.
+    Standard,
+    /// Performance disk: multiple QPs, higher caps.
+    Performance,
+    /// Top-tier ESSD-like disk: 8 QPs, highest caps.
+    Premium,
+}
+
+impl VdTier {
+    /// All tiers, cheapest first.
+    pub const ALL: [VdTier; 3] = [VdTier::Standard, VdTier::Performance, VdTier::Premium];
+
+    /// Reference specification for a disk of this tier with the given
+    /// capacity. Caps scale mildly with capacity, mirroring how cloud
+    /// vendors tie performance to provisioned size.
+    pub fn spec(self, capacity_bytes: u64) -> VdSpec {
+        let cap_gib = (capacity_bytes as f64 / GIB as f64).max(1.0);
+        match self {
+            VdTier::Standard => VdSpec {
+                capacity_bytes,
+                qp_count: 1,
+                tput_cap: (100.0 * MIB as f64) + cap_gib * 0.1 * MIB as f64,
+                iops_cap: 2_000.0 + cap_gib * 10.0,
+            },
+            VdTier::Performance => VdSpec {
+                capacity_bytes,
+                qp_count: 4,
+                tput_cap: (300.0 * MIB as f64) + cap_gib * 0.25 * MIB as f64,
+                iops_cap: 10_000.0 + cap_gib * 30.0,
+            },
+            VdTier::Premium => VdSpec {
+                capacity_bytes,
+                qp_count: 8,
+                tput_cap: (1000.0 * MIB as f64) + cap_gib * 0.5 * MIB as f64,
+                iops_cap: 50_000.0 + cap_gib * 50.0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_specs_validate() {
+        for tier in VdTier::ALL {
+            for cap in [40 * GIB, 500 * GIB, 2048 * GIB] {
+                let spec = tier.spec(cap);
+                spec.validate().unwrap();
+                assert!(spec.segment_count() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn caps_grow_with_tier() {
+        let small = VdTier::Standard.spec(100 * GIB);
+        let big = VdTier::Premium.spec(100 * GIB);
+        assert!(big.tput_cap > small.tput_cap);
+        assert!(big.iops_cap > small.iops_cap);
+        assert!(big.qp_count > small.qp_count);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let good = VdTier::Standard.spec(GIB);
+        let zero_cap = VdSpec { capacity_bytes: 0, ..good };
+        assert!(zero_cap.validate().is_err());
+        let many_qp = VdSpec { qp_count: 9, ..good };
+        assert!(many_qp.validate().is_err());
+        let no_tput = VdSpec { tput_cap: 0.0, ..good };
+        assert!(no_tput.validate().is_err());
+    }
+
+    #[test]
+    fn segment_count_uses_32gib_stripes() {
+        let spec = VdTier::Performance.spec(100 * GIB);
+        assert_eq!(spec.segment_count(), 4); // ceil(100/32)
+    }
+}

@@ -1,0 +1,8 @@
+//! Design-choice ablation sweeps (rebind trigger, lending rate, exporter
+//! threshold, cache placement threshold).
+use ebs_experiments::{ablations, dataset, Scale};
+
+fn main() {
+    let ds = dataset(Scale::from_args());
+    println!("{}", ablations::render(&ds));
+}

@@ -1,0 +1,9 @@
+//! Measure the paper's proposed fixes: the S6 ARIMA importer, prediction-
+//! guided lending, and the hybrid CN+BS cache deployment.
+use ebs_experiments::{dataset, extensions, stack_traces, Scale};
+
+fn main() {
+    let ds = dataset(Scale::from_args());
+    let sim = stack_traces(&ds);
+    println!("{}", extensions::render(&ds, &sim));
+}

@@ -1,0 +1,7 @@
+//! Reproduce Figure 2: load balancing in the hypervisor.
+use ebs_experiments::{dataset, fig2, Scale};
+
+fn main() {
+    let ds = dataset(Scale::from_args());
+    println!("{}", fig2::render(&fig2::run(&ds)));
+}

@@ -1,0 +1,7 @@
+//! Reproduce Figure 3: traffic throttle and limited lending.
+use ebs_experiments::{dataset, fig3, Scale};
+
+fn main() {
+    let ds = dataset(Scale::from_args());
+    println!("{}", fig3::render(&fig3::run(&ds)));
+}

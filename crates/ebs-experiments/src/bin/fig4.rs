@@ -1,0 +1,7 @@
+//! Reproduce Figure 4: segment migration and traffic prediction.
+use ebs_experiments::{dataset, fig4, Scale};
+
+fn main() {
+    let ds = dataset(Scale::from_args());
+    println!("{}", fig4::render(&fig4::run(&ds)));
+}

@@ -1,0 +1,7 @@
+//! Reproduce Figure 5: balanced write but skewed read.
+use ebs_experiments::{dataset, fig5, Scale};
+
+fn main() {
+    let ds = dataset(Scale::from_args());
+    println!("{}", fig5::render(&fig5::run(&ds)));
+}

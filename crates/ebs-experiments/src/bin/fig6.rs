@@ -1,0 +1,7 @@
+//! Reproduce Figure 6: LBA hotspots.
+use ebs_experiments::{dataset, fig6, Scale};
+
+fn main() {
+    let ds = dataset(Scale::from_args());
+    println!("{}", fig6::render(&fig6::run(&ds)));
+}

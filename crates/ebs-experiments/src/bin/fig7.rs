@@ -1,0 +1,8 @@
+//! Reproduce Figure 7: cache across the EBS stack.
+use ebs_experiments::{dataset, fig7, stack_traces, Scale};
+
+fn main() {
+    let ds = dataset(Scale::from_args());
+    let sim = stack_traces(&ds);
+    println!("{}", fig7::render(&fig7::run(&ds, &sim)));
+}

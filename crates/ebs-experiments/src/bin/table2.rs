@@ -1,0 +1,7 @@
+//! Reproduce Table 2: high-level dataset summary.
+use ebs_experiments::{dataset, table2, Scale};
+
+fn main() {
+    let ds = dataset(Scale::from_args());
+    println!("{}", table2::render(&table2::run(&ds)));
+}

@@ -1,0 +1,7 @@
+//! Reproduce Table 3: baseline CCR / P2A statistics per DC.
+use ebs_experiments::{dataset, table3, Scale};
+
+fn main() {
+    let ds = dataset(Scale::from_args());
+    println!("{}", table3::render(&table3::run(&ds)));
+}

@@ -1,0 +1,7 @@
+//! Reproduce Table 4: skewness by application class.
+use ebs_experiments::{dataset, table4, Scale};
+
+fn main() {
+    let ds = dataset(Scale::from_args());
+    println!("{}", table4::render(&table4::run(&ds)));
+}

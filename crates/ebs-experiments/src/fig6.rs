@@ -1,0 +1,187 @@
+//! Figure 6 — LBA hotspots (§7.1–7.2).
+//!
+//! (a) access rate of the hottest block vs block size; (b) the block's
+//! share of the VD's LBA; (c) the hottest block's write-to-read ratio; (d)
+//! the hot-rate distribution over 5-minute windows.
+
+use crate::fig3::Dist;
+use ebs_analysis::table::Table;
+use ebs_analysis::wr_ratio::{READ_DOMINANT, WRITE_DOMINANT};
+use ebs_cache::hottest_block::{
+    events_by_vd, hot_rate, hottest_block, HottestBlock, BLOCK_SIZES, HOT_RATE_WINDOW_US,
+};
+use ebs_core::ids::VdId;
+use ebs_workload::Dataset;
+
+/// Minimum sampled IOs for a VD to enter the per-VD statistics.
+pub const MIN_EVENTS: usize = 50;
+
+/// Per-block-size statistics across VDs.
+#[derive(Clone, Debug)]
+pub struct SizeRow {
+    /// Block size in bytes.
+    pub block_size: u64,
+    /// Hottest-block access-rate distribution.
+    pub access_rate: Dist,
+    /// Median LBA share of the block.
+    pub median_lba_share: f64,
+    /// Fraction of hottest blocks that are write-dominant.
+    pub write_dominant: f64,
+    /// Fraction that are read-dominant.
+    pub read_dominant: f64,
+    /// Hot-rate distribution.
+    pub hot_rate: Dist,
+    /// VDs included.
+    pub vds: usize,
+}
+
+/// The whole figure.
+#[derive(Clone, Debug)]
+pub struct Fig6 {
+    /// One row per block size.
+    pub rows: Vec<SizeRow>,
+}
+
+/// Compute each VD's hottest block at `block_size`; only VDs with at least
+/// [`MIN_EVENTS`] sampled IOs participate.
+pub fn hottest_blocks(ds: &Dataset, block_size: u64) -> Vec<(HottestBlock, Vec<usize>)> {
+    let by_vd = events_by_vd(&ds.fleet, &ds.events);
+    by_vd
+        .iter()
+        .enumerate()
+        .filter(|(_, evs)| evs.len() >= MIN_EVENTS)
+        .filter_map(|(i, evs)| {
+            hottest_block(VdId::from_index(i), evs, block_size).map(|hb| (hb, vec![i]))
+        })
+        .collect()
+}
+
+/// Run the whole figure.
+pub fn run(ds: &Dataset) -> Fig6 {
+    let by_vd = events_by_vd(&ds.fleet, &ds.events);
+    let mut rows = Vec::new();
+    for &bs in &BLOCK_SIZES {
+        let mut rates = Vec::new();
+        let mut shares = Vec::new();
+        let mut wd = 0usize;
+        let mut rd = 0usize;
+        let mut classified = 0usize;
+        let mut hot_rates = Vec::new();
+        for (i, evs) in by_vd.iter().enumerate() {
+            if evs.len() < MIN_EVENTS {
+                continue;
+            }
+            let vd = VdId::from_index(i);
+            let Some(hb) = hottest_block(vd, evs, bs) else { continue };
+            rates.push(hb.access_rate);
+            shares.push(hb.lba_share(ds.fleet.vds[vd].spec.capacity_bytes));
+            if let Some(r) = hb.wr_ratio() {
+                classified += 1;
+                if r > WRITE_DOMINANT {
+                    wd += 1;
+                } else if r < READ_DOMINANT {
+                    rd += 1;
+                }
+            }
+            if let Some(hr) = hot_rate(evs, &hb, HOT_RATE_WINDOW_US, 3) {
+                hot_rates.push(hr);
+            }
+        }
+        rows.push(SizeRow {
+            block_size: bs,
+            access_rate: Dist::of(&rates),
+            median_lba_share: ebs_analysis::median(&shares).unwrap_or(f64::NAN),
+            write_dominant: if classified > 0 { wd as f64 / classified as f64 } else { f64::NAN },
+            read_dominant: if classified > 0 { rd as f64 / classified as f64 } else { f64::NAN },
+            hot_rate: Dist::of(&hot_rates),
+            vds: rates.len(),
+        });
+    }
+    Fig6 { rows }
+}
+
+/// Render all panels.
+pub fn render(f: &Fig6) -> String {
+    let mut tab = Table::new([
+        "block size",
+        "access rate p50",
+        "LBA share p50",
+        "write-dom %",
+        "read-dom %",
+        "hot rate p50",
+        "VDs",
+    ])
+    .with_title("Figure 6: the hottest block per VD (a: access rate, b: LBA share, c: wr_ratio, d: hot rate)");
+    for r in &f.rows {
+        tab.row([
+            ebs_core::units::format_bytes(r.block_size as f64),
+            format!("{:.3}", r.access_rate.p50),
+            format!("{:.4}", r.median_lba_share),
+            format!("{:.1}", r.write_dominant * 100.0),
+            format!("{:.1}", r.read_dominant * 100.0),
+            format!("{:.3}", r.hot_rate.p50),
+            r.vds.to_string(),
+        ]);
+    }
+    tab.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{dataset, Scale};
+
+    fn fig() -> Fig6 {
+        run(&dataset(Scale::Medium))
+    }
+
+    #[test]
+    fn hottest_block_outweighs_its_lba_share() {
+        let f = fig();
+        let row = &f.rows[0]; // 64 MiB
+        assert!(row.vds > 5, "need enough busy VDs: {}", row.vds);
+        // The paper's headline: a ~3% LBA share absorbing ~18% of accesses.
+        assert!(
+            row.access_rate.p50 > row.median_lba_share * 3.0,
+            "access rate {:.3} vs LBA share {:.4}",
+            row.access_rate.p50,
+            row.median_lba_share
+        );
+    }
+
+    #[test]
+    fn access_rate_grows_with_block_size() {
+        let f = fig();
+        let first = f.rows.first().unwrap().access_rate.p50;
+        let last = f.rows.last().unwrap().access_rate.p50;
+        assert!(last >= first, "2048 MiB blocks must absorb at least as much");
+    }
+
+    #[test]
+    fn hottest_blocks_are_mostly_write_dominant() {
+        let f = fig();
+        let row = &f.rows[0];
+        assert!(row.write_dominant > 0.5, "write-dominant {:.2}", row.write_dominant);
+        assert!(row.read_dominant < row.write_dominant);
+    }
+
+    #[test]
+    fn hot_rate_centers_near_half() {
+        let f = fig();
+        let row = &f.rows[0];
+        assert!(row.hot_rate.n > 3, "need hot-rate samples");
+        assert!(
+            (0.25..=0.75).contains(&row.hot_rate.p50),
+            "hot rate median {:.3} should sit near 0.5",
+            row.hot_rate.p50
+        );
+    }
+
+    #[test]
+    fn render_lists_every_block_size() {
+        let text = render(&fig());
+        for label in ["64.00 MiB", "2.00 GiB"] {
+            assert!(text.contains(label), "missing {label}");
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Figure 7 — cache across the EBS stack (§7.3).
+//!
+//! (a) hit ratios of FIFO / LRU / FrozenHot with the cache sized to the
+//! hottest block; (b/c) latency gain of CN- vs BS-cache for reads and
+//! writes; (d) cache-space utilization (cacheable-VD dispersion per node).
+
+use crate::fig3::Dist;
+use crate::fig6::MIN_EVENTS;
+use ebs_analysis::table::Table;
+use ebs_cache::hottest_block::{events_by_vd, hottest_block, HottestBlock, BLOCK_SIZES};
+use ebs_cache::location::{hit_oracle, latency_gain, CacheSite, LatencyGain};
+use ebs_cache::simulate::{build_policy, simulate, Algorithm};
+use ebs_cache::utilization::{per_bs_counts, per_cn_counts, std_dev, CACHEABLE_THRESHOLD};
+use ebs_core::ids::VdId;
+use ebs_core::io::Op;
+use ebs_stack::SimOutput;
+use ebs_workload::Dataset;
+use std::collections::HashMap;
+
+/// Panel (a): one row per (algorithm, block size).
+#[derive(Clone, Debug)]
+pub struct HitRow {
+    /// Algorithm.
+    pub algo: Algorithm,
+    /// Block size (cache size) in bytes.
+    pub block_size: u64,
+    /// Hit-ratio distribution across VDs.
+    pub hit_ratio: Dist,
+}
+
+/// Panel (d): per-site dispersion of cacheable-VD counts.
+#[derive(Clone, Debug)]
+pub struct UtilRow {
+    /// Block size.
+    pub block_size: u64,
+    /// Standard deviation of per-CN cacheable counts.
+    pub cn_std: f64,
+    /// Standard deviation of per-BS cacheable counts.
+    pub bs_std: f64,
+    /// Relative dispersion (std / mean) of per-CN counts — the fair
+    /// comparison when CN and BS populations differ in size.
+    pub cn_rel: f64,
+    /// Relative dispersion of per-BS counts.
+    pub bs_rel: f64,
+    /// Total cacheable VDs.
+    pub cacheable: usize,
+}
+
+/// The whole figure.
+#[derive(Clone, Debug)]
+pub struct Fig7 {
+    /// Panel (a).
+    pub a: Vec<HitRow>,
+    /// Panels (b/c): `(site, op, gain)`.
+    pub bc: Vec<(CacheSite, Op, LatencyGain)>,
+    /// Panel (d).
+    pub d: Vec<UtilRow>,
+}
+
+/// Hottest blocks of all sufficiently busy VDs at `block_size`.
+pub fn hot_map(ds: &Dataset, block_size: u64) -> HashMap<VdId, HottestBlock> {
+    events_by_vd(&ds.fleet, &ds.events)
+        .iter()
+        .enumerate()
+        .filter(|(_, evs)| evs.len() >= MIN_EVENTS)
+        .filter_map(|(i, evs)| {
+            hottest_block(VdId::from_index(i), evs, block_size).map(|hb| (hb.vd, hb))
+        })
+        .collect()
+}
+
+/// Panel (a): simulate the three policies per VD per block size.
+pub fn panel_a(ds: &Dataset) -> Vec<HitRow> {
+    let by_vd = events_by_vd(&ds.fleet, &ds.events);
+    let mut rows = Vec::new();
+    for &bs in &BLOCK_SIZES {
+        let mut ratios: HashMap<Algorithm, Vec<f64>> = HashMap::new();
+        for (i, evs) in by_vd.iter().enumerate() {
+            if evs.len() < MIN_EVENTS {
+                continue;
+            }
+            let Some(hb) = hottest_block(VdId::from_index(i), evs, bs) else { continue };
+            for algo in Algorithm::ALL {
+                let mut policy = build_policy(algo, &hb);
+                if let Some(r) = simulate(policy.as_mut(), evs).ratio() {
+                    ratios.entry(algo).or_default().push(r);
+                }
+            }
+        }
+        for algo in Algorithm::ALL {
+            rows.push(HitRow {
+                algo,
+                block_size: bs,
+                hit_ratio: Dist::of(ratios.get(&algo).map(Vec::as_slice).unwrap_or(&[])),
+            });
+        }
+    }
+    rows
+}
+
+/// Panels (b/c): latency gains with frozen caches at the 2 GiB hottest
+/// block (the size where FrozenHot matches LRU, per the paper's choice).
+pub fn panel_bc(ds: &Dataset, sim: &SimOutput) -> Vec<(CacheSite, Op, LatencyGain)> {
+    let hot = hot_map(ds, 2048 << 20);
+    // Gains are evaluated over the IOs of *cacheable* VDs — the disks a
+    // deployment would actually equip with a cache; mixing in the cold
+    // majority would only dilute every site identically.
+    let cacheable: std::collections::HashSet<VdId> = hot
+        .iter()
+        .filter(|(_, hb)| hb.access_rate >= CACHEABLE_THRESHOLD)
+        .map(|(&vd, _)| vd)
+        .collect();
+    let records: Vec<_> = sim
+        .traces
+        .records()
+        .iter()
+        .filter(|r| cacheable.contains(&r.vd))
+        .copied()
+        .collect();
+    let hits = hit_oracle(&hot, &records, CACHEABLE_THRESHOLD);
+    let mut out = Vec::new();
+    for site in CacheSite::ALL {
+        for op in Op::ALL {
+            if let Some(g) = latency_gain(&records, &hits, site, op) {
+                out.push((site, op, g));
+            }
+        }
+    }
+    out
+}
+
+/// Panel (d): cacheable-VD dispersion per provisioning unit.
+pub fn panel_d(ds: &Dataset) -> Vec<UtilRow> {
+    BLOCK_SIZES
+        .iter()
+        .map(|&bs| {
+            let hot = hot_map(ds, bs);
+            let cn = per_cn_counts(&ds.fleet, &hot, CACHEABLE_THRESHOLD);
+            let bsc = per_bs_counts(&ds.fleet, &hot, CACHEABLE_THRESHOLD, None);
+            let rel = |counts: &[usize]| -> f64 {
+                let mean = counts.iter().sum::<usize>() as f64 / counts.len().max(1) as f64;
+                if mean > 0.0 {
+                    std_dev(counts) / mean
+                } else {
+                    0.0
+                }
+            };
+            UtilRow {
+                block_size: bs,
+                cn_std: std_dev(&cn),
+                bs_std: std_dev(&bsc),
+                cn_rel: rel(&cn),
+                bs_rel: rel(&bsc),
+                cacheable: cn.iter().sum(),
+            }
+        })
+        .collect()
+}
+
+/// Run the whole figure.
+pub fn run(ds: &Dataset, sim: &SimOutput) -> Fig7 {
+    Fig7 { a: panel_a(ds), bc: panel_bc(ds, sim), d: panel_d(ds) }
+}
+
+/// Render all panels.
+pub fn render(f: &Fig7) -> String {
+    let mut out = String::new();
+    let mut a = Table::new(["algorithm", "block size", "hit ratio p25", "p50", "p75"])
+        .with_title("Figure 7(a): cache hit ratio (cache sized to hottest block)");
+    for r in &f.a {
+        a.row([
+            r.algo.label().to_string(),
+            ebs_core::units::format_bytes(r.block_size as f64),
+            format!("{:.3}", r.hit_ratio.p25),
+            format!("{:.3}", r.hit_ratio.p50),
+            format!("{:.3}", r.hit_ratio.p75),
+        ]);
+    }
+    out.push_str(&a.render());
+
+    let mut bc = Table::new(["site", "op", "gain p0", "gain p50", "gain p99"])
+        .with_title("Figure 7(b/c): latency gain (with-cache / without, lower = better)");
+    for (site, op, g) in &f.bc {
+        bc.row([
+            site.label().to_string(),
+            op.to_string(),
+            format!("{:.3}", g.p0),
+            format!("{:.3}", g.p50),
+            format!("{:.3}", g.p99),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&bc.render());
+
+    let mut d = Table::new([
+        "block size",
+        "CN std",
+        "BS std",
+        "CN std/mean",
+        "BS std/mean",
+        "cacheable VDs",
+    ])
+    .with_title("Figure 7(d): cache space utilization (per-node cacheable-VD dispersion)");
+    for r in &f.d {
+        d.row([
+            ebs_core::units::format_bytes(r.block_size as f64),
+            format!("{:.2}", r.cn_std),
+            format!("{:.2}", r.bs_std),
+            format!("{:.2}", r.cn_rel),
+            format!("{:.2}", r.bs_rel),
+            r.cacheable.to_string(),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&d.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{dataset, stack_traces, Scale};
+
+    fn fig() -> Fig7 {
+        let ds = dataset(Scale::Medium);
+        let sim = stack_traces(&ds);
+        run(&ds, &sim)
+    }
+
+    fn p50(f: &Fig7, algo: Algorithm, bs: u64) -> f64 {
+        f.a.iter()
+            .find(|r| r.algo == algo && r.block_size == bs)
+            .map(|r| r.hit_ratio.p50)
+            .unwrap()
+    }
+
+    #[test]
+    fn fifo_and_lru_are_close() {
+        let f = fig();
+        for &bs in &BLOCK_SIZES {
+            let fifo = p50(&f, Algorithm::Fifo, bs);
+            let lru = p50(&f, Algorithm::Lru, bs);
+            assert!((fifo - lru).abs() < 0.1, "at {bs}: FIFO {fifo:.3} vs LRU {lru:.3}");
+        }
+    }
+
+    #[test]
+    fn frozen_catches_up_at_large_blocks() {
+        let f = fig();
+        let small_gap = p50(&f, Algorithm::Lru, 64 << 20) - p50(&f, Algorithm::Frozen, 64 << 20);
+        let large_gap =
+            p50(&f, Algorithm::Lru, 2048 << 20) - p50(&f, Algorithm::Frozen, 2048 << 20);
+        assert!(
+            large_gap < small_gap + 0.02,
+            "FrozenHot must close the gap: 64MiB gap {small_gap:.3}, 2GiB gap {large_gap:.3}"
+        );
+    }
+
+    #[test]
+    fn cn_cache_gains_more_than_bs_cache_on_writes() {
+        let f = fig();
+        let get = |site: CacheSite, op: Op| {
+            f.bc.iter().find(|(s, o, _)| *s == site && *o == op).map(|(_, _, g)| *g)
+        };
+        let cn = get(CacheSite::ComputeNode, Op::Write).unwrap();
+        let bs = get(CacheSite::BlockServer, Op::Write).unwrap();
+        // §7.3.2: CN-cache beats BS-cache at the 0th and 50th percentile
+        // for writes…
+        assert!(cn.p0 < bs.p0, "CN p0 {:.3} vs BS p0 {:.3}", cn.p0, bs.p0);
+        assert!(cn.p50 <= bs.p50 + 1e-9, "CN p50 {:.3} vs BS p50 {:.3}", cn.p50, bs.p50);
+        // …and neither site fixes the 99th percentile.
+        assert!(cn.p99 > 0.8, "p99 gain {:.3} should stay near 1", cn.p99);
+        assert!(bs.p99 > 0.8, "p99 gain {:.3} should stay near 1", bs.p99);
+    }
+
+    #[test]
+    fn bs_cache_disperses_less_than_cn_cache() {
+        let f = fig();
+        let large = f.d.last().unwrap();
+        // CN and BS populations differ in size, so the fair comparison is
+        // relative dispersion (std/mean) — the BS side must be tighter.
+        assert!(
+            large.bs_rel <= large.cn_rel,
+            "BS std/mean {:.2} should not exceed CN std/mean {:.2}",
+            large.bs_rel,
+            large.cn_rel
+        );
+        assert!(large.cacheable > 0, "no cacheable VDs at 2 GiB");
+    }
+
+    #[test]
+    fn render_mentions_every_algorithm_and_site() {
+        let text = render(&fig());
+        for label in ["FIFO", "LRU", "FrozenHot", "CN-cache", "BS-cache"] {
+            assert!(text.contains(label), "missing {label}");
+        }
+    }
+}

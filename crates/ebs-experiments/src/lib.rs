@@ -1,0 +1,41 @@
+//! # ebs-experiments — the reproduction harness
+//!
+//! One module (and one binary) per table/figure of the paper's evaluation.
+//! Every binary generates the same canonical dataset ([`scenario`]), runs
+//! the experiment, and prints the rows/series the paper reports:
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `table2` | Table 2 — dataset summary |
+//! | `table3` | Table 3 — CCR / P2A at four aggregation levels × 3 DCs |
+//! | `table4` | Table 4 — skewness by application class |
+//! | `fig2` | Figure 2 — hypervisor load balancing & rebinding |
+//! | `fig3` | Figure 3 — throttle, RAR, limited lending |
+//! | `fig4` | Figure 4 — segment migration & traffic prediction |
+//! | `fig5` | Figure 5 — balanced write, skewed read |
+//! | `fig6` | Figure 6 — LBA hotspots |
+//! | `fig7` | Figure 7 — cache algorithms, location, utilization |
+//! | `ablations` | design-choice sweeps DESIGN.md calls out |
+//! | `extensions` | the fixes the paper proposes: S6 ARIMA importer, prediction-guided lending, hybrid CN+BS cache |
+//! | `gendata` | export the synthetic dataset as CSV |
+//! | `all` | everything above in one run |
+//!
+//! Pass `--quick` or `--medium` to any binary for smaller fleets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod extensions;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod scenario;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+pub use scenario::{dataset, stack_traces, Scale, EXPERIMENT_SEED};

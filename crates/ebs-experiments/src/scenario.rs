@@ -1,0 +1,89 @@
+//! Canonical scenarios for the reproduction harness.
+//!
+//! Every experiment binary runs against the same generated dataset so the
+//! numbers across tables/figures are mutually consistent, exactly like the
+//! paper's single 12-hour collection window.
+
+use ebs_stack::sim::{StackConfig, StackSim};
+use ebs_stack::SimOutput;
+use ebs_workload::{generate, Dataset, WorkloadConfig};
+
+/// Scenario scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny single-DC fleet over 30 minutes; used by tests and `--quick`.
+    Quick,
+    /// Two DCs over two hours; integration-test scale.
+    Medium,
+    /// The default three-DC, 12-hour scenario of DESIGN.md.
+    Full,
+}
+
+impl Scale {
+    /// Parse from CLI args: `--quick` or `--medium` anywhere selects the
+    /// smaller scales; default is full.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            Scale::Quick
+        } else if args.iter().any(|a| a == "--medium") {
+            Scale::Medium
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// The workload configuration for this scale.
+    pub fn config(self, seed: u64) -> WorkloadConfig {
+        match self {
+            Scale::Quick => WorkloadConfig::quick(seed),
+            Scale::Medium => WorkloadConfig::medium(seed),
+            Scale::Full => WorkloadConfig { seed, ..WorkloadConfig::default() },
+        }
+    }
+}
+
+/// The master seed shared by all experiment binaries.
+pub const EXPERIMENT_SEED: u64 = 0xEB5_2025;
+
+/// Generate the canonical dataset at `scale`.
+pub fn dataset(scale: Scale) -> Dataset {
+    generate(&scale.config(EXPERIMENT_SEED)).expect("canonical config must validate")
+}
+
+/// Route the dataset's sampled events through the stack simulator,
+/// producing the five-stage-latency trace set used by the cache-location
+/// study. Throttling is disabled so latency percentiles reflect the device
+/// path (the throttle study works on metric data instead).
+pub fn stack_traces(ds: &Dataset) -> SimOutput {
+    let cfg = StackConfig { apply_throttle: false, ..StackConfig::default() };
+    let mut sim = StackSim::new(&ds.fleet, cfg);
+    sim.run(&ds.events).expect("generated events are time-sorted")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scenario_is_reproducible() {
+        let a = dataset(Scale::Quick);
+        let b = dataset(Scale::Quick);
+        assert_eq!(a.trace_count(), b.trace_count());
+    }
+
+    #[test]
+    fn stack_traces_cover_all_events() {
+        let ds = dataset(Scale::Quick);
+        let out = stack_traces(&ds);
+        assert_eq!(out.traces.len(), ds.events.len());
+        assert_eq!(out.stats.throttled, 0);
+    }
+
+    #[test]
+    fn scale_configs_validate() {
+        for s in [Scale::Quick, Scale::Medium, Scale::Full] {
+            s.config(1).validate().unwrap();
+        }
+    }
+}

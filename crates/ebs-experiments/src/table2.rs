@@ -1,0 +1,95 @@
+//! Table 2 — high-level summary of the collected datasets.
+
+use ebs_analysis::table::Table;
+use ebs_core::units::format_bytes;
+use ebs_workload::{summarize, Dataset};
+
+/// The rows of Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2 {
+    /// Users / VMs / VDs.
+    pub users: usize,
+    /// Virtual machines.
+    pub vms: usize,
+    /// Virtual disks.
+    pub vds: usize,
+    /// Median and max VMs per user.
+    pub vms_per_user: (f64, usize),
+    /// Median and max VDs per user.
+    pub vds_per_user: (f64, usize),
+    /// Total write / read traffic in bytes (full population).
+    pub write_bytes: f64,
+    /// Total read traffic in bytes.
+    pub read_bytes: f64,
+    /// Total write / read sampled traces.
+    pub write_traces: usize,
+    /// Read sampled traces.
+    pub read_traces: usize,
+}
+
+/// Compute Table 2 from a dataset.
+pub fn run(ds: &Dataset) -> Table2 {
+    let s = summarize(&ds.fleet);
+    let (read_bytes, write_bytes) = ds.total_bytes();
+    let (read_traces, write_traces) = ds.trace_rw_counts();
+    Table2 {
+        users: s.users,
+        vms: s.vms,
+        vds: s.vds,
+        vms_per_user: (s.median_vms_per_user, s.max_vms_per_user),
+        vds_per_user: (s.median_vds_per_user, s.max_vds_per_user),
+        write_bytes,
+        read_bytes,
+        write_traces,
+        read_traces,
+    }
+}
+
+/// Render in the paper's statistic/value format.
+pub fn render(t: &Table2) -> String {
+    let mut tab = Table::new(["Statistic", "Value"])
+        .with_title("Table 2: high-level summary of the collected datasets");
+    tab.row([
+        "Total number of user / VM / VD".to_string(),
+        format!("{} / {} / {}", t.users, t.vms, t.vds),
+    ]);
+    tab.row([
+        "Median / Max number of VM per user".to_string(),
+        format!("{} / {}", t.vms_per_user.0, t.vms_per_user.1),
+    ]);
+    tab.row([
+        "Median / Max number of VD per user".to_string(),
+        format!("{} / {}", t.vds_per_user.0, t.vds_per_user.1),
+    ]);
+    tab.row([
+        "Total write / read traffic".to_string(),
+        format!("{} / {}", format_bytes(t.write_bytes), format_bytes(t.read_bytes)),
+    ]);
+    tab.row([
+        "Total write / read trace (sampled 1/3200)".to_string(),
+        format!("{} / {}", t.write_traces, t.read_traces),
+    ]);
+    tab.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{dataset, Scale};
+
+    #[test]
+    fn table2_shape_holds() {
+        let ds = dataset(Scale::Quick);
+        let t = run(&ds);
+        assert!(t.users > 0 && t.vms >= t.users.min(t.vms));
+        assert!(t.vds >= t.vms, "VMs mount at least one disk each");
+        // Write dominance in both volume and trace count (Table 2).
+        assert!(t.write_bytes > t.read_bytes);
+        assert!(t.write_traces > t.read_traces);
+        // Ownership skew: max ≫ median.
+        assert!(t.vms_per_user.1 as f64 >= t.vms_per_user.0);
+        let text = render(&t);
+        assert!(text.contains("Table 2"));
+        assert!(text.lines().count() >= 7);
+    }
+}

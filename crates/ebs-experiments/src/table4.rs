@@ -1,0 +1,127 @@
+//! Table 4 — skewness statistics by VM application class.
+
+use ebs_analysis::aggregate::{rollup_compute, ComputeLevel};
+use ebs_analysis::table::{pct, rw_pair, Table};
+use ebs_analysis::ccr;
+use ebs_core::apps::AppClass;
+use ebs_core::io::Op;
+use ebs_core::metric::Measure;
+use ebs_workload::Dataset;
+
+/// One row of Table 4.
+#[derive(Clone, Copy, Debug)]
+pub struct AppRow {
+    /// The application class.
+    pub app: AppClass,
+    /// 1 %-CCR (read, write) at the VM level within the class.
+    pub ccr1: (f64, f64),
+    /// 20 %-CCR (read, write).
+    pub ccr20: (f64, f64),
+    /// Share of fleet traffic (read, write).
+    pub share: (f64, f64),
+}
+
+/// Compute Table 4.
+pub fn run(ds: &Dataset) -> Vec<AppRow> {
+    let fleet = &ds.fleet;
+    let totals_for = |app: AppClass, op: Op| -> Vec<f64> {
+        rollup_compute(fleet, &ds.compute, ComputeLevel::Vm, Measure::bytes(op), |qp| {
+            fleet.vms[fleet.vm_of_qp(qp)].app == app
+        })
+        .totals()
+    };
+    let fleet_read: f64 = ds.total_bytes().0;
+    let fleet_write: f64 = ds.total_bytes().1;
+    AppClass::ALL
+        .iter()
+        .map(|&app| {
+            let r = totals_for(app, Op::Read);
+            let w = totals_for(app, Op::Write);
+            let sum = |v: &[f64]| v.iter().sum::<f64>();
+            AppRow {
+                app,
+                ccr1: (
+                    ccr(&r, 0.01).unwrap_or(f64::NAN),
+                    ccr(&w, 0.01).unwrap_or(f64::NAN),
+                ),
+                ccr20: (
+                    ccr(&r, 0.20).unwrap_or(f64::NAN),
+                    ccr(&w, 0.20).unwrap_or(f64::NAN),
+                ),
+                share: (sum(&r) / fleet_read, sum(&w) / fleet_write),
+            }
+        })
+        .collect()
+}
+
+/// Render the paper-style rows.
+pub fn render(rows: &[AppRow]) -> String {
+    let mut tab = Table::new(["App.", "1%-CCR (R/W)", "20%-CCR (R/W)", "Traffic share % (R/W)"])
+        .with_title("Table 4: skewness statistics by types of VM application");
+    for r in rows {
+        tab.row([
+            r.app.label().to_string(),
+            rw_pair(pct(r.ccr1.0), pct(r.ccr1.1)),
+            rw_pair(pct(r.ccr20.0), pct(r.ccr20.1)),
+            rw_pair(pct(r.share.0), pct(r.share.1)),
+        ]);
+    }
+    tab.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{dataset, Scale};
+
+    #[test]
+    fn bigdata_leads_share_docker_leads_skew() {
+        let ds = dataset(Scale::Medium);
+        let rows = run(&ds);
+        let get = |app: AppClass| rows.iter().find(|r| r.app == app).copied().unwrap();
+        let bd = get(AppClass::BigData);
+        // BigData carries the largest traffic share…
+        for r in &rows {
+            if r.app != AppClass::BigData {
+                assert!(
+                    bd.share.1 >= r.share.1,
+                    "BigData write share {:.3} below {} {:.3}",
+                    bd.share.1,
+                    r.app,
+                    r.share.1
+                );
+            }
+        }
+        // …and is the least skewed class on reads (Table 4's contrast).
+        for r in &rows {
+            if r.app != AppClass::BigData && r.ccr1.0.is_finite() {
+                assert!(
+                    bd.ccr1.0 <= r.ccr1.0 + 0.12,
+                    "BigData read CCR {:.3} should be smallest-ish; {} has {:.3}",
+                    bd.ccr1.0,
+                    r.app,
+                    r.ccr1.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let ds = dataset(Scale::Quick);
+        let rows = run(&ds);
+        let r: f64 = rows.iter().map(|x| x.share.0).sum();
+        let w: f64 = rows.iter().map(|x| x.share.1).sum();
+        assert!((r - 1.0).abs() < 1e-6, "read shares sum to {r}");
+        assert!((w - 1.0).abs() < 1e-6, "write shares sum to {w}");
+    }
+
+    #[test]
+    fn render_includes_all_classes() {
+        let ds = dataset(Scale::Quick);
+        let text = render(&run(&ds));
+        for app in AppClass::ALL {
+            assert!(text.contains(app.label()), "{app} missing");
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! P4/P5 — the attention regressor (the paper's Transformer stand-in,
+//! Appendix C).
+//!
+//! A single-head self-attention encoder over a window of lagged traffic
+//! values with a trainable linear readout. The attention projections are
+//! fixed random matrices (deterministically seeded) and only the readout
+//! is (re)fitted — by ridge regression in closed form — which keeps
+//! training fast enough to compare the paper's two update cadences
+//! honestly: per-epoch (P4, stale between epochs) versus per-period (P5).
+//! The qualitative property under study — a sequence model whose accuracy
+//! hinges on how often it is refreshed — is preserved; see DESIGN.md §2
+//! for the substitution note.
+
+use crate::eval::Predictor;
+use crate::matrix::{ridge, Mat};
+
+/// Deterministic pseudo-random matrix entries (SplitMix-style hash).
+fn hashed_gauss(seed: u64, i: usize, j: usize) -> f64 {
+    let mut z = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Two uniform halves → approximate Gaussian via sum of 4 uniforms.
+    let u1 = (z & 0xFFFF_FFFF) as f64 / 4294967296.0;
+    let u2 = (z >> 32) as f64 / 4294967296.0;
+    (u1 + u2 - 1.0) * 1.73 * 2.0_f64.sqrt()
+}
+
+/// Single-head self-attention feature encoder + ridge readout.
+#[derive(Clone, Debug)]
+pub struct AttentionRegressor {
+    /// Input window length (lags).
+    pub window: usize,
+    /// Embedding / head dimension.
+    pub dim: usize,
+    /// Ridge regularisation of the readout.
+    pub lambda: f64,
+    seed: u64,
+    wq: Mat,
+    wk: Mat,
+    wv: Mat,
+    readout: Option<Vec<f64>>,
+    scale: f64,
+}
+
+impl Default for AttentionRegressor {
+    fn default() -> Self {
+        Self::new(8, 12, 1e-3, 0x00A7_7E17)
+    }
+}
+
+impl AttentionRegressor {
+    /// Build an attention regressor over `window` lags with head dimension
+    /// `dim`; the projections are derived from `seed`.
+    pub fn new(window: usize, dim: usize, lambda: f64, seed: u64) -> Self {
+        assert!(window >= 2 && dim >= 2);
+        let proj = |tag: u64| {
+            let mut m = Mat::zeros(dim, dim);
+            for i in 0..dim {
+                for j in 0..dim {
+                    m[(i, j)] = hashed_gauss(seed ^ tag, i, j) / (dim as f64).sqrt();
+                }
+            }
+            m
+        };
+        Self {
+            window,
+            dim,
+            lambda,
+            seed,
+            wq: proj(0x51),
+            wk: proj(0x52),
+            wv: proj(0x53),
+            readout: None,
+            scale: 1.0,
+        }
+    }
+
+    /// Embed a (normalized) window into token matrix `L × dim`:
+    /// value-scaled random embedding plus sinusoidal positional encoding.
+    fn embed(&self, win: &[f64]) -> Mat {
+        let mut e = Mat::zeros(win.len(), self.dim);
+        for (i, &v) in win.iter().enumerate() {
+            for j in 0..self.dim {
+                let emb = hashed_gauss(self.seed ^ 0x60, 0, j) * v;
+                let pos = if j % 2 == 0 {
+                    (i as f64 / 10f64.powf(j as f64 / self.dim as f64)).sin()
+                } else {
+                    (i as f64 / 10f64.powf((j - 1) as f64 / self.dim as f64)).cos()
+                };
+                e[(i, j)] = emb + 0.3 * pos;
+            }
+        }
+        e
+    }
+
+    /// Full attention feature map: window → pooled context vector + bias.
+    fn features(&self, win: &[f64]) -> Vec<f64> {
+        let e = self.embed(win);
+        let q = e.matmul(&self.wq);
+        let k = e.matmul(&self.wk);
+        let v = e.matmul(&self.wv);
+        let l = win.len();
+        let scale = 1.0 / (self.dim as f64).sqrt();
+        // A = softmax(QKᵀ/√d) row-wise; C = A·V; pool = mean over rows.
+        let mut pooled = vec![0.0; self.dim];
+        for i in 0..l {
+            let mut logits: Vec<f64> = (0..l)
+                .map(|j| {
+                    (0..self.dim).map(|m| q[(i, m)] * k[(j, m)]).sum::<f64>() * scale
+                })
+                .collect();
+            let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            for x in &mut logits {
+                *x = (*x - max).exp();
+            }
+            let z: f64 = logits.iter().sum();
+            for (j, &w) in logits.iter().enumerate() {
+                let a = w / z;
+                for m in 0..self.dim {
+                    pooled[m] += a * v[(j, m)] / l as f64;
+                }
+            }
+        }
+        pooled.push(1.0); // bias feature
+        pooled
+    }
+
+    fn windows(&self, history: &[f64]) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for t in self.window..history.len() {
+            x.push(history[t - self.window..t].to_vec());
+            y.push(history[t]);
+        }
+        (x, y)
+    }
+}
+
+impl Predictor for AttentionRegressor {
+    fn name(&self) -> String {
+        format!("attention(window={}, dim={})", self.window, self.dim)
+    }
+
+    fn fit(&mut self, history: &[f64]) {
+        let (wins, ys) = self.windows(history);
+        if wins.is_empty() {
+            self.readout = None;
+            return;
+        }
+        // Normalize to keep the random features in a sane numeric range.
+        self.scale = history.iter().copied().fold(0.0, f64::max).max(1e-12);
+        let feat_dim = self.dim + 1;
+        let mut data = Vec::with_capacity(wins.len() * feat_dim);
+        for w in &wins {
+            let norm: Vec<f64> = w.iter().map(|v| v / self.scale).collect();
+            data.extend(self.features(&norm));
+        }
+        let x = Mat::from_vec(wins.len(), feat_dim, data);
+        let y_norm: Vec<f64> = ys.iter().map(|v| v / self.scale).collect();
+        self.readout = ridge(&x, &y_norm, self.lambda);
+    }
+
+    fn predict_next(&self, recent: &[f64]) -> f64 {
+        let Some(beta) = &self.readout else {
+            return recent.last().copied().unwrap_or(0.0);
+        };
+        if recent.len() < self.window {
+            return recent.last().copied().unwrap_or(0.0);
+        }
+        let win: Vec<f64> = recent[recent.len() - self.window..]
+            .iter()
+            .map(|v| v / self.scale)
+            .collect();
+        let f = self.features(&win);
+        let pred: f64 = f.iter().zip(beta).map(|(a, b)| a * b).sum();
+        (pred * self.scale).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{forecast_mse, rolling_forecast, Cadence};
+
+    fn noisy_ar_series(n: usize) -> Vec<f64> {
+        let mut s = vec![30.0, 35.0];
+        for i in 2..n {
+            let noise = (((i * 2246822519usize) % 101) as f64 - 50.0) * 0.05;
+            s.push(0.65 * s[i - 1] + 0.25 * s[i - 2] + 4.0 + noise);
+        }
+        s
+    }
+
+    #[test]
+    fn learns_constant_series_exactly() {
+        let series = vec![10.0; 50];
+        let mut m = AttentionRegressor::default();
+        m.fit(&series);
+        let pred = m.predict_next(&series);
+        assert!((pred - 10.0).abs() < 0.5, "pred {pred}");
+    }
+
+    #[test]
+    fn beats_mean_baseline_on_structured_series() {
+        let series = noisy_ar_series(300);
+        let mut m = AttentionRegressor::default();
+        let pairs = rolling_forecast(&mut m, &series, 60, Cadence::Epoch(60));
+        let att = forecast_mse(&pairs).unwrap();
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let base = pairs.iter().map(|(_, t)| (t - mean).powi(2)).sum::<f64>()
+            / pairs.len() as f64;
+        assert!(att < base, "attention {att} vs mean-baseline {base}");
+    }
+
+    #[test]
+    fn per_period_refresh_beats_per_epoch_on_shifting_series() {
+        // A series whose level shifts mid-stream: stale parameters hurt.
+        let mut series = noisy_ar_series(150);
+        let mut tail = noisy_ar_series(150);
+        for v in &mut tail {
+            *v *= 3.0; // regime change
+        }
+        series.extend(tail);
+        let mut a = AttentionRegressor::default();
+        let per_epoch =
+            forecast_mse(&rolling_forecast(&mut a, &series, 40, Cadence::Epoch(120))).unwrap();
+        let mut b = AttentionRegressor::default();
+        let per_period =
+            forecast_mse(&rolling_forecast(&mut b, &series, 40, Cadence::PerPeriod)).unwrap();
+        assert!(
+            per_period < per_epoch,
+            "per-period {per_period} should beat per-epoch {per_epoch}"
+        );
+    }
+
+    #[test]
+    fn unfitted_or_short_falls_back_to_persistence() {
+        let m = AttentionRegressor::default();
+        assert_eq!(m.predict_next(&[4.0]), 4.0);
+        let mut m2 = AttentionRegressor::default();
+        m2.fit(&[1.0, 2.0]); // too short to build a window
+        assert_eq!(m2.predict_next(&[1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let series = noisy_ar_series(120);
+        let mut a = AttentionRegressor::new(8, 12, 1e-3, 99);
+        let mut b = AttentionRegressor::new(8, 12, 1e-3, 99);
+        a.fit(&series);
+        b.fit(&series);
+        assert_eq!(a.predict_next(&series), b.predict_next(&series));
+        // And different seeds give different predictors.
+        let mut c = AttentionRegressor::new(8, 12, 1e-3, 100);
+        c.fit(&series);
+        assert_ne!(a.predict_next(&series), c.predict_next(&series));
+    }
+
+    #[test]
+    fn predictions_are_nonnegative() {
+        let series: Vec<f64> = (0..60).map(|i| 60.0 - i as f64).collect();
+        let mut m = AttentionRegressor::default();
+        m.fit(&series);
+        assert!(m.predict_next(&series) >= 0.0);
+    }
+}

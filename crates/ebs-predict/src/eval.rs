@@ -1,0 +1,176 @@
+//! Rolling-forecast evaluation with configurable retraining cadence.
+//!
+//! Appendix C's protocol: statistical models (linear fit, ARIMA) refresh
+//! every period; learned models (XGBoost, Transformer) retrain once per
+//! *epoch* of 200 periods and predict from stale parameters in between —
+//! the staleness that Figure 4(c) shows hurting the per-epoch Transformer
+//! (P4) relative to its per-period variant (P5).
+
+/// A one-step-ahead traffic predictor.
+pub trait Predictor {
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+    /// (Re)train persistent parameters on the full history so far.
+    fn fit(&mut self, history: &[f64]);
+    /// Predict the next period's value from the most recent observations.
+    /// Must not mutate parameters (staleness is controlled by the harness
+    /// calling [`Predictor::fit`]).
+    fn predict_next(&self, recent: &[f64]) -> f64;
+}
+
+/// Retraining cadence for [`rolling_forecast`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cadence {
+    /// Refit on every period (statistical models; Transformer P5).
+    PerPeriod,
+    /// Refit every `n` periods (the paper's 200-period epoch).
+    Epoch(usize),
+}
+
+/// The paper's epoch length: 200 periods.
+pub const EPOCH_PERIODS: usize = 200;
+
+/// Run a rolling one-step forecast over `series`, retraining per `cadence`,
+/// starting predictions after `warmup` periods. Returns `(pred, truth)`
+/// pairs for each forecast period.
+pub fn rolling_forecast(
+    model: &mut dyn Predictor,
+    series: &[f64],
+    warmup: usize,
+    cadence: Cadence,
+) -> Vec<(f64, f64)> {
+    rolling_forecast_capped(model, series, warmup, cadence, usize::MAX)
+}
+
+/// [`rolling_forecast`] with the training history capped to the most
+/// recent `max_history` periods — what a production deployment with a
+/// bounded training buffer would do, and what keeps per-period retraining
+/// of the heavier models affordable.
+pub fn rolling_forecast_capped(
+    model: &mut dyn Predictor,
+    series: &[f64],
+    warmup: usize,
+    cadence: Cadence,
+    max_history: usize,
+) -> Vec<(f64, f64)> {
+    assert!(warmup >= 1, "need at least one observed period before forecasting");
+    assert!(max_history >= 2, "history cap too small to train anything");
+    let mut out = Vec::new();
+    let mut last_fit: Option<usize> = None;
+    for t in warmup..series.len() {
+        let due = match (cadence, last_fit) {
+            (_, None) => true,
+            (Cadence::PerPeriod, _) => true,
+            (Cadence::Epoch(n), Some(prev)) => t - prev >= n,
+        };
+        let start = t.saturating_sub(max_history);
+        if due {
+            model.fit(&series[start..t]);
+            last_fit = Some(t);
+        }
+        let pred = model.predict_next(&series[start..t]);
+        out.push((pred, series[t]));
+    }
+    out
+}
+
+/// Mean squared error of `(pred, truth)` pairs; `None` when empty.
+pub fn forecast_mse(pairs: &[(f64, f64)]) -> Option<f64> {
+    if pairs.is_empty() {
+        return None;
+    }
+    let s: f64 = pairs.iter().map(|(p, t)| (p - t).powi(2)).sum();
+    Some(s / pairs.len() as f64)
+}
+
+/// MSE normalized by the variance of the truth — comparable across series
+/// of different magnitude (used to average across BlockServers).
+pub fn forecast_nmse(pairs: &[(f64, f64)]) -> Option<f64> {
+    let e = forecast_mse(pairs)?;
+    let n = pairs.len() as f64;
+    let mean = pairs.iter().map(|(_, t)| t).sum::<f64>() / n;
+    let var = pairs.iter().map(|(_, t)| (t - mean).powi(2)).sum::<f64>() / n;
+    if var > 0.0 {
+        Some(e / var)
+    } else {
+        None
+    }
+}
+
+/// A trivial predictor: tomorrow equals today (useful baseline and test
+/// double).
+#[derive(Clone, Debug, Default)]
+pub struct Persistence;
+
+impl Predictor for Persistence {
+    fn name(&self) -> String {
+        "persistence".into()
+    }
+    fn fit(&mut self, _history: &[f64]) {}
+    fn predict_next(&self, recent: &[f64]) -> f64 {
+        recent.last().copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts fit calls; predicts a constant.
+    struct CountingModel {
+        fits: std::cell::Cell<usize>,
+    }
+
+    impl Predictor for CountingModel {
+        fn name(&self) -> String {
+            "counting".into()
+        }
+        fn fit(&mut self, _history: &[f64]) {
+            self.fits.set(self.fits.get() + 1);
+        }
+        fn predict_next(&self, _recent: &[f64]) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn per_period_cadence_fits_every_step() {
+        let mut m = CountingModel { fits: std::cell::Cell::new(0) };
+        let series: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let pairs = rolling_forecast(&mut m, &series, 2, Cadence::PerPeriod);
+        assert_eq!(pairs.len(), 8);
+        assert_eq!(m.fits.get(), 8);
+    }
+
+    #[test]
+    fn epoch_cadence_fits_sparsely() {
+        let mut m = CountingModel { fits: std::cell::Cell::new(0) };
+        let series: Vec<f64> = (0..22).map(|i| i as f64).collect();
+        let pairs = rolling_forecast(&mut m, &series, 2, Cadence::Epoch(10));
+        assert_eq!(pairs.len(), 20);
+        assert_eq!(m.fits.get(), 2); // t=2 and t=12
+    }
+
+    #[test]
+    fn persistence_on_constant_series_is_perfect() {
+        let mut m = Persistence;
+        let series = vec![4.0; 12];
+        let pairs = rolling_forecast(&mut m, &series, 1, Cadence::PerPeriod);
+        assert_eq!(forecast_mse(&pairs), Some(0.0));
+    }
+
+    #[test]
+    fn nmse_of_persistence_on_random_walkish_series() {
+        let mut m = Persistence;
+        let series: Vec<f64> = (0..50).map(|i| ((i * 37) % 11) as f64).collect();
+        let pairs = rolling_forecast(&mut m, &series, 5, Cadence::PerPeriod);
+        let nmse = forecast_nmse(&pairs).unwrap();
+        assert!(nmse > 0.0);
+    }
+
+    #[test]
+    fn empty_pairs_have_no_mse() {
+        assert_eq!(forecast_mse(&[]), None);
+        assert_eq!(forecast_nmse(&[]), None);
+    }
+}

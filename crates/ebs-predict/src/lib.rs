@@ -1,0 +1,41 @@
+//! # ebs-predict — traffic predictors for the inter-BS balancer study
+//!
+//! §6.1.3 of the paper compares five per-BlockServer traffic predictors
+//! (Appendix C); this crate implements the whole lineup from scratch:
+//!
+//! | Paper | Here | Update cadence |
+//! |-------|------|----------------|
+//! | P1 linear fit (sklearn) | [`linear::LinearFit`] — OLS over 4 periods | per period |
+//! | P2 ARIMA (pmdarima)     | [`arima::Arima`] — auto (p, d) grid, LS-fitted AR | per period |
+//! | P3 XGBoost              | [`gbdt::Gbdt`] — gradient-boosted trees on lags | per 200-period epoch |
+//! | P4 Transformer          | [`attention::AttentionRegressor`] | per epoch |
+//! | P5 Transformer (fast)   | same model | per period |
+//!
+//! [`eval::rolling_forecast`] drives the paper's protocol: one-step-ahead
+//! forecasts with the model refreshed per its cadence, scored by MSE.
+//!
+//! ```
+//! use ebs_predict::{Arima, Predictor};
+//! use ebs_predict::eval::{rolling_forecast, forecast_mse, Cadence};
+//!
+//! let series: Vec<f64> = (0..60).map(|i| 10.0 + (i % 7) as f64).collect();
+//! let mut model = Arima::default();
+//! let pairs = rolling_forecast(&mut model, &series, 20, Cadence::PerPeriod);
+//! assert!(forecast_mse(&pairs).unwrap().is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arima;
+pub mod attention;
+pub mod eval;
+pub mod gbdt;
+pub mod linear;
+pub mod matrix;
+
+pub use arima::Arima;
+pub use attention::AttentionRegressor;
+pub use eval::{Cadence, Predictor};
+pub use gbdt::Gbdt;
+pub use linear::LinearFit;

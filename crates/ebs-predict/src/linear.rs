@@ -1,0 +1,119 @@
+//! P1 — linear fit (Appendix C).
+//!
+//! The paper's baseline predictor: ordinary least squares over the last
+//! four periods, extrapolated one period ahead (matching sklearn's
+//! `LinearRegression` as used by Lunule's balancer).
+
+use crate::eval::Predictor;
+
+/// One-step linear extrapolation over a trailing window.
+#[derive(Clone, Debug)]
+pub struct LinearFit {
+    /// Number of trailing periods the line is fitted to (paper: 4).
+    pub window: usize,
+}
+
+impl Default for LinearFit {
+    fn default() -> Self {
+        Self { window: 4 }
+    }
+}
+
+impl LinearFit {
+    /// A linear-fit predictor over `window` trailing periods.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2, "need at least two points for a line");
+        Self { window }
+    }
+
+    /// Fit `y = a + b·t` over `ys` at `t = 0..n` and return `(a, b)`.
+    pub fn fit_line(ys: &[f64]) -> (f64, f64) {
+        let n = ys.len() as f64;
+        if ys.len() < 2 {
+            return (ys.first().copied().unwrap_or(0.0), 0.0);
+        }
+        let t_mean = (n - 1.0) / 2.0;
+        let y_mean = ys.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut var = 0.0;
+        for (i, &y) in ys.iter().enumerate() {
+            let dt = i as f64 - t_mean;
+            cov += dt * (y - y_mean);
+            var += dt * dt;
+        }
+        let b = if var > 0.0 { cov / var } else { 0.0 };
+        (y_mean - b * t_mean, b)
+    }
+}
+
+impl Predictor for LinearFit {
+    fn name(&self) -> String {
+        "linear-fit".into()
+    }
+
+    fn fit(&mut self, _history: &[f64]) {
+        // The line is refitted from the recent window at prediction time;
+        // there are no persistent parameters.
+    }
+
+    fn predict_next(&self, recent: &[f64]) -> f64 {
+        if recent.is_empty() {
+            return 0.0;
+        }
+        let start = recent.len().saturating_sub(self.window);
+        let win = &recent[start..];
+        let (a, b) = Self::fit_line(win);
+        // Next period is t = win.len().
+        (a + b * win.len() as f64).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_linear_series() {
+        let ys: Vec<f64> = (0..10).map(|i| 3.0 + 2.0 * i as f64).collect();
+        let p = LinearFit::new(4);
+        let pred = p.predict_next(&ys);
+        assert!((pred - 23.0).abs() < 1e-9, "got {pred}");
+    }
+
+    #[test]
+    fn flat_series_predicts_flat() {
+        let p = LinearFit::default();
+        assert!((p.predict_next(&[5.0, 5.0, 5.0, 5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_extrapolation_clamps_to_zero() {
+        let p = LinearFit::new(4);
+        // Steeply falling series extrapolates below zero → clamped (traffic
+        // cannot be negative).
+        assert_eq!(p.predict_next(&[100.0, 60.0, 20.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn short_history_degrades_gracefully() {
+        let p = LinearFit::default();
+        assert_eq!(p.predict_next(&[]), 0.0);
+        assert!((p.predict_next(&[7.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_line_recovers_parameters() {
+        let ys: Vec<f64> = (0..6).map(|i| -1.0 + 0.5 * i as f64).collect();
+        let (a, b) = LinearFit::fit_line(&ys);
+        assert!((a + 1.0).abs() < 1e-10);
+        assert!((b - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn only_window_points_matter() {
+        let p = LinearFit::new(2);
+        // The big early values must be ignored by a window of 2.
+        let pred = p.predict_next(&[1e9, 1e9, 4.0, 6.0]);
+        assert!((pred - 8.0).abs() < 1e-9, "got {pred}");
+    }
+}

@@ -1,0 +1,199 @@
+//! BlockServer model: address translation and the read-prefetch buffer.
+//!
+//! The BlockServer translates VD block semantics into file APIs (§2.1) and
+//! runs the per-segment prefetcher of §2.2: when it detects continuous
+//! large-block reads on a segment it loads the following data from the
+//! ChunkServer into local memory, so subsequent sequential reads skip the
+//! CS hop.
+
+use ebs_core::ids::SegId;
+use ebs_core::io::{IoEvent, Op};
+use ebs_core::units::{KIB, SEGMENT_BYTES};
+use std::collections::HashMap;
+
+/// Reads at least this large count toward the "continuous large block
+/// read" detector.
+const LARGE_READ_BYTES: u32 = 128 * KIB as u32;
+
+/// Consecutive sequential large reads needed to arm the prefetcher.
+const SEQ_THRESHOLD: u32 = 4;
+
+/// Bytes the prefetcher loads ahead once armed.
+const PREFETCH_WINDOW: u64 = 8 * 1024 * 1024;
+
+/// Address translation result: which segment and what offset inside it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Translation {
+    /// Segment index within the VD.
+    pub seg_index: u32,
+    /// Byte offset inside the segment's backing file.
+    pub file_offset: u64,
+}
+
+/// Translate a VD byte offset into (segment, in-file offset).
+pub fn translate(offset: u64) -> Translation {
+    Translation {
+        seg_index: (offset / SEGMENT_BYTES) as u32,
+        file_offset: offset % SEGMENT_BYTES,
+    }
+}
+
+/// Per-segment sequential-read detector state.
+#[derive(Clone, Copy, Debug, Default)]
+struct SeqState {
+    next_expected: u64,
+    run: u32,
+    prefetched_until: u64,
+}
+
+/// The prefetch engine of one BlockServer process.
+#[derive(Clone, Debug, Default)]
+pub struct Prefetcher {
+    state: HashMap<SegId, SeqState>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Prefetcher {
+    /// Fresh prefetcher with no armed segments.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe one IO against `seg`; returns `true` when a read is served
+    /// from the prefetch buffer (the IO may skip the ChunkServer).
+    ///
+    /// Writes invalidate the segment's detector (the buffer would be
+    /// stale) — the §7.2 reason prefetching barely helps write-dominant
+    /// hot blocks.
+    pub fn observe(&mut self, seg: SegId, ev: &IoEvent) -> bool {
+        let t = translate(ev.offset);
+        let st = self.state.entry(seg).or_default();
+        match ev.op {
+            Op::Write => {
+                *st = SeqState::default();
+                false
+            }
+            Op::Read => {
+                let hit = t.file_offset < st.prefetched_until
+                    && st.prefetched_until != 0
+                    && t.file_offset + ev.size as u64 <= st.prefetched_until;
+                if hit {
+                    self.hits += 1;
+                } else {
+                    self.misses += 1;
+                }
+                // Sequential large-read detection.
+                if ev.size >= LARGE_READ_BYTES && t.file_offset == st.next_expected {
+                    st.run += 1;
+                } else if ev.size >= LARGE_READ_BYTES {
+                    st.run = 1;
+                } else {
+                    st.run = 0;
+                }
+                st.next_expected = t.file_offset + ev.size as u64;
+                if st.run >= SEQ_THRESHOLD {
+                    st.prefetched_until =
+                        (st.next_expected + PREFETCH_WINDOW).min(SEGMENT_BYTES);
+                }
+                hit
+            }
+        }
+    }
+
+    /// `(prefetch hits, misses)` among observed reads.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of segments with live detector state.
+    pub fn tracked_segments(&self) -> usize {
+        self.state.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_core::ids::{QpId, VdId};
+    use ebs_core::units::GIB;
+
+    fn read(offset: u64, size: u32) -> IoEvent {
+        IoEvent { t_us: 0, vd: VdId(0), qp: QpId(0), op: Op::Read, size, offset }
+    }
+
+    fn write(offset: u64) -> IoEvent {
+        IoEvent { t_us: 0, vd: VdId(0), qp: QpId(0), op: Op::Write, size: 4096, offset }
+    }
+
+    #[test]
+    fn translation_splits_offset() {
+        let t = translate(33 * GIB + 512);
+        assert_eq!(t.seg_index, 1);
+        assert_eq!(t.file_offset, GIB + 512);
+    }
+
+    #[test]
+    fn sequential_large_reads_arm_prefetch() {
+        let mut p = Prefetcher::new();
+        let seg = SegId(0);
+        let sz = 256 * KIB as u32;
+        let mut off = 0u64;
+        // First SEQ_THRESHOLD reads miss while the detector warms up.
+        for _ in 0..SEQ_THRESHOLD {
+            assert!(!p.observe(seg, &read(off, sz)));
+            off += sz as u64;
+        }
+        // Now the window is armed: the next sequential reads hit.
+        for _ in 0..10 {
+            assert!(p.observe(seg, &read(off, sz)), "offset {off} should hit");
+            off += sz as u64;
+        }
+        let (hits, misses) = p.stats();
+        assert_eq!(hits, 10);
+        assert_eq!(misses, SEQ_THRESHOLD as u64);
+    }
+
+    #[test]
+    fn small_or_random_reads_never_arm() {
+        let mut p = Prefetcher::new();
+        let seg = SegId(1);
+        for i in 0..20 {
+            assert!(!p.observe(seg, &read(i * 4096, 4096)));
+        }
+        // Random large reads don't arm either.
+        for i in 0..20 {
+            assert!(!p.observe(seg, &read((i * 977_777_777) % GIB, 256 * KIB as u32)));
+        }
+    }
+
+    #[test]
+    fn writes_invalidate_the_window() {
+        let mut p = Prefetcher::new();
+        let seg = SegId(2);
+        let sz = 256 * KIB as u32;
+        let mut off = 0u64;
+        for _ in 0..SEQ_THRESHOLD {
+            p.observe(seg, &read(off, sz));
+            off += sz as u64;
+        }
+        assert!(p.observe(seg, &read(off, sz)));
+        off += sz as u64;
+        p.observe(seg, &write(0));
+        assert!(!p.observe(seg, &read(off, sz)), "window must be cold after a write");
+    }
+
+    #[test]
+    fn independent_segments_do_not_interfere() {
+        let mut p = Prefetcher::new();
+        let sz = 256 * KIB as u32;
+        let mut off = 0u64;
+        for _ in 0..SEQ_THRESHOLD + 1 {
+            p.observe(SegId(0), &read(off, sz));
+            p.observe(SegId(1), &write(off));
+            off += sz as u64;
+        }
+        assert_eq!(p.tracked_segments(), 2);
+        assert!(p.observe(SegId(0), &read(off, sz)));
+    }
+}

@@ -1,0 +1,133 @@
+//! ChunkServer model: the node-level append-only storage engine.
+//!
+//! Each ChunkServer persists segment files to its SSDs in an append-only
+//! log (§2.1), so overwrites accumulate garbage that periodic GC reclaims.
+//! The simulator tracks per-CS occupancy and GC activity; GC pressure adds
+//! a latency penalty, which is how write-heavy hotspots degrade their
+//! neighbours in the storage cluster.
+
+/// Accounting state of one ChunkServer.
+#[derive(Clone, Debug)]
+pub struct ChunkServer {
+    capacity_bytes: f64,
+    live_bytes: f64,
+    garbage_bytes: f64,
+    gc_threshold: f64,
+    gc_runs: u64,
+    bytes_reclaimed: f64,
+}
+
+impl ChunkServer {
+    /// A ChunkServer with `capacity_bytes` of raw SSD capacity; GC triggers
+    /// when garbage exceeds `gc_threshold` (fraction of capacity).
+    pub fn new(capacity_bytes: f64, gc_threshold: f64) -> Self {
+        assert!(capacity_bytes > 0.0);
+        assert!((0.0..1.0).contains(&gc_threshold) && gc_threshold > 0.0);
+        Self {
+            capacity_bytes,
+            live_bytes: 0.0,
+            garbage_bytes: 0.0,
+            gc_threshold,
+            gc_runs: 0,
+            bytes_reclaimed: 0.0,
+        }
+    }
+
+    /// Record an appended write of `bytes`; `overwrite_frac` of it
+    /// obsoletes existing data (becoming garbage). Runs GC if the garbage
+    /// share crosses the threshold. Returns `true` if GC ran.
+    pub fn append(&mut self, bytes: f64, overwrite_frac: f64) -> bool {
+        let overwrite = bytes * overwrite_frac.clamp(0.0, 1.0);
+        self.live_bytes += bytes - overwrite;
+        self.garbage_bytes += overwrite;
+        if self.garbage_bytes > self.gc_threshold * self.capacity_bytes {
+            self.bytes_reclaimed += self.garbage_bytes;
+            self.garbage_bytes = 0.0;
+            self.gc_runs += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fraction of capacity that is garbage right now.
+    pub fn garbage_ratio(&self) -> f64 {
+        self.garbage_bytes / self.capacity_bytes
+    }
+
+    /// Fraction of capacity holding live data.
+    pub fn occupancy(&self) -> f64 {
+        self.live_bytes / self.capacity_bytes
+    }
+
+    /// Latency multiplier from GC pressure: 1.0 when clean, rising linearly
+    /// to 2.0 at the GC threshold (writes behind a GC-pressured engine see
+    /// up to double latency).
+    pub fn gc_pressure(&self) -> f64 {
+        1.0 + (self.garbage_ratio() / self.gc_threshold).min(1.0)
+    }
+
+    /// Number of completed GC cycles.
+    pub fn gc_runs(&self) -> u64 {
+        self.gc_runs
+    }
+
+    /// Total bytes reclaimed by GC so far.
+    pub fn bytes_reclaimed(&self) -> f64 {
+        self.bytes_reclaimed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_engine_is_clean() {
+        let cs = ChunkServer::new(1e12, 0.2);
+        assert_eq!(cs.garbage_ratio(), 0.0);
+        assert_eq!(cs.occupancy(), 0.0);
+        assert_eq!(cs.gc_pressure(), 1.0);
+    }
+
+    #[test]
+    fn overwrites_accumulate_garbage() {
+        let mut cs = ChunkServer::new(1000.0, 0.5);
+        cs.append(100.0, 0.4);
+        assert!((cs.garbage_ratio() - 0.04).abs() < 1e-12);
+        assert!((cs.occupancy() - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gc_triggers_at_threshold_and_reclaims() {
+        let mut cs = ChunkServer::new(1000.0, 0.1);
+        // 99 garbage bytes: below the 100-byte threshold.
+        assert!(!cs.append(99.0, 1.0));
+        assert_eq!(cs.gc_runs(), 0);
+        // Two more garbage bytes: cross and reclaim.
+        assert!(cs.append(2.0, 1.0));
+        assert_eq!(cs.gc_runs(), 1);
+        assert_eq!(cs.garbage_ratio(), 0.0);
+        assert!((cs.bytes_reclaimed() - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pressure_grows_with_garbage() {
+        let mut cs = ChunkServer::new(1000.0, 0.2);
+        let p0 = cs.gc_pressure();
+        cs.append(150.0, 1.0);
+        let p1 = cs.gc_pressure();
+        assert!(p1 > p0);
+        assert!(p1 <= 2.0);
+    }
+
+    #[test]
+    fn pure_new_writes_make_no_garbage() {
+        let mut cs = ChunkServer::new(1000.0, 0.2);
+        for _ in 0..10 {
+            assert!(!cs.append(10.0, 0.0));
+        }
+        assert_eq!(cs.garbage_ratio(), 0.0);
+        assert!((cs.occupancy() - 0.1).abs() < 1e-12);
+    }
+}

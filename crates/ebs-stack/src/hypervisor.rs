@@ -1,0 +1,164 @@
+//! The hypervisor model: polling worker threads with QP bindings.
+//!
+//! Each compute node runs `wt_count` worker threads pinned to cores; each
+//! VD queue pair is statically bound to exactly one WT ("single-WT
+//! hosting", §2.2). A WT is a single server: IOs bound to it queue when it
+//! is busy. The simulator uses that queueing delay as the compute-node
+//! share of end-to-end latency, which is what makes WT-level skew visible
+//! in tail latency.
+
+use ebs_core::ids::{IdVec, QpId, WtId};
+use ebs_core::topology::Fleet;
+
+/// Mutable QP→WT binding table, initialised from the fleet's round-robin
+/// attach-time binding. Rebinding algorithms (`ebs-balance::wt_rebind`)
+/// operate on clones of this table.
+#[derive(Clone, Debug)]
+pub struct Binding {
+    map: IdVec<QpId, WtId>,
+}
+
+impl Binding {
+    /// The fleet's attach-time round-robin binding.
+    pub fn from_fleet(fleet: &Fleet) -> Self {
+        Self { map: fleet.qp_binding.clone() }
+    }
+
+    /// The worker thread currently serving `qp`.
+    pub fn wt_of(&self, qp: QpId) -> WtId {
+        self.map[qp]
+    }
+
+    /// Rebind `qp` to `wt`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the target WT belongs to a different
+    /// compute node than the QP (bindings never cross nodes).
+    pub fn rebind(&mut self, fleet: &Fleet, qp: QpId, wt: WtId) {
+        debug_assert_eq!(
+            fleet.cn_of_qp(qp),
+            fleet.cn_of_wt(wt),
+            "rebinding across compute nodes is impossible"
+        );
+        self.map[qp] = wt;
+    }
+
+    /// Swap the QP sets of two worker threads on the same node (the rebind
+    /// simulator's move, §4.3).
+    pub fn swap_wts(&mut self, a: WtId, b: WtId) {
+        for wt in self.map.iter_mut() {
+            if *wt == a {
+                *wt = b;
+            } else if *wt == b {
+                *wt = a;
+            }
+        }
+    }
+
+    /// Number of QPs bound to `wt`.
+    pub fn qp_count_of(&self, wt: WtId) -> usize {
+        self.map.iter().filter(|&&w| w == wt).count()
+    }
+}
+
+/// Single-server queueing state of all worker threads: for each WT, the
+/// time at which it becomes free. Events must be offered in non-decreasing
+/// arrival order.
+#[derive(Clone, Debug)]
+pub struct WtQueues {
+    free_at_us: Vec<f64>,
+}
+
+impl WtQueues {
+    /// Queues for `wt_total` worker threads, all initially idle.
+    pub fn new(wt_total: u32) -> Self {
+        Self { free_at_us: vec![0.0; wt_total as usize] }
+    }
+
+    /// Serve one IO arriving at `arrival_us` on `wt` with service time
+    /// `service_us`. Returns the queueing delay (time spent waiting for the
+    /// WT, excluding service).
+    pub fn serve(&mut self, wt: WtId, arrival_us: f64, service_us: f64) -> f64 {
+        let free = &mut self.free_at_us[wt.index()];
+        let start = free.max(arrival_us);
+        let wait = start - arrival_us;
+        *free = start + service_us;
+        wait
+    }
+
+    /// Time at which `wt` becomes idle.
+    pub fn free_at(&self, wt: WtId) -> f64 {
+        self.free_at_us[wt.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_core::apps::AppClass;
+    use ebs_core::spec::VdTier;
+    use ebs_core::topology::FleetBuilder;
+    use ebs_core::units::GIB;
+
+    fn fleet() -> Fleet {
+        let mut b = FleetBuilder::new();
+        let dc = b.add_dc("DC-1");
+        let sn = b.add_sn(dc);
+        b.add_bs(sn);
+        let u = b.add_user();
+        let cn = b.add_cn(dc, 2, false);
+        let vm = b.add_vm(cn, u, AppClass::Database);
+        b.add_vd(vm, VdTier::Performance.spec(64 * GIB)); // 4 QPs → wt 0,1,0,1
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn binding_starts_round_robin() {
+        let f = fleet();
+        let b = Binding::from_fleet(&f);
+        assert_eq!(b.wt_of(QpId(0)), WtId(0));
+        assert_eq!(b.wt_of(QpId(1)), WtId(1));
+        assert_eq!(b.wt_of(QpId(2)), WtId(0));
+        assert_eq!(b.qp_count_of(WtId(0)), 2);
+    }
+
+    #[test]
+    fn rebind_moves_one_qp() {
+        let f = fleet();
+        let mut b = Binding::from_fleet(&f);
+        b.rebind(&f, QpId(0), WtId(1));
+        assert_eq!(b.wt_of(QpId(0)), WtId(1));
+        assert_eq!(b.qp_count_of(WtId(1)), 3);
+    }
+
+    #[test]
+    fn swap_exchanges_qp_sets() {
+        let f = fleet();
+        let mut b = Binding::from_fleet(&f);
+        b.swap_wts(WtId(0), WtId(1));
+        assert_eq!(b.wt_of(QpId(0)), WtId(1));
+        assert_eq!(b.wt_of(QpId(1)), WtId(0));
+        assert_eq!(b.qp_count_of(WtId(0)), 2);
+        assert_eq!(b.qp_count_of(WtId(1)), 2);
+    }
+
+    #[test]
+    fn queueing_accumulates_under_load() {
+        let mut q = WtQueues::new(1);
+        // Three back-to-back IOs, each 10 µs of service, arriving together.
+        assert_eq!(q.serve(WtId(0), 100.0, 10.0), 0.0);
+        assert_eq!(q.serve(WtId(0), 100.0, 10.0), 10.0);
+        assert_eq!(q.serve(WtId(0), 100.0, 10.0), 20.0);
+        assert_eq!(q.free_at(WtId(0)), 130.0);
+    }
+
+    #[test]
+    fn idle_wt_serves_immediately() {
+        let mut q = WtQueues::new(2);
+        q.serve(WtId(0), 0.0, 50.0);
+        // Different WT: no interference.
+        assert_eq!(q.serve(WtId(1), 10.0, 5.0), 0.0);
+        // Same WT after it drained: no wait.
+        assert_eq!(q.serve(WtId(0), 100.0, 5.0), 0.0);
+    }
+}

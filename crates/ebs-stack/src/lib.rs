@@ -1,0 +1,54 @@
+//! # ebs-stack — a discrete-event simulator of the EBS data path
+//!
+//! The paper measures a production Elastic Block Storage stack; this crate
+//! is the substitute substrate (DESIGN.md §2): a simulator of the full IO
+//! path of Figure 1, from the VM's queue pair down to the ChunkServer's
+//! SSDs, with the same structural pieces the paper's analyses depend on:
+//!
+//! * **[`hypervisor`]** — polling worker threads, static round-robin QP→WT
+//!   binding ("single-WT hosting"), and single-server queueing per WT.
+//! * **[`throttle_gate`]** — the per-VD dual token bucket (throughput +
+//!   IOPS caps) of §5.
+//! * **[`latency`]** — per-component latency models for the five stages
+//!   DiTing reports.
+//! * **[`segment`]** — the mutable segment → BlockServer placement that the
+//!   inter-BS balancer (§6) migrates.
+//! * **[`block_server`]** — address translation and the sequential-read
+//!   prefetcher of §2.2.
+//! * **[`chunk_server`]** — the append-only node engine with GC accounting.
+//! * **[`diting`]** — the tracer that assembles the paper's per-IO trace
+//!   records (and exports CSV).
+//! * **[`sim`]** — [`sim::StackSim`], which routes a sampled IO stream
+//!   through all of the above.
+//!
+//! ```
+//! use ebs_stack::sim::{StackConfig, StackSim};
+//! use ebs_workload::{generate, WorkloadConfig};
+//!
+//! let ds = generate(&WorkloadConfig::quick(1)).unwrap();
+//! let mut sim = StackSim::new(&ds.fleet, StackConfig::default());
+//! let out = sim.run(&ds.events).unwrap();
+//! assert_eq!(out.traces.len(), ds.events.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block_server;
+pub mod chunk_server;
+pub mod diting;
+pub mod hypervisor;
+pub mod latency;
+pub mod network;
+pub mod replication;
+pub mod segment;
+pub mod sim;
+pub mod throttle_gate;
+
+pub use hypervisor::Binding;
+pub use latency::LatencyModel;
+pub use network::{FabricModel, Link};
+pub use replication::ReplicationPolicy;
+pub use segment::{Migration, SegmentMap};
+pub use sim::{SimOutput, SimStats, StackConfig, StackSim};
+pub use throttle_gate::{TokenBucket, VdGate};

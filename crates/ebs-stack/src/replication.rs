@@ -1,0 +1,134 @@
+//! Replicated write path.
+//!
+//! EBS write durability requires persisting with redundancy before acking
+//! (§7.3.2): the BlockServer fans a write out to `r` ChunkServer replicas
+//! and completes when the slowest of the required acks arrives. This
+//! module models that quorum: per-replica latency draws from the CS write
+//! stage, completion at the `k`-th order statistic. Replication is why
+//! production write tails are long — one slow replica drags the IO.
+
+use crate::latency::StageParams;
+use ebs_core::rng::SimRng;
+
+/// Replication policy of the write path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicationPolicy {
+    /// Number of replicas written.
+    pub replicas: u8,
+    /// Acks required before the write completes (quorum), `<= replicas`.
+    pub quorum: u8,
+}
+
+impl ReplicationPolicy {
+    /// Three-way replication, all acks required — the classic EBS setting.
+    pub const THREE_WAY: ReplicationPolicy = ReplicationPolicy { replicas: 3, quorum: 3 };
+
+    /// Majority quorum over three replicas.
+    pub const THREE_WAY_MAJORITY: ReplicationPolicy =
+        ReplicationPolicy { replicas: 3, quorum: 2 };
+
+    /// Single copy (no redundancy) — what the unreplicated latency model
+    /// alone would give.
+    pub const NONE: ReplicationPolicy = ReplicationPolicy { replicas: 1, quorum: 1 };
+
+    /// Validate `1 <= quorum <= replicas`.
+    pub fn validate(&self) -> Result<(), ebs_core::error::EbsError> {
+        if self.replicas == 0 || self.quorum == 0 || self.quorum > self.replicas {
+            return Err(ebs_core::error::EbsError::invalid_config(format!(
+                "replication {}/{} invalid",
+                self.quorum, self.replicas
+            )));
+        }
+        Ok(())
+    }
+
+    /// Latency of one replicated write: draw a per-replica latency from
+    /// `stage` and return the `quorum`-th smallest (the completing ack).
+    pub fn write_latency_us(&self, rng: &mut SimRng, stage: &StageParams, size: u32) -> f64 {
+        debug_assert!(self.validate().is_ok());
+        let mut draws: Vec<f64> =
+            (0..self.replicas).map(|_| stage.sample(rng, size)).collect();
+        draws.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        draws[self.quorum as usize - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage() -> StageParams {
+        StageParams {
+            base_us: 100.0,
+            bytes_per_us: 2000.0,
+            jitter_sigma: 0.4,
+            tail_prob: 0.02,
+            tail_mult: 10.0,
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_policies() {
+        assert!(ReplicationPolicy { replicas: 0, quorum: 0 }.validate().is_err());
+        assert!(ReplicationPolicy { replicas: 2, quorum: 3 }.validate().is_err());
+        assert!(ReplicationPolicy::THREE_WAY.validate().is_ok());
+        assert!(ReplicationPolicy::NONE.validate().is_ok());
+    }
+
+    #[test]
+    fn full_quorum_is_slower_than_single_copy() {
+        let s = stage();
+        let mut rng = SimRng::seed_from_u64(1);
+        let n = 5000;
+        let three: f64 = (0..n)
+            .map(|_| ReplicationPolicy::THREE_WAY.write_latency_us(&mut rng, &s, 4096))
+            .sum();
+        let one: f64 = (0..n)
+            .map(|_| ReplicationPolicy::NONE.write_latency_us(&mut rng, &s, 4096))
+            .sum();
+        assert!(three > one * 1.15, "3-way {three:.0} vs 1-way {one:.0}");
+    }
+
+    #[test]
+    fn majority_quorum_beats_full_quorum_and_hedges_the_tail() {
+        let s = stage();
+        let mut rng = SimRng::seed_from_u64(2);
+        let n = 20_000;
+        let draws = |p: ReplicationPolicy, rng: &mut SimRng| -> Vec<f64> {
+            let mut v: Vec<f64> =
+                (0..n).map(|_| p.write_latency_us(rng, &s, 4096)).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v
+        };
+        let one = draws(ReplicationPolicy::NONE, &mut rng);
+        let maj = draws(ReplicationPolicy::THREE_WAY_MAJORITY, &mut rng);
+        let all = draws(ReplicationPolicy::THREE_WAY, &mut rng);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let p99 = |v: &[f64]| v[(v.len() as f64 * 0.99) as usize];
+        // Waiting for all three acks is strictly slower than a majority.
+        assert!(mean(&maj) < mean(&all), "{:.0} vs {:.0}", mean(&maj), mean(&all));
+        // The classic "tail at scale" effect: a 2-of-3 quorum needs two
+        // slow replicas to be slow, so its p99 undercuts even a single
+        // copy's p99.
+        assert!(p99(&maj) < p99(&one), "{:.0} vs {:.0}", p99(&maj), p99(&one));
+    }
+
+    #[test]
+    fn replication_amplifies_the_tail() {
+        // The paper's motivation for long write tails: p99 grows faster
+        // than the mean under full-quorum replication.
+        let s = stage();
+        let mut rng = SimRng::seed_from_u64(3);
+        let n = 20_000;
+        let mut one: Vec<f64> = (0..n)
+            .map(|_| ReplicationPolicy::NONE.write_latency_us(&mut rng, &s, 4096))
+            .collect();
+        let mut three: Vec<f64> = (0..n)
+            .map(|_| ReplicationPolicy::THREE_WAY.write_latency_us(&mut rng, &s, 4096))
+            .collect();
+        one.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        three.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p99 = |v: &[f64]| v[(v.len() as f64 * 0.99) as usize];
+        assert!(p99(&three) > p99(&one), "replication must lengthen the tail");
+    }
+}

@@ -1,0 +1,372 @@
+//! The end-to-end stack simulator.
+//!
+//! [`StackSim::run`] routes a time-ordered stream of sampled IO events
+//! through the full path of Figure 1: QP → worker thread (with single-
+//! server queueing), optional per-VD throttle, frontend network,
+//! BlockServer (address translation + prefetch), backend network, and
+//! ChunkServer (append-only engine with GC pressure) — and hands each IO to
+//! DiTing to produce the paper's trace dataset with the five-stage latency
+//! breakdown.
+
+use crate::block_server::Prefetcher;
+use crate::replication::ReplicationPolicy;
+use crate::chunk_server::ChunkServer;
+use crate::diting::Diting;
+use crate::hypervisor::{Binding, WtQueues};
+use crate::latency::LatencyModel;
+use crate::network::FabricModel;
+use crate::segment::SegmentMap;
+use crate::throttle_gate::VdGate;
+use ebs_core::error::EbsError;
+use ebs_core::io::{IoEvent, Op};
+use ebs_core::rng::RngFactory;
+use ebs_core::topology::Fleet;
+use ebs_core::trace::{StageLatency, TraceRecord, TraceSet};
+use ebs_core::units::TRACE_SAMPLE_RATE;
+
+/// Stack-simulation configuration.
+#[derive(Clone, Debug)]
+pub struct StackConfig {
+    /// Seed for latency jitter and tail draws.
+    pub seed: u64,
+    /// Apply the per-VD dual token-bucket throttle.
+    pub apply_throttle: bool,
+    /// Because the simulator sees the 1/3200-sampled stream, throttle caps
+    /// are scaled by this factor so the gates fire at the same relative
+    /// load as they would on the full population. Set to 1.0 when feeding
+    /// unsampled streams.
+    pub throttle_scale: f64,
+    /// Latency model.
+    pub latency: LatencyModel,
+    /// Raw SSD capacity per ChunkServer in bytes (GC accounting).
+    pub cs_capacity_bytes: f64,
+    /// Garbage fraction that triggers GC.
+    pub gc_threshold: f64,
+    /// Fraction of write bytes that overwrite live data (creates garbage).
+    pub overwrite_frac: f64,
+    /// Write-path replication (EBS persists with redundancy before acking).
+    pub replication: ReplicationPolicy,
+    /// Model shared-link congestion on the frontend/backend fabrics.
+    pub model_congestion: bool,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x57AC_C0DE,
+            apply_throttle: true,
+            throttle_scale: TRACE_SAMPLE_RATE,
+            latency: LatencyModel::default(),
+            cs_capacity_bytes: 4.0e12,
+            gc_threshold: 0.25,
+            overwrite_frac: 0.5,
+            replication: ReplicationPolicy::THREE_WAY,
+            model_congestion: true,
+        }
+    }
+}
+
+/// Aggregate statistics of one simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// IOs routed.
+    pub ios: u64,
+    /// IOs delayed by the throttle.
+    pub throttled: u64,
+    /// Reads served from BlockServer prefetch buffers.
+    pub prefetch_hits: u64,
+    /// GC cycles across all ChunkServers.
+    pub gc_runs: u64,
+    /// Mean end-to-end latency in microseconds.
+    pub mean_latency_us: f64,
+}
+
+/// Result of a simulation: the trace dataset plus run statistics.
+#[derive(Clone, Debug)]
+pub struct SimOutput {
+    /// Per-IO traces with five-stage latencies, time-sorted.
+    pub traces: TraceSet,
+    /// Aggregate statistics.
+    pub stats: SimStats,
+}
+
+/// The simulator itself. One instance per run.
+pub struct StackSim<'a> {
+    fleet: &'a Fleet,
+    config: StackConfig,
+    binding: Binding,
+    seg_map: SegmentMap,
+}
+
+impl<'a> StackSim<'a> {
+    /// A simulator over `fleet` with the fleet's initial QP binding and
+    /// segment placement.
+    pub fn new(fleet: &'a Fleet, config: StackConfig) -> Self {
+        Self {
+            fleet,
+            config,
+            binding: Binding::from_fleet(fleet),
+            seg_map: SegmentMap::from_fleet(fleet),
+        }
+    }
+
+    /// Replace the QP→WT binding (for rebinding experiments).
+    pub fn with_binding(mut self, binding: Binding) -> Self {
+        self.binding = binding;
+        self
+    }
+
+    /// Replace the segment placement (for balancer experiments).
+    pub fn with_segment_map(mut self, seg_map: SegmentMap) -> Self {
+        self.seg_map = seg_map;
+        self
+    }
+
+    /// Route `events` (must be time-sorted) through the stack.
+    pub fn run(&mut self, events: &[IoEvent]) -> Result<SimOutput, EbsError> {
+        if events.windows(2).any(|w| w[0].t_us > w[1].t_us) {
+            return Err(EbsError::invalid_config("events must be time-sorted"));
+        }
+        let rngf = RngFactory::new(self.config.seed).child("stack");
+        let mut rng = rngf.stream("latency");
+
+        let mut queues = WtQueues::new(self.fleet.wt_total);
+        let mut gates: Vec<Option<VdGate>> = if self.config.apply_throttle {
+            self.fleet
+                .vds
+                .iter()
+                .map(|vd| {
+                    let mut spec = vd.spec;
+                    spec.tput_cap *= self.config.throttle_scale;
+                    spec.iops_cap *= self.config.throttle_scale;
+                    Some(VdGate::for_spec(&spec))
+                })
+                .collect()
+        } else {
+            vec![None; self.fleet.vds.len()]
+        };
+        // One prefetcher per BlockServer, one engine per storage node.
+        let mut prefetchers: Vec<Prefetcher> =
+            (0..self.fleet.block_servers.len()).map(|_| Prefetcher::new()).collect();
+        let mut engines: Vec<ChunkServer> = (0..self.fleet.storage_nodes.len())
+            .map(|_| ChunkServer::new(self.config.cs_capacity_bytes, self.config.gc_threshold))
+            .collect();
+
+        let mut fabric =
+            FabricModel::new(self.fleet.compute_nodes.len(), self.fleet.storage_nodes.len());
+        let mut diting = Diting::new();
+        let mut records: Vec<TraceRecord> = Vec::with_capacity(events.len());
+        let mut stats = SimStats::default();
+        let mut total_latency = 0.0;
+
+        for ev in events {
+            let t = ev.t_us as f64;
+            stats.ios += 1;
+
+            // --- hypervisor: throttle, then WT queueing + service.
+            let throttle_us = match &mut gates[ev.vd.index()] {
+                Some(gate) => {
+                    let d = gate.admit(t, ev.size);
+                    if d > 0.0 {
+                        stats.throttled += 1;
+                    }
+                    d
+                }
+                None => 0.0,
+            };
+            let wt = self.binding.wt_of(ev.qp);
+            let service = self.config.latency.compute.sample(&mut rng, ev.size);
+            let wait = queues.serve(wt, t + throttle_us, service);
+            let compute_us = throttle_us + wait + service;
+
+            // --- frontend network (plus uplink congestion).
+            let cn = self.fleet.cn_of_qp(ev.qp);
+            let congestion_f = if self.config.model_congestion {
+                fabric.frontend_transfer(cn.index(), t, ev.size as f64)
+            } else {
+                1.0
+            };
+            let frontend_us =
+                self.config.latency.frontend.sample(&mut rng, ev.size) * congestion_f;
+
+            // --- BlockServer: translate, prefetch, forward.
+            let seg = self
+                .fleet
+                .segment_at(ev.vd, ev.offset)
+                .ok_or_else(|| EbsError::unknown_entity(format!("offset {} in {}", ev.offset, ev.vd)))?;
+            let bs = self.seg_map.home_of(seg);
+            let prefetched = prefetchers[bs.index()].observe(seg, ev);
+            if prefetched {
+                stats.prefetch_hits += 1;
+            }
+            let block_server_us = self.config.latency.block_server.sample(&mut rng, ev.size);
+
+            // --- backend network + ChunkServer (skipped on prefetch hit).
+            let sn = self.fleet.block_servers[bs].sn;
+            let engine = &mut engines[sn.index()];
+            let (backend_us, chunk_server_us) = if prefetched {
+                (0.0, 0.0)
+            } else {
+                let congestion_b = if self.config.model_congestion {
+                    fabric.backend_transfer(sn.index(), t, ev.size as f64)
+                } else {
+                    1.0
+                };
+                let backend =
+                    self.config.latency.backend.sample(&mut rng, ev.size) * congestion_b;
+                let cs = match ev.op {
+                    Op::Write => {
+                        // Replicated append: slowest required ack, scaled
+                        // by the engine's GC pressure.
+                        self.config.replication.write_latency_us(
+                            &mut rng,
+                            &self.config.latency.cs_write,
+                            ev.size,
+                        ) * engine.gc_pressure()
+                    }
+                    Op::Read => {
+                        self.config.latency.chunk_server_us(&mut rng, ev.op, ev.size, false)
+                    }
+                };
+                (backend, cs)
+            };
+            if ev.op == Op::Write
+                && engine.append(ev.size as f64, self.config.overwrite_frac)
+            {
+                stats.gc_runs += 1;
+            }
+
+            let lat = StageLatency {
+                compute_us,
+                frontend_us,
+                block_server_us,
+                backend_us,
+                chunk_server_us,
+            };
+            total_latency += lat.total_us();
+            records.push(diting.record(self.fleet, ev, wt, bs, lat));
+        }
+        stats.mean_latency_us =
+            if stats.ios > 0 { total_latency / stats.ios as f64 } else { 0.0 };
+        Ok(SimOutput { traces: TraceSet::from_records(records), stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_workload::{generate, WorkloadConfig};
+
+    fn simulate(seed: u64) -> (SimOutput, usize) {
+        let ds = generate(&WorkloadConfig::quick(seed)).unwrap();
+        let mut sim = StackSim::new(&ds.fleet, StackConfig::default());
+        let out = sim.run(&ds.events).unwrap();
+        (out, ds.events.len())
+    }
+
+    #[test]
+    fn every_event_becomes_a_trace() {
+        let (out, n) = simulate(31);
+        assert_eq!(out.traces.len(), n);
+        assert_eq!(out.stats.ios as usize, n);
+    }
+
+    #[test]
+    fn latencies_are_positive_and_structured() {
+        let (out, _) = simulate(32);
+        for r in out.traces.records() {
+            assert!(r.lat.total_us() > 0.0);
+            assert!(r.lat.compute_us > 0.0);
+            // CN-cache latency ≤ BS-cache latency ≤ total.
+            assert!(r.lat.cn_cache_us() <= r.lat.bs_cache_us() + 1e-9);
+            assert!(r.lat.bs_cache_us() <= r.lat.total_us() + 1e-9);
+        }
+        assert!(out.stats.mean_latency_us > 0.0);
+    }
+
+    #[test]
+    fn writes_slower_than_reads_on_average() {
+        // Compare the raw device path: disable throttling so huge read
+        // bursts don't pick up multi-second throttle queueing.
+        let ds = generate(&WorkloadConfig::quick(33)).unwrap();
+        let cfg = StackConfig { apply_throttle: false, ..StackConfig::default() };
+        let mut sim = StackSim::new(&ds.fleet, cfg);
+        let out = sim.run(&ds.events).unwrap();
+        let (mut rsum, mut rcnt, mut wsum, mut wcnt) = (0.0, 0u32, 0.0, 0u32);
+        for r in out.traces.records() {
+            if r.op.is_read() {
+                rsum += r.lat.total_us();
+                rcnt += 1;
+            } else {
+                wsum += r.lat.total_us();
+                wcnt += 1;
+            }
+        }
+        assert!(rcnt > 0 && wcnt > 0);
+        assert!(wsum / wcnt as f64 > rsum / rcnt as f64);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let (a, _) = simulate(34);
+        let (b, _) = simulate(34);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.traces.records()[0], b.traces.records()[0]);
+    }
+
+    #[test]
+    fn unsorted_events_are_rejected() {
+        let ds = generate(&WorkloadConfig::quick(35)).unwrap();
+        let mut events = ds.events.clone();
+        let last = events.len() - 1;
+        assert!(last > 0, "need at least two events");
+        events.swap(0, last);
+        let mut sim = StackSim::new(&ds.fleet, StackConfig::default());
+        assert!(sim.run(&events).is_err());
+    }
+
+    #[test]
+    fn disabling_throttle_removes_throttle_delays() {
+        let ds = generate(&WorkloadConfig::quick(36)).unwrap();
+        let cfg = StackConfig { apply_throttle: false, ..StackConfig::default() };
+        let mut sim = StackSim::new(&ds.fleet, cfg);
+        let out = sim.run(&ds.events).unwrap();
+        assert_eq!(out.stats.throttled, 0);
+    }
+
+    #[test]
+    fn replication_lengthens_write_latency() {
+        let ds = generate(&WorkloadConfig::quick(38)).unwrap();
+        let mean_write = |policy| {
+            let cfg = StackConfig {
+                apply_throttle: false,
+                replication: policy,
+                ..StackConfig::default()
+            };
+            let mut sim = StackSim::new(&ds.fleet, cfg);
+            let out = sim.run(&ds.events).unwrap();
+            let (sum, n) = out
+                .traces
+                .records()
+                .iter()
+                .filter(|r| r.op.is_write())
+                .fold((0.0, 0u32), |(s, n), r| (s + r.lat.chunk_server_us, n + 1));
+            sum / n as f64
+        };
+        let single = mean_write(crate::replication::ReplicationPolicy::NONE);
+        let triple = mean_write(crate::replication::ReplicationPolicy::THREE_WAY);
+        assert!(triple > single * 1.1, "3-way {triple:.0} vs 1-way {single:.0}");
+    }
+
+    #[test]
+    fn trace_entities_match_fleet_topology() {
+        let (out, _) = simulate(37);
+        let ds = generate(&WorkloadConfig::quick(37)).unwrap();
+        for r in out.traces.records().iter().take(500) {
+            assert_eq!(ds.fleet.vds[r.vd].vm, r.vm);
+            assert_eq!(ds.fleet.vms[r.vm].cn, r.cn);
+            assert_eq!(ds.fleet.cn_of_wt(r.wt), r.cn);
+            assert_eq!(ds.fleet.block_servers[r.bs].sn, r.sn);
+        }
+    }
+}

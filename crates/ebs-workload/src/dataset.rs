@@ -1,0 +1,56 @@
+//! The generated dataset: everything the paper's analyses consume.
+
+use crate::config::WorkloadConfig;
+use crate::spatial::TrafficPlan;
+use ebs_core::io::IoEvent;
+use ebs_core::metric::{ComputeMetrics, StorageMetrics};
+use ebs_core::topology::Fleet;
+
+/// One complete synthetic dataset, the stand-in for the paper's production
+/// collection (§2.3): fleet topology + specification data, compute- and
+/// storage-domain metric data, and the 1/3200-sampled IO events.
+///
+/// The metric data records *demand* (pre-throttle traffic); the throttle
+/// study in `ebs-throttle` applies caps on top, exactly as the paper's
+/// simulations do.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Fleet topology and per-VD specifications.
+    pub fleet: Fleet,
+    /// The spatial plan the generator drew (useful for calibration tests).
+    pub plan: TrafficPlan,
+    /// Compute-domain metric data (per QP).
+    pub compute: ComputeMetrics,
+    /// Storage-domain metric data (per segment).
+    pub storage: StorageMetrics,
+    /// Sampled IO events, sorted by timestamp.
+    pub events: Vec<IoEvent>,
+    /// The generating configuration.
+    pub config: WorkloadConfig,
+}
+
+impl Dataset {
+    /// Number of sampled trace events.
+    pub fn trace_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Sampled trace counts by direction `(reads, writes)`.
+    pub fn trace_rw_counts(&self) -> (usize, usize) {
+        let reads = self.events.iter().filter(|e| e.op.is_read()).count();
+        (reads, self.events.len() - reads)
+    }
+
+    /// Total metric-data traffic `(read_bytes, write_bytes)` over the
+    /// window, from the compute domain (the full population, not the
+    /// sample).
+    pub fn total_bytes(&self) -> (f64, f64) {
+        let t = self.compute.total();
+        (t.read.bytes, t.write.bytes)
+    }
+
+    /// Sampled events belonging to one VD, in time order.
+    pub fn events_for_vd(&self, vd: ebs_core::ids::VdId) -> Vec<&IoEvent> {
+        self.events.iter().filter(|e| e.vd == vd).collect()
+    }
+}

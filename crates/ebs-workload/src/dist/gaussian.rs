@@ -1,0 +1,65 @@
+//! Gaussian and lognormal draws (Box–Muller).
+
+use ebs_core::rng::SimRng;
+
+/// One standard-normal variate via the Box–Muller transform.
+pub fn standard_normal(rng: &mut SimRng) -> f64 {
+    // Avoid ln(0).
+    let u1 = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal variate with the given mean and standard deviation.
+pub fn normal(rng: &mut SimRng, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Lognormal variate: `exp(N(mu, sigma))`. `mu`/`sigma` are the parameters
+/// of the underlying normal (so the median is `exp(mu)`).
+pub fn lognormal(rng: &mut SimRng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut xs: Vec<f64> = (0..50_000).map(|_| lognormal(&mut rng, 2.0, 1.0)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        let expect = 2f64.exp();
+        assert!((med - expect).abs() / expect < 0.05, "median {med} vs {expect}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(lognormal(&mut rng, 0.0, 3.0) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Sampling distributions implemented in-house.
+//!
+//! The generator needs Zipf weights (spatial skew), Pareto tails (burst
+//! durations and amplitudes), Gaussian/lognormal draws (per-entity
+//! intensities, capacities), Poisson counts (trace sampling), and an ON/OFF
+//! envelope process (temporal burstiness). They are implemented here rather
+//! than pulled from a distributions crate so the whole workspace stays
+//! deterministic under one RNG and the math is auditable.
+
+pub mod gaussian;
+pub mod onoff;
+pub mod pareto;
+pub mod poisson;
+pub mod zipf;
+
+pub use gaussian::{lognormal, standard_normal};
+pub use onoff::{OnOffEnvelope, OnOffParams};
+pub use pareto::{bounded_pareto, pareto};
+pub use poisson::poisson;
+pub use zipf::{zipf_weights, ZipfSampler};

@@ -1,0 +1,222 @@
+//! ON/OFF burst envelopes — the temporal skeleton of EBS traffic.
+//!
+//! The paper's headline temporal finding is extreme burstiness: VM-level
+//! P2A in the tens of thousands for reads (§3.2). The standard generative
+//! model for such traffic is an ON/OFF process with heavy-tailed ON periods
+//! and heavy-tailed burst amplitudes. [`OnOffEnvelope::generate`] produces a
+//! sparse, normalized per-tick weight vector; multiplying by an entity's
+//! window-total traffic yields its per-tick flow.
+
+use super::pareto::bounded_pareto;
+use ebs_core::rng::SimRng;
+
+/// Parameters of the ON/OFF envelope.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OnOffParams {
+    /// Target fraction of ticks that are active, in `(0, 1]`. Small duty +
+    /// heavy amplitudes = huge P2A.
+    pub duty: f64,
+    /// Maximum ON-run length in ticks (ON runs are bounded-Pareto on
+    /// `[1, max_on]`).
+    pub max_on: f64,
+    /// Tail index of ON-run lengths (smaller = longer bursts).
+    pub on_alpha: f64,
+    /// Maximum burst amplitude relative to the quietest burst.
+    pub max_amp: f64,
+    /// Tail index of burst amplitudes (smaller = spikier traffic).
+    pub amp_alpha: f64,
+}
+
+impl OnOffParams {
+    /// A steady profile: nearly always on, mild amplitude variation.
+    pub fn steady() -> Self {
+        Self { duty: 0.9, max_on: 400.0, on_alpha: 0.8, max_amp: 4.0, amp_alpha: 2.5 }
+    }
+
+    /// A bursty profile: rarely on, violent amplitude spikes.
+    pub fn bursty() -> Self {
+        Self { duty: 0.03, max_on: 40.0, on_alpha: 1.2, max_amp: 500.0, amp_alpha: 0.9 }
+    }
+}
+
+/// Mean of a bounded Pareto on `[lo, hi]` with tail index `alpha`.
+pub fn bounded_pareto_mean(lo: f64, hi: f64, alpha: f64) -> f64 {
+    assert!(lo > 0.0 && hi > lo && alpha > 0.0);
+    if (alpha - 1.0).abs() < 1e-9 {
+        // α = 1 limit: lo·hi/(hi−lo) · ln(hi/lo).
+        lo * hi / (hi - lo) * (hi / lo).ln()
+    } else {
+        let norm = 1.0 - (lo / hi).powf(alpha);
+        lo.powf(alpha) / norm * (alpha / (alpha - 1.0))
+            * (lo.powf(1.0 - alpha) - hi.powf(1.0 - alpha))
+    }
+}
+
+/// Generator of sparse, normalized ON/OFF weight envelopes.
+#[derive(Clone, Copy, Debug)]
+pub struct OnOffEnvelope;
+
+impl OnOffEnvelope {
+    /// Generate a sparse envelope over `ticks` ticks: `(tick, weight)` pairs
+    /// with weights summing to 1 (so they can scale any total volume).
+    ///
+    /// ON runs have bounded-Pareto lengths; every ON run gets a
+    /// bounded-Pareto amplitude with per-tick ±20 % jitter; OFF gaps are
+    /// exponential with mean chosen so the expected duty cycle matches
+    /// `params.duty`. If the process never turns on inside the window (tiny
+    /// duty, short window) one single-tick burst is forced so the entity is
+    /// never silently dropped.
+    pub fn generate(rng: &mut SimRng, ticks: u32, params: &OnOffParams) -> Vec<(u32, f64)> {
+        assert!(ticks > 0);
+        assert!(params.duty > 0.0 && params.duty <= 1.0, "duty must be in (0,1]");
+        let mean_on = bounded_pareto_mean(1.0, params.max_on.max(1.0 + 1e-9), params.on_alpha);
+        let mean_off = (mean_on * (1.0 / params.duty - 1.0)).max(0.0);
+        let mut out: Vec<(u32, f64)> = Vec::new();
+        let mut t: f64 = if mean_off > 0.0 {
+            // Random phase so entities do not all start with a burst.
+            -(1.0 - rng.next_f64()).ln() * mean_off * rng.next_f64()
+        } else {
+            0.0
+        };
+        while (t as u32) < ticks {
+            let on_len = bounded_pareto(rng, 1.0, params.max_on.max(1.0 + 1e-9), params.on_alpha)
+                .round()
+                .max(1.0) as u32;
+            let amp = bounded_pareto(rng, 1.0, params.max_amp.max(1.0 + 1e-9), params.amp_alpha);
+            let start = t as u32;
+            for k in 0..on_len {
+                let tick = start + k;
+                if tick >= ticks {
+                    break;
+                }
+                let jitter = 0.8 + 0.4 * rng.next_f64();
+                out.push((tick, amp * jitter));
+            }
+            t = (start + on_len) as f64;
+            if mean_off > 0.0 {
+                t += -(1.0 - rng.next_f64()).ln() * mean_off;
+            }
+        }
+        if out.is_empty() {
+            out.push((rng.below(ticks as u64) as u32, 1.0));
+        }
+        let total: f64 = out.iter().map(|(_, w)| w).sum();
+        for (_, w) in &mut out {
+            *w /= total;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_normalize() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let env = OnOffEnvelope::generate(&mut rng, 1000, &OnOffParams::steady());
+        let sum: f64 = env.iter().map(|(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for &(t, w) in &env {
+            assert!(t < 1000);
+            assert!(w > 0.0);
+        }
+    }
+
+    #[test]
+    fn ticks_are_sorted_and_unique() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let env = OnOffEnvelope::generate(&mut rng, 2000, &OnOffParams::bursty());
+        for w in env.windows(2) {
+            assert!(w[1].0 > w[0].0, "ticks must strictly increase");
+        }
+    }
+
+    #[test]
+    fn duty_cycle_roughly_matches_steady() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut active = 0usize;
+        let runs = 20;
+        for _ in 0..runs {
+            active += OnOffEnvelope::generate(&mut rng, 2000, &OnOffParams::steady()).len();
+        }
+        let duty = active as f64 / (2000.0 * runs as f64);
+        assert!(duty > 0.6, "steady duty too low: {duty}");
+    }
+
+    #[test]
+    fn bursty_is_sparser_and_spikier_than_steady() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let ticks = 4000u32;
+        let mut bursty_active = 0usize;
+        let mut steady_active = 0usize;
+        let mut bursty_max: f64 = 0.0;
+        let mut steady_max: f64 = 0.0;
+        for _ in 0..10 {
+            let b = OnOffEnvelope::generate(&mut rng, ticks, &OnOffParams::bursty());
+            let s = OnOffEnvelope::generate(&mut rng, ticks, &OnOffParams::steady());
+            bursty_active += b.len();
+            steady_active += s.len();
+            bursty_max += b.iter().map(|(_, w)| *w).fold(0.0, f64::max);
+            steady_max += s.iter().map(|(_, w)| *w).fold(0.0, f64::max);
+        }
+        assert!(bursty_active * 5 < steady_active, "{bursty_active} vs {steady_active}");
+        // P2A ∝ max weight × ticks: bursty must be dramatically spikier.
+        assert!(bursty_max > steady_max * 10.0, "{bursty_max} vs {steady_max}");
+    }
+
+    #[test]
+    fn tiny_duty_still_emits_something() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let params = OnOffParams { duty: 1e-4, ..OnOffParams::bursty() };
+        for _ in 0..50 {
+            let env = OnOffEnvelope::generate(&mut rng, 100, &params);
+            assert!(!env.is_empty());
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_mean_sane() {
+        // Uniform-ish case: α large → mean near lo.
+        assert!((bounded_pareto_mean(1.0, 100.0, 50.0) - 1.0).abs() < 0.1);
+        // α = 1 special case is finite and between lo and hi.
+        let m = bounded_pareto_mean(1.0, 100.0, 1.0);
+        assert!(m > 1.0 && m < 100.0);
+        // Empirical check.
+        let mut rng = SimRng::seed_from_u64(6);
+        let n = 200_000;
+        let emp: f64 = (0..n).map(|_| bounded_pareto(&mut rng, 2.0, 50.0, 1.5)).sum::<f64>()
+            / n as f64;
+        let theory = bounded_pareto_mean(2.0, 50.0, 1.5);
+        assert!((emp - theory).abs() / theory < 0.02, "{emp} vs {theory}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn envelopes_always_normalize(
+            seed in any::<u64>(),
+            ticks in 1u32..5000,
+            duty in 0.001f64..1.0,
+            max_amp in 1.5f64..500.0,
+        ) {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let params = OnOffParams { duty, max_on: 50.0, on_alpha: 1.1, max_amp, amp_alpha: 1.2 };
+            let env = OnOffEnvelope::generate(&mut rng, ticks, &params);
+            prop_assert!(!env.is_empty());
+            let sum: f64 = env.iter().map(|(_, w)| w).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum {}", sum);
+            for w in env.windows(2) {
+                prop_assert!(w[1].0 > w[0].0, "ticks not strictly increasing");
+            }
+            prop_assert!(env.last().unwrap().0 < ticks);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Pareto (power-law) tails for burst durations and amplitudes.
+
+use ebs_core::rng::SimRng;
+
+/// Sample a Pareto(xm, α) variate: `x = xm / U^(1/α)`, `x ≥ xm`.
+/// Small α (≈1) gives very heavy tails.
+pub fn pareto(rng: &mut SimRng, xm: f64, alpha: f64) -> f64 {
+    assert!(xm > 0.0 && alpha > 0.0, "Pareto parameters must be positive");
+    let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+    xm / u.powf(1.0 / alpha)
+}
+
+/// Sample a bounded Pareto on `[lo, hi]` with tail index `alpha` via
+/// inverse CDF; keeps burst amplitudes heavy-tailed but finite.
+pub fn bounded_pareto(rng: &mut SimRng, lo: f64, hi: f64, alpha: f64) -> f64 {
+    assert!(lo > 0.0 && hi > lo && alpha > 0.0, "invalid bounded Pareto parameters");
+    let u = rng.next_f64();
+    let la = lo.powf(-alpha);
+    let ha = hi.powf(-alpha);
+    (la - u * (la - ha)).powf(-1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(pareto(&mut rng, 2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn pareto_median_matches_theory() {
+        // Median of Pareto(xm, α) is xm · 2^(1/α).
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut v: Vec<f64> = (0..50_000).map(|_| pareto(&mut rng, 1.0, 2.0)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = v[v.len() / 2];
+        let expect = 2f64.powf(0.5);
+        assert!((med - expect).abs() / expect < 0.03, "median {med} vs {expect}");
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_range() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = bounded_pareto(&mut rng, 1.0, 100.0, 1.1);
+            assert!((1.0..=100.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_mass_sits_low() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let below_10 = (0..20_000)
+            .filter(|_| bounded_pareto(&mut rng, 1.0, 1000.0, 1.0) < 10.0)
+            .count();
+        // Bounded Pareto(α=1) on [1,1000]: P(X<10) = (1 - 1/10)/(1 - 1/1000) ≈ 0.9.
+        let frac = below_10 as f64 / 20_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bounded Pareto parameters")]
+    fn bounded_pareto_rejects_inverted_range() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let _ = bounded_pareto(&mut rng, 10.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Poisson counts, used to thin the full IO population down to the 1/3200
+//! sampled trace and to draw per-tick event counts.
+
+use super::gaussian::standard_normal;
+use ebs_core::rng::SimRng;
+
+/// Sample a Poisson(λ) count. Uses Knuth's product method for small λ and a
+/// (rounded, clamped) normal approximation above λ = 64, which is far more
+/// than accurate enough for traffic thinning.
+pub fn poisson(rng: &mut SimRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 64.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.next_f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            // Defensive bound: probability of reaching this is ~0.
+            if k > 10_000 {
+                return k;
+            }
+        }
+    }
+    let x = lambda + lambda.sqrt() * standard_normal(rng);
+    x.round().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_negative_lambda_give_zero() {
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -3.0), 0);
+    }
+
+    #[test]
+    fn small_lambda_mean_matches() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 0.3)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 0.3).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn moderate_lambda_mean_and_variance() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| poisson(&mut rng, 10.0) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+        assert!((var - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn large_lambda_uses_normal_branch() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let n = 20_000;
+        let mean =
+            (0..n).map(|_| poisson(&mut rng, 1000.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 1000.0).abs() < 2.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Zipf-distributed weights and sampling.
+//!
+//! Spatial skewness in the datasets — which VMs, VDs, QPs, and LBA regions
+//! carry the traffic — follows heavy-tailed rank-size laws; the classic
+//! model is Zipf: weight of the `i`-th ranked entity ∝ `1/(i+1)^s`.
+
+use ebs_core::rng::SimRng;
+
+/// Normalized Zipf weights for `n` entities with exponent `s ≥ 0`
+/// (`s = 0` is uniform). Returned in rank order (largest first); callers
+/// shuffle if ranks should not correlate with ids.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one entity");
+    assert!(s >= 0.0, "exponent must be non-negative");
+    let mut w: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let total: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= total;
+    }
+    w
+}
+
+/// Draws ranks from a Zipf distribution via the inverse-CDF method over a
+/// precomputed cumulative table; O(log n) per draw.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Sampler over `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        let w = zipf_weights(n, s);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for x in w {
+            acc += x;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point shortfall at the top.
+        *cumulative.last_mut().expect("n > 0") = 1.0;
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler has no ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw one rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_normalize_and_order() {
+        let w = zipf_weights(10, 1.2);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let w = zipf_weights(4, 0.0);
+        for &x in &w {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_mass() {
+        let gentle = zipf_weights(100, 0.5);
+        let steep = zipf_weights(100, 2.0);
+        assert!(steep[0] > gentle[0]);
+        assert!(steep[99] < gentle[99]);
+    }
+
+    #[test]
+    fn sampler_matches_weights() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let s = ZipfSampler::new(5, 1.0);
+        let mut counts = [0usize; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        let w = zipf_weights(5, 1.0);
+        for i in 0..5 {
+            let emp = counts[i] as f64 / n as f64;
+            assert!((emp - w[i]).abs() < 0.01, "rank {i}: {emp} vs {}", w[i]);
+        }
+    }
+
+    #[test]
+    fn sampler_is_in_range() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let s = ZipfSampler::new(3, 1.5);
+        assert_eq!(s.len(), 3);
+        for _ in 0..1000 {
+            assert!(s.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one entity")]
+    fn zero_entities_rejected() {
+        let _ = zipf_weights(0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn weights_normalize_and_decrease(n in 1usize..500, s in 0.0f64..5.0) {
+            let w = zipf_weights(n, s);
+            prop_assert_eq!(w.len(), n);
+            prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for pair in w.windows(2) {
+                prop_assert!(pair[0] >= pair[1] - 1e-15);
+            }
+        }
+
+        #[test]
+        fn sampler_stays_in_range(seed in any::<u64>(), n in 1usize..100, s in 0.0f64..4.0) {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let sampler = ZipfSampler::new(n, s);
+            for _ in 0..32 {
+                prop_assert!(sampler.sample(&mut rng) < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Synthetic fleet construction.
+//!
+//! Builds a [`Fleet`] matching the population structure described in §2–§3
+//! of the paper: data centers with compute and storage clusters; compute
+//! nodes with 4–16 polling worker threads, a minority of them bare-metal;
+//! tenants with heavily skewed VM ownership (the paper's largest tenant
+//! owns ~10k VMs while the median owns 1); VMs running one of six
+//! application classes; and VDs whose count, tier, and capacity follow the
+//! per-application profiles.
+
+use crate::config::WorkloadConfig;
+use crate::dist::gaussian::lognormal;
+use crate::dist::zipf::ZipfSampler;
+use crate::profile::AppProfile;
+use ebs_core::error::EbsError;
+use ebs_core::rng::RngFactory;
+use ebs_core::spec::VdTier;
+use ebs_core::topology::{Fleet, FleetBuilder};
+use ebs_core::units::GIB;
+
+/// Worker-thread counts offered by compute-node SKUs, with sampling weights.
+const WT_SKUS: [(u8, f64); 4] = [(4, 0.4), (8, 0.3), (12, 0.2), (16, 0.1)];
+
+/// Fraction of compute nodes sold as bare metal (§4.2 Type I discussion).
+const BARE_METAL_FRAC: f64 = 0.12;
+
+/// Number of VDs mounted by the whale VM of Figure 3(a).
+pub const WHALE_VD_COUNT: usize = 32;
+
+/// Clamp range for VD capacities.
+const MIN_CAP_GIB: f64 = 20.0;
+const MAX_CAP_GIB: f64 = 2048.0;
+
+/// Build the synthetic fleet for `config`.
+pub fn build_fleet(config: &WorkloadConfig) -> Result<Fleet, EbsError> {
+    config.validate()?;
+    let rngf = RngFactory::new(config.seed).child("fleet");
+    let mut rng = rngf.stream("structure");
+    let mut b = FleetBuilder::new();
+
+    // --- tenants: global pool, ownership skew via Zipf over users.
+    let user_total = (config.users_per_dc * config.dc_count) as usize;
+    let users: Vec<_> = (0..user_total).map(|_| b.add_user()).collect();
+    let owner_sampler = ZipfSampler::new(user_total, 1.1);
+
+    let profiles = AppProfile::all();
+    let app_weights: Vec<f64> = profiles.iter().map(|p| p.population_weight).collect();
+
+    for dc_idx in 0..config.dc_count {
+        let dc = b.add_dc(format!("DC-{}", dc_idx + 1));
+
+        // --- storage cluster first (segment placement needs BSs).
+        for _ in 0..config.sns_per_dc {
+            let sn = b.add_sn(dc);
+            for _ in 0..config.bss_per_sn {
+                b.add_bs(sn);
+            }
+        }
+
+        // --- compute nodes and their hosting capacity.
+        let mut slots: Vec<(ebs_core::ids::CnId, u32)> = Vec::new();
+        for _ in 0..config.cns_per_dc {
+            let sku = {
+                let weights: Vec<f64> = WT_SKUS.iter().map(|&(_, w)| w).collect();
+                WT_SKUS[rng.choose_weighted(&weights)].0
+            };
+            let bare = rng.chance(BARE_METAL_FRAC);
+            let cn = b.add_cn(dc, sku, bare);
+            let capacity = if bare { 1 } else { 2 + rng.below(7) as u32 };
+            slots.push((cn, capacity));
+        }
+        let capacity_total: u32 = slots.iter().map(|&(_, c)| c).sum();
+        let vm_target = config.vms_per_dc.min(capacity_total);
+
+        // --- VMs: pick a non-full node, an owner, and an app class.
+        let mut open: Vec<usize> = (0..slots.len()).collect();
+        for vm_idx in 0..vm_target {
+            if open.is_empty() {
+                break;
+            }
+            let pick = rng.index(open.len());
+            let slot_idx = open[pick];
+            let (cn, _) = slots[slot_idx];
+            let user = users[owner_sampler.sample(&mut rng)];
+            let app = profiles[rng.choose_weighted(&app_weights)].app;
+            let vm = b.add_vm(cn, user, app);
+            slots[slot_idx].1 -= 1;
+            if slots[slot_idx].1 == 0 {
+                open.swap_remove(pick);
+            }
+
+            // --- VDs for this VM.
+            let profile = AppProfile::for_app(app);
+            let whale = config.whale_tenant && dc_idx == 0 && vm_idx == 0;
+            let vd_count = if whale {
+                WHALE_VD_COUNT
+            } else {
+                1 + rng.choose_weighted(&profile.vd_count_weights)
+            };
+            // One tier per VM: real deployments provision a VM's disks at a
+            // consistent service level, which also keeps sibling caps
+            // commensurate (the §5 headroom analysis depends on that).
+            let tier = VdTier::ALL[rng.choose_weighted(&profile.tier_weights)];
+            for _ in 0..vd_count {
+                let cap_gib = lognormal(&mut rng, profile.capacity_mu_gib, profile.capacity_sigma)
+                    .clamp(MIN_CAP_GIB, MAX_CAP_GIB);
+                let capacity_bytes = (cap_gib * GIB as f64) as u64;
+                b.add_vd(vm, tier.spec(capacity_bytes));
+            }
+        }
+    }
+    b.finish()
+}
+
+/// Summary counts of a fleet, for Table 2-style reporting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FleetSummary {
+    /// Tenants.
+    pub users: usize,
+    /// Virtual machines.
+    pub vms: usize,
+    /// Virtual disks.
+    pub vds: usize,
+    /// Queue pairs.
+    pub qps: usize,
+    /// Segments.
+    pub segments: usize,
+    /// Worker threads.
+    pub wts: usize,
+    /// Median VMs per (non-empty) user.
+    pub median_vms_per_user: f64,
+    /// Maximum VMs owned by one user.
+    pub max_vms_per_user: usize,
+    /// Median VDs per (non-empty) user.
+    pub median_vds_per_user: f64,
+    /// Maximum VDs owned by one user.
+    pub max_vds_per_user: usize,
+}
+
+/// Compute a [`FleetSummary`].
+pub fn summarize(fleet: &Fleet) -> FleetSummary {
+    let mut vms_per_user = vec![0usize; fleet.user_count as usize];
+    let mut vds_per_user = vec![0usize; fleet.user_count as usize];
+    for vm in fleet.vms.iter() {
+        vms_per_user[vm.user.index()] += 1;
+        vds_per_user[vm.user.index()] += fleet.vds_of_vm(vm.id).len();
+    }
+    let active_vm: Vec<f64> =
+        vms_per_user.iter().filter(|&&c| c > 0).map(|&c| c as f64).collect();
+    let active_vd: Vec<f64> =
+        vds_per_user.iter().filter(|&&c| c > 0).map(|&c| c as f64).collect();
+    FleetSummary {
+        users: active_vm.len(),
+        vms: fleet.vms.len(),
+        vds: fleet.vds.len(),
+        qps: fleet.qps.len(),
+        segments: fleet.segments.len(),
+        wts: fleet.wt_total as usize,
+        median_vms_per_user: ebs_median(&active_vm),
+        max_vms_per_user: vms_per_user.iter().copied().max().unwrap_or(0),
+        median_vds_per_user: ebs_median(&active_vd),
+        max_vds_per_user: vds_per_user.iter().copied().max().unwrap_or(0),
+    }
+}
+
+fn ebs_median(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mut s = v.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        (s[n / 2 - 1] + s[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_core::apps::AppClass;
+
+    #[test]
+    fn quick_fleet_builds_and_validates() {
+        let fleet = build_fleet(&WorkloadConfig::quick(7)).unwrap();
+        fleet.validate().unwrap();
+        assert_eq!(fleet.dcs.len(), 1);
+        assert!(fleet.vms.len() > 10);
+        assert!(fleet.vds.len() >= fleet.vms.len());
+    }
+
+    #[test]
+    fn fleet_is_deterministic_under_seed() {
+        let a = build_fleet(&WorkloadConfig::quick(42)).unwrap();
+        let b = build_fleet(&WorkloadConfig::quick(42)).unwrap();
+        assert_eq!(a.vms.len(), b.vms.len());
+        assert_eq!(a.vds.len(), b.vds.len());
+        assert_eq!(a.qps.len(), b.qps.len());
+        for (x, y) in a.seg_home.iter().zip(b.seg_home.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = build_fleet(&WorkloadConfig::quick(1)).unwrap();
+        let b = build_fleet(&WorkloadConfig::quick(2)).unwrap();
+        // Extremely unlikely to coincide in both counts.
+        assert!(a.vds.len() != b.vds.len() || a.qps.len() != b.qps.len());
+    }
+
+    #[test]
+    fn whale_vm_exists_when_enabled() {
+        let fleet = build_fleet(&WorkloadConfig::quick(3)).unwrap();
+        let max_vds =
+            fleet.vms.iter().map(|vm| fleet.vds_of_vm(vm.id).len()).max().unwrap();
+        assert_eq!(max_vds, WHALE_VD_COUNT);
+
+        let mut cfg = WorkloadConfig::quick(3);
+        cfg.whale_tenant = false;
+        let fleet = build_fleet(&cfg).unwrap();
+        let max_vds =
+            fleet.vms.iter().map(|vm| fleet.vds_of_vm(vm.id).len()).max().unwrap();
+        assert!(max_vds < WHALE_VD_COUNT);
+    }
+
+    #[test]
+    fn bare_metal_nodes_host_one_vm() {
+        let fleet = build_fleet(&WorkloadConfig::medium(5)).unwrap();
+        for cn in fleet.compute_nodes.iter() {
+            if cn.bare_metal {
+                assert!(fleet.vms_of_cn(cn.id).len() <= 1, "{} overloaded", cn.id);
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_ownership_is_skewed() {
+        let fleet = build_fleet(&WorkloadConfig::medium(9)).unwrap();
+        let s = summarize(&fleet);
+        assert!(s.max_vms_per_user as f64 > s.median_vms_per_user * 3.0);
+        assert!(s.users > 0 && s.vms > 0 && s.qps >= s.vds);
+    }
+
+    #[test]
+    fn app_classes_are_diverse() {
+        let fleet = build_fleet(&WorkloadConfig::medium(11)).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for vm in fleet.vms.iter() {
+            seen.insert(vm.app);
+        }
+        assert!(seen.len() >= 5, "only {} app classes present", seen.len());
+        assert!(seen.contains(&AppClass::BigData));
+    }
+}

@@ -1,0 +1,92 @@
+//! Workspace integration test: the full generate → simulate → analyze
+//! pipeline, asserting the fidelity targets of DESIGN.md §5 on one
+//! medium-scale dataset.
+
+use ebs::analysis::aggregate::{rollup_compute, rollup_storage, ComputeLevel, StorageLevel};
+use ebs::analysis::{ccr, median, p2a};
+use ebs::core::metric::Measure;
+use ebs::stack::sim::{StackConfig, StackSim};
+use ebs::workload::{calibration, generate, WorkloadConfig};
+
+fn dataset() -> ebs::workload::Dataset {
+    generate(&WorkloadConfig::medium(0xE2E)).expect("medium config validates")
+}
+
+#[test]
+fn calibration_invariants_hold() {
+    let ds = dataset();
+    let problems = calibration::check_shape(&ds);
+    assert!(problems.is_empty(), "shape violations: {problems:?}");
+}
+
+#[test]
+fn vm_level_read_skew_beats_prior_work() {
+    let ds = dataset();
+    let reads = rollup_compute(&ds.fleet, &ds.compute, ComputeLevel::Vm, Measure::ReadBytes, |_| {
+        true
+    });
+    let writes =
+        rollup_compute(&ds.fleet, &ds.compute, ComputeLevel::Vm, Measure::WriteBytes, |_| true);
+    let r1 = ccr(&reads.totals(), 0.01).unwrap();
+    let w1 = ccr(&writes.totals(), 0.01).unwrap();
+    // Observation 1: far above Lee et al.'s 16.6 %.
+    assert!(r1 > 0.2, "read 1%-CCR {r1:.3}");
+    // Observation 2: reads skew harder than writes.
+    assert!(r1 > w1, "read {r1:.3} vs write {w1:.3}");
+}
+
+#[test]
+fn temporal_skew_read_dominates_and_segments_are_skewed() {
+    let ds = dataset();
+    let p2a_median = |measure| {
+        let roll = rollup_compute(&ds.fleet, &ds.compute, ComputeLevel::Vm, measure, |_| true);
+        let v: Vec<f64> = roll.series.iter().filter_map(|(_, s)| p2a(s)).collect();
+        median(&v).unwrap()
+    };
+    let r = p2a_median(Measure::ReadBytes);
+    let w = p2a_median(Measure::WriteBytes);
+    assert!(r > 3.0 * w, "median VM P2A: read {r:.0} vs write {w:.0}");
+
+    let segs = rollup_storage(
+        &ds.fleet,
+        &ds.storage,
+        StorageLevel::Seg,
+        Measure::TotalBytes,
+        None,
+        |_| true,
+    );
+    let s1 = ccr(&segs.totals(), 0.01).unwrap();
+    assert!(s1 > 0.1, "segment 1%-CCR {s1:.3} — hotspots must exist");
+}
+
+#[test]
+fn stack_simulation_is_lossless_and_consistent() {
+    let ds = dataset();
+    let mut sim = StackSim::new(
+        &ds.fleet,
+        StackConfig { apply_throttle: false, ..StackConfig::default() },
+    );
+    let out = sim.run(&ds.events).expect("sorted events");
+    assert_eq!(out.traces.len(), ds.events.len(), "every IO becomes a trace");
+    // Byte totals in the trace match the event stream exactly.
+    let ev_bytes: f64 = ds.events.iter().map(|e| e.size as f64).sum();
+    let (tr, tw) = out.traces.rw_bytes();
+    assert!((ev_bytes - (tr + tw)).abs() < 1e-3);
+    // Every latency is positive and stage-ordered.
+    for r in out.traces.records().iter().take(2000) {
+        assert!(r.lat.total_us() > 0.0);
+        assert!(r.lat.cn_cache_us() <= r.lat.bs_cache_us());
+    }
+}
+
+#[test]
+fn sampled_stream_matches_metric_population() {
+    let ds = dataset();
+    let t = ds.compute.total();
+    let expected = (t.read.ops + t.write.ops) * ebs::core::units::TRACE_SAMPLE_RATE;
+    let got = ds.trace_count() as f64;
+    assert!(
+        (got - expected).abs() / expected < 0.25,
+        "sampled {got} vs expected {expected}"
+    );
+}

@@ -1,0 +1,137 @@
+//! Failure-injection and degenerate-input coverage: the library must fail
+//! loudly on malformed input and degrade gracefully on empty input — never
+//! panic, never fabricate numbers.
+
+use ebs::core::ids::{QpId, VdId};
+use ebs::core::io::{IoEvent, Op};
+use ebs::stack::sim::{StackConfig, StackSim};
+use ebs::workload::{generate, WorkloadConfig};
+
+#[test]
+fn stack_rejects_out_of_range_offsets() {
+    let ds = generate(&WorkloadConfig::quick(500)).unwrap();
+    let capacity = ds.fleet.vds[VdId(0)].spec.capacity_bytes;
+    let rogue = IoEvent {
+        t_us: 0,
+        vd: VdId(0),
+        qp: ds.fleet.vds[VdId(0)].qps().next().unwrap(),
+        op: Op::Write,
+        size: 4096,
+        offset: capacity + (1 << 30), // far past the disk
+    };
+    let mut sim = StackSim::new(&ds.fleet, StackConfig::default());
+    let err = sim.run(&[rogue]).unwrap_err();
+    assert!(err.to_string().contains("unknown entity"), "{err}");
+}
+
+#[test]
+fn stack_rejects_unsorted_streams_before_doing_work() {
+    let ds = generate(&WorkloadConfig::quick(501)).unwrap();
+    let mut events = ds.events.clone();
+    let last = events.len() - 1;
+    events.swap(0, last);
+    let mut sim = StackSim::new(&ds.fleet, StackConfig::default());
+    assert!(sim.run(&events).is_err());
+}
+
+#[test]
+fn empty_event_stream_yields_empty_traces() {
+    let ds = generate(&WorkloadConfig::quick(502)).unwrap();
+    let mut sim = StackSim::new(&ds.fleet, StackConfig::default());
+    let out = sim.run(&[]).unwrap();
+    assert!(out.traces.is_empty());
+    assert_eq!(out.stats.ios, 0);
+    assert_eq!(out.stats.mean_latency_us, 0.0);
+}
+
+#[test]
+fn analyses_handle_empty_and_degenerate_inputs() {
+    assert_eq!(ebs::analysis::ccr(&[], 0.01), None);
+    assert_eq!(ebs::analysis::p2a(&[]), None);
+    assert_eq!(ebs::analysis::normalized_cov(&[0.0, 0.0]), None);
+    assert_eq!(ebs::analysis::gini(&[]), None);
+    assert_eq!(ebs::analysis::wr_ratio(0.0, 0.0), None);
+    assert_eq!(ebs::analysis::median(&[]), None);
+    assert_eq!(ebs::analysis::mse(&[1.0], &[1.0, 2.0]), None);
+}
+
+#[test]
+fn predictors_survive_pathological_series() {
+    use ebs::predict::eval::Predictor;
+    let nasty: Vec<Vec<f64>> = vec![
+        vec![],
+        vec![0.0],
+        vec![0.0; 50],
+        vec![1e15; 30],
+        (0..40).map(|i| if i % 2 == 0 { 0.0 } else { 1e12 }).collect(),
+    ];
+    for series in &nasty {
+        let mut models: Vec<Box<dyn Predictor>> = vec![
+            Box::new(ebs::predict::LinearFit::default()),
+            Box::new(ebs::predict::Arima::default()),
+            Box::new(ebs::predict::Gbdt::default()),
+            Box::new(ebs::predict::AttentionRegressor::default()),
+        ];
+        for m in &mut models {
+            m.fit(series);
+            let p = m.predict_next(series);
+            assert!(p.is_finite() && p >= 0.0, "{} on {:?}…", m.name(), series.first());
+        }
+    }
+}
+
+#[test]
+fn bad_workload_configs_are_rejected_not_misgenerated() {
+    let mut c = WorkloadConfig::quick(1);
+    c.vms_per_dc = 0;
+    assert!(generate(&c).is_err());
+
+    let mut c = WorkloadConfig::quick(1);
+    c.compute_tick_secs = -1.0;
+    assert!(generate(&c).is_err());
+
+    let mut c = WorkloadConfig::quick(1);
+    c.dc_count = 3; // dc_skew only has one entry in quick()
+    assert!(generate(&c).is_err());
+}
+
+#[test]
+fn csv_import_rejects_garbage() {
+    use ebs::workload::export::read_events_csv;
+    use std::io::BufReader;
+    for bad in [
+        "t_us,vd,qp,op,size,offset\nnot,a,number,R,1,2\n",
+        "t_us,vd,qp,op,size,offset\n1,0,0,Q,4096,0\n",
+        "t_us,vd,qp,op,size,offset\n1,0,0,R\n",
+    ] {
+        assert!(read_events_csv(BufReader::new(bad.as_bytes())).is_err(), "{bad:?}");
+    }
+}
+
+#[test]
+fn cache_simulation_of_idle_vd_reports_no_ratio() {
+    use ebs::cache::simulate::{simulate, HitStats};
+    use ebs::cache::LruCache;
+    let mut lru = LruCache::new(16);
+    let stats = simulate(&mut lru, &[]);
+    assert_eq!(stats, HitStats { accesses: 0, hits: 0 });
+    assert_eq!(stats.ratio(), None);
+}
+
+#[test]
+fn throttle_groups_with_zero_caps_never_divide_by_zero() {
+    // rar_samples guards total_cap <= 0 explicitly.
+    use ebs::throttle::rar::rar_samples;
+    use ebs::throttle::scenario::{GroupKind, ThrottleGroup, VdSeries};
+    let g = ThrottleGroup {
+        kind: GroupKind::MultiVdVm(ebs::core::ids::VmId(0)),
+        members: vec![VdSeries {
+            vd: VdId(0),
+            read: vec![1.0],
+            write: vec![1.0],
+            cap: 0.0,
+        }],
+        ticks: 1,
+    };
+    assert!(rar_samples(&g).is_empty());
+}

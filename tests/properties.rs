@@ -1,0 +1,162 @@
+//! Workspace-level property tests: invariants that must hold for *any*
+//! input, not just the canonical scenarios.
+
+use ebs::analysis::{ccr, normalized_cov, p2a, quantile};
+use ebs::cache::policy::CachePolicy;
+use ebs::cache::{FifoCache, FrozenCache, LruCache};
+use ebs::core::io::Op;
+use ebs::stack::TokenBucket;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ccr_is_monotone_in_fraction(
+        values in prop::collection::vec(0.0f64..1e9, 2..50),
+        f1 in 0.01f64..0.5,
+        f2 in 0.5f64..1.0,
+    ) {
+        prop_assume!(values.iter().sum::<f64>() > 0.0);
+        let a = ccr(&values, f1).unwrap();
+        let b = ccr(&values, f2).unwrap();
+        prop_assert!(b >= a - 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&a));
+    }
+
+    #[test]
+    fn normalized_cov_stays_in_unit_interval(
+        values in prop::collection::vec(0.0f64..1e9, 2..40),
+    ) {
+        if let Some(c) = normalized_cov(&values) {
+            prop_assert!((0.0..=1.0).contains(&c), "CoV {c}");
+        }
+    }
+
+    #[test]
+    fn p2a_at_least_one(values in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        if let Some(p) = p2a(&values) {
+            prop_assert!(p >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in prop::collection::vec(-1e6f64..1e6, 1..60),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&values, lo).unwrap();
+        let b = quantile(&values, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+    }
+
+    #[test]
+    fn lru_capacity_and_residency_invariants(
+        capacity in 1usize..32,
+        accesses in prop::collection::vec(0u64..64, 1..400),
+    ) {
+        let mut lru = LruCache::new(capacity);
+        for (i, &page) in accesses.iter().enumerate() {
+            lru.access(page, Op::Read);
+            prop_assert!(lru.len() <= capacity, "step {i}: over capacity");
+            // A page accessed twice in a row always hits the second time.
+            prop_assert!(lru.access(page, Op::Read), "immediate re-access must hit");
+        }
+    }
+
+    #[test]
+    fn fifo_never_exceeds_capacity_and_repeats_hit_within_capacity(
+        capacity in 1usize..32,
+        accesses in prop::collection::vec(0u64..16, 1..300),
+    ) {
+        let mut fifo = FifoCache::new(capacity);
+        for &page in &accesses {
+            fifo.access(page, Op::Write);
+            prop_assert!(fifo.len() <= capacity);
+        }
+        // With 16 distinct pages and capacity >= 16, everything is resident.
+        if capacity >= 16 {
+            for &page in &accesses {
+                prop_assert!(fifo.access(page, Op::Read));
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_cache_is_exactly_its_range(
+        first in 0u64..1000,
+        pages in 1u64..64,
+        probes in prop::collection::vec(0u64..2000, 1..100),
+    ) {
+        let mut frozen = FrozenCache::new(first, pages);
+        for &p in &probes {
+            let expect = p >= first && p < first + pages;
+            prop_assert_eq!(frozen.access(p, Op::Read), expect);
+        }
+        prop_assert_eq!(frozen.len(), pages as usize);
+    }
+
+    #[test]
+    fn token_bucket_never_admits_above_rate(
+        rate in 100.0f64..1e6,
+        amounts in prop::collection::vec(1.0f64..1e5, 1..200),
+    ) {
+        let mut bucket = TokenBucket::new(rate, rate);
+        let mut t_us = 0.0;
+        let mut admitted = 0.0;
+        for &a in &amounts {
+            let delay = bucket.admit(t_us, a);
+            admitted += a;
+            t_us += delay;
+        }
+        // Long-run throughput ≤ rate plus the initial burst allowance.
+        let elapsed_secs = t_us / 1e6;
+        prop_assert!(
+            admitted <= rate * elapsed_secs + rate + 1e-6,
+            "admitted {admitted} over {elapsed_secs}s at rate {rate}"
+        );
+    }
+
+    #[test]
+    fn zipf_weights_normalize_for_any_shape(
+        n in 1usize..200,
+        s in 0.0f64..4.0,
+    ) {
+        let w = ebs::workload::dist::zipf::zipf_weights(n, s);
+        let sum: f64 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for pair in w.windows(2) {
+            prop_assert!(pair[0] >= pair[1] - 1e-15);
+        }
+    }
+
+    #[test]
+    fn wr_ratio_bounds_hold(w in 0.0f64..1e12, r in 0.0f64..1e12) {
+        if let Some(x) = ebs::analysis::wr_ratio(w, r) {
+            prop_assert!((-1.0..=1.0).contains(&x));
+            if w > r {
+                prop_assert!(x > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn balancer_conserves_segments_under_random_strategies() {
+    use ebs::balance::bs_balancer::{run_balancer, BalancerConfig};
+    use ebs::balance::importer::ImporterSelect;
+    let ds = ebs::workload::generate(&ebs::workload::WorkloadConfig::quick(4242)).unwrap();
+    for strategy in ImporterSelect::ALL {
+        let cfg = BalancerConfig { strategy, ..BalancerConfig::default() };
+        let run = run_balancer(&ds.fleet, &ds.storage, ebs::core::ids::DcId(0), &cfg);
+        let counts = run.seg_map.load_counts(ds.fleet.block_servers.len());
+        assert_eq!(
+            counts.iter().sum::<usize>(),
+            ds.fleet.segments.len(),
+            "{strategy:?} lost or duplicated segments"
+        );
+    }
+}
