@@ -13,8 +13,15 @@ fn bench_bs_balancer(c: &mut Criterion) {
     let ds = generate(&WorkloadConfig::quick(6)).unwrap();
     let mut g = c.benchmark_group("balance/algorithm1");
     g.sample_size(20);
-    for strategy in [ImporterSelect::MinTraffic, ImporterSelect::Ideal, ImporterSelect::Lunule] {
-        let cfg = BalancerConfig { strategy, ..BalancerConfig::default() };
+    for strategy in [
+        ImporterSelect::MinTraffic,
+        ImporterSelect::Ideal,
+        ImporterSelect::Lunule,
+    ] {
+        let cfg = BalancerConfig {
+            strategy,
+            ..BalancerConfig::default()
+        };
         g.bench_function(strategy.label(), |b| {
             b.iter(|| run_balancer(black_box(&ds.fleet), black_box(&ds.storage), DcId(0), &cfg))
         });

@@ -67,8 +67,11 @@ fn bench_policy_access(c: &mut Criterion) {
 fn bench_trace_simulation(c: &mut Criterion) {
     let ds = generate(&WorkloadConfig::quick(5)).unwrap();
     let by_vd = events_by_vd(&ds.fleet, &ds.events);
-    let (idx, events) =
-        by_vd.iter().enumerate().max_by_key(|(_, e)| e.len()).expect("non-empty");
+    let (idx, events) = by_vd
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, e)| e.len())
+        .expect("non-empty");
     let hb = hottest_block(VdId::from_index(idx), events, 256 << 20).unwrap();
     let mut g = c.benchmark_group("cache/simulate_busiest_vd");
     for algo in Algorithm::ALL {

@@ -25,7 +25,9 @@ fn bench_experiments(c: &mut Criterion) {
     heavy.sample_size(10);
     heavy.bench_function("fig4", |b| b.iter(|| fig4::run(black_box(&ds))));
     let sim = stack_traces(&ds);
-    heavy.bench_function("fig7", |b| b.iter(|| fig7::run(black_box(&ds), black_box(&sim))));
+    heavy.bench_function("fig7", |b| {
+        b.iter(|| fig7::run(black_box(&ds), black_box(&sim)))
+    });
     heavy.finish();
 }
 

@@ -1,0 +1,70 @@
+//! Serial vs parallel benchmarks for the three hot paths behind
+//! `ebs_core::parallel`: dataset generation, the experiment driver, and
+//! the cache/balance sweeps. Each pair pins the thread count with
+//! `set_thread_override` — 1 thread is the pure serial path — so the same
+//! code is measured at both ends.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebs_balance::wt_rebind::{simulate_fleet, RebindConfig};
+use ebs_core::parallel::set_thread_override;
+use ebs_experiments::driver;
+use ebs_experiments::{dataset, Scale};
+use ebs_workload::{generate, WorkloadConfig};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let cfg = WorkloadConfig::medium(7);
+    let mut g = c.benchmark_group("parallel/generate_medium");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        set_thread_override(Some(1));
+        b.iter(|| generate(black_box(&cfg)).unwrap());
+        set_thread_override(None);
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| generate(black_box(&cfg)).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_driver(c: &mut Criterion) {
+    let ds = dataset(Scale::Quick);
+    let mut g = c.benchmark_group("parallel/experiments_quick");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        set_thread_override(Some(1));
+        b.iter(|| driver::run_all(black_box(&ds)));
+        set_thread_override(None);
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| driver::run_all(black_box(&ds)));
+    });
+    g.finish();
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let ds = generate(&WorkloadConfig::medium(9)).unwrap();
+    let by_vd = driver::events_partition(&ds);
+    let mut g = c.benchmark_group("parallel/sweeps_medium");
+    g.sample_size(10);
+    g.bench_function("cache_serial", |b| {
+        set_thread_override(Some(1));
+        b.iter(|| ebs_experiments::fig7::panel_a(black_box(&by_vd)));
+        set_thread_override(None);
+    });
+    g.bench_function("cache_parallel", |b| {
+        b.iter(|| ebs_experiments::fig7::panel_a(black_box(&by_vd)));
+    });
+    g.bench_function("rebind_serial", |b| {
+        set_thread_override(Some(1));
+        b.iter(|| simulate_fleet(&ds.fleet, black_box(&ds.events), &RebindConfig::default()));
+        set_thread_override(None);
+    });
+    g.bench_function("rebind_parallel", |b| {
+        b.iter(|| simulate_fleet(&ds.fleet, black_box(&ds.events), &RebindConfig::default()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_driver, bench_sweeps);
+criterion_main!(benches);

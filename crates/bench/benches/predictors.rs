@@ -45,16 +45,22 @@ fn bench_predict(c: &mut Criterion) {
     let mut g = c.benchmark_group("predict/one_step");
     let mut linear = LinearFit::default();
     linear.fit(&series);
-    g.bench_function("linear", |b| b.iter(|| linear.predict_next(black_box(&series))));
+    g.bench_function("linear", |b| {
+        b.iter(|| linear.predict_next(black_box(&series)))
+    });
     let mut arima = Arima::default();
     arima.fit(&series);
-    g.bench_function("arima", |b| b.iter(|| arima.predict_next(black_box(&series))));
+    g.bench_function("arima", |b| {
+        b.iter(|| arima.predict_next(black_box(&series)))
+    });
     let mut gbdt = Gbdt::default();
     gbdt.fit(&series);
     g.bench_function("gbdt", |b| b.iter(|| gbdt.predict_next(black_box(&series))));
     let mut attention = AttentionRegressor::default();
     attention.fit(&series);
-    g.bench_function("attention", |b| b.iter(|| attention.predict_next(black_box(&series))));
+    g.bench_function("attention", |b| {
+        b.iter(|| attention.predict_next(black_box(&series)))
+    });
     g.finish();
 }
 

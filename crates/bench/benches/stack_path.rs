@@ -16,7 +16,10 @@ fn bench_full_path(c: &mut Criterion) {
     g.throughput(Throughput::Elements(ds.events.len() as u64));
     g.sample_size(10);
     for (name, throttle) in [("with_throttle", true), ("no_throttle", false)] {
-        let cfg = StackConfig { apply_throttle: throttle, ..StackConfig::default() };
+        let cfg = StackConfig {
+            apply_throttle: throttle,
+            ..StackConfig::default()
+        };
         g.bench_function(name, |b| {
             b.iter_batched(
                 || StackSim::new(&ds.fleet, cfg.clone()),

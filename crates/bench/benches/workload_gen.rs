@@ -42,9 +42,17 @@ fn bench_full_generation(c: &mut Criterion) {
     let cfg = WorkloadConfig::quick(2);
     let mut g = c.benchmark_group("generate");
     g.sample_size(10);
-    g.bench_function("quick_dataset", |b| b.iter(|| generate(black_box(&cfg)).unwrap()));
+    g.bench_function("quick_dataset", |b| {
+        b.iter(|| generate(black_box(&cfg)).unwrap())
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_fleet_build, bench_envelopes, bench_zipf, bench_full_generation);
+criterion_group!(
+    benches,
+    bench_fleet_build,
+    bench_envelopes,
+    bench_zipf,
+    bench_full_generation
+);
 criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Wall-clock baseline for the parallel execution layer.
+//!
+//! Times the three parallelized hot paths — dataset generation, the full
+//! `bin/all` experiment driver, and the cache/balance sweeps — once with
+//! the pool pinned to one thread (the pure serial path) and once with the
+//! ambient thread count, then writes the timings and speedups to
+//! `BENCH_parallel.json`.
+//!
+//! Usage: `bench [--quick|--medium|--full] [--iters N] [--out PATH]`.
+//! Every pair also asserts the parallel output equals the serial output,
+//! so the baseline doubles as an end-to-end determinism check.
+
+use ebs_balance::wt_rebind::{simulate_fleet, RebindConfig};
+use ebs_core::parallel::{current_threads, set_thread_override};
+use ebs_experiments::{dataset, driver, fig7, Scale, EXPERIMENT_SEED};
+use ebs_workload::generate;
+use std::time::Instant;
+
+/// Best-of-`iters` wall time of `f`, in seconds, plus the last result.
+fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        let value = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(value);
+    }
+    (best, out.expect("at least one iteration"))
+}
+
+/// One serial-vs-parallel measurement.
+struct Entry {
+    name: &'static str,
+    serial_s: f64,
+    parallel_s: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.serial_s / self.parallel_s
+    }
+}
+
+/// Measure `f` at 1 thread and at the ambient thread count, asserting the
+/// outputs match.
+fn measure<T: PartialEq>(name: &'static str, iters: usize, mut f: impl FnMut() -> T) -> Entry {
+    set_thread_override(Some(1));
+    let (serial_s, serial_out) = time_best(iters, &mut f);
+    set_thread_override(None);
+    let (parallel_s, parallel_out) = time_best(iters, &mut f);
+    assert!(
+        serial_out == parallel_out,
+        "{name}: parallel output diverged from serial"
+    );
+    Entry {
+        name,
+        serial_s,
+        parallel_s,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Medium
+    };
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let iters: usize = flag("--iters")
+        .map(|v| v.parse().expect("--iters N"))
+        .unwrap_or(3);
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_parallel.json".to_string());
+
+    let threads = current_threads();
+    let scale_name = format!("{scale:?}").to_lowercase();
+    eprintln!("benchmarking at scale {scale_name}, {threads} threads, best of {iters}");
+
+    let cfg = scale.config(EXPERIMENT_SEED);
+    let mut entries = Vec::new();
+
+    entries.push(measure("workload_generate", iters, || {
+        let ds = generate(&cfg).expect("canonical config must validate");
+        let (read, write) = ds.total_bytes();
+        (ds.events.len(), read.to_bits(), write.to_bits())
+    }));
+
+    let ds = dataset(scale);
+    entries.push(measure("experiments_all", iters, || driver::run_all(&ds)));
+
+    let by_vd = driver::events_partition(&ds);
+    entries.push(measure("cache_sweep", iters, || {
+        fig7::panel_a(&by_vd)
+            .into_iter()
+            .map(|r| (r.block_size, r.hit_ratio.p50.to_bits()))
+            .collect::<Vec<_>>()
+    }));
+    entries.push(measure("balance_sweep", iters, || {
+        simulate_fleet(&ds.fleet, &ds.events, &RebindConfig::default())
+    }));
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str("  \"paths\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        eprintln!(
+            "{:>20}: serial {:8.3}s  parallel {:8.3}s  speedup {:5.2}x",
+            e.name,
+            e.serial_s,
+            e.parallel_s,
+            e.speedup()
+        );
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            e.name,
+            e.serial_s,
+            e.parallel_s,
+            e.speedup(),
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write baseline");
+    eprintln!("wrote {out_path}");
+}

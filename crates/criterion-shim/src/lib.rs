@@ -1,0 +1,265 @@
+//! Offline drop-in subset of the [criterion](https://docs.rs/criterion)
+//! API.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real `criterion` crate cannot be fetched. This shim implements the
+//! surface the workspace's benches use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`criterion_group!`] / [`criterion_main!`],
+//! [`BatchSize`], [`Throughput`], and [`black_box`] — with a simple
+//! median-of-samples wall-clock measurement printed per benchmark.
+//!
+//! It honours the two CLI shapes cargo uses: `--bench` (run and report) and
+//! `--test` (run each benchmark once, for `cargo test --benches`). A
+//! positional argument filters benchmarks by substring, like criterion.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortises setup; ignored by the shim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation; recorded for the report line.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    /// Measured per-iteration times for the current sampling round.
+    samples: Vec<Duration>,
+    /// Iterations to run this round.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` for the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// What the harness is being asked to do, from the CLI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Measure and report (`cargo bench`).
+    Bench,
+    /// Run each benchmark once to prove it works (`cargo test --benches`).
+    Test,
+}
+
+/// The benchmark harness. One per bench target.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Bench;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                "--bench" => mode = Mode::Bench,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Self {
+            mode,
+            filter,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run (and in bench mode, report) one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, None, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.mode == Mode::Test {
+            let mut b = Bencher {
+                samples: Vec::new(),
+                iters: 1,
+            };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        // Warm-up round, then one measured iteration per sample.
+        let mut warmup = Bencher {
+            samples: Vec::new(),
+            iters: 1,
+        };
+        f(&mut warmup);
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters: self.sample_size as u64,
+        };
+        f(&mut b);
+        let mut samples = b.samples;
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                format!("  ({:.0} elem/s)", n as f64 / median.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                format!("  ({:.0} B/s)", n as f64 / median.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{id:<50} median {:>12?}  mean {:>12?}  ({} samples){rate}",
+            median,
+            mean,
+            samples.len()
+        );
+    }
+}
+
+/// A group of related benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion.run_one(&full, self.throughput, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    /// Close the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Define a bench entry point running `$target` functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` from one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_runs_routine() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters: 3,
+        };
+        let mut count = 0;
+        b.iter(|| count += 1);
+        assert_eq!(count, 3);
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn bencher_iter_batched_pairs_setup_and_routine() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters: 4,
+        };
+        let mut total = 0u64;
+        b.iter_batched(|| 10u64, |x| total += x, BatchSize::SmallInput);
+        assert_eq!(total, 40);
+    }
+}

@@ -131,7 +131,9 @@ pub fn rollup_compute(
         let acc = map.entry(key).or_insert_with(|| vec![0.0; ticks]);
         series.accumulate_into(acc, measure);
     }
-    Rollup { series: map.into_iter().collect() }
+    Rollup {
+        series: map.into_iter().collect(),
+    }
 }
 
 /// Roll storage-domain metrics up to `level`, keeping only segments for
@@ -155,7 +157,9 @@ pub fn rollup_storage(
         let acc = map.entry(key).or_insert_with(|| vec![0.0; ticks]);
         series.accumulate_into(acc, measure);
     }
-    Rollup { series: map.into_iter().collect() }
+    Rollup {
+        series: map.into_iter().collect(),
+    }
 }
 
 #[cfg(test)]
@@ -181,7 +185,13 @@ mod tests {
         let fleet = b.finish().unwrap();
         let ticks = TickSpec::new(1.0, 4);
         let mut cm = ComputeMetrics::empty(ticks, fleet.qps.len());
-        let rw = |rb: f64| RwFlow { read: Flow { bytes: rb, ops: 1.0 }, write: Flow::ZERO };
+        let rw = |rb: f64| RwFlow {
+            read: Flow {
+                bytes: rb,
+                ops: 1.0,
+            },
+            write: Flow::ZERO,
+        };
         cm.per_qp[QpId(0)].push(0, rw(10.0));
         cm.per_qp[QpId(1)].push(1, rw(20.0));
         cm.per_qp[QpId(2)].push(1, rw(30.0));
@@ -229,15 +239,28 @@ mod tests {
     #[test]
     fn storage_levels_follow_placement() {
         let (fleet, _, sm) = fleet_and_metrics();
-        let r = rollup_storage(&fleet, &sm, StorageLevel::Bs, Measure::ReadBytes, None, |_| true);
+        let r = rollup_storage(
+            &fleet,
+            &sm,
+            StorageLevel::Bs,
+            Measure::ReadBytes,
+            None,
+            |_| true,
+        );
         // seg0 → bs0, seg1 → bs1 (round-robin placement).
         assert_eq!(r.len(), 2);
         assert_eq!(r.get(0).unwrap(), &[5.0, 0.0, 0.0, 0.0]);
         assert_eq!(r.get(1).unwrap(), &[0.0, 0.0, 7.0, 0.0]);
         // Override placement: both segments on bs1.
         let map = vec![BsId(1), BsId(1), BsId(0), BsId(0), BsId(1), BsId(0)];
-        let r =
-            rollup_storage(&fleet, &sm, StorageLevel::Bs, Measure::ReadBytes, Some(&map), |_| true);
+        let r = rollup_storage(
+            &fleet,
+            &sm,
+            StorageLevel::Bs,
+            Measure::ReadBytes,
+            Some(&map),
+            |_| true,
+        );
         assert_eq!(r.len(), 1);
         assert_eq!(r.totals(), vec![12.0]);
     }
@@ -245,7 +268,14 @@ mod tests {
     #[test]
     fn sn_level_uses_bs_host() {
         let (fleet, _, sm) = fleet_and_metrics();
-        let r = rollup_storage(&fleet, &sm, StorageLevel::Sn, Measure::ReadBytes, None, |_| true);
+        let r = rollup_storage(
+            &fleet,
+            &sm,
+            StorageLevel::Sn,
+            Measure::ReadBytes,
+            None,
+            |_| true,
+        );
         assert_eq!(r.len(), 1); // both BSs are on the single SN
         assert_eq!(r.totals(), vec![12.0]);
     }

@@ -21,8 +21,11 @@ pub fn gini(contributions: &[f64]) -> Option<f64> {
     let n = v.len() as f64;
     // G = (2·Σ i·x_i) / (n·Σ x_i) − (n+1)/n, with 1-based ranks over the
     // ascending sort.
-    let weighted: f64 =
-        v.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    let weighted: f64 = v
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
     Some((2.0 * weighted / (n * total) - (n + 1.0) / n).clamp(0.0, 1.0))
 }
 

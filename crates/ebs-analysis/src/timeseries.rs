@@ -44,7 +44,10 @@ pub fn undiff(first: f64, diffs: &[f64]) -> Vec<f64> {
 pub fn top_k_indexes(series: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..series.len()).collect();
     idx.sort_by(|&a, &b| {
-        series[b].partial_cmp(&series[a]).expect("no NaNs").then(a.cmp(&b))
+        series[b]
+            .partial_cmp(&series[a])
+            .expect("no NaNs")
+            .then(a.cmp(&b))
     });
     idx.truncate(k);
     idx
@@ -64,7 +67,10 @@ mod tests {
 
     #[test]
     fn rebin_sums_chunks() {
-        assert_eq!(rebin_sum(&[1.0, 2.0, 3.0, 4.0, 5.0], 2), vec![3.0, 7.0, 5.0]);
+        assert_eq!(
+            rebin_sum(&[1.0, 2.0, 3.0, 4.0, 5.0], 2),
+            vec![3.0, 7.0, 5.0]
+        );
     }
 
     #[test]

@@ -160,22 +160,27 @@ pub fn balance_period(
             if moved > quota {
                 break;
             }
-            let ctx = ImporterContext { current, history, next: &next, exporter };
+            let ctx = ImporterContext {
+                current,
+                history,
+                next: &next,
+                exporter,
+            };
             let Some(mut importer) = select_importer(config.strategy, rng, &ctx) else {
                 break;
             };
             if config.enforce_vd_spread {
                 let vd = fleet.segments[seg].vd;
                 let clash = |bs: BsId| {
-                    fleet.vds[vd].segments().any(|s| s != seg && seg_map.home_of(s) == bs)
+                    fleet.vds[vd]
+                        .segments()
+                        .any(|s| s != seg && seg_map.home_of(s) == bs)
                 };
                 if clash(bss[importer]) {
                     // Fall back to the least-loaded non-clashing BS.
                     let alt = (0..bss.len())
                         .filter(|&i| i != exporter && !clash(bss[i]))
-                        .min_by(|&a, &b| {
-                            current[a].partial_cmp(&current[b]).expect("no NaNs")
-                        });
+                        .min_by(|&a, &b| current[a].partial_cmp(&current[b]).expect("no NaNs"));
                     match alt {
                         Some(a) => importer = a,
                         None => continue,
@@ -219,10 +224,25 @@ pub fn run_balancer(
         for (i, h) in history.iter_mut().enumerate() {
             h.push(current[i]);
         }
-        balance_period(fleet, &bss, &traffic, p, &mut seg_map, &mut current, &history, &mut rng, config);
+        balance_period(
+            fleet,
+            &bss,
+            &traffic,
+            p,
+            &mut seg_map,
+            &mut current,
+            &history,
+            &mut rng,
+            config,
+        );
     }
     let migrations = seg_map.log().len();
-    BalancerRun { seg_map, periods: periods as u32, cov_series, migrations }
+    BalancerRun {
+        seg_map,
+        periods: periods as u32,
+        cov_series,
+        migrations,
+    }
 }
 
 #[cfg(test)]
@@ -259,7 +279,10 @@ mod tests {
                 &ds.fleet,
                 &ds.storage,
                 DcId(0),
-                &BalancerConfig { strategy, ..BalancerConfig::default() },
+                &BalancerConfig {
+                    strategy,
+                    ..BalancerConfig::default()
+                },
             )
         };
         let a = mk(ImporterSelect::MinTraffic);
@@ -289,7 +312,10 @@ mod tests {
     #[test]
     fn vd_spread_constraint_is_respected_by_migrations() {
         let ds = dataset();
-        let cfg = BalancerConfig { enforce_vd_spread: true, ..BalancerConfig::default() };
+        let cfg = BalancerConfig {
+            enforce_vd_spread: true,
+            ..BalancerConfig::default()
+        };
         let run = run_balancer(&ds.fleet, &ds.storage, DcId(0), &cfg);
         // Every *migrated* segment must not share its destination BS with a
         // sibling segment of the same VD at the time of arrival. We verify

@@ -9,10 +9,10 @@
 //! single-server queueing delay.
 
 use ebs_core::ids::CnId;
+use ebs_core::ids::WtId;
 use ebs_core::io::IoEvent;
 use ebs_core::topology::Fleet;
 use ebs_stack::hypervisor::WtQueues;
-use ebs_core::ids::WtId;
 
 /// Hosting models compared by the ablation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,15 +87,17 @@ pub fn replay_node(
     waits.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
     let mean_wait = waits.iter().sum::<f64>() / waits.len() as f64;
     let p99 = waits[((waits.len() - 1) as f64 * 0.99) as usize];
-    Some(DispatchOutcome { cn, wt_cov: cov, mean_wait_us: mean_wait, p99_wait_us: p99 })
+    Some(DispatchOutcome {
+        cn,
+        wt_cov: cov,
+        mean_wait_us: mean_wait,
+        p99_wait_us: p99,
+    })
 }
 
 /// Replay every node of the fleet under both models; returns
 /// `(single_wt, dispatch)` outcome pairs for nodes where both apply.
-pub fn compare_fleet(
-    fleet: &Fleet,
-    events: &[IoEvent],
-) -> Vec<(DispatchOutcome, DispatchOutcome)> {
+pub fn compare_fleet(fleet: &Fleet, events: &[IoEvent]) -> Vec<(DispatchOutcome, DispatchOutcome)> {
     let by_cn = crate::wt_rebind::events_by_cn(fleet, events);
     let mut out = Vec::new();
     for (i, evs) in by_cn.iter().enumerate() {

@@ -139,7 +139,12 @@ mod tests {
         next: &'a [f64],
         exporter: usize,
     ) -> ImporterContext<'a> {
-        ImporterContext { current, history, next, exporter }
+        ImporterContext {
+            current,
+            history,
+            next,
+            exporter,
+        }
     }
 
     #[test]
@@ -148,8 +153,11 @@ mod tests {
         let hist = vec![vec![9.0], vec![1.0], vec![5.0]];
         let next = [0.0, 100.0, 0.0];
         let mut rng = SimRng::seed_from_u64(1);
-        let pick =
-            select_importer(ImporterSelect::MinTraffic, &mut rng, &ctx(&current, &hist, &next, 0));
+        let pick = select_importer(
+            ImporterSelect::MinTraffic,
+            &mut rng,
+            &ctx(&current, &hist, &next, 0),
+        );
         assert_eq!(pick, Some(1));
     }
 
@@ -159,8 +167,11 @@ mod tests {
         let hist = vec![vec![9.0], vec![1.0], vec![5.0]];
         let next = [0.0, 100.0, 2.0];
         let mut rng = SimRng::seed_from_u64(1);
-        let pick =
-            select_importer(ImporterSelect::Ideal, &mut rng, &ctx(&current, &hist, &next, 0));
+        let pick = select_importer(
+            ImporterSelect::Ideal,
+            &mut rng,
+            &ctx(&current, &hist, &next, 0),
+        );
         // BS 0 is the exporter; among {1, 2} the lowest future traffic is 2.
         assert_eq!(pick, Some(2));
     }
@@ -181,7 +192,7 @@ mod tests {
     fn min_variance_prefers_stable_bs() {
         let current = [5.0, 5.0, 5.0];
         let hist = vec![
-            vec![5.0, 5.0, 5.0, 5.0], // flat
+            vec![5.0, 5.0, 5.0, 5.0],   // flat
             vec![0.0, 10.0, 0.0, 10.0], // volatile
             vec![2.0, 8.0, 3.0, 7.0],
         ];
@@ -205,8 +216,11 @@ mod tests {
         ];
         let next = [0.0; 3];
         let mut rng = SimRng::seed_from_u64(4);
-        let pick =
-            select_importer(ImporterSelect::Lunule, &mut rng, &ctx(&current, &hist, &next, 2));
+        let pick = select_importer(
+            ImporterSelect::Lunule,
+            &mut rng,
+            &ctx(&current, &hist, &next, 2),
+        );
         assert_eq!(pick, Some(1));
     }
 
@@ -235,7 +249,11 @@ mod tests {
         let next = [5.0];
         let mut rng = SimRng::seed_from_u64(5);
         assert_eq!(
-            select_importer(ImporterSelect::MinTraffic, &mut rng, &ctx(&current, &hist, &next, 0)),
+            select_importer(
+                ImporterSelect::MinTraffic,
+                &mut rng,
+                &ctx(&current, &hist, &next, 0)
+            ),
             None
         );
     }
@@ -249,8 +267,12 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..100 {
             seen.insert(
-                select_importer(ImporterSelect::Random, &mut rng, &ctx(&current, &hist, &next, 1))
-                    .unwrap(),
+                select_importer(
+                    ImporterSelect::Random,
+                    &mut rng,
+                    &ctx(&current, &hist, &next, 1),
+                )
+                .unwrap(),
             );
         }
         assert_eq!(seen, [0usize, 2, 3].into_iter().collect());

@@ -101,7 +101,12 @@ mod tests {
     use ebs_core::ids::SegId;
 
     fn mig(at: u32, seg: u32, from: u32, to: u32) -> Migration {
-        Migration { at, seg: SegId(seg), from: BsId(from), to: BsId(to) }
+        Migration {
+            at,
+            seg: SegId(seg),
+            from: BsId(from),
+            to: BsId(to),
+        }
     }
 
     #[test]

@@ -52,9 +52,16 @@ pub fn run_scheme(
     let mut rng = SimRng::seed_from_u64(config.seed);
     let mut w_history: Vec<Vec<f64>> = vec![Vec::new(); bss.len()];
     let mut r_history: Vec<Vec<f64>> = vec![Vec::new(); bss.len()];
-    let mut out = RwCovSeries { write: Vec::new(), read: Vec::new(), migrations: 0 };
+    let mut out = RwCovSeries {
+        write: Vec::new(),
+        read: Vec::new(),
+        migrations: 0,
+    };
 
-    let write_cfg = BalancerConfig { measure: Measure::WriteBytes, ..config.clone() };
+    let write_cfg = BalancerConfig {
+        measure: Measure::WriteBytes,
+        ..config.clone()
+    };
     let read_cfg = BalancerConfig {
         measure: Measure::ReadBytes,
         strategy: ImporterSelect::Ideal,
@@ -78,11 +85,27 @@ pub fn run_scheme(
             h.push(r_current[i]);
         }
         out.migrations += balance_period(
-            fleet, &bss, &wt, p, &mut seg_map, &mut w_current, &w_history, &mut rng, &write_cfg,
+            fleet,
+            &bss,
+            &wt,
+            p,
+            &mut seg_map,
+            &mut w_current,
+            &w_history,
+            &mut rng,
+            &write_cfg,
         );
         if scheme == MigrationScheme::WriteThenRead {
             out.migrations += balance_period(
-                fleet, &bss, &rt, p, &mut seg_map, &mut r_current, &r_history, &mut rng, &read_cfg,
+                fleet,
+                &bss,
+                &rt,
+                p,
+                &mut seg_map,
+                &mut r_current,
+                &r_history,
+                &mut rng,
+                &read_cfg,
             );
         }
     }
@@ -102,10 +125,24 @@ mod tests {
     #[test]
     fn write_then_read_migrates_more() {
         let ds = generate(&WorkloadConfig::quick(71)).unwrap();
-        let cfg = BalancerConfig { strategy: ImporterSelect::Ideal, ..BalancerConfig::default() };
-        let wo = run_scheme(&ds.fleet, &ds.storage, DcId(0), MigrationScheme::WriteOnly, &cfg);
-        let wr =
-            run_scheme(&ds.fleet, &ds.storage, DcId(0), MigrationScheme::WriteThenRead, &cfg);
+        let cfg = BalancerConfig {
+            strategy: ImporterSelect::Ideal,
+            ..BalancerConfig::default()
+        };
+        let wo = run_scheme(
+            &ds.fleet,
+            &ds.storage,
+            DcId(0),
+            MigrationScheme::WriteOnly,
+            &cfg,
+        );
+        let wr = run_scheme(
+            &ds.fleet,
+            &ds.storage,
+            DcId(0),
+            MigrationScheme::WriteThenRead,
+            &cfg,
+        );
         assert!(wr.migrations >= wo.migrations);
         assert!(wr.migrations > 0);
     }
@@ -119,10 +156,24 @@ mod tests {
         // spread, so chasing transient read bursts buys little (see
         // EXPERIMENTS.md); we assert read CoV stays within noise instead.
         let ds = generate(&WorkloadConfig::medium(72)).unwrap();
-        let cfg = BalancerConfig { strategy: ImporterSelect::Ideal, ..BalancerConfig::default() };
-        let wo = run_scheme(&ds.fleet, &ds.storage, DcId(0), MigrationScheme::WriteOnly, &cfg);
-        let wr =
-            run_scheme(&ds.fleet, &ds.storage, DcId(0), MigrationScheme::WriteThenRead, &cfg);
+        let cfg = BalancerConfig {
+            strategy: ImporterSelect::Ideal,
+            ..BalancerConfig::default()
+        };
+        let wo = run_scheme(
+            &ds.fleet,
+            &ds.storage,
+            DcId(0),
+            MigrationScheme::WriteOnly,
+            &cfg,
+        );
+        let wr = run_scheme(
+            &ds.fleet,
+            &ds.storage,
+            DcId(0),
+            MigrationScheme::WriteThenRead,
+            &cfg,
+        );
         let (w_wo, w_wr) = (median(&wo.write).unwrap(), median(&wr.write).unwrap());
         assert!(
             w_wr <= w_wo * 1.05,
@@ -139,8 +190,13 @@ mod tests {
     fn both_series_are_bounded() {
         let ds = generate(&WorkloadConfig::quick(73)).unwrap();
         let cfg = BalancerConfig::default();
-        let out =
-            run_scheme(&ds.fleet, &ds.storage, DcId(0), MigrationScheme::WriteThenRead, &cfg);
+        let out = run_scheme(
+            &ds.fleet,
+            &ds.storage,
+            DcId(0),
+            MigrationScheme::WriteThenRead,
+            &cfg,
+        );
         for &c in out.write.iter().chain(&out.read) {
             assert!((0.0..=1.0).contains(&c));
         }

@@ -33,7 +33,11 @@ pub struct RebindConfig {
 
 impl Default for RebindConfig {
     fn default() -> Self {
-        Self { period_us: 10_000, trigger_ratio: 1.2, min_ios_per_period: 4 }
+        Self {
+            period_us: 10_000,
+            trigger_ratio: 1.2,
+            min_ios_per_period: 4,
+        }
     }
 }
 
@@ -103,10 +107,10 @@ pub fn simulate_node(
 
     let mut period_ios = 0u32;
     let close_period = |period_traffic: &mut Vec<f64>,
-                            period_ios: &mut u32,
-                            binding: &mut Binding,
-                            rebinds: &mut u64,
-                            active: &mut u64| {
+                        period_ios: &mut u32,
+                        binding: &mut Binding,
+                        rebinds: &mut u64,
+                        active: &mut u64| {
         let ios = std::mem::take(period_ios);
         let any: f64 = period_traffic.iter().sum();
         if any <= 0.0 || ios < config.min_ios_per_period {
@@ -167,7 +171,11 @@ pub fn simulate_node(
 
     let cov_static = cov(&cum_static)?;
     let cov_rebound = cov(&cum_rebound).unwrap_or(0.0);
-    let gain = if cov_static > 0.0 { cov_rebound / cov_static } else { 1.0 };
+    let gain = if cov_static > 0.0 {
+        cov_rebound / cov_static
+    } else {
+        1.0
+    };
     Some(RebindOutcome {
         cn,
         active_periods,
@@ -189,22 +197,21 @@ pub fn simulate_fleet(
     events: &[IoEvent],
     config: &RebindConfig,
 ) -> Vec<RebindOutcome> {
-    events_by_cn(fleet, events)
-        .iter()
-        .enumerate()
-        .filter_map(|(i, evs)| simulate_node(fleet, CnId::from_index(i), evs, config))
-        .collect()
+    // Compute nodes are independent: partition the stream once, fan the
+    // nodes out, and keep CN order so the outcome list matches a serial run.
+    let per_cn = events_by_cn(fleet, events);
+    ebs_core::parallel::par_map_deterministic(&per_cn, |i, evs| {
+        simulate_node(fleet, CnId::from_index(i), evs, config)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Per-period traffic of the hottest WT of a node on a fine time scale —
 /// the Figure 2(e)/(f) time-series view. Returns bytes per period for the
 /// WT with the largest cumulative traffic (static binding).
-pub fn hottest_wt_series(
-    fleet: &Fleet,
-    cn: CnId,
-    events: &[IoEvent],
-    period_us: u64,
-) -> Vec<f64> {
+pub fn hottest_wt_series(fleet: &Fleet, cn: CnId, events: &[IoEvent], period_us: u64) -> Vec<f64> {
     let node = &fleet.compute_nodes[cn];
     let wt_count = node.wt_count as usize;
     if events.is_empty() {
@@ -275,7 +282,10 @@ mod tests {
                 [ev(t, 0, 4096), ev(t + 1, 1, 4096)]
             })
             .collect();
-        let cfg = RebindConfig { min_ios_per_period: 1, ..RebindConfig::default() };
+        let cfg = RebindConfig {
+            min_ios_per_period: 1,
+            ..RebindConfig::default()
+        };
         let out = simulate_node(&f, CnId(0), &events, &cfg).unwrap();
         assert_eq!(out.rebinds, 0);
         assert!((out.gain - 1.0).abs() < 1e-9);
@@ -288,7 +298,10 @@ mod tests {
         // All traffic on QP0: whichever WT holds it is hot; swapping cannot
         // split a single QP (the §4.4 argument for per-IO dispatch).
         let events: Vec<IoEvent> = (0..200).map(|p| ev(p * 10_000, 0, 8192)).collect();
-        let cfg = RebindConfig { min_ios_per_period: 1, ..RebindConfig::default() };
+        let cfg = RebindConfig {
+            min_ios_per_period: 1,
+            ..RebindConfig::default()
+        };
         let out = simulate_node(&f, CnId(0), &events, &cfg).unwrap();
         assert!(out.rebind_ratio > 0.9, "ratio {}", out.rebind_ratio);
         // Cumulative traffic ends up ~50/50 across the two WTs though —
@@ -306,7 +319,10 @@ mod tests {
             let qp = if p % 2 == 0 { 0 } else { 1 };
             events.push(ev(p * 10_000, qp, 65536));
         }
-        let cfg = RebindConfig { min_ios_per_period: 1, ..RebindConfig::default() };
+        let cfg = RebindConfig {
+            min_ios_per_period: 1,
+            ..RebindConfig::default()
+        };
         let out = simulate_node(&f, CnId(0), &events, &cfg).unwrap();
         // Rebinds happen constantly…
         assert!(out.rebind_ratio > 0.5);
@@ -320,7 +336,10 @@ mod tests {
         let f = fleet_one_node();
         // Two events 1 s apart: 2 active periods out of ~100 elapsed.
         let events = vec![ev(0, 0, 4096), ev(1_000_000, 1, 4096)];
-        let cfg = RebindConfig { min_ios_per_period: 1, ..RebindConfig::default() };
+        let cfg = RebindConfig {
+            min_ios_per_period: 1,
+            ..RebindConfig::default()
+        };
         let out = simulate_node(&f, CnId(0), &events, &cfg).unwrap();
         assert_eq!(out.active_periods, 2);
     }

@@ -133,7 +133,14 @@ mod tests {
     use ebs_core::io::Op;
 
     fn ev(t_us: u64, op: Op, offset: u64) -> IoEvent {
-        IoEvent { t_us, vd: VdId(0), qp: QpId(0), op, size: 4096, offset }
+        IoEvent {
+            t_us,
+            vd: VdId(0),
+            qp: QpId(0),
+            op,
+            size: 4096,
+            offset,
+        }
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub struct HybridConfig {
 
 impl Default for HybridConfig {
     fn default() -> Self {
-        Self { cn_slots_per_node: 2, threshold: crate::utilization::CACHEABLE_THRESHOLD }
+        Self {
+            cn_slots_per_node: 2,
+            threshold: crate::utilization::CACHEABLE_THRESHOLD,
+        }
     }
 }
 
@@ -100,16 +103,17 @@ pub fn hybrid_latency_gain(
             1.0
         }
     };
-    Some(LatencyGain { p0: gain(0.0), p50: gain(0.5), p99: gain(0.99) })
+    Some(LatencyGain {
+        p0: gain(0.0),
+        p50: gain(0.5),
+        p99: gain(0.99),
+    })
 }
 
 /// CN-cache slots actually consumed per compute node — the provisioning
 /// footprint a hybrid deployment needs (bounded by `cn_slots_per_node`, by
 /// construction).
-pub fn cn_slot_usage(
-    fleet: &Fleet,
-    sites: &HashMap<VdId, CacheSite>,
-) -> Vec<usize> {
+pub fn cn_slot_usage(fleet: &Fleet, sites: &HashMap<VdId, CacheSite>) -> Vec<usize> {
     let mut counts = vec![0usize; fleet.compute_nodes.len()];
     for (&vd, &site) in sites {
         if site == CacheSite::ComputeNode {
@@ -142,7 +146,10 @@ mod tests {
                 hottest_block(VdId::from_index(i), e, 1024 << 20).map(|hb| (hb.vd, hb))
             })
             .collect();
-        let cfg = StackConfig { apply_throttle: false, ..StackConfig::default() };
+        let cfg = StackConfig {
+            apply_throttle: false,
+            ..StackConfig::default()
+        };
         let mut sim = StackSim::new(&ds.fleet, cfg);
         let out = sim.run(&ds.events).unwrap();
         let records = out.traces.records().to_vec();
@@ -157,7 +164,10 @@ mod tests {
             let sites = assign_sites(
                 &ds.fleet,
                 &hot,
-                &HybridConfig { cn_slots_per_node: slots, threshold: 0.1 },
+                &HybridConfig {
+                    cn_slots_per_node: slots,
+                    threshold: 0.1,
+                },
             );
             let usage = cn_slot_usage(&ds.fleet, &sites);
             for (i, &u) in usage.iter().enumerate() {
@@ -169,17 +179,21 @@ mod tests {
     #[test]
     fn hotter_vds_win_the_cn_slots() {
         let (ds, hot, _, _) = setup();
-        let sites =
-            assign_sites(&ds.fleet, &hot, &HybridConfig { cn_slots_per_node: 1, threshold: 0.0 });
+        let sites = assign_sites(
+            &ds.fleet,
+            &hot,
+            &HybridConfig {
+                cn_slots_per_node: 1,
+                threshold: 0.0,
+            },
+        );
         // For every node, any CN-sited VD must be at least as hot as every
         // BS-sited VD of the same node.
         for cn in ds.fleet.compute_nodes.iter() {
             let of_node = |site: CacheSite| -> Vec<f64> {
                 sites
                     .iter()
-                    .filter(|(&vd, &s)| {
-                        s == site && ds.fleet.vms[ds.fleet.vds[vd].vm].cn == cn.id
-                    })
+                    .filter(|(&vd, &s)| s == site && ds.fleet.vms[ds.fleet.vds[vd].vm].cn == cn.id)
                     .map(|(vd, _)| hot[vd].access_rate)
                     .collect()
             };
@@ -196,8 +210,14 @@ mod tests {
     #[test]
     fn hybrid_gain_sits_between_pure_deployments() {
         let (ds, hot, records, hits) = setup();
-        let sites =
-            assign_sites(&ds.fleet, &hot, &HybridConfig { cn_slots_per_node: 1, threshold: 0.1 });
+        let sites = assign_sites(
+            &ds.fleet,
+            &hot,
+            &HybridConfig {
+                cn_slots_per_node: 1,
+                threshold: 0.1,
+            },
+        );
         let hybrid = hybrid_latency_gain(&records, &hits, &sites, Op::Write).unwrap();
         let cn_only = latency_gain(&records, &hits, CacheSite::ComputeNode, Op::Write).unwrap();
         let bs_only = latency_gain(&records, &hits, CacheSite::BlockServer, Op::Write).unwrap();
@@ -222,9 +242,14 @@ mod tests {
             let sites = assign_sites(
                 &ds.fleet,
                 &hot,
-                &HybridConfig { cn_slots_per_node: slots, threshold: 0.1 },
+                &HybridConfig {
+                    cn_slots_per_node: slots,
+                    threshold: 0.1,
+                },
             );
-            hybrid_latency_gain(&records, &hits, &sites, Op::Write).unwrap().p50
+            hybrid_latency_gain(&records, &hits, &sites, Op::Write)
+                .unwrap()
+                .p50
         };
         assert!(gain_at(4) <= gain_at(1) + 1e-9);
         assert!(gain_at(1) <= gain_at(0) + 1e-9);

@@ -141,8 +141,14 @@ mod tests {
         let mut lru_hits = 0u32;
         let mut x: u64 = 12345;
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let page = if x % 10 < 8 { (x >> 32) % 12 } else { (x >> 32) % 4096 };
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let page = if x % 10 < 8 {
+                (x >> 32) % 12
+            } else {
+                (x >> 32) % 4096
+            };
             if lfu.access(page, Op::Read) {
                 lfu_hits += 1;
             }

@@ -36,8 +36,8 @@ pub use fifo::FifoCache;
 pub use frozen::FrozenCache;
 pub use hottest_block::{events_by_vd, hot_rate, hottest_block, HottestBlock, BLOCK_SIZES};
 pub use hybrid::{assign_sites, hybrid_latency_gain, HybridConfig};
-pub use location::{hit_oracle, latency_gain, CacheSite, LatencyGain};
 pub use lfu::LfuCache;
+pub use location::{hit_oracle, latency_gain, CacheSite, LatencyGain};
 pub use lru::LruCache;
 pub use policy::CachePolicy;
 pub use simulate::{build_policy, simulate, Algorithm, HitStats};

@@ -124,7 +124,11 @@ pub fn latency_gain(
             1.0
         }
     };
-    Some(LatencyGain { p0: gain(0.0), p50: gain(0.5), p99: gain(0.99) })
+    Some(LatencyGain {
+        p0: gain(0.0),
+        p50: gain(0.5),
+        p99: gain(0.99),
+    })
 }
 
 #[cfg(test)]
@@ -178,9 +182,9 @@ mod tests {
     fn oracle_marks_in_block_ios_of_cacheable_vds() {
         let hot: HashMap<_, _> = [hot_for(0, 0.5)].into_iter().collect();
         let records = vec![
-            rec(0, 0, Op::Write, 0, false),          // in block → hit
-            rec(1, 0, Op::Write, 1 << 30, false),    // outside → miss
-            rec(2, 1, Op::Write, 0, false),          // VD without cache
+            rec(0, 0, Op::Write, 0, false),       // in block → hit
+            rec(1, 0, Op::Write, 1 << 30, false), // outside → miss
+            rec(2, 1, Op::Write, 0, false),       // VD without cache
         ];
         let hits = hit_oracle(&hot, &records, 0.25);
         assert_eq!(hits, vec![true, false, false]);
@@ -197,8 +201,7 @@ mod tests {
     #[test]
     fn cn_gain_beats_bs_gain() {
         let hot: HashMap<_, _> = [hot_for(0, 0.9)].into_iter().collect();
-        let records: Vec<TraceRecord> =
-            (0..100).map(|i| rec(i, 0, Op::Write, 0, false)).collect();
+        let records: Vec<TraceRecord> = (0..100).map(|i| rec(i, 0, Op::Write, 0, false)).collect();
         let hits = hit_oracle(&hot, &records, 0.25);
         let cn = latency_gain(&records, &hits, CacheSite::ComputeNode, Op::Write).unwrap();
         let bs = latency_gain(&records, &hits, CacheSite::BlockServer, Op::Write).unwrap();

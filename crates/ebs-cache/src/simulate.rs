@@ -63,15 +63,19 @@ pub fn build_policy(algo: Algorithm, hb: &HottestBlock) -> Box<dyn CachePolicy> 
     match algo {
         Algorithm::Fifo => Box::new(FifoCache::new(pages)),
         Algorithm::Lru => Box::new(LruCache::new(pages)),
-        Algorithm::Frozen => {
-            Box::new(FrozenCache::covering_bytes(hb.block * hb.block_size, hb.block_size))
-        }
+        Algorithm::Frozen => Box::new(FrozenCache::covering_bytes(
+            hb.block * hb.block_size,
+            hb.block_size,
+        )),
     }
 }
 
 /// Run one policy over a VD's event stream, counting page-level hits.
 pub fn simulate(policy: &mut dyn CachePolicy, events: &[IoEvent]) -> HitStats {
-    let mut stats = HitStats { accesses: 0, hits: 0 };
+    let mut stats = HitStats {
+        accesses: 0,
+        hits: 0,
+    };
     for ev in events {
         for page in pages_of(ev.offset, ev.size) {
             stats.accesses += 1;
@@ -81,6 +85,19 @@ pub fn simulate(policy: &mut dyn CachePolicy, events: &[IoEvent]) -> HitStats {
         }
     }
     stats
+}
+
+/// Simulate every algorithm of Figure 7(a) over one **shared, immutable**
+/// event stream. Policy state is private per run; the stream is only ever
+/// borrowed, so a policy × capacity sweep never clones events.
+pub fn sweep_policies(hb: &HottestBlock, events: &[IoEvent]) -> Vec<(Algorithm, HitStats)> {
+    Algorithm::ALL
+        .iter()
+        .map(|&algo| {
+            let mut policy = build_policy(algo, hb);
+            (algo, simulate(policy.as_mut(), events))
+        })
+        .collect()
 }
 
 /// Per-page hit flags for one VD under a frozen cache at its hottest block
@@ -102,7 +119,14 @@ mod tests {
     use ebs_core::io::Op;
 
     fn ev(t: u64, op: Op, offset: u64, size: u32) -> IoEvent {
-        IoEvent { t_us: t, vd: VdId(0), qp: QpId(0), op, size, offset }
+        IoEvent {
+            t_us: t,
+            vd: VdId(0),
+            qp: QpId(0),
+            op,
+            size,
+            offset,
+        }
     }
 
     fn hot_write_stream(block_size: u64) -> Vec<IoEvent> {
@@ -112,7 +136,12 @@ mod tests {
             if i % 5 == 4 {
                 events.push(ev(i, Op::Read, (i * 131) % 64 * (1 << 30), 4096));
             } else {
-                events.push(ev(i, Op::Write, block_size * 2 + (i * 4096) % block_size, 4096));
+                events.push(ev(
+                    i,
+                    Op::Write,
+                    block_size * 2 + (i * 4096) % block_size,
+                    4096,
+                ));
             }
         }
         events
@@ -162,7 +191,10 @@ mod tests {
 
     #[test]
     fn empty_stream_has_no_ratio() {
-        let stats = HitStats { accesses: 0, hits: 0 };
+        let stats = HitStats {
+            accesses: 0,
+            hits: 0,
+        };
         assert_eq!(stats.ratio(), None);
     }
 
@@ -179,9 +211,9 @@ mod tests {
             writes: 3,
         };
         let events = vec![
-            ev(0, Op::Write, bs, 4096),              // fully inside
-            ev(1, Op::Write, bs * 2 - 4096, 8192),   // straddles the end
-            ev(2, Op::Write, 0, 4096),               // outside
+            ev(0, Op::Write, bs, 4096),            // fully inside
+            ev(1, Op::Write, bs * 2 - 4096, 8192), // straddles the end
+            ev(2, Op::Write, 0, 4096),             // outside
         ];
         assert_eq!(frozen_io_hits(&hb, &events), vec![true, false, false]);
     }

@@ -15,10 +15,7 @@ use std::collections::HashMap;
 pub const CACHEABLE_THRESHOLD: f64 = 0.25;
 
 /// VDs whose hottest block clears `threshold`.
-pub fn cacheable_vds(
-    hot: &HashMap<VdId, HottestBlock>,
-    threshold: f64,
-) -> Vec<VdId> {
+pub fn cacheable_vds(hot: &HashMap<VdId, HottestBlock>, threshold: f64) -> Vec<VdId> {
     let mut v: Vec<VdId> = hot
         .iter()
         .filter(|(_, hb)| hb.access_rate >= threshold)
@@ -75,7 +72,11 @@ pub fn std_dev(counts: &[usize]) -> f64 {
     }
     let n = counts.len() as f64;
     let mean = counts.iter().sum::<usize>() as f64 / n;
-    let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+    let var = counts
+        .iter()
+        .map(|&c| (c as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
     var.sqrt()
 }
 
@@ -100,9 +101,12 @@ mod tests {
         let ds = generate(&WorkloadConfig::quick(97)).unwrap();
         let hot = hot_map(&ds, 256 << 20);
         let cacheable = cacheable_vds(&hot, CACHEABLE_THRESHOLD);
-        let cn: usize = per_cn_counts(&ds.fleet, &hot, CACHEABLE_THRESHOLD).iter().sum();
-        let bs: usize =
-            per_bs_counts(&ds.fleet, &hot, CACHEABLE_THRESHOLD, None).iter().sum();
+        let cn: usize = per_cn_counts(&ds.fleet, &hot, CACHEABLE_THRESHOLD)
+            .iter()
+            .sum();
+        let bs: usize = per_bs_counts(&ds.fleet, &hot, CACHEABLE_THRESHOLD, None)
+            .iter()
+            .sum();
         assert_eq!(cn, cacheable.len());
         assert_eq!(bs, cacheable.len());
         assert!(!cacheable.is_empty(), "no cacheable VDs generated");

@@ -52,16 +52,35 @@ impl AppClass {
     pub fn example_apps(self) -> &'static [&'static str] {
         match self {
             AppClass::BigData => &[
-                "HBase", "Flink", "Hadoop", "TensorFlow", "E-MapReduce", "Elastic-HPC",
+                "HBase",
+                "Flink",
+                "Hadoop",
+                "TensorFlow",
+                "E-MapReduce",
+                "Elastic-HPC",
             ],
             AppClass::WebApp => &["Nginx", "Jenkins", "Git", "Crawler", "Game", "httpd"],
             AppClass::Middleware => &[
-                "Elasticsearch", "Kafka", "etcd", "ZooKeeper", "Dubbo", "Nacos", "Nomad", "SLB",
+                "Elasticsearch",
+                "Kafka",
+                "etcd",
+                "ZooKeeper",
+                "Dubbo",
+                "Nacos",
+                "Nomad",
+                "SLB",
             ],
             AppClass::FileSystem => &["FTP", "CPFS"],
             AppClass::Database => &[
-                "Redis", "MySQL", "Postgres", "MsSQL", "MongoDB", "Oracle", "ClickHouse",
-                "Prometheus", "InfluxDB",
+                "Redis",
+                "MySQL",
+                "Postgres",
+                "MsSQL",
+                "MongoDB",
+                "Oracle",
+                "ClickHouse",
+                "Prometheus",
+                "InfluxDB",
             ],
             AppClass::Docker => &["K8S", "ECI", "ESS"],
         }
@@ -69,7 +88,10 @@ impl AppClass {
 
     /// Dense index of this class inside [`AppClass::ALL`].
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("class listed in ALL")
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("class listed in ALL")
     }
 }
 

@@ -130,12 +130,18 @@ pub struct IdVec<I, T> {
 impl<I: Copy + Into<usize>, T> IdVec<I, T> {
     /// Create an empty id-indexed vector.
     pub fn new() -> Self {
-        Self { items: Vec::new(), _marker: std::marker::PhantomData }
+        Self {
+            items: Vec::new(),
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Create from an existing dense vector (index `i` ⇒ id with index `i`).
     pub fn from_vec(items: Vec<T>) -> Self {
-        Self { items, _marker: std::marker::PhantomData }
+        Self {
+            items,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Number of entries.

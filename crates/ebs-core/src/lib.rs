@@ -38,6 +38,7 @@ pub mod error;
 pub mod ids;
 pub mod io;
 pub mod metric;
+pub mod parallel;
 pub mod rng;
 pub mod spec;
 pub mod time;
@@ -47,31 +48,32 @@ pub mod units;
 
 pub use apps::AppClass;
 pub use error::EbsError;
-pub use ids::{IdVec, 
-    BsId, CnId, DcId, QpId, SegId, SnId, TraceId, UserId, VdId, VmId, WtId,
-};
+pub use ids::{BsId, CnId, DcId, IdVec, QpId, SegId, SnId, TraceId, UserId, VdId, VmId, WtId};
 pub use io::{IoEvent, Op};
 pub use metric::{ComputeMetrics, Flow, Measure, RwFlow, Series, SeriesSample, StorageMetrics};
+pub use parallel::{par_jobs, par_map_deterministic};
 pub use rng::RngFactory;
 pub use spec::VdSpec;
+pub use spec::VdTier;
 pub use time::TickSpec;
 pub use topology::Fleet;
-pub use spec::VdTier;
 pub use trace::{StageLatency, TraceRecord, TraceSet};
 
 /// Convenient glob-import surface: `use ebs_core::prelude::*;`.
 pub mod prelude {
     pub use crate::apps::AppClass;
-    pub use crate::ids::{IdVec, 
-        BsId, CnId, DcId, QpId, SegId, SnId, TraceId, UserId, VdId, VmId, WtId,
+    pub use crate::ids::{
+        BsId, CnId, DcId, IdVec, QpId, SegId, SnId, TraceId, UserId, VdId, VmId, WtId,
     };
     pub use crate::io::{IoEvent, Op};
-    pub use crate::metric::{ComputeMetrics, Flow, Measure, RwFlow, Series, SeriesSample, StorageMetrics};
+    pub use crate::metric::{
+        ComputeMetrics, Flow, Measure, RwFlow, Series, SeriesSample, StorageMetrics,
+    };
     pub use crate::rng::RngFactory;
     pub use crate::spec::VdSpec;
+    pub use crate::spec::VdTier;
     pub use crate::time::TickSpec;
     pub use crate::topology::Fleet;
-    pub use crate::spec::VdTier;
     pub use crate::trace::{StageLatency, TraceRecord, TraceSet};
     pub use crate::units::{GIB, KIB, MIB, TIB};
 }

@@ -21,7 +21,10 @@ pub struct Flow {
 
 impl Flow {
     /// Zero flow.
-    pub const ZERO: Flow = Flow { bytes: 0.0, ops: 0.0 };
+    pub const ZERO: Flow = Flow {
+        bytes: 0.0,
+        ops: 0.0,
+    };
 
     /// Whether the flow carries no traffic.
     pub fn is_zero(&self) -> bool {
@@ -32,7 +35,10 @@ impl Flow {
 impl std::ops::Add for Flow {
     type Output = Flow;
     fn add(self, rhs: Flow) -> Flow {
-        Flow { bytes: self.bytes + rhs.bytes, ops: self.ops + rhs.ops }
+        Flow {
+            bytes: self.bytes + rhs.bytes,
+            ops: self.ops + rhs.ops,
+        }
     }
 }
 
@@ -54,7 +60,10 @@ pub struct RwFlow {
 
 impl RwFlow {
     /// Zero flow in both directions.
-    pub const ZERO: RwFlow = RwFlow { read: Flow::ZERO, write: Flow::ZERO };
+    pub const ZERO: RwFlow = RwFlow {
+        read: Flow::ZERO,
+        write: Flow::ZERO,
+    };
 
     /// The flow for one opcode.
     pub fn get(&self, op: Op) -> Flow {
@@ -157,7 +166,9 @@ pub struct Series {
 impl Series {
     /// Empty series.
     pub fn new() -> Self {
-        Self { samples: Vec::new() }
+        Self {
+            samples: Vec::new(),
+        }
     }
 
     /// Append traffic for `tick`. Ticks must be pushed in non-decreasing
@@ -246,7 +257,10 @@ pub struct StorageMetrics {
 impl ComputeMetrics {
     /// Empty metrics for `qp_count` queue pairs.
     pub fn empty(ticks: TickSpec, qp_count: usize) -> Self {
-        Self { ticks, per_qp: IdVec::from_vec(vec![Series::new(); qp_count]) }
+        Self {
+            ticks,
+            per_qp: IdVec::from_vec(vec![Series::new(); qp_count]),
+        }
     }
 
     /// Fleet-wide total flow.
@@ -262,7 +276,10 @@ impl ComputeMetrics {
 impl StorageMetrics {
     /// Empty metrics for `seg_count` segments.
     pub fn empty(ticks: TickSpec, seg_count: usize) -> Self {
-        Self { ticks, per_seg: IdVec::from_vec(vec![Series::new(); seg_count]) }
+        Self {
+            ticks,
+            per_seg: IdVec::from_vec(vec![Series::new(); seg_count]),
+        }
     }
 
     /// Cluster-wide total flow.
@@ -281,16 +298,34 @@ mod tests {
 
     fn rw(rb: f64, wb: f64) -> RwFlow {
         RwFlow {
-            read: Flow { bytes: rb, ops: rb / 4096.0 },
-            write: Flow { bytes: wb, ops: wb / 4096.0 },
+            read: Flow {
+                bytes: rb,
+                ops: rb / 4096.0,
+            },
+            write: Flow {
+                bytes: wb,
+                ops: wb / 4096.0,
+            },
         }
     }
 
     #[test]
     fn flow_arithmetic() {
-        let mut f = Flow { bytes: 1.0, ops: 2.0 };
-        f += Flow { bytes: 3.0, ops: 4.0 };
-        assert_eq!(f, Flow { bytes: 4.0, ops: 6.0 });
+        let mut f = Flow {
+            bytes: 1.0,
+            ops: 2.0,
+        };
+        f += Flow {
+            bytes: 3.0,
+            ops: 4.0,
+        };
+        assert_eq!(
+            f,
+            Flow {
+                bytes: 4.0,
+                ops: 6.0
+            }
+        );
         assert!(Flow::ZERO.is_zero());
         assert!(!f.is_zero());
     }

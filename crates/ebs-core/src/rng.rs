@@ -137,7 +137,10 @@ impl SimRng {
     /// zero or the slice is empty.
     pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
-        assert!(total > 0.0, "choose_weighted requires positive total weight");
+        assert!(
+            total > 0.0,
+            "choose_weighted requires positive total weight"
+        );
         let mut x = self.next_f64() * total;
         for (i, &w) in weights.iter().enumerate() {
             if x < w {
@@ -179,7 +182,9 @@ impl RngFactory {
     /// An independent stream named `tag` with numeric discriminator `n`
     /// (e.g. one stream per VD).
     pub fn stream_n(&self, tag: &str, n: u64) -> SimRng {
-        let mut state = self.seed ^ fnv1a(tag.as_bytes()).rotate_left(17) ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut state = self.seed
+            ^ fnv1a(tag.as_bytes()).rotate_left(17)
+            ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         // Mix before seeding so that (seed, tag, n) triples decorrelate.
         let derived = splitmix64(&mut state) ^ splitmix64(&mut state).rotate_left(32);
         SimRng::seed_from_u64(derived)
@@ -199,8 +204,14 @@ mod tests {
     #[test]
     fn streams_are_deterministic() {
         let f = RngFactory::new(42);
-        let a: Vec<u64> = (0..8).map(|_| 0).scan(f.stream("x"), |r, _| Some(r.next_u64())).collect();
-        let b: Vec<u64> = (0..8).map(|_| 0).scan(f.stream("x"), |r, _| Some(r.next_u64())).collect();
+        let a: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(f.stream("x"), |r, _| Some(r.next_u64()))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(f.stream("x"), |r, _| Some(r.next_u64()))
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -23,13 +23,19 @@ impl VdSpec {
     /// Validate invariants: non-zero capacity, 1..=8 QPs, positive caps.
     pub fn validate(&self) -> Result<(), crate::error::EbsError> {
         if self.capacity_bytes == 0 {
-            return Err(crate::error::EbsError::invalid_spec("capacity must be non-zero"));
+            return Err(crate::error::EbsError::invalid_spec(
+                "capacity must be non-zero",
+            ));
         }
         if self.qp_count == 0 || self.qp_count > 8 {
-            return Err(crate::error::EbsError::invalid_spec("qp_count must be in 1..=8"));
+            return Err(crate::error::EbsError::invalid_spec(
+                "qp_count must be in 1..=8",
+            ));
         }
         if self.tput_cap <= 0.0 || self.iops_cap <= 0.0 {
-            return Err(crate::error::EbsError::invalid_spec("caps must be positive"));
+            return Err(crate::error::EbsError::invalid_spec(
+                "caps must be positive",
+            ));
         }
         Ok(())
     }
@@ -111,11 +117,20 @@ mod tests {
     #[test]
     fn validation_rejects_bad_specs() {
         let good = VdTier::Standard.spec(GIB);
-        let zero_cap = VdSpec { capacity_bytes: 0, ..good };
+        let zero_cap = VdSpec {
+            capacity_bytes: 0,
+            ..good
+        };
         assert!(zero_cap.validate().is_err());
-        let many_qp = VdSpec { qp_count: 9, ..good };
+        let many_qp = VdSpec {
+            qp_count: 9,
+            ..good
+        };
         assert!(many_qp.validate().is_err());
-        let no_tput = VdSpec { tput_cap: 0.0, ..good };
+        let no_tput = VdSpec {
+            tput_cap: 0.0,
+            ..good
+        };
         assert!(no_tput.validate().is_err());
     }
 

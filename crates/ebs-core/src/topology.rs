@@ -320,7 +320,10 @@ impl FleetBuilder {
     /// Add a data center.
     pub fn add_dc(&mut self, name: impl Into<String>) -> DcId {
         let id = DcId::from_index(self.dcs.len());
-        self.dcs.push(Dc { id, name: name.into() });
+        self.dcs.push(Dc {
+            id,
+            name: name.into(),
+        });
         self.rr_seg_cursor.push(0);
         id
     }
@@ -334,7 +337,10 @@ impl FleetBuilder {
 
     /// Add a compute node with `wt_count` worker threads.
     pub fn add_cn(&mut self, dc: DcId, wt_count: u8, bare_metal: bool) -> CnId {
-        assert!(wt_count > 0, "compute node needs at least one worker thread");
+        assert!(
+            wt_count > 0,
+            "compute node needs at least one worker thread"
+        );
         let id = CnId::from_index(self.compute_nodes.len());
         self.compute_nodes.push(ComputeNode {
             id,
@@ -385,7 +391,11 @@ impl FleetBuilder {
         let qp_base = self.qps.len() as u32;
         for k in 0..spec.qp_count {
             let qp = QpId::from_index(self.qps.len());
-            self.qps.push(Qp { id: qp, vd: id, index_in_vd: k });
+            self.qps.push(Qp {
+                id: qp,
+                vd: id,
+                index_in_vd: k,
+            });
             let cursor = &mut self.rr_qp_cursor[cn.index()];
             let wt = WtId(node.wt_base + (*cursor % node.wt_count as u32));
             *cursor += 1;
@@ -398,16 +408,29 @@ impl FleetBuilder {
             .filter(|bs| self.storage_nodes[bs.sn.index()].dc == dc)
             .map(|bs| bs.id)
             .collect();
-        assert!(!dc_bss.is_empty(), "DC {dc} has no BlockServers; add storage before disks");
+        assert!(
+            !dc_bss.is_empty(),
+            "DC {dc} has no BlockServers; add storage before disks"
+        );
         for k in 0..spec.segment_count() {
             let seg = SegId::from_index(self.segments.len());
-            self.segments.push(Segment { id: seg, vd: id, index_in_vd: k });
+            self.segments.push(Segment {
+                id: seg,
+                vd: id,
+                index_in_vd: k,
+            });
             let cursor = &mut self.rr_seg_cursor[dc.index()];
             let bs = dc_bss[(*cursor as usize) % dc_bss.len()];
             *cursor += 1;
             self.seg_home.push(bs);
         }
-        self.vds.push(Vd { id, vm, spec, qp_base, seg_base });
+        self.vds.push(Vd {
+            id,
+            vm,
+            spec,
+            qp_base,
+            seg_base,
+        });
         id
     }
 

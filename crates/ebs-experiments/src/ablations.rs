@@ -8,6 +8,7 @@ use ebs_balance::wt_rebind::{simulate_fleet, RebindConfig};
 use ebs_cache::hottest_block::BLOCK_SIZES;
 use ebs_cache::simulate::{build_policy, simulate, Algorithm};
 use ebs_cache::utilization::{cacheable_vds, per_cn_counts, std_dev};
+use ebs_core::parallel::par_map_deterministic;
 use ebs_throttle::lending::{lending_gains, LendingConfig};
 use ebs_throttle::scenario::{build_groups, CapDim};
 use ebs_workload::Dataset;
@@ -24,122 +25,162 @@ pub const CACHE_THRESHOLDS: [f64; 4] = [0.10, 0.25, 0.40, 0.60];
 /// Sweep the rebind trigger ratio: `(ratio, median rebind ratio, fraction
 /// of nodes improved)`.
 pub fn rebind_trigger_sweep(ds: &Dataset) -> Vec<(f64, f64, f64)> {
-    TRIGGER_RATIOS
-        .iter()
-        .map(|&trigger_ratio| {
-            let cfg = RebindConfig { trigger_ratio, ..RebindConfig::default() };
-            let outcomes = simulate_fleet(&ds.fleet, &ds.events, &cfg);
-            let ratios: Vec<f64> = outcomes.iter().map(|o| o.rebind_ratio).collect();
-            let improved = if outcomes.is_empty() {
-                f64::NAN
-            } else {
-                outcomes.iter().filter(|o| o.gain < 1.0).count() as f64 / outcomes.len() as f64
-            };
-            (trigger_ratio, ebs_analysis::median(&ratios).unwrap_or(f64::NAN), improved)
-        })
-        .collect()
+    par_map_deterministic(&TRIGGER_RATIOS, |_, &trigger_ratio| {
+        let cfg = RebindConfig {
+            trigger_ratio,
+            ..RebindConfig::default()
+        };
+        let outcomes = simulate_fleet(&ds.fleet, &ds.events, &cfg);
+        let ratios: Vec<f64> = outcomes.iter().map(|o| o.rebind_ratio).collect();
+        let improved = if outcomes.is_empty() {
+            f64::NAN
+        } else {
+            outcomes.iter().filter(|o| o.gain < 1.0).count() as f64 / outcomes.len() as f64
+        };
+        (
+            trigger_ratio,
+            ebs_analysis::median(&ratios).unwrap_or(f64::NAN),
+            improved,
+        )
+    })
 }
 
 /// Sweep the lending rate: `(p, positive-gain fraction, median gain)`.
 pub fn lending_rate_sweep(ds: &Dataset) -> Vec<(f64, f64, f64)> {
     let groups = build_groups(&ds.fleet, &ds.compute, CapDim::Throughput);
-    LEND_RATES
-        .iter()
-        .map(|&p| {
-            let gains = lending_gains(&groups, &LendingConfig { p, period_ticks: 6 });
-            let pos = if gains.is_empty() {
-                f64::NAN
-            } else {
-                gains.iter().filter(|&&g| g > 0.0).count() as f64 / gains.len() as f64
-            };
-            (p, pos, ebs_analysis::median(&gains).unwrap_or(f64::NAN))
-        })
-        .collect()
+    par_map_deterministic(&LEND_RATES, |_, &p| {
+        let gains = lending_gains(&groups, &LendingConfig { p, period_ticks: 6 });
+        let pos = if gains.is_empty() {
+            f64::NAN
+        } else {
+            gains.iter().filter(|&&g| g > 0.0).count() as f64 / gains.len() as f64
+        };
+        (p, pos, ebs_analysis::median(&gains).unwrap_or(f64::NAN))
+    })
 }
 
 /// Sweep the exporter threshold: `(ratio, migrations, mean per-period CoV)`.
 pub fn exporter_threshold_sweep(ds: &Dataset) -> Vec<(f64, usize, f64)> {
     let dc = crate::fig4::busiest_dc(ds);
-    EXPORT_RATIOS
-        .iter()
-        .map(|&exporter_ratio| {
-            let cfg = BalancerConfig { exporter_ratio, ..BalancerConfig::default() };
-            let run = run_balancer(&ds.fleet, &ds.storage, dc, &cfg);
-            let mean_cov = if run.cov_series.is_empty() {
-                f64::NAN
-            } else {
-                run.cov_series.iter().sum::<f64>() / run.cov_series.len() as f64
-            };
-            (exporter_ratio, run.migrations, mean_cov)
-        })
-        .collect()
+    par_map_deterministic(&EXPORT_RATIOS, |_, &exporter_ratio| {
+        let cfg = BalancerConfig {
+            exporter_ratio,
+            ..BalancerConfig::default()
+        };
+        let run = run_balancer(&ds.fleet, &ds.storage, dc, &cfg);
+        let mean_cov = if run.cov_series.is_empty() {
+            f64::NAN
+        } else {
+            run.cov_series.iter().sum::<f64>() / run.cov_series.len() as f64
+        };
+        (exporter_ratio, run.migrations, mean_cov)
+    })
 }
 
 /// Sweep the frozen-cache placement threshold at 512 MiB blocks:
 /// `(threshold, cacheable VDs, CN-count std, mean frozen hit ratio among
 /// cacheable VDs)`.
 pub fn cache_threshold_sweep(ds: &Dataset) -> Vec<(f64, usize, f64, f64)> {
+    cache_threshold_sweep_with(
+        ds,
+        &ebs_cache::hottest_block::events_by_vd(&ds.fleet, &ds.events),
+    )
+}
+
+/// [`cache_threshold_sweep`] over a pre-computed per-VD event partition,
+/// shared (borrowed, never cloned) across every threshold.
+pub fn cache_threshold_sweep_with(
+    ds: &Dataset,
+    by_vd: &[Vec<ebs_core::io::IoEvent>],
+) -> Vec<(f64, usize, f64, f64)> {
     let bs = BLOCK_SIZES[3]; // 512 MiB
-    let hot = crate::fig7::hot_map(ds, bs);
-    let by_vd = ebs_cache::hottest_block::events_by_vd(&ds.fleet, &ds.events);
-    CACHE_THRESHOLDS
-        .iter()
-        .map(|&threshold| {
-            let vds = cacheable_vds(&hot, threshold);
-            let counts = per_cn_counts(&ds.fleet, &hot, threshold);
-            let mut ratios = Vec::new();
-            for &vd in &vds {
-                let hb = &hot[&vd];
-                let mut policy = build_policy(Algorithm::Frozen, hb);
-                if let Some(r) = simulate(policy.as_mut(), &by_vd[vd.index()]).ratio() {
-                    ratios.push(r);
-                }
+    let hot = crate::fig7::hot_map(by_vd, bs);
+    par_map_deterministic(&CACHE_THRESHOLDS, |_, &threshold| {
+        let vds = cacheable_vds(&hot, threshold);
+        let counts = per_cn_counts(&ds.fleet, &hot, threshold);
+        let mut ratios = Vec::new();
+        for &vd in &vds {
+            let hb = &hot[&vd];
+            let mut policy = build_policy(Algorithm::Frozen, hb);
+            if let Some(r) = simulate(policy.as_mut(), &by_vd[vd.index()]).ratio() {
+                ratios.push(r);
             }
-            let mean_hit = if ratios.is_empty() {
-                f64::NAN
-            } else {
-                ratios.iter().sum::<f64>() / ratios.len() as f64
-            };
-            (threshold, vds.len(), std_dev(&counts), mean_hit)
-        })
-        .collect()
+        }
+        let mean_hit = if ratios.is_empty() {
+            f64::NAN
+        } else {
+            ratios.iter().sum::<f64>() / ratios.len() as f64
+        };
+        (threshold, vds.len(), std_dev(&counts), mean_hit)
+    })
 }
 
 /// Run and render every sweep.
 pub fn render(ds: &Dataset) -> String {
-    let mut out = String::new();
+    render_with(
+        ds,
+        &ebs_cache::hottest_block::events_by_vd(&ds.fleet, &ds.events),
+    )
+}
 
-    let mut t = Table::new(["trigger ratio", "median rebind ratio", "nodes improved %"])
-        .with_title("Ablation: rebind trigger ratio (§4.3)");
-    for (r, med, imp) in rebind_trigger_sweep(ds) {
-        t.row([format!("{r:.1}"), format!("{med:.3}"), format!("{:.1}", imp * 100.0)]);
-    }
-    out.push_str(&t.render());
-
-    let mut t = Table::new(["p", "positive gain %", "median gain"])
-        .with_title("Ablation: lending rate (§5.3)");
-    for (p, pos, med) in lending_rate_sweep(ds) {
-        t.row([format!("{p:.1}"), format!("{:.1}", pos * 100.0), format!("{med:.3}")]);
-    }
-    out.push('\n');
-    out.push_str(&t.render());
-
-    let mut t = Table::new(["exporter ratio", "migrations", "mean period CoV"])
-        .with_title("Ablation: balancer exporter threshold (§6.1)");
-    for (r, n, cov) in exporter_threshold_sweep(ds) {
-        t.row([format!("{r:.1}"), n.to_string(), format!("{cov:.3}")]);
-    }
-    out.push('\n');
-    out.push_str(&t.render());
-
-    let mut t = Table::new(["threshold", "cacheable VDs", "CN count std", "mean frozen hit"])
-        .with_title("Ablation: frozen-cache placement threshold (§7.3, 512 MiB)");
-    for (th, n, std, hit) in cache_threshold_sweep(ds) {
-        t.row([format!("{th:.2}"), n.to_string(), format!("{std:.2}"), format!("{hit:.3}")]);
-    }
-    out.push('\n');
-    out.push_str(&t.render());
-    out
+/// [`render`] over a shared per-VD event partition. The four sweeps are
+/// independent, so they run as parallel jobs; their tables concatenate in
+/// the fixed ablation order regardless of which finishes first.
+pub fn render_with(ds: &Dataset, by_vd: &[Vec<ebs_core::io::IoEvent>]) -> String {
+    type Job<'a> = Box<dyn FnOnce() -> String + Send + 'a>;
+    let jobs: Vec<Job<'_>> = vec![
+        Box::new(|| {
+            let mut t = Table::new(["trigger ratio", "median rebind ratio", "nodes improved %"])
+                .with_title("Ablation: rebind trigger ratio (§4.3)");
+            for (r, med, imp) in rebind_trigger_sweep(ds) {
+                t.row([
+                    format!("{r:.1}"),
+                    format!("{med:.3}"),
+                    format!("{:.1}", imp * 100.0),
+                ]);
+            }
+            t.render()
+        }),
+        Box::new(|| {
+            let mut t = Table::new(["p", "positive gain %", "median gain"])
+                .with_title("Ablation: lending rate (§5.3)");
+            for (p, pos, med) in lending_rate_sweep(ds) {
+                t.row([
+                    format!("{p:.1}"),
+                    format!("{:.1}", pos * 100.0),
+                    format!("{med:.3}"),
+                ]);
+            }
+            t.render()
+        }),
+        Box::new(|| {
+            let mut t = Table::new(["exporter ratio", "migrations", "mean period CoV"])
+                .with_title("Ablation: balancer exporter threshold (§6.1)");
+            for (r, n, cov) in exporter_threshold_sweep(ds) {
+                t.row([format!("{r:.1}"), n.to_string(), format!("{cov:.3}")]);
+            }
+            t.render()
+        }),
+        Box::new(|| {
+            let mut t = Table::new([
+                "threshold",
+                "cacheable VDs",
+                "CN count std",
+                "mean frozen hit",
+            ])
+            .with_title("Ablation: frozen-cache placement threshold (§7.3, 512 MiB)");
+            for (th, n, std, hit) in cache_threshold_sweep_with(ds, by_vd) {
+                t.row([
+                    format!("{th:.2}"),
+                    n.to_string(),
+                    format!("{std:.2}"),
+                    format!("{hit:.3}"),
+                ]);
+            }
+            t.render()
+        }),
+    ];
+    ebs_core::parallel::par_jobs(jobs).join("\n")
 }
 
 #[cfg(test)]
@@ -153,7 +194,10 @@ mod tests {
         let sweep = rebind_trigger_sweep(&ds);
         let first = sweep.first().unwrap().1;
         let last = sweep.last().unwrap().1;
-        assert!(last <= first + 1e-9, "trigger 2.0 must rebind no more than 1.1");
+        assert!(
+            last <= first + 1e-9,
+            "trigger 2.0 must rebind no more than 1.1"
+        );
     }
 
     #[test]
@@ -185,7 +229,12 @@ mod tests {
     fn render_contains_all_sweeps() {
         let ds = dataset(Scale::Quick);
         let text = render(&ds);
-        for tag in ["rebind trigger", "lending rate", "exporter threshold", "placement threshold"] {
+        for tag in [
+            "rebind trigger",
+            "lending rate",
+            "exporter threshold",
+            "placement threshold",
+        ] {
             assert!(text.contains(tag), "missing {tag}");
         }
     }

@@ -1,19 +1,12 @@
 //! Run every table and figure of the reproduction in one pass.
+//!
+//! Sections run as parallel jobs on the `ebs-core` pool (see
+//! `ebs_experiments::driver`); set `EBS_THREADS=1` for a serial run. The
+//! printed output is identical either way.
 use ebs_experiments::*;
 
 fn main() {
     let scale = Scale::from_args();
     let ds = dataset(scale);
-    println!("{}\n", table2::render(&table2::run(&ds)));
-    println!("{}\n", table3::render(&table3::run(&ds)));
-    println!("{}\n", table4::render(&table4::run(&ds)));
-    println!("{}\n", fig2::render(&fig2::run(&ds)));
-    println!("{}\n", fig3::render(&fig3::run(&ds)));
-    println!("{}\n", fig4::render(&fig4::run(&ds)));
-    println!("{}\n", fig5::render(&fig5::run(&ds)));
-    println!("{}\n", fig6::render(&fig6::run(&ds)));
-    let sim = stack_traces(&ds);
-    println!("{}\n", fig7::render(&fig7::run(&ds, &sim)));
-    println!("{}\n", ablations::render(&ds));
-    println!("{}", extensions::render(&ds, &sim));
+    println!("{}", driver::run_all(&ds).join("\n\n"));
 }

@@ -17,6 +17,7 @@ use ebs_cache::hybrid::{assign_sites, cn_slot_usage, hybrid_latency_gain, Hybrid
 use ebs_cache::location::{hit_oracle, latency_gain, CacheSite};
 use ebs_cache::utilization::CACHEABLE_THRESHOLD;
 use ebs_core::io::Op;
+use ebs_core::parallel::par_map_deterministic;
 use ebs_stack::SimOutput;
 use ebs_throttle::lending::{lending_gains, LendingConfig};
 use ebs_throttle::predictive::{predictive_lending_gains, PredictiveConfig};
@@ -27,20 +28,20 @@ use ebs_workload::Dataset;
 /// `(strategy, mean residency, migrations)`.
 pub fn importer_extension(ds: &Dataset) -> Vec<(ImporterSelect, f64, usize)> {
     let dc = crate::fig4::busiest_dc(ds);
-    ImporterSelect::EXTENDED
-        .iter()
-        .map(|&strategy| {
-            let cfg = BalancerConfig { strategy, ..BalancerConfig::default() };
-            let run = run_balancer(&ds.fleet, &ds.storage, dc, &cfg);
-            let intervals = segment_residency_intervals(run.seg_map.log(), run.periods);
-            let mean = if intervals.is_empty() {
-                f64::NAN
-            } else {
-                intervals.iter().sum::<f64>() / intervals.len() as f64
-            };
-            (strategy, mean, run.migrations)
-        })
-        .collect()
+    par_map_deterministic(&ImporterSelect::EXTENDED, |_, &strategy| {
+        let cfg = BalancerConfig {
+            strategy,
+            ..BalancerConfig::default()
+        };
+        let run = run_balancer(&ds.fleet, &ds.storage, dc, &cfg);
+        let intervals = segment_residency_intervals(run.seg_map.log(), run.periods);
+        let mean = if intervals.is_empty() {
+            f64::NAN
+        } else {
+            intervals.iter().sum::<f64>() / intervals.len() as f64
+        };
+        (strategy, mean, run.migrations)
+    })
 }
 
 /// Plain versus prediction-guided lending at several rates:
@@ -48,55 +49,62 @@ pub fn importer_extension(ds: &Dataset) -> Vec<(ImporterSelect, f64, usize)> {
 ///   plain median gain, predictive median gain)`.
 pub fn lending_extension(ds: &Dataset) -> Vec<(f64, f64, f64, f64, f64)> {
     let groups = build_groups(&ds.fleet, &ds.compute, CapDim::Throughput);
-    [0.4, 0.6, 0.8]
-        .iter()
-        .map(|&p| {
-            let base = LendingConfig { p, period_ticks: 6 };
-            let plain = lending_gains(&groups, &base);
-            let predictive =
-                predictive_lending_gains(&groups, &PredictiveConfig { base, safety: 1.2 });
-            let neg = |v: &[f64]| {
-                if v.is_empty() {
-                    f64::NAN
-                } else {
-                    v.iter().filter(|&&g| g < 0.0).count() as f64 / v.len() as f64
-                }
-            };
-            (
-                p,
-                neg(&plain),
-                neg(&predictive),
-                ebs_analysis::median(&plain).unwrap_or(f64::NAN),
-                ebs_analysis::median(&predictive).unwrap_or(f64::NAN),
-            )
-        })
-        .collect()
+    par_map_deterministic(&[0.4, 0.6, 0.8], |_, &p| {
+        let base = LendingConfig { p, period_ticks: 6 };
+        let plain = lending_gains(&groups, &base);
+        let predictive = predictive_lending_gains(&groups, &PredictiveConfig { base, safety: 1.2 });
+        let neg = |v: &[f64]| {
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().filter(|&&g| g < 0.0).count() as f64 / v.len() as f64
+            }
+        };
+        (
+            p,
+            neg(&plain),
+            neg(&predictive),
+            ebs_analysis::median(&plain).unwrap_or(f64::NAN),
+            ebs_analysis::median(&predictive).unwrap_or(f64::NAN),
+        )
+    })
 }
 
 /// Hybrid deployment sweep: `(cn_slots, write p50 gain, max CN slots used)`
 /// plus the pure CN / BS baselines.
-pub fn hybrid_extension(
+pub fn hybrid_extension(ds: &Dataset, sim: &SimOutput) -> (Vec<(usize, f64, usize)>, f64, f64) {
+    let by_vd = ebs_cache::hottest_block::events_by_vd(&ds.fleet, &ds.events);
+    hybrid_extension_with(ds, sim, &by_vd)
+}
+
+/// [`hybrid_extension`] over a shared per-VD event partition; the slot
+/// sweep itself fans out in parallel over one borrowed trace.
+pub fn hybrid_extension_with(
     ds: &Dataset,
     sim: &SimOutput,
+    by_vd: &[Vec<ebs_core::io::IoEvent>],
 ) -> (Vec<(usize, f64, usize)>, f64, f64) {
-    let hot = crate::fig7::hot_map(ds, 2048 << 20);
+    let hot = crate::fig7::hot_map(by_vd, 2048 << 20);
     let records = sim.traces.records();
     let hits = hit_oracle(&hot, records, CACHEABLE_THRESHOLD);
-    let sweep = [0usize, 1, 2, 4, 8]
-        .iter()
-        .map(|&slots| {
-            let sites = assign_sites(
-                &ds.fleet,
-                &hot,
-                &HybridConfig { cn_slots_per_node: slots, threshold: CACHEABLE_THRESHOLD },
-            );
-            let gain = hybrid_latency_gain(records, &hits, &sites, Op::Write)
-                .map(|g| g.p50)
-                .unwrap_or(f64::NAN);
-            let used = cn_slot_usage(&ds.fleet, &sites).into_iter().max().unwrap_or(0);
-            (slots, gain, used)
-        })
-        .collect();
+    let sweep = par_map_deterministic(&[0usize, 1, 2, 4, 8], |_, &slots| {
+        let sites = assign_sites(
+            &ds.fleet,
+            &hot,
+            &HybridConfig {
+                cn_slots_per_node: slots,
+                threshold: CACHEABLE_THRESHOLD,
+            },
+        );
+        let gain = hybrid_latency_gain(records, &hits, &sites, Op::Write)
+            .map(|g| g.p50)
+            .unwrap_or(f64::NAN);
+        let used = cn_slot_usage(&ds.fleet, &sites)
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+        (slots, gain, used)
+    });
     let cn = latency_gain(records, &hits, CacheSite::ComputeNode, Op::Write)
         .map(|g| g.p50)
         .unwrap_or(f64::NAN);
@@ -108,6 +116,15 @@ pub fn hybrid_extension(
 
 /// Run and render all three extensions.
 pub fn render(ds: &Dataset, sim: &SimOutput) -> String {
+    render_with(
+        ds,
+        sim,
+        &ebs_cache::hottest_block::events_by_vd(&ds.fleet, &ds.events),
+    )
+}
+
+/// [`render`] over a shared per-VD event partition.
+pub fn render_with(ds: &Dataset, sim: &SimOutput, by_vd: &[Vec<ebs_core::io::IoEvent>]) -> String {
     let mut out = String::new();
 
     let mut t = Table::new(["strategy", "mean norm. residency", "migrations"])
@@ -137,7 +154,7 @@ pub fn render(ds: &Dataset, sim: &SimOutput) -> String {
     out.push('\n');
     out.push_str(&t.render());
 
-    let (sweep, cn, bs) = hybrid_extension(ds, sim);
+    let (sweep, cn, bs) = hybrid_extension_with(ds, sim, by_vd);
     let mut t = Table::new(["CN slots/node", "write p50 gain", "max slots used"])
         .with_title("Extension: hybrid CN+BS cache deployment (§7.3.2)");
     for (slots, gain, used) in sweep {
@@ -209,7 +226,10 @@ mod tests {
         let sim = stack_traces(&ds);
         let text = render(&ds, &sim);
         for tag in ["S6", "prediction-guided", "hybrid"] {
-            assert!(text.to_lowercase().contains(&tag.to_lowercase()), "missing {tag}");
+            assert!(
+                text.to_lowercase().contains(&tag.to_lowercase()),
+                "missing {tag}"
+            );
         }
     }
 }

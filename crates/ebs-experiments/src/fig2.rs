@@ -8,7 +8,9 @@
 use ebs_analysis::aggregate::{rollup_compute, ComputeLevel};
 use ebs_analysis::table::Table;
 use ebs_analysis::{median, normalized_cov, p2a, Cdf};
-use ebs_balance::wt_rebind::{events_by_cn, hottest_wt_series, simulate_fleet, RebindConfig, RebindOutcome};
+use ebs_balance::wt_rebind::{
+    events_by_cn, hottest_wt_series, simulate_fleet, RebindConfig, RebindOutcome,
+};
 use ebs_core::ids::CnId;
 use ebs_core::io::Op;
 use ebs_core::metric::Measure;
@@ -71,7 +73,13 @@ pub struct Fig2 {
 
 fn per_cn_wt_series(ds: &Dataset, op: Op) -> Vec<(CnId, Vec<Vec<f64>>)> {
     let fleet = &ds.fleet;
-    let roll = rollup_compute(fleet, &ds.compute, ComputeLevel::Wt, Measure::bytes(op), |_| true);
+    let roll = rollup_compute(
+        fleet,
+        &ds.compute,
+        ComputeLevel::Wt,
+        Measure::bytes(op),
+        |_| true,
+    );
     let mut by_cn: std::collections::BTreeMap<CnId, Vec<Vec<f64>>> =
         std::collections::BTreeMap::new();
     for (wt_idx, series) in &roll.series {
@@ -110,9 +118,7 @@ pub fn panel_a(ds: &Dataset) -> PanelA {
                 for w in 0..windows {
                     let sums: Vec<f64> = wt_series
                         .iter()
-                        .map(|s| {
-                            s[w * win..((w + 1) * win).min(s.len())].iter().sum::<f64>()
-                        })
+                        .map(|s| s[w * win..((w + 1) * win).min(s.len())].iter().sum::<f64>())
                         .collect();
                     if let Some(c) = normalized_cov(&sums) {
                         covs.push(c);
@@ -134,7 +140,10 @@ pub fn panel_b(ds: &Dataset) -> PanelB {
         let measure = Measure::bytes(*op);
         let qp_roll = rollup_compute(fleet, &ds.compute, ComputeLevel::Qp, measure, |_| true);
         let qp_total = |qp: ebs_core::ids::QpId| -> f64 {
-            qp_roll.get(qp.index()).map(|s| s.iter().sum()).unwrap_or(0.0)
+            qp_roll
+                .get(qp.index())
+                .map(|s| s.iter().sum())
+                .unwrap_or(0.0)
         };
         let mut vm2qp = Vec::new();
         let mut vm2vd = Vec::new();
@@ -201,8 +210,13 @@ pub fn panel_c(ds: &Dataset) -> PanelC {
     let mut med = [f64::NAN; 2];
     let mut above = [f64::NAN; 2];
     for (k, op) in Op::ALL.iter().enumerate() {
-        let roll =
-            rollup_compute(fleet, &ds.compute, ComputeLevel::Qp, Measure::bytes(*op), |_| true);
+        let roll = rollup_compute(
+            fleet,
+            &ds.compute,
+            ComputeLevel::Qp,
+            Measure::bytes(*op),
+            |_| true,
+        );
         let mut per_cn: std::collections::BTreeMap<CnId, Vec<f64>> =
             std::collections::BTreeMap::new();
         for (qp_idx, series) in &roll.series {
@@ -225,15 +239,21 @@ pub fn panel_c(ds: &Dataset) -> PanelC {
         med[k] = cdf.quantile(0.5).unwrap_or(f64::NAN);
         above[k] = cdf.above(0.8).unwrap_or(f64::NAN);
     }
-    PanelC { median_share: (med[0], med[1]), frac_above_80: (above[0], above[1]) }
+    PanelC {
+        median_share: (med[0], med[1]),
+        frac_above_80: (above[0], above[1]),
+    }
 }
 
 /// Panels (d–f): the rebinding simulation and its exemplars.
 pub fn panel_def(ds: &Dataset) -> PanelDef {
     let outcomes = simulate_fleet(&ds.fleet, &ds.events, &RebindConfig::default());
     let improved = outcomes.iter().filter(|o| o.gain < 1.0).count();
-    let improved_frac =
-        if outcomes.is_empty() { 0.0 } else { improved as f64 / outcomes.len() as f64 };
+    let improved_frac = if outcomes.is_empty() {
+        0.0
+    } else {
+        improved as f64 / outcomes.len() as f64
+    };
 
     // Exemplars (the paper's node-b / node-r): among nodes with an
     // above-median rebind ratio, the one with the spikiest hottest-WT
@@ -273,7 +293,12 @@ pub fn panel_def(ds: &Dataset) -> PanelDef {
 
 /// Run the whole figure.
 pub fn run(ds: &Dataset) -> Fig2 {
-    Fig2 { a: panel_a(ds), b: panel_b(ds), c: panel_c(ds), def: panel_def(ds) }
+    Fig2 {
+        a: panel_a(ds),
+        b: panel_b(ds),
+        c: panel_c(ds),
+        def: panel_def(ds),
+    }
 }
 
 /// Render all panels.
@@ -288,9 +313,21 @@ pub fn render(f: &Fig2) -> String {
 
     let mut b = Table::new(["breakdown", "median CoV R", "median CoV W"])
         .with_title("Figure 2(b): VM-VD-QP CoV breakdown (hottest VM per node)");
-    b.row(["VM→QP".to_string(), format!("{:.3}", f.b.vm2qp.0), format!("{:.3}", f.b.vm2qp.1)]);
-    b.row(["VM→VD".to_string(), format!("{:.3}", f.b.vm2vd.0), format!("{:.3}", f.b.vm2vd.1)]);
-    b.row(["VD→QP".to_string(), format!("{:.3}", f.b.vd2qp.0), format!("{:.3}", f.b.vd2qp.1)]);
+    b.row([
+        "VM→QP".to_string(),
+        format!("{:.3}", f.b.vm2qp.0),
+        format!("{:.3}", f.b.vm2qp.1),
+    ]);
+    b.row([
+        "VM→VD".to_string(),
+        format!("{:.3}", f.b.vm2vd.0),
+        format!("{:.3}", f.b.vm2vd.1),
+    ]);
+    b.row([
+        "VD→QP".to_string(),
+        format!("{:.3}", f.b.vd2qp.0),
+        format!("{:.3}", f.b.vd2qp.1),
+    ]);
     out.push('\n');
     out.push_str(&b.render());
 
@@ -312,7 +349,11 @@ pub fn render(f: &Fig2) -> String {
     let mut d = Table::new(["node", "rebind ratio", "gain (CoV after/before)"])
         .with_title("Figure 2(d): rebinding simulation scatter (per compute node)");
     for o in &f.def.outcomes {
-        d.row([o.cn.to_string(), format!("{:.3}", o.rebind_ratio), format!("{:.3}", o.gain)]);
+        d.row([
+            o.cn.to_string(),
+            format!("{:.3}", o.rebind_ratio),
+            format!("{:.3}", o.gain),
+        ]);
     }
     out.push('\n');
     out.push_str(&d.render());
@@ -354,15 +395,27 @@ mod tests {
         assert!(b.vm2vd.0 > 0.6, "VM→VD read CoV {:.3}", b.vm2vd.0);
         assert!(b.vm2vd.0 >= b.vm2qp.0 - 0.15);
         // Writes concentrate on fewer QPs than reads (VD→QP, §4.2).
-        assert!(b.vd2qp.1 > b.vd2qp.0, "VD→QP: W {:.3} vs R {:.3}", b.vd2qp.1, b.vd2qp.0);
+        assert!(
+            b.vd2qp.1 > b.vd2qp.0,
+            "VD→QP: W {:.3} vs R {:.3}",
+            b.vd2qp.1,
+            b.vd2qp.0
+        );
     }
 
     #[test]
     fn hottest_qp_dominates_many_nodes() {
         let ds = dataset(Scale::Medium);
         let c = panel_c(&ds);
-        assert!(c.frac_above_80.0 > c.frac_above_80.1, "read should concentrate more");
-        assert!(c.frac_above_80.0 > 0.15, "read >80% fraction {:.3}", c.frac_above_80.0);
+        assert!(
+            c.frac_above_80.0 > c.frac_above_80.1,
+            "read should concentrate more"
+        );
+        assert!(
+            c.frac_above_80.0 > 0.15,
+            "read >80% fraction {:.3}",
+            c.frac_above_80.0
+        );
         assert!(c.median_share.0 > 0.3);
     }
 
@@ -372,11 +425,18 @@ mod tests {
         let def = panel_def(&ds);
         assert!(!def.outcomes.is_empty());
         assert!(def.improved_frac > 0.05, "someone must benefit");
-        assert!(def.improved_frac < 0.95, "rebinding must not be a silver bullet");
+        assert!(
+            def.improved_frac < 0.95,
+            "rebinding must not be a silver bullet"
+        );
         // The bursty exemplar out-bursts the smooth one (by construction)
         // — and by a wide factor, like the paper's 7.7x node-b vs node-r.
-        assert!(def.bursty_p2a > def.smooth_p2a * 2.0,
-            "bursty {:.1} vs smooth {:.1}", def.bursty_p2a, def.smooth_p2a);
+        assert!(
+            def.bursty_p2a > def.smooth_p2a * 2.0,
+            "bursty {:.1} vs smooth {:.1}",
+            def.bursty_p2a,
+            def.smooth_p2a
+        );
     }
 
     #[test]

@@ -149,7 +149,10 @@ pub fn run(ds: &Dataset) -> Fig3 {
     let iops_events: usize = iops.iter().map(throttle_event_count).sum();
     let c = PanelC {
         write_dominant: (frac(&tput, &|r| r > wd), frac(&iops, &|r| r > wd)),
-        mixed: (frac(&tput, &|r| r.abs() <= wd), frac(&iops, &|r| r.abs() <= wd)),
+        mixed: (
+            frac(&tput, &|r| r.abs() <= wd),
+            frac(&iops, &|r| r.abs() <= wd),
+        ),
         tput_over_iops_events: tput_events as f64 / (iops_events.max(1)) as f64,
     };
 
@@ -187,7 +190,13 @@ pub fn run(ds: &Dataset) -> Fig3 {
         }
     }
 
-    Fig3 { a: panel_a(&tput), b, c, de, fg }
+    Fig3 {
+        a: panel_a(&tput),
+        b,
+        c,
+        de,
+        fg,
+    }
 }
 
 /// Render all panels.
@@ -301,8 +310,15 @@ mod tests {
             "write-dominant fraction {:.3}",
             f.c.write_dominant.0
         );
-        assert!(f.c.mixed.0 < 0.3, "mixed band should be small: {:.3}", f.c.mixed.0);
-        assert!(f.c.tput_over_iops_events > 1.0, "throughput caps fire more often");
+        assert!(
+            f.c.mixed.0 < 0.3,
+            "mixed band should be small: {:.3}",
+            f.c.mixed.0
+        );
+        assert!(
+            f.c.tput_over_iops_events > 1.0,
+            "throughput caps fire more often"
+        );
     }
 
     #[test]
@@ -316,14 +332,19 @@ mod tests {
                 .map(|(_, _, _, d)| d.p50)
                 .unwrap()
         };
-        assert!(median_at(0.8) < median_at(0.4), "more lending → more reduction");
+        assert!(
+            median_at(0.8) < median_at(0.4),
+            "more lending → more reduction"
+        );
     }
 
     #[test]
     fn lending_mostly_gains_but_not_always() {
         let f = fig();
         let (_, _, pos, d) =
-            f.fg.iter().find(|(p, kind, _, _)| *p == 0.8 && *kind == "multi-VD VM").unwrap();
+            f.fg.iter()
+                .find(|(p, kind, _, _)| *p == 0.8 && *kind == "multi-VD VM")
+                .unwrap();
         assert!(*pos > 0.5, "most groups should gain: {pos:.3}");
         assert!(d.n > 0);
     }
@@ -331,7 +352,8 @@ mod tests {
     #[test]
     fn whale_case_study_exists() {
         let f = fig();
-        let a = f.a.expect("a multi-VD VM should produce a Figure 3(a) case");
+        let a =
+            f.a.expect("a multi-VD VM should produce a Figure 3(a) case");
         assert!(a.vd_count >= 2);
         assert!(a.vm_utilization < 0.7);
         assert!(a.vd_utilization >= 1.0);

@@ -68,7 +68,10 @@ pub fn panel_b(ds: &Dataset, dc: DcId) -> Vec<(ImporterSelect, f64, usize)> {
     ImporterSelect::ALL
         .iter()
         .map(|&strategy| {
-            let cfg = BalancerConfig { strategy, ..BalancerConfig::default() };
+            let cfg = BalancerConfig {
+                strategy,
+                ..BalancerConfig::default()
+            };
             let run = run_balancer(&ds.fleet, &ds.storage, dc, &cfg);
             let intervals = segment_residency_intervals(run.seg_map.log(), run.periods);
             // Mean (not median) residency: strategies that avoid
@@ -122,7 +125,11 @@ pub fn panel_c(ds: &Dataset, dc: DcId) -> Vec<(String, f64)> {
             Box::new(|| Box::new(LinearFit::default())),
             Cadence::PerPeriod,
         ),
-        ("P2-ARIMA".into(), Box::new(|| Box::new(Arima::default())), Cadence::PerPeriod),
+        (
+            "P2-ARIMA".into(),
+            Box::new(|| Box::new(Arima::default())),
+            Cadence::PerPeriod,
+        ),
         (
             "P3-GBDT(epoch)".into(),
             Box::new(|| Box::new(Gbdt::default())),
@@ -170,7 +177,12 @@ pub fn run(ds: &Dataset) -> Fig4 {
     let dc = busiest_dc(ds);
     let b = panel_b(ds, dc);
     let c = panel_c(ds, dc);
-    Fig4 { a, b, c, cluster: ds.fleet.dcs[dc].name.clone() }
+    Fig4 {
+        a,
+        b,
+        c,
+        cluster: ds.fleet.dcs[dc].name.clone(),
+    }
 }
 
 /// Render all panels.
@@ -179,20 +191,28 @@ pub fn render(f: &Fig4) -> String {
     let mut a = Table::new(["window (s)", "cluster", "frequent migration %"])
         .with_title("Figure 4(a): proportion of frequent migrations");
     for (w, dc, prop) in &f.a {
-        a.row([format!("{w:.0}"), dc.clone(), format!("{:.1}", prop * 100.0)]);
+        a.row([
+            format!("{w:.0}"),
+            dc.clone(),
+            format!("{:.1}", prop * 100.0),
+        ]);
     }
     out.push_str(&a.render());
 
-    let mut b = Table::new(["strategy", "mean norm. residency", "migrations"])
-        .with_title(format!("Figure 4(b): segment residency interval by importer selection ({})", f.cluster));
+    let mut b = Table::new(["strategy", "mean norm. residency", "migrations"]).with_title(format!(
+        "Figure 4(b): segment residency interval by importer selection ({})",
+        f.cluster
+    ));
     for (s, med, n) in &f.b {
         b.row([s.label().to_string(), format!("{med:.3}"), n.to_string()]);
     }
     out.push('\n');
     out.push_str(&b.render());
 
-    let mut c = Table::new(["predictor", "mean normalized MSE"])
-        .with_title(format!("Figure 4(c): traffic-prediction error ({})", f.cluster));
+    let mut c = Table::new(["predictor", "mean normalized MSE"]).with_title(format!(
+        "Figure 4(c): traffic-prediction error ({})",
+        f.cluster
+    ));
     for (name, mse) in &f.c {
         c.row([name.clone(), format!("{mse:.3}")]);
     }

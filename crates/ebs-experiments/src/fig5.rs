@@ -52,12 +52,22 @@ pub fn panel_a(ds: &Dataset) -> Vec<CovPoint> {
     let slice_ticks = ticks.ticks_per_window(slice_secs) as usize;
     let mut points = Vec::new();
     for dc in fleet.dcs.iter() {
-        let read = rollup_storage(fleet, &ds.storage, StorageLevel::Bs, Measure::ReadBytes, None, |seg| {
-            fleet.dc_of_seg(seg) == dc.id
-        });
-        let write = rollup_storage(fleet, &ds.storage, StorageLevel::Bs, Measure::WriteBytes, None, |seg| {
-            fleet.dc_of_seg(seg) == dc.id
-        });
+        let read = rollup_storage(
+            fleet,
+            &ds.storage,
+            StorageLevel::Bs,
+            Measure::ReadBytes,
+            None,
+            |seg| fleet.dc_of_seg(seg) == dc.id,
+        );
+        let write = rollup_storage(
+            fleet,
+            &ds.storage,
+            StorageLevel::Bs,
+            Measure::WriteBytes,
+            None,
+            |seg| fleet.dc_of_seg(seg) == dc.id,
+        );
         if read.is_empty() || write.is_empty() {
             continue;
         }
@@ -99,9 +109,7 @@ pub fn panel_b(ds: &Dataset) -> Vec<f64> {
             segs.push((t.read.bytes, t.write.bytes));
         }
         // Keep the top contributors to 80 % of traffic.
-        segs.sort_by(|a, b| {
-            (b.0 + b.1).partial_cmp(&(a.0 + a.1)).expect("no NaNs")
-        });
+        segs.sort_by(|a, b| (b.0 + b.1).partial_cmp(&(a.0 + a.1)).expect("no NaNs"));
         let total: f64 = segs.iter().map(|(r, w)| r + w).sum();
         let mut acc = 0.0;
         let mut ratios = Vec::new();
@@ -140,16 +148,31 @@ pub fn run(ds: &Dataset) -> Fig5 {
 
     // Panel (c): busiest cluster, Ideal importer (the paper's setup).
     let dc = crate::fig4::busiest_dc(ds);
-    let cfg = BalancerConfig { strategy: ImporterSelect::Ideal, ..BalancerConfig::default() };
+    let cfg = BalancerConfig {
+        strategy: ImporterSelect::Ideal,
+        ..BalancerConfig::default()
+    };
     let wo = run_scheme(&ds.fleet, &ds.storage, dc, MigrationScheme::WriteOnly, &cfg);
-    let wr = run_scheme(&ds.fleet, &ds.storage, dc, MigrationScheme::WriteThenRead, &cfg);
+    let wr = run_scheme(
+        &ds.fleet,
+        &ds.storage,
+        dc,
+        MigrationScheme::WriteThenRead,
+        &cfg,
+    );
     let c = (
         median(&wo.write).unwrap_or(f64::NAN),
         median(&wo.read).unwrap_or(f64::NAN),
         median(&wr.write).unwrap_or(f64::NAN),
         median(&wr.read).unwrap_or(f64::NAN),
     );
-    Fig5 { a, above_diagonal: above, b: hist.fractions(), b_above_09: b_above, c }
+    Fig5 {
+        a,
+        above_diagonal: above,
+        b: hist.fractions(),
+        b_above_09: b_above,
+        c,
+    }
 }
 
 /// Render all panels.
@@ -173,7 +196,10 @@ pub fn render(f: &Fig5) -> String {
     let mut b = Table::new(["|wr_ratio| bin", "fraction of clusters"])
         .with_title("Figure 5(b): median |wr_ratio| of top-traffic segments");
     for (i, frac) in f.b.iter().enumerate() {
-        b.row([format!("{:.1}-{:.1}", i as f64 / 10.0, (i + 1) as f64 / 10.0), format!("{frac:.2}")]);
+        b.row([
+            format!("{:.1}-{:.1}", i as f64 / 10.0, (i + 1) as f64 / 10.0),
+            format!("{frac:.2}"),
+        ]);
     }
     out.push('\n');
     out.push_str(&b.render());
@@ -184,8 +210,16 @@ pub fn render(f: &Fig5) -> String {
 
     let mut c = Table::new(["scheme", "median write CoV", "median read CoV"])
         .with_title("Figure 5(c): Write-Only vs Write-then-Read migration");
-    c.row(["Write-Only".to_string(), format!("{:.3}", f.c.0), format!("{:.3}", f.c.1)]);
-    c.row(["Write-then-Read".to_string(), format!("{:.3}", f.c.2), format!("{:.3}", f.c.3)]);
+    c.row([
+        "Write-Only".to_string(),
+        format!("{:.3}", f.c.0),
+        format!("{:.3}", f.c.1),
+    ]);
+    c.row([
+        "Write-then-Read".to_string(),
+        format!("{:.3}", f.c.2),
+        format!("{:.3}", f.c.3),
+    ]);
     out.push('\n');
     out.push_str(&c.render());
     out
@@ -228,8 +262,14 @@ mod tests {
         let ds = dataset(Scale::Medium);
         let f = run(&ds);
         let (wo_w, wo_r, wr_w, wr_r) = f.c;
-        assert!(wr_w <= wo_w * 1.05, "write CoV must not degrade: {wo_w:.3} → {wr_w:.3}");
-        assert!(wr_r <= wo_r * 1.08, "read CoV outside noise band: {wo_r:.3} → {wr_r:.3}");
+        assert!(
+            wr_w <= wo_w * 1.05,
+            "write CoV must not degrade: {wo_w:.3} → {wr_w:.3}"
+        );
+        assert!(
+            wr_r <= wo_r * 1.08,
+            "read CoV outside noise band: {wo_r:.3} → {wr_r:.3}"
+        );
     }
 
     #[test]

@@ -56,26 +56,48 @@ pub fn hottest_blocks(ds: &Dataset, block_size: u64) -> Vec<(HottestBlock, Vec<u
         .collect()
 }
 
-/// Run the whole figure.
+/// Run the whole figure, partitioning the event stream itself.
 pub fn run(ds: &Dataset) -> Fig6 {
-    let by_vd = events_by_vd(&ds.fleet, &ds.events);
+    run_with(ds, &events_by_vd(&ds.fleet, &ds.events))
+}
+
+/// What one VD contributes to a [`SizeRow`].
+struct VdStats {
+    access_rate: f64,
+    lba_share: f64,
+    wr_ratio: Option<f64>,
+    hot_rate: Option<f64>,
+}
+
+/// Run the whole figure over a pre-computed per-VD event partition. VDs fan
+/// out in parallel per block size; their statistics fold in VD order, so
+/// the rows match a serial pass exactly.
+pub fn run_with(ds: &Dataset, by_vd: &[Vec<ebs_core::io::IoEvent>]) -> Fig6 {
     let mut rows = Vec::new();
     for &bs in &BLOCK_SIZES {
+        let per_vd = ebs_core::parallel::par_map_deterministic(by_vd, |i, evs| {
+            if evs.len() < MIN_EVENTS {
+                return None;
+            }
+            let vd = VdId::from_index(i);
+            let hb = hottest_block(vd, evs, bs)?;
+            Some(VdStats {
+                access_rate: hb.access_rate,
+                lba_share: hb.lba_share(ds.fleet.vds[vd].spec.capacity_bytes),
+                wr_ratio: hb.wr_ratio(),
+                hot_rate: hot_rate(evs, &hb, HOT_RATE_WINDOW_US, 3),
+            })
+        });
         let mut rates = Vec::new();
         let mut shares = Vec::new();
         let mut wd = 0usize;
         let mut rd = 0usize;
         let mut classified = 0usize;
         let mut hot_rates = Vec::new();
-        for (i, evs) in by_vd.iter().enumerate() {
-            if evs.len() < MIN_EVENTS {
-                continue;
-            }
-            let vd = VdId::from_index(i);
-            let Some(hb) = hottest_block(vd, evs, bs) else { continue };
-            rates.push(hb.access_rate);
-            shares.push(hb.lba_share(ds.fleet.vds[vd].spec.capacity_bytes));
-            if let Some(r) = hb.wr_ratio() {
+        for stats in per_vd.into_iter().flatten() {
+            rates.push(stats.access_rate);
+            shares.push(stats.lba_share);
+            if let Some(r) = stats.wr_ratio {
                 classified += 1;
                 if r > WRITE_DOMINANT {
                     wd += 1;
@@ -83,7 +105,7 @@ pub fn run(ds: &Dataset) -> Fig6 {
                     rd += 1;
                 }
             }
-            if let Some(hr) = hot_rate(evs, &hb, HOT_RATE_WINDOW_US, 3) {
+            if let Some(hr) = stats.hot_rate {
                 hot_rates.push(hr);
             }
         }
@@ -91,8 +113,16 @@ pub fn run(ds: &Dataset) -> Fig6 {
             block_size: bs,
             access_rate: Dist::of(&rates),
             median_lba_share: ebs_analysis::median(&shares).unwrap_or(f64::NAN),
-            write_dominant: if classified > 0 { wd as f64 / classified as f64 } else { f64::NAN },
-            read_dominant: if classified > 0 { rd as f64 / classified as f64 } else { f64::NAN },
+            write_dominant: if classified > 0 {
+                wd as f64 / classified as f64
+            } else {
+                f64::NAN
+            },
+            read_dominant: if classified > 0 {
+                rd as f64 / classified as f64
+            } else {
+                f64::NAN
+            },
             hot_rate: Dist::of(&hot_rates),
             vds: rates.len(),
         });
@@ -154,14 +184,21 @@ mod tests {
         let f = fig();
         let first = f.rows.first().unwrap().access_rate.p50;
         let last = f.rows.last().unwrap().access_rate.p50;
-        assert!(last >= first, "2048 MiB blocks must absorb at least as much");
+        assert!(
+            last >= first,
+            "2048 MiB blocks must absorb at least as much"
+        );
     }
 
     #[test]
     fn hottest_blocks_are_mostly_write_dominant() {
         let f = fig();
         let row = &f.rows[0];
-        assert!(row.write_dominant > 0.5, "write-dominant {:.2}", row.write_dominant);
+        assert!(
+            row.write_dominant > 0.5,
+            "write-dominant {:.2}",
+            row.write_dominant
+        );
         assert!(row.read_dominant < row.write_dominant);
     }
 

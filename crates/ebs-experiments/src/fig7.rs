@@ -9,10 +9,11 @@ use crate::fig6::MIN_EVENTS;
 use ebs_analysis::table::Table;
 use ebs_cache::hottest_block::{events_by_vd, hottest_block, HottestBlock, BLOCK_SIZES};
 use ebs_cache::location::{hit_oracle, latency_gain, CacheSite, LatencyGain};
-use ebs_cache::simulate::{build_policy, simulate, Algorithm};
+use ebs_cache::simulate::{sweep_policies, Algorithm};
 use ebs_cache::utilization::{per_bs_counts, per_cn_counts, std_dev, CACHEABLE_THRESHOLD};
 use ebs_core::ids::VdId;
-use ebs_core::io::Op;
+use ebs_core::io::{IoEvent, Op};
+use ebs_core::parallel::par_map_deterministic;
 use ebs_stack::SimOutput;
 use ebs_workload::Dataset;
 use std::collections::HashMap;
@@ -57,34 +58,43 @@ pub struct Fig7 {
     pub d: Vec<UtilRow>,
 }
 
-/// Hottest blocks of all sufficiently busy VDs at `block_size`.
-pub fn hot_map(ds: &Dataset, block_size: u64) -> HashMap<VdId, HottestBlock> {
-    events_by_vd(&ds.fleet, &ds.events)
-        .iter()
-        .enumerate()
-        .filter(|(_, evs)| evs.len() >= MIN_EVENTS)
-        .filter_map(|(i, evs)| {
-            hottest_block(VdId::from_index(i), evs, block_size).map(|hb| (hb.vd, hb))
-        })
-        .collect()
+/// Hottest blocks of all sufficiently busy VDs at `block_size`, computed
+/// over one shared per-VD partition of the sampled events (VDs fan out in
+/// parallel; the map's contents don't depend on scheduling).
+pub fn hot_map(by_vd: &[Vec<IoEvent>], block_size: u64) -> HashMap<VdId, HottestBlock> {
+    par_map_deterministic(by_vd, |i, evs| {
+        if evs.len() < MIN_EVENTS {
+            return None;
+        }
+        hottest_block(VdId::from_index(i), evs, block_size).map(|hb| (hb.vd, hb))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
-/// Panel (a): simulate the three policies per VD per block size.
-pub fn panel_a(ds: &Dataset) -> Vec<HitRow> {
-    let by_vd = events_by_vd(&ds.fleet, &ds.events);
+/// Panel (a): simulate the three policies per VD per block size. The policy
+/// × capacity grid runs VDs in parallel over the shared event partition —
+/// no per-run event clones — and merges ratios in VD order.
+pub fn panel_a(by_vd: &[Vec<IoEvent>]) -> Vec<HitRow> {
     let mut rows = Vec::new();
     for &bs in &BLOCK_SIZES {
-        let mut ratios: HashMap<Algorithm, Vec<f64>> = HashMap::new();
-        for (i, evs) in by_vd.iter().enumerate() {
+        let per_vd = par_map_deterministic(by_vd, |i, evs| {
             if evs.len() < MIN_EVENTS {
-                continue;
+                return None;
             }
-            let Some(hb) = hottest_block(VdId::from_index(i), evs, bs) else { continue };
-            for algo in Algorithm::ALL {
-                let mut policy = build_policy(algo, &hb);
-                if let Some(r) = simulate(policy.as_mut(), evs).ratio() {
-                    ratios.entry(algo).or_default().push(r);
-                }
+            let hb = hottest_block(VdId::from_index(i), evs, bs)?;
+            Some(
+                sweep_policies(&hb, evs)
+                    .into_iter()
+                    .filter_map(|(algo, stats)| stats.ratio().map(|r| (algo, r)))
+                    .collect::<Vec<_>>(),
+            )
+        });
+        let mut ratios: HashMap<Algorithm, Vec<f64>> = HashMap::new();
+        for vd_ratios in per_vd.into_iter().flatten() {
+            for (algo, r) in vd_ratios {
+                ratios.entry(algo).or_default().push(r);
             }
         }
         for algo in Algorithm::ALL {
@@ -100,8 +110,8 @@ pub fn panel_a(ds: &Dataset) -> Vec<HitRow> {
 
 /// Panels (b/c): latency gains with frozen caches at the 2 GiB hottest
 /// block (the size where FrozenHot matches LRU, per the paper's choice).
-pub fn panel_bc(ds: &Dataset, sim: &SimOutput) -> Vec<(CacheSite, Op, LatencyGain)> {
-    let hot = hot_map(ds, 2048 << 20);
+pub fn panel_bc(sim: &SimOutput, by_vd: &[Vec<IoEvent>]) -> Vec<(CacheSite, Op, LatencyGain)> {
+    let hot = hot_map(by_vd, 2048 << 20);
     // Gains are evaluated over the IOs of *cacheable* VDs — the disks a
     // deployment would actually equip with a cache; mixing in the cold
     // majority would only dilute every site identically.
@@ -130,11 +140,11 @@ pub fn panel_bc(ds: &Dataset, sim: &SimOutput) -> Vec<(CacheSite, Op, LatencyGai
 }
 
 /// Panel (d): cacheable-VD dispersion per provisioning unit.
-pub fn panel_d(ds: &Dataset) -> Vec<UtilRow> {
+pub fn panel_d(ds: &Dataset, by_vd: &[Vec<IoEvent>]) -> Vec<UtilRow> {
     BLOCK_SIZES
         .iter()
         .map(|&bs| {
-            let hot = hot_map(ds, bs);
+            let hot = hot_map(by_vd, bs);
             let cn = per_cn_counts(&ds.fleet, &hot, CACHEABLE_THRESHOLD);
             let bsc = per_bs_counts(&ds.fleet, &hot, CACHEABLE_THRESHOLD, None);
             let rel = |counts: &[usize]| -> f64 {
@@ -157,9 +167,19 @@ pub fn panel_d(ds: &Dataset) -> Vec<UtilRow> {
         .collect()
 }
 
-/// Run the whole figure.
+/// Run the whole figure, partitioning the event stream itself.
 pub fn run(ds: &Dataset, sim: &SimOutput) -> Fig7 {
-    Fig7 { a: panel_a(ds), bc: panel_bc(ds, sim), d: panel_d(ds) }
+    run_with(ds, sim, &events_by_vd(&ds.fleet, &ds.events))
+}
+
+/// Run the whole figure over a pre-computed per-VD event partition, so a
+/// driver that runs several figures can build the partition once.
+pub fn run_with(ds: &Dataset, sim: &SimOutput, by_vd: &[Vec<IoEvent>]) -> Fig7 {
+    Fig7 {
+        a: panel_a(by_vd),
+        bc: panel_bc(sim, by_vd),
+        d: panel_d(ds, by_vd),
+    }
 }
 
 /// Render all panels.
@@ -240,7 +260,10 @@ mod tests {
         for &bs in &BLOCK_SIZES {
             let fifo = p50(&f, Algorithm::Fifo, bs);
             let lru = p50(&f, Algorithm::Lru, bs);
-            assert!((fifo - lru).abs() < 0.1, "at {bs}: FIFO {fifo:.3} vs LRU {lru:.3}");
+            assert!(
+                (fifo - lru).abs() < 0.1,
+                "at {bs}: FIFO {fifo:.3} vs LRU {lru:.3}"
+            );
         }
     }
 
@@ -260,14 +283,21 @@ mod tests {
     fn cn_cache_gains_more_than_bs_cache_on_writes() {
         let f = fig();
         let get = |site: CacheSite, op: Op| {
-            f.bc.iter().find(|(s, o, _)| *s == site && *o == op).map(|(_, _, g)| *g)
+            f.bc.iter()
+                .find(|(s, o, _)| *s == site && *o == op)
+                .map(|(_, _, g)| *g)
         };
         let cn = get(CacheSite::ComputeNode, Op::Write).unwrap();
         let bs = get(CacheSite::BlockServer, Op::Write).unwrap();
         // §7.3.2: CN-cache beats BS-cache at the 0th and 50th percentile
         // for writes…
         assert!(cn.p0 < bs.p0, "CN p0 {:.3} vs BS p0 {:.3}", cn.p0, bs.p0);
-        assert!(cn.p50 <= bs.p50 + 1e-9, "CN p50 {:.3} vs BS p50 {:.3}", cn.p50, bs.p50);
+        assert!(
+            cn.p50 <= bs.p50 + 1e-9,
+            "CN p50 {:.3} vs BS p50 {:.3}",
+            cn.p50,
+            bs.p50
+        );
         // …and neither site fixes the 99th percentile.
         assert!(cn.p99 > 0.8, "p99 gain {:.3} should stay near 1", cn.p99);
         assert!(bs.p99 > 0.8, "p99 gain {:.3} should stay near 1", bs.p99);

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod driver;
 pub mod extensions;
 pub mod fig2;
 pub mod fig3;

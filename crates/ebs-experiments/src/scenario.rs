@@ -38,7 +38,10 @@ impl Scale {
         match self {
             Scale::Quick => WorkloadConfig::quick(seed),
             Scale::Medium => WorkloadConfig::medium(seed),
-            Scale::Full => WorkloadConfig { seed, ..WorkloadConfig::default() },
+            Scale::Full => WorkloadConfig {
+                seed,
+                ..WorkloadConfig::default()
+            },
         }
     }
 }
@@ -56,9 +59,13 @@ pub fn dataset(scale: Scale) -> Dataset {
 /// study. Throttling is disabled so latency percentiles reflect the device
 /// path (the throttle study works on metric data instead).
 pub fn stack_traces(ds: &Dataset) -> SimOutput {
-    let cfg = StackConfig { apply_throttle: false, ..StackConfig::default() };
+    let cfg = StackConfig {
+        apply_throttle: false,
+        ..StackConfig::default()
+    };
     let mut sim = StackSim::new(&ds.fleet, cfg);
-    sim.run(&ds.events).expect("generated events are time-sorted")
+    sim.run(&ds.events)
+        .expect("generated events are time-sorted")
 }
 
 #[cfg(test)]

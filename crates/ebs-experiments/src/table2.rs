@@ -63,7 +63,11 @@ pub fn render(t: &Table2) -> String {
     ]);
     tab.row([
         "Total write / read traffic".to_string(),
-        format!("{} / {}", format_bytes(t.write_bytes), format_bytes(t.read_bytes)),
+        format!(
+            "{} / {}",
+            format_bytes(t.write_bytes),
+            format_bytes(t.read_bytes)
+        ),
     ]);
     tab.row([
         "Total write / read trace (sampled 1/3200)".to_string(),

@@ -75,16 +75,26 @@ pub fn level_stats(ds: &Dataset, dc: DcId, level: Level, op: Op) -> Option<Level
         Level::Sn => rollup_storage(fleet, &ds.storage, StorageLevel::Sn, measure, None, |seg| {
             fleet.dc_of_seg(seg) == dc
         }),
-        Level::Seg => rollup_storage(fleet, &ds.storage, StorageLevel::Seg, measure, None, |seg| {
-            fleet.dc_of_seg(seg) == dc
-        }),
+        Level::Seg => rollup_storage(
+            fleet,
+            &ds.storage,
+            StorageLevel::Seg,
+            measure,
+            None,
+            |seg| fleet.dc_of_seg(seg) == dc,
+        ),
     };
     let totals = roll.totals();
     let ccr1 = ccr(&totals, 0.01)?;
     let ccr20 = ccr(&totals, 0.20)?;
     let p2as: Vec<f64> = roll.series.iter().filter_map(|(_, s)| p2a(s)).collect();
     let p2a50 = median(&p2as)?;
-    Some(LevelStats { ccr1, ccr20, p2a50, entities: totals.len() })
+    Some(LevelStats {
+        ccr1,
+        ccr20,
+        p2a50,
+        entities: totals.len(),
+    })
 }
 
 /// Full Table 3: `stats[dc][level] = (read, write)`.
@@ -105,7 +115,10 @@ pub fn run(ds: &Dataset) -> Table3 {
             Level::ALL
                 .iter()
                 .map(|&lvl| {
-                    (level_stats(ds, dc, lvl, Op::Read), level_stats(ds, dc, lvl, Op::Write))
+                    (
+                        level_stats(ds, dc, lvl, Op::Read),
+                        level_stats(ds, dc, lvl, Op::Write),
+                    )
                 })
                 .collect()
         })
@@ -117,8 +130,13 @@ pub fn run(ds: &Dataset) -> Table3 {
 pub fn render(t: &Table3) -> String {
     let mut out = String::new();
     for (i, dc) in t.dcs.iter().enumerate() {
-        let mut tab = Table::new(["Agg. level", "1%-CCR (R/W)", "20%-CCR (R/W)", "50%ile P2A (R/W)"])
-            .with_title(format!("Table 3 — {dc}"));
+        let mut tab = Table::new([
+            "Agg. level",
+            "1%-CCR (R/W)",
+            "20%-CCR (R/W)",
+            "50%ile P2A (R/W)",
+        ])
+        .with_title(format!("Table 3 — {dc}"));
         for (k, &lvl) in Level::ALL.iter().enumerate() {
             let (r, w) = &t.per_dc[i][k];
             let cell = |f: &dyn Fn(&LevelStats) -> String| {

@@ -1,8 +1,8 @@
 //! Table 4 — skewness statistics by VM application class.
 
 use ebs_analysis::aggregate::{rollup_compute, ComputeLevel};
-use ebs_analysis::table::{pct, rw_pair, Table};
 use ebs_analysis::ccr;
+use ebs_analysis::table::{pct, rw_pair, Table};
 use ebs_core::apps::AppClass;
 use ebs_core::io::Op;
 use ebs_core::metric::Measure;
@@ -25,9 +25,13 @@ pub struct AppRow {
 pub fn run(ds: &Dataset) -> Vec<AppRow> {
     let fleet = &ds.fleet;
     let totals_for = |app: AppClass, op: Op| -> Vec<f64> {
-        rollup_compute(fleet, &ds.compute, ComputeLevel::Vm, Measure::bytes(op), |qp| {
-            fleet.vms[fleet.vm_of_qp(qp)].app == app
-        })
+        rollup_compute(
+            fleet,
+            &ds.compute,
+            ComputeLevel::Vm,
+            Measure::bytes(op),
+            |qp| fleet.vms[fleet.vm_of_qp(qp)].app == app,
+        )
         .totals()
     };
     let fleet_read: f64 = ds.total_bytes().0;
@@ -56,8 +60,13 @@ pub fn run(ds: &Dataset) -> Vec<AppRow> {
 
 /// Render the paper-style rows.
 pub fn render(rows: &[AppRow]) -> String {
-    let mut tab = Table::new(["App.", "1%-CCR (R/W)", "20%-CCR (R/W)", "Traffic share % (R/W)"])
-        .with_title("Table 4: skewness statistics by types of VM application");
+    let mut tab = Table::new([
+        "App.",
+        "1%-CCR (R/W)",
+        "20%-CCR (R/W)",
+        "Traffic share % (R/W)",
+    ])
+    .with_title("Table 4: skewness statistics by types of VM application");
     for r in rows {
         tab.row([
             r.app.label().to_string(),

@@ -41,7 +41,11 @@ impl Arima {
     /// An auto-ARIMA searching `p ∈ 1..=max_p`, `d ∈ 0..=max_d`.
     pub fn new(max_p: usize, max_d: usize) -> Self {
         assert!(max_p >= 1);
-        Self { max_p, max_d, fitted: None }
+        Self {
+            max_p,
+            max_d,
+            fitted: None,
+        }
     }
 
     /// The selected `(p, d)` orders, if fitted.
@@ -77,8 +81,7 @@ impl Arima {
         let beta = ridge(&x, &y, 1e-8)?;
         let mut sse = 0.0;
         for i in 0..n {
-            let pred: f64 = beta[0]
-                + (1..=p).map(|k| beta[k] * x[(i, k)]).sum::<f64>();
+            let pred: f64 = beta[0] + (1..=p).map(|k| beta[k] * x[(i, k)]).sum::<f64>();
             sse += (y[i] - pred).powi(2);
         }
         Some((beta[0], beta[1..].to_vec(), sse, n))
@@ -126,7 +129,12 @@ impl Predictor for Arima {
                     // AIC with k = p + 1 parameters (+1 for differencing).
                     let k = (p + 1 + d) as f64;
                     let aic = n as f64 * ((sse / n as f64).max(1e-300)).ln() + 2.0 * k;
-                    let candidate = FittedArima { p, d, intercept, coefs };
+                    let candidate = FittedArima {
+                        p,
+                        d,
+                        intercept,
+                        coefs,
+                    };
                     if best.as_ref().map(|(a, _)| aic < *a).unwrap_or(true) {
                         best = Some((aic, candidate));
                     }
@@ -147,7 +155,7 @@ impl Predictor for Arima {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eval::{rolling_forecast, forecast_mse, Cadence};
+    use crate::eval::{forecast_mse, rolling_forecast, Cadence};
 
     #[test]
     fn recovers_ar1_process() {
@@ -161,7 +169,10 @@ mod tests {
         m.fit(&series);
         let pred = m.predict_next(&series);
         let truth = 0.8 * series.last().unwrap() + 5.0;
-        assert!((pred - truth).abs() / truth < 0.05, "pred {pred} truth {truth}");
+        assert!(
+            (pred - truth).abs() / truth < 0.05,
+            "pred {pred} truth {truth}"
+        );
     }
 
     #[test]

@@ -16,7 +16,8 @@ use crate::matrix::{ridge, Mat};
 
 /// Deterministic pseudo-random matrix entries (SplitMix-style hash).
 fn hashed_gauss(seed: u64, i: usize, j: usize) -> f64 {
-    let mut z = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    let mut z = seed
+        ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -107,9 +108,7 @@ impl AttentionRegressor {
         let mut pooled = vec![0.0; self.dim];
         for i in 0..l {
             let mut logits: Vec<f64> = (0..l)
-                .map(|j| {
-                    (0..self.dim).map(|m| q[(i, m)] * k[(j, m)]).sum::<f64>() * scale
-                })
+                .map(|j| (0..self.dim).map(|m| q[(i, m)] * k[(j, m)]).sum::<f64>() * scale)
                 .collect();
             let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             for x in &mut logits {
@@ -209,8 +208,7 @@ mod tests {
         let pairs = rolling_forecast(&mut m, &series, 60, Cadence::Epoch(60));
         let att = forecast_mse(&pairs).unwrap();
         let mean = series.iter().sum::<f64>() / series.len() as f64;
-        let base = pairs.iter().map(|(_, t)| (t - mean).powi(2)).sum::<f64>()
-            / pairs.len() as f64;
+        let base = pairs.iter().map(|(_, t)| (t - mean).powi(2)).sum::<f64>() / pairs.len() as f64;
         assert!(att < base, "attention {att} vs mean-baseline {base}");
     }
 

@@ -53,7 +53,10 @@ pub fn rolling_forecast_capped(
     cadence: Cadence,
     max_history: usize,
 ) -> Vec<(f64, f64)> {
-    assert!(warmup >= 1, "need at least one observed period before forecasting");
+    assert!(
+        warmup >= 1,
+        "need at least one observed period before forecasting"
+    );
     assert!(max_history >= 2, "history cap too small to train anything");
     let mut out = Vec::new();
     let mut last_fit: Option<usize> = None;
@@ -135,7 +138,9 @@ mod tests {
 
     #[test]
     fn per_period_cadence_fits_every_step() {
-        let mut m = CountingModel { fits: std::cell::Cell::new(0) };
+        let mut m = CountingModel {
+            fits: std::cell::Cell::new(0),
+        };
         let series: Vec<f64> = (0..10).map(|i| i as f64).collect();
         let pairs = rolling_forecast(&mut m, &series, 2, Cadence::PerPeriod);
         assert_eq!(pairs.len(), 8);
@@ -144,7 +149,9 @@ mod tests {
 
     #[test]
     fn epoch_cadence_fits_sparsely() {
-        let mut m = CountingModel { fits: std::cell::Cell::new(0) };
+        let mut m = CountingModel {
+            fits: std::cell::Cell::new(0),
+        };
         let series: Vec<f64> = (0..22).map(|i| i as f64).collect();
         let pairs = rolling_forecast(&mut m, &series, 2, Cadence::Epoch(10));
         assert_eq!(pairs.len(), 20);

@@ -12,7 +12,12 @@ use crate::eval::Predictor;
 #[derive(Clone, Debug)]
 enum Node {
     Leaf(f64),
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// A depth-limited least-squares regression tree.
@@ -75,7 +80,11 @@ impl RegressionTree {
                 let rsum = total_sum - lsum;
                 let rsse = (total_sq - lsq) - rsum * rsum / rn;
                 let sse = lsse + rsse;
-                if best.as_ref().map(|(b, _, _)| sse < *b).unwrap_or(sse < base_sse) {
+                if best
+                    .as_ref()
+                    .map(|(b, _, _)| sse < *b)
+                    .unwrap_or(sse < base_sse)
+                {
                     best = Some((sse, feature_idx, (vals[k].0 + vals[k + 1].0) / 2.0));
                 }
             }
@@ -90,7 +99,12 @@ impl RegressionTree {
                     idx.iter().partition(|&&i| x[i][feature] <= threshold);
                 let left = Self::build(nodes, x, y, &li, depth - 1, min_leaf);
                 let right = Self::build(nodes, x, y, &ri, depth - 1, min_leaf);
-                nodes.push(Node::Split { feature, threshold, left, right });
+                nodes.push(Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                });
                 nodes.len() - 1
             }
         }
@@ -102,8 +116,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf(v) => return *v,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -141,7 +164,14 @@ impl Gbdt {
     /// A GBDT with the given hyper-parameters.
     pub fn new(n_trees: usize, max_depth: usize, learning_rate: f64, lags: usize) -> Self {
         assert!(n_trees >= 1 && lags >= 1 && learning_rate > 0.0);
-        Self { n_trees, max_depth, learning_rate, lags, base: 0.0, trees: Vec::new() }
+        Self {
+            n_trees,
+            max_depth,
+            learning_rate,
+            lags,
+            base: 0.0,
+            trees: Vec::new(),
+        }
     }
 
     fn lag_features(history: &[f64], lags: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
@@ -191,8 +221,7 @@ impl Predictor for Gbdt {
         if recent.len() < self.lags {
             return recent.last().copied().unwrap_or(0.0);
         }
-        let features: Vec<f64> =
-            (1..=self.lags).map(|k| recent[recent.len() - k]).collect();
+        let features: Vec<f64> = (1..=self.lags).map(|k| recent[recent.len() - k]).collect();
         self.raw_predict(&features).max(0.0)
     }
 }
@@ -244,8 +273,8 @@ mod tests {
         let gbdt_mse = forecast_mse(&pairs).unwrap();
         // Mean-only baseline.
         let mean = series.iter().sum::<f64>() / series.len() as f64;
-        let base_mse = pairs.iter().map(|(_, t)| (t - mean).powi(2)).sum::<f64>()
-            / pairs.len() as f64;
+        let base_mse =
+            pairs.iter().map(|(_, t)| (t - mean).powi(2)).sum::<f64>() / pairs.len() as f64;
         assert!(gbdt_mse < base_mse, "gbdt {gbdt_mse} vs mean {base_mse}");
     }
 

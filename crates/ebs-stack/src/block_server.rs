@@ -93,8 +93,7 @@ impl Prefetcher {
                 }
                 st.next_expected = t.file_offset + ev.size as u64;
                 if st.run >= SEQ_THRESHOLD {
-                    st.prefetched_until =
-                        (st.next_expected + PREFETCH_WINDOW).min(SEGMENT_BYTES);
+                    st.prefetched_until = (st.next_expected + PREFETCH_WINDOW).min(SEGMENT_BYTES);
                 }
                 hit
             }
@@ -119,11 +118,25 @@ mod tests {
     use ebs_core::units::GIB;
 
     fn read(offset: u64, size: u32) -> IoEvent {
-        IoEvent { t_us: 0, vd: VdId(0), qp: QpId(0), op: Op::Read, size, offset }
+        IoEvent {
+            t_us: 0,
+            vd: VdId(0),
+            qp: QpId(0),
+            op: Op::Read,
+            size,
+            offset,
+        }
     }
 
     fn write(offset: u64) -> IoEvent {
-        IoEvent { t_us: 0, vd: VdId(0), qp: QpId(0), op: Op::Write, size: 4096, offset }
+        IoEvent {
+            t_us: 0,
+            vd: VdId(0),
+            qp: QpId(0),
+            op: Op::Write,
+            size: 4096,
+            offset,
+        }
     }
 
     #[test]
@@ -180,7 +193,10 @@ mod tests {
         assert!(p.observe(seg, &read(off, sz)));
         off += sz as u64;
         p.observe(seg, &write(0));
-        assert!(!p.observe(seg, &read(off, sz)), "window must be cold after a write");
+        assert!(
+            !p.observe(seg, &read(off, sz)),
+            "window must be cold after a write"
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub struct Binding {
 impl Binding {
     /// The fleet's attach-time round-robin binding.
     pub fn from_fleet(fleet: &Fleet) -> Self {
-        Self { map: fleet.qp_binding.clone() }
+        Self {
+            map: fleet.qp_binding.clone(),
+        }
     }
 
     /// The worker thread currently serving `qp`.
@@ -72,7 +74,9 @@ pub struct WtQueues {
 impl WtQueues {
     /// Queues for `wt_total` worker threads, all initially idle.
     pub fn new(wt_total: u32) -> Self {
-        Self { free_at_us: vec![0.0; wt_total as usize] }
+        Self {
+            free_at_us: vec![0.0; wt_total as usize],
+        }
     }
 
     /// Serve one IO arriving at `arrival_us` on `wt` with service time

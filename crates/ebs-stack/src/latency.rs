@@ -32,7 +32,11 @@ impl StageParams {
         let mean = self.base_us + size as f64 / self.bytes_per_us;
         // Lognormal jitter with unit median.
         let jitter = (self.jitter_sigma * gauss(rng)).exp();
-        let tail = if rng.chance(self.tail_prob) { self.tail_mult } else { 1.0 };
+        let tail = if rng.chance(self.tail_prob) {
+            self.tail_mult
+        } else {
+            1.0
+        };
         mean * jitter * tail
     }
 }
@@ -148,17 +152,22 @@ mod tests {
             large += m.frontend.sample(&mut rng, 1 << 20);
         }
         assert!(small > 0.0);
-        assert!(large > small * 2.0, "1 MiB should cost much more than 4 KiB");
+        assert!(
+            large > small * 2.0,
+            "1 MiB should cost much more than 4 KiB"
+        );
     }
 
     #[test]
     fn writes_cost_more_than_reads_at_chunk_server() {
         let m = LatencyModel::default();
         let mut rng = SimRng::seed_from_u64(2);
-        let r: f64 =
-            (0..2000).map(|_| m.chunk_server_us(&mut rng, Op::Read, 4096, false)).sum();
-        let w: f64 =
-            (0..2000).map(|_| m.chunk_server_us(&mut rng, Op::Write, 4096, false)).sum();
+        let r: f64 = (0..2000)
+            .map(|_| m.chunk_server_us(&mut rng, Op::Read, 4096, false))
+            .sum();
+        let w: f64 = (0..2000)
+            .map(|_| m.chunk_server_us(&mut rng, Op::Write, 4096, false))
+            .sum();
         assert!(w > r, "write {w} read {r}");
     }
 
@@ -166,10 +175,12 @@ mod tests {
     fn prefetch_cuts_read_latency() {
         let m = LatencyModel::default();
         let mut rng = SimRng::seed_from_u64(3);
-        let cold: f64 =
-            (0..2000).map(|_| m.chunk_server_us(&mut rng, Op::Read, 65536, false)).sum();
-        let hot: f64 =
-            (0..2000).map(|_| m.chunk_server_us(&mut rng, Op::Read, 65536, true)).sum();
+        let cold: f64 = (0..2000)
+            .map(|_| m.chunk_server_us(&mut rng, Op::Read, 65536, false))
+            .sum();
+        let hot: f64 = (0..2000)
+            .map(|_| m.chunk_server_us(&mut rng, Op::Read, 65536, true))
+            .sum();
         assert!(hot < cold * 0.3, "prefetch {hot} vs cold {cold}");
     }
 

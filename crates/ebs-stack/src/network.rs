@@ -22,7 +22,12 @@ impl Link {
     /// A link of `capacity_bps` with utilization averaged over `tau_us`.
     pub fn new(capacity_bps: f64, tau_us: f64) -> Self {
         assert!(capacity_bps > 0.0 && tau_us > 0.0);
-        Self { capacity_bps, tau_us, rate_bps: 0.0, last_us: 0.0 }
+        Self {
+            capacity_bps,
+            tau_us,
+            rate_bps: 0.0,
+            last_us: 0.0,
+        }
     }
 
     /// Record `bytes` crossing the link at `now_us` and return the
@@ -66,8 +71,12 @@ impl FabricModel {
     /// utilization window.
     pub fn new(cn_count: usize, sn_count: usize) -> Self {
         Self {
-            frontend: (0..cn_count).map(|_| Link::new(25e9 / 8.0, 10_000.0)).collect(),
-            backend: (0..sn_count).map(|_| Link::new(100e9 / 8.0, 10_000.0)).collect(),
+            frontend: (0..cn_count)
+                .map(|_| Link::new(25e9 / 8.0, 10_000.0))
+                .collect(),
+            backend: (0..sn_count)
+                .map(|_| Link::new(100e9 / 8.0, 10_000.0))
+                .collect(),
         }
     }
 

@@ -21,15 +21,23 @@ pub struct ReplicationPolicy {
 
 impl ReplicationPolicy {
     /// Three-way replication, all acks required — the classic EBS setting.
-    pub const THREE_WAY: ReplicationPolicy = ReplicationPolicy { replicas: 3, quorum: 3 };
+    pub const THREE_WAY: ReplicationPolicy = ReplicationPolicy {
+        replicas: 3,
+        quorum: 3,
+    };
 
     /// Majority quorum over three replicas.
-    pub const THREE_WAY_MAJORITY: ReplicationPolicy =
-        ReplicationPolicy { replicas: 3, quorum: 2 };
+    pub const THREE_WAY_MAJORITY: ReplicationPolicy = ReplicationPolicy {
+        replicas: 3,
+        quorum: 2,
+    };
 
     /// Single copy (no redundancy) — what the unreplicated latency model
     /// alone would give.
-    pub const NONE: ReplicationPolicy = ReplicationPolicy { replicas: 1, quorum: 1 };
+    pub const NONE: ReplicationPolicy = ReplicationPolicy {
+        replicas: 1,
+        quorum: 1,
+    };
 
     /// Validate `1 <= quorum <= replicas`.
     pub fn validate(&self) -> Result<(), ebs_core::error::EbsError> {
@@ -46,8 +54,9 @@ impl ReplicationPolicy {
     /// `stage` and return the `quorum`-th smallest (the completing ack).
     pub fn write_latency_us(&self, rng: &mut SimRng, stage: &StageParams, size: u32) -> f64 {
         debug_assert!(self.validate().is_ok());
-        let mut draws: Vec<f64> =
-            (0..self.replicas).map(|_| stage.sample(rng, size)).collect();
+        let mut draws: Vec<f64> = (0..self.replicas)
+            .map(|_| stage.sample(rng, size))
+            .collect();
         draws.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
         draws[self.quorum as usize - 1]
     }
@@ -69,8 +78,18 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_policies() {
-        assert!(ReplicationPolicy { replicas: 0, quorum: 0 }.validate().is_err());
-        assert!(ReplicationPolicy { replicas: 2, quorum: 3 }.validate().is_err());
+        assert!(ReplicationPolicy {
+            replicas: 0,
+            quorum: 0
+        }
+        .validate()
+        .is_err());
+        assert!(ReplicationPolicy {
+            replicas: 2,
+            quorum: 3
+        }
+        .validate()
+        .is_err());
         assert!(ReplicationPolicy::THREE_WAY.validate().is_ok());
         assert!(ReplicationPolicy::NONE.validate().is_ok());
     }
@@ -95,8 +114,7 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(2);
         let n = 20_000;
         let draws = |p: ReplicationPolicy, rng: &mut SimRng| -> Vec<f64> {
-            let mut v: Vec<f64> =
-                (0..n).map(|_| p.write_latency_us(rng, &s, 4096)).collect();
+            let mut v: Vec<f64> = (0..n).map(|_| p.write_latency_us(rng, &s, 4096)).collect();
             v.sort_by(|a, b| a.partial_cmp(b).unwrap());
             v
         };
@@ -106,11 +124,21 @@ mod tests {
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let p99 = |v: &[f64]| v[(v.len() as f64 * 0.99) as usize];
         // Waiting for all three acks is strictly slower than a majority.
-        assert!(mean(&maj) < mean(&all), "{:.0} vs {:.0}", mean(&maj), mean(&all));
+        assert!(
+            mean(&maj) < mean(&all),
+            "{:.0} vs {:.0}",
+            mean(&maj),
+            mean(&all)
+        );
         // The classic "tail at scale" effect: a 2-of-3 quorum needs two
         // slow replicas to be slow, so its p99 undercuts even a single
         // copy's p99.
-        assert!(p99(&maj) < p99(&one), "{:.0} vs {:.0}", p99(&maj), p99(&one));
+        assert!(
+            p99(&maj) < p99(&one),
+            "{:.0} vs {:.0}",
+            p99(&maj),
+            p99(&one)
+        );
     }
 
     #[test]
@@ -129,6 +157,9 @@ mod tests {
         one.sort_by(|a, b| a.partial_cmp(b).unwrap());
         three.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let p99 = |v: &[f64]| v[(v.len() as f64 * 0.99) as usize];
-        assert!(p99(&three) > p99(&one), "replication must lengthen the tail");
+        assert!(
+            p99(&three) > p99(&one),
+            "replication must lengthen the tail"
+        );
     }
 }

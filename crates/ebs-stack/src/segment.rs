@@ -31,7 +31,10 @@ pub struct SegmentMap {
 impl SegmentMap {
     /// Start from the fleet's initial placement.
     pub fn from_fleet(fleet: &Fleet) -> Self {
-        Self { home: fleet.seg_home.as_slice().to_vec(), log: Vec::new() }
+        Self {
+            home: fleet.seg_home.as_slice().to_vec(),
+            log: Vec::new(),
+        }
     }
 
     /// Current owner of `seg`.
@@ -129,7 +132,15 @@ mod tests {
         let to = BsId((from.0 + 1) % 3);
         m.migrate(&f, 7, seg, to);
         assert_eq!(m.home_of(seg), to);
-        assert_eq!(m.log(), &[Migration { at: 7, seg, from, to }]);
+        assert_eq!(
+            m.log(),
+            &[Migration {
+                at: 7,
+                seg,
+                from,
+                to
+            }]
+        );
     }
 
     #[test]

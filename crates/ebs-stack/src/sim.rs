@@ -9,12 +9,12 @@
 //! breakdown.
 
 use crate::block_server::Prefetcher;
-use crate::replication::ReplicationPolicy;
 use crate::chunk_server::ChunkServer;
 use crate::diting::Diting;
 use crate::hypervisor::{Binding, WtQueues};
 use crate::latency::LatencyModel;
 use crate::network::FabricModel;
+use crate::replication::ReplicationPolicy;
 use crate::segment::SegmentMap;
 use crate::throttle_gate::VdGate;
 use ebs_core::error::EbsError;
@@ -146,14 +146,17 @@ impl<'a> StackSim<'a> {
             vec![None; self.fleet.vds.len()]
         };
         // One prefetcher per BlockServer, one engine per storage node.
-        let mut prefetchers: Vec<Prefetcher> =
-            (0..self.fleet.block_servers.len()).map(|_| Prefetcher::new()).collect();
+        let mut prefetchers: Vec<Prefetcher> = (0..self.fleet.block_servers.len())
+            .map(|_| Prefetcher::new())
+            .collect();
         let mut engines: Vec<ChunkServer> = (0..self.fleet.storage_nodes.len())
             .map(|_| ChunkServer::new(self.config.cs_capacity_bytes, self.config.gc_threshold))
             .collect();
 
-        let mut fabric =
-            FabricModel::new(self.fleet.compute_nodes.len(), self.fleet.storage_nodes.len());
+        let mut fabric = FabricModel::new(
+            self.fleet.compute_nodes.len(),
+            self.fleet.storage_nodes.len(),
+        );
         let mut diting = Diting::new();
         let mut records: Vec<TraceRecord> = Vec::with_capacity(events.len());
         let mut stats = SimStats::default();
@@ -186,14 +189,12 @@ impl<'a> StackSim<'a> {
             } else {
                 1.0
             };
-            let frontend_us =
-                self.config.latency.frontend.sample(&mut rng, ev.size) * congestion_f;
+            let frontend_us = self.config.latency.frontend.sample(&mut rng, ev.size) * congestion_f;
 
             // --- BlockServer: translate, prefetch, forward.
-            let seg = self
-                .fleet
-                .segment_at(ev.vd, ev.offset)
-                .ok_or_else(|| EbsError::unknown_entity(format!("offset {} in {}", ev.offset, ev.vd)))?;
+            let seg = self.fleet.segment_at(ev.vd, ev.offset).ok_or_else(|| {
+                EbsError::unknown_entity(format!("offset {} in {}", ev.offset, ev.vd))
+            })?;
             let bs = self.seg_map.home_of(seg);
             let prefetched = prefetchers[bs.index()].observe(seg, ev);
             if prefetched {
@@ -212,8 +213,7 @@ impl<'a> StackSim<'a> {
                 } else {
                     1.0
                 };
-                let backend =
-                    self.config.latency.backend.sample(&mut rng, ev.size) * congestion_b;
+                let backend = self.config.latency.backend.sample(&mut rng, ev.size) * congestion_b;
                 let cs = match ev.op {
                     Op::Write => {
                         // Replicated append: slowest required ack, scaled
@@ -224,15 +224,14 @@ impl<'a> StackSim<'a> {
                             ev.size,
                         ) * engine.gc_pressure()
                     }
-                    Op::Read => {
-                        self.config.latency.chunk_server_us(&mut rng, ev.op, ev.size, false)
-                    }
+                    Op::Read => self
+                        .config
+                        .latency
+                        .chunk_server_us(&mut rng, ev.op, ev.size, false),
                 };
                 (backend, cs)
             };
-            if ev.op == Op::Write
-                && engine.append(ev.size as f64, self.config.overwrite_frac)
-            {
+            if ev.op == Op::Write && engine.append(ev.size as f64, self.config.overwrite_frac) {
                 stats.gc_runs += 1;
             }
 
@@ -246,9 +245,15 @@ impl<'a> StackSim<'a> {
             total_latency += lat.total_us();
             records.push(diting.record(self.fleet, ev, wt, bs, lat));
         }
-        stats.mean_latency_us =
-            if stats.ios > 0 { total_latency / stats.ios as f64 } else { 0.0 };
-        Ok(SimOutput { traces: TraceSet::from_records(records), stats })
+        stats.mean_latency_us = if stats.ios > 0 {
+            total_latency / stats.ios as f64
+        } else {
+            0.0
+        };
+        Ok(SimOutput {
+            traces: TraceSet::from_records(records),
+            stats,
+        })
     }
 }
 
@@ -289,7 +294,10 @@ mod tests {
         // Compare the raw device path: disable throttling so huge read
         // bursts don't pick up multi-second throttle queueing.
         let ds = generate(&WorkloadConfig::quick(33)).unwrap();
-        let cfg = StackConfig { apply_throttle: false, ..StackConfig::default() };
+        let cfg = StackConfig {
+            apply_throttle: false,
+            ..StackConfig::default()
+        };
         let mut sim = StackSim::new(&ds.fleet, cfg);
         let out = sim.run(&ds.events).unwrap();
         let (mut rsum, mut rcnt, mut wsum, mut wcnt) = (0.0, 0u32, 0.0, 0u32);
@@ -317,7 +325,7 @@ mod tests {
     #[test]
     fn unsorted_events_are_rejected() {
         let ds = generate(&WorkloadConfig::quick(35)).unwrap();
-        let mut events = ds.events.clone();
+        let mut events = ds.events;
         let last = events.len() - 1;
         assert!(last > 0, "need at least two events");
         events.swap(0, last);
@@ -328,7 +336,10 @@ mod tests {
     #[test]
     fn disabling_throttle_removes_throttle_delays() {
         let ds = generate(&WorkloadConfig::quick(36)).unwrap();
-        let cfg = StackConfig { apply_throttle: false, ..StackConfig::default() };
+        let cfg = StackConfig {
+            apply_throttle: false,
+            ..StackConfig::default()
+        };
         let mut sim = StackSim::new(&ds.fleet, cfg);
         let out = sim.run(&ds.events).unwrap();
         assert_eq!(out.stats.throttled, 0);
@@ -355,7 +366,10 @@ mod tests {
         };
         let single = mean_write(crate::replication::ReplicationPolicy::NONE);
         let triple = mean_write(crate::replication::ReplicationPolicy::THREE_WAY);
-        assert!(triple > single * 1.1, "3-way {triple:.0} vs 1-way {single:.0}");
+        assert!(
+            triple > single * 1.1,
+            "3-way {triple:.0} vs 1-way {single:.0}"
+        );
     }
 
     #[test]

@@ -22,7 +22,12 @@ impl TokenBucket {
     /// units (commonly one second of rate).
     pub fn new(rate: f64, burst: f64) -> Self {
         assert!(rate > 0.0 && burst > 0.0);
-        Self { rate, burst, tokens: burst, last_us: 0.0 }
+        Self {
+            rate,
+            burst,
+            tokens: burst,
+            last_us: 0.0,
+        }
     }
 
     /// Admit a demand of `amount` units arriving at `now_us`. Returns the
@@ -150,7 +155,10 @@ mod tests {
             t += d.max(1.0);
         }
         let rate = admitted / (t / 1e6);
-        assert!((rate - 1_000_000.0).abs() / 1_000_000.0 < 0.15, "rate {rate}");
+        assert!(
+            (rate - 1_000_000.0).abs() / 1_000_000.0 < 0.15,
+            "rate {rate}"
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub struct LendingConfig {
 
 impl Default for LendingConfig {
     fn default() -> Self {
-        Self { p: 0.8, period_ticks: 6 }
+        Self {
+            p: 0.8,
+            period_ticks: 6,
+        }
     }
 }
 
@@ -56,8 +59,11 @@ pub fn simulate_lending(group: &ThrottleGroup, config: &LendingConfig) -> Lendin
             lent_this_period = false;
         }
         // Baseline: fixed caps.
-        throttled_without +=
-            group.members.iter().filter(|m| m.demand(t) >= m.cap).count();
+        throttled_without += group
+            .members
+            .iter()
+            .filter(|m| m.demand(t) >= m.cap)
+            .count();
 
         // With lending: current caps.
         let throttled: Vec<usize> = (0..n)
@@ -113,7 +119,11 @@ pub fn simulate_lending(group: &ThrottleGroup, config: &LendingConfig) -> Lendin
     } else {
         None
     };
-    LendingOutcome { throttled_without, throttled_with, gain }
+    LendingOutcome {
+        throttled_without,
+        throttled_with,
+        gain,
+    }
 }
 
 /// Run the lending simulation over many groups, returning the gains of
@@ -133,12 +143,21 @@ mod tests {
 
     fn group(members: Vec<VdSeries>) -> ThrottleGroup {
         let ticks = members[0].read.len();
-        ThrottleGroup { kind: GroupKind::MultiVdVm(VmId(0)), members, ticks }
+        ThrottleGroup {
+            kind: GroupKind::MultiVdVm(VmId(0)),
+            members,
+            ticks,
+        }
     }
 
     fn vd(write: Vec<f64>, cap: f64) -> VdSeries {
         let read = vec![0.0; write.len()];
-        VdSeries { vd: VdId(0), read, write, cap }
+        VdSeries {
+            vd: VdId(0),
+            read,
+            write,
+            cap,
+        }
     }
 
     #[test]
@@ -147,7 +166,13 @@ mod tests {
         // member 1 idles with cap 300. Lending p = 0.8 raises member 0's
         // cap above demand after the first tick.
         let g = group(vec![vd(vec![150.0; 6], 100.0), vd(vec![0.0; 6], 300.0)]);
-        let out = simulate_lending(&g, &LendingConfig { p: 0.8, period_ticks: 6 });
+        let out = simulate_lending(
+            &g,
+            &LendingConfig {
+                p: 0.8,
+                period_ticks: 6,
+            },
+        );
         assert_eq!(out.throttled_without, 6);
         assert!(out.throttled_with < 6, "lending should clear later ticks");
         assert!(out.gain.unwrap() > 0.0);
@@ -161,7 +186,13 @@ mod tests {
             vd(vec![150.0, 0.0, 0.0], 100.0),
             vd(vec![0.0, 95.0, 95.0], 100.0),
         ]);
-        let out = simulate_lending(&g, &LendingConfig { p: 0.8, period_ticks: 3 });
+        let out = simulate_lending(
+            &g,
+            &LendingConfig {
+                p: 0.8,
+                period_ticks: 3,
+            },
+        );
         // Without lending member 1 never throttles (95 < 100): baseline 1.
         assert_eq!(out.throttled_without, 1);
         assert!(
@@ -186,7 +217,13 @@ mod tests {
             vd(vec![150.0, 0.0, 0.0, 0.0], 100.0),
             vd(vec![0.0, 0.0, 95.0, 95.0], 100.0),
         ]);
-        let out = simulate_lending(&g, &LendingConfig { p: 0.8, period_ticks: 2 });
+        let out = simulate_lending(
+            &g,
+            &LendingConfig {
+                p: 0.8,
+                period_ticks: 2,
+            },
+        );
         assert_eq!(out.throttled_with, out.throttled_without);
     }
 
@@ -201,7 +238,13 @@ mod tests {
             vd(vec![40.0; 4], 100.0),
             vd(vec![40.0; 4], 100.0),
         ]);
-        let out = simulate_lending(&g, &LendingConfig { p: 0.5, period_ticks: 4 });
+        let out = simulate_lending(
+            &g,
+            &LendingConfig {
+                p: 0.5,
+                period_ticks: 4,
+            },
+        );
         // Baseline: member 0 throttled all 4 ticks.
         assert_eq!(out.throttled_without, 4);
         // Lending: AR = 300 − (100+40+40) = 120, lent = 60 → borrower cap

@@ -27,7 +27,10 @@ pub struct PredictiveConfig {
 
 impl Default for PredictiveConfig {
     fn default() -> Self {
-        Self { base: LendingConfig::default(), safety: 1.2 }
+        Self {
+            base: LendingConfig::default(),
+            safety: 1.2,
+        }
     }
 }
 
@@ -42,11 +45,13 @@ pub fn simulate_predictive_lending(
 ) -> LendingOutcome {
     let p = config.base.p;
     assert!(p > 0.0 && p < 1.0, "p must be in (0, 1)");
-    assert!(config.safety >= 1.0, "safety margin must not discount demand");
+    assert!(
+        config.safety >= 1.0,
+        "safety margin must not discount demand"
+    );
     let n = group.members.len();
     let base_caps: Vec<f64> = group.members.iter().map(|m| m.cap).collect();
-    let mut predictors: Vec<Box<dyn Predictor>> =
-        (0..n).map(|_| make_predictor()).collect();
+    let mut predictors: Vec<Box<dyn Predictor>> = (0..n).map(|_| make_predictor()).collect();
     let mut histories: Vec<Vec<f64>> = vec![Vec::new(); n];
 
     let mut throttled_without = 0usize;
@@ -59,8 +64,11 @@ pub fn simulate_predictive_lending(
             caps.copy_from_slice(&base_caps);
             lent_this_period = false;
         }
-        throttled_without +=
-            group.members.iter().filter(|m| m.demand(t) >= m.cap).count();
+        throttled_without += group
+            .members
+            .iter()
+            .filter(|m| m.demand(t) >= m.cap)
+            .count();
         let throttled: Vec<usize> = (0..n)
             .filter(|&i| group.members[i].demand(t) >= caps[i])
             .collect();
@@ -103,8 +111,7 @@ pub fn simulate_predictive_lending(
                         } else {
                             group.members[i].demand(t)
                         };
-                        let reserved =
-                            group.members[i].demand(t).max(predicted) * config.safety;
+                        let reserved = group.members[i].demand(t).max(predicted) * config.safety;
                         (caps[i] - reserved).max(0.0)
                     })
                     .collect();
@@ -128,14 +135,15 @@ pub fn simulate_predictive_lending(
     } else {
         None
     };
-    LendingOutcome { throttled_without, throttled_with, gain }
+    LendingOutcome {
+        throttled_without,
+        throttled_with,
+        gain,
+    }
 }
 
 /// Gains across many groups with the default (linear-fit) forecaster.
-pub fn predictive_lending_gains(
-    groups: &[ThrottleGroup],
-    config: &PredictiveConfig,
-) -> Vec<f64> {
+pub fn predictive_lending_gains(groups: &[ThrottleGroup], config: &PredictiveConfig) -> Vec<f64> {
     groups
         .iter()
         .filter_map(|g| {
@@ -153,12 +161,21 @@ mod tests {
 
     fn group(members: Vec<VdSeries>) -> ThrottleGroup {
         let ticks = members[0].read.len();
-        ThrottleGroup { kind: GroupKind::MultiVdVm(VmId(0)), members, ticks }
+        ThrottleGroup {
+            kind: GroupKind::MultiVdVm(VmId(0)),
+            members,
+            ticks,
+        }
     }
 
     fn vd(write: Vec<f64>, cap: f64) -> VdSeries {
         let read = vec![0.0; write.len()];
-        VdSeries { vd: VdId(0), read, write, cap }
+        VdSeries {
+            vd: VdId(0),
+            read,
+            write,
+            cap,
+        }
     }
 
     #[test]
@@ -170,13 +187,15 @@ mod tests {
             vd(vec![0.0, 0.0, 0.0, 150.0, 0.0, 0.0], 100.0),
             vd(vec![20.0, 40.0, 60.0, 80.0, 95.0, 95.0], 100.0),
         ]);
-        let base = LendingConfig { p: 0.9, period_ticks: 6 };
+        let base = LendingConfig {
+            p: 0.9,
+            period_ticks: 6,
+        };
         let plain = simulate_lending(&g, &base);
-        let predictive = simulate_predictive_lending(
-            &g,
-            &PredictiveConfig { base, safety: 1.1 },
-            &|| Box::new(LinearFit::default()),
-        );
+        let predictive =
+            simulate_predictive_lending(&g, &PredictiveConfig { base, safety: 1.1 }, &|| {
+                Box::new(LinearFit::default())
+            });
         assert!(
             predictive.throttled_with <= plain.throttled_with,
             "prediction must not be worse: {predictive:?} vs {plain:?}"
@@ -188,11 +207,9 @@ mod tests {
     #[test]
     fn predictive_still_lends_to_relieve_sustained_throttle() {
         let g = group(vec![vd(vec![150.0; 6], 100.0), vd(vec![5.0; 6], 300.0)]);
-        let out = simulate_predictive_lending(
-            &g,
-            &PredictiveConfig::default(),
-            &|| Box::new(LinearFit::default()),
-        );
+        let out = simulate_predictive_lending(&g, &PredictiveConfig::default(), &|| {
+            Box::new(LinearFit::default())
+        });
         assert!(out.throttled_with < out.throttled_without, "{out:?}");
         assert!(out.gain.unwrap() > 0.0);
     }
@@ -201,10 +218,12 @@ mod tests {
     fn predictive_cuts_the_negative_tail_fleet_wide() {
         let ds = ebs_workload::generate(&ebs_workload::WorkloadConfig::medium(111)).unwrap();
         let groups = crate::scenario::build_groups(&ds.fleet, &ds.compute, CapDim::Throughput);
-        let base = LendingConfig { p: 0.8, period_ticks: 6 };
+        let base = LendingConfig {
+            p: 0.8,
+            period_ticks: 6,
+        };
         let plain = crate::lending::lending_gains(&groups, &base);
-        let predictive =
-            predictive_lending_gains(&groups, &PredictiveConfig { base, safety: 1.2 });
+        let predictive = predictive_lending_gains(&groups, &PredictiveConfig { base, safety: 1.2 });
         let neg = |v: &[f64]| v.iter().filter(|&&g| g < 0.0).count() as f64 / v.len() as f64;
         assert!(!plain.is_empty() && !predictive.is_empty());
         assert!(
@@ -218,11 +237,9 @@ mod tests {
     #[test]
     fn quiet_groups_still_produce_no_gain() {
         let g = group(vec![vd(vec![1.0; 6], 100.0), vd(vec![1.0; 6], 100.0)]);
-        let out = simulate_predictive_lending(
-            &g,
-            &PredictiveConfig::default(),
-            &|| Box::new(LinearFit::default()),
-        );
+        let out = simulate_predictive_lending(&g, &PredictiveConfig::default(), &|| {
+            Box::new(LinearFit::default())
+        });
         assert_eq!(out.gain, None);
     }
 }

@@ -55,11 +55,20 @@ mod tests {
 
     fn group(members: Vec<VdSeries>) -> ThrottleGroup {
         let ticks = members[0].read.len();
-        ThrottleGroup { kind: GroupKind::MultiVdVm(VmId(0)), members, ticks }
+        ThrottleGroup {
+            kind: GroupKind::MultiVdVm(VmId(0)),
+            members,
+            ticks,
+        }
     }
 
     fn vd(read: Vec<f64>, write: Vec<f64>, cap: f64) -> VdSeries {
-        VdSeries { vd: VdId(0), read, write, cap }
+        VdSeries {
+            vd: VdId(0),
+            read,
+            write,
+            cap,
+        }
     }
 
     #[test]

@@ -33,12 +33,21 @@ mod tests {
 
     fn group(members: Vec<VdSeries>) -> ThrottleGroup {
         let ticks = members[0].read.len();
-        ThrottleGroup { kind: GroupKind::MultiVdVm(VmId(0)), members, ticks }
+        ThrottleGroup {
+            kind: GroupKind::MultiVdVm(VmId(0)),
+            members,
+            ticks,
+        }
     }
 
     fn vd(write: Vec<f64>, cap: f64) -> VdSeries {
         let read = vec![0.0; write.len()];
-        VdSeries { vd: VdId(0), read, write, cap }
+        VdSeries {
+            vd: VdId(0),
+            read,
+            write,
+            cap,
+        }
     }
 
     #[test]
@@ -65,7 +74,10 @@ mod tests {
 
     #[test]
     fn rr_is_in_unit_interval() {
-        let g = group(vec![vd(vec![100.0, 50.0, 100.0], 100.0), vd(vec![5.0, 0.0, 80.0], 200.0)]);
+        let g = group(vec![
+            vd(vec![100.0, 50.0, 100.0], 100.0),
+            vd(vec![5.0, 0.0, 80.0], 200.0),
+        ]);
         for p in [0.2, 0.5, 0.9] {
             for r in reduction_rates(&g, p) {
                 assert!(r > 0.0 && r <= 1.0);

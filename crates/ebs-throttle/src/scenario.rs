@@ -98,12 +98,7 @@ impl ThrottleGroup {
 }
 
 /// Build dense per-VD demand series for one dimension.
-fn vd_series(
-    fleet: &Fleet,
-    metrics: &ComputeMetrics,
-    dim: CapDim,
-    vd: VdId,
-) -> VdSeries {
+fn vd_series(fleet: &Fleet, metrics: &ComputeMetrics, dim: CapDim, vd: VdId) -> VdSeries {
     let ticks = metrics.ticks.ticks as usize;
     let dt = metrics.ticks.tick_secs;
     let (rm, wm) = match dim {
@@ -125,7 +120,12 @@ fn vd_series(
         CapDim::Throughput => spec.tput_cap,
         CapDim::Iops => spec.iops_cap,
     };
-    VdSeries { vd, read, write, cap }
+    VdSeries {
+        vd,
+        read,
+        write,
+        cap,
+    }
 }
 
 /// Extract all multi-VD-VM and multi-VM-node groups of the fleet.
@@ -141,7 +141,10 @@ pub fn build_groups(fleet: &Fleet, metrics: &ComputeMetrics, dim: CapDim) -> Vec
         }
         groups.push(ThrottleGroup {
             kind: GroupKind::MultiVdVm(vm.id),
-            members: vds.iter().map(|&vd| vd_series(fleet, metrics, dim, vd)).collect(),
+            members: vds
+                .iter()
+                .map(|&vd| vd_series(fleet, metrics, dim, vd))
+                .collect(),
             ticks,
         });
     }
@@ -150,7 +153,10 @@ pub fn build_groups(fleet: &Fleet, metrics: &ComputeMetrics, dim: CapDim) -> Vec
     let mut by_node_user: std::collections::BTreeMap<(CnId, UserId), Vec<VmId>> =
         std::collections::BTreeMap::new();
     for vm in fleet.vms.iter() {
-        by_node_user.entry((vm.cn, vm.user)).or_default().push(vm.id);
+        by_node_user
+            .entry((vm.cn, vm.user))
+            .or_default()
+            .push(vm.id);
     }
     for ((cn, user), vms) in by_node_user {
         if vms.len() < 2 {
@@ -164,7 +170,11 @@ pub fn build_groups(fleet: &Fleet, metrics: &ComputeMetrics, dim: CapDim) -> Vec
         if members.len() < 2 {
             continue;
         }
-        groups.push(ThrottleGroup { kind: GroupKind::MultiVmNode(cn, user), members, ticks });
+        groups.push(ThrottleGroup {
+            kind: GroupKind::MultiVmNode(cn, user),
+            members,
+            ticks,
+        });
     }
     groups
 }
@@ -219,7 +229,12 @@ mod tests {
 
     #[test]
     fn throttling_detection_uses_cap() {
-        let m = VdSeries { vd: VdId(0), read: vec![5.0, 60.0], write: vec![5.0, 50.0], cap: 100.0 };
+        let m = VdSeries {
+            vd: VdId(0),
+            read: vec![5.0, 60.0],
+            write: vec![5.0, 50.0],
+            cap: 100.0,
+        };
         assert!(!m.throttled(0));
         assert!(m.throttled(1));
     }
@@ -230,7 +245,9 @@ mod tests {
         // cap at some tick.
         let ds = dataset();
         let groups = build_groups(&ds.fleet, &ds.compute, CapDim::Throughput);
-        let any = groups.iter().any(|g| (0..g.ticks).any(|t| g.any_throttled(t)));
+        let any = groups
+            .iter()
+            .any(|g| (0..g.ticks).any(|t| g.any_throttled(t)));
         assert!(any, "no throttling anywhere — caps unrealistically loose");
     }
 }

@@ -49,7 +49,10 @@ pub fn check_shape(ds: &Dataset) -> Vec<String> {
         |_| true,
     )
     .totals();
-    match (ebs_analysis::ccr(&vm_read, 0.01), ebs_analysis::ccr(&vm_write, 0.01)) {
+    match (
+        ebs_analysis::ccr(&vm_read, 0.01),
+        ebs_analysis::ccr(&vm_write, 0.01),
+    ) {
         (Some(r), Some(w)) => {
             if r < MIN_VM_READ_CCR1 {
                 problems.push(format!("VM read 1%-CCR {r:.3} below {MIN_VM_READ_CCR1}"));
@@ -70,8 +73,11 @@ pub fn check_shape(ds: &Dataset) -> Vec<String> {
             measure,
             |_| true,
         );
-        let vals: Vec<f64> =
-            roll.series.iter().filter_map(|(_, s)| ebs_analysis::p2a(s)).collect();
+        let vals: Vec<f64> = roll
+            .series
+            .iter()
+            .filter_map(|(_, s)| ebs_analysis::p2a(s))
+            .collect();
         ebs_analysis::median(&vals)
     };
     match (p2a_of(Measure::ReadBytes), p2a_of(Measure::WriteBytes)) {

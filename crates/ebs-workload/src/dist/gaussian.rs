@@ -52,7 +52,10 @@ mod tests {
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = xs[xs.len() / 2];
         let expect = 2f64.exp();
-        assert!((med - expect).abs() / expect < 0.05, "median {med} vs {expect}");
+        assert!(
+            (med - expect).abs() / expect < 0.05,
+            "median {med} vs {expect}"
+        );
     }
 
     #[test]

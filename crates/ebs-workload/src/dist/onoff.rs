@@ -30,12 +30,24 @@ pub struct OnOffParams {
 impl OnOffParams {
     /// A steady profile: nearly always on, mild amplitude variation.
     pub fn steady() -> Self {
-        Self { duty: 0.9, max_on: 400.0, on_alpha: 0.8, max_amp: 4.0, amp_alpha: 2.5 }
+        Self {
+            duty: 0.9,
+            max_on: 400.0,
+            on_alpha: 0.8,
+            max_amp: 4.0,
+            amp_alpha: 2.5,
+        }
     }
 
     /// A bursty profile: rarely on, violent amplitude spikes.
     pub fn bursty() -> Self {
-        Self { duty: 0.03, max_on: 40.0, on_alpha: 1.2, max_amp: 500.0, amp_alpha: 0.9 }
+        Self {
+            duty: 0.03,
+            max_on: 40.0,
+            on_alpha: 1.2,
+            max_amp: 500.0,
+            amp_alpha: 0.9,
+        }
     }
 }
 
@@ -47,7 +59,8 @@ pub fn bounded_pareto_mean(lo: f64, hi: f64, alpha: f64) -> f64 {
         lo * hi / (hi - lo) * (hi / lo).ln()
     } else {
         let norm = 1.0 - (lo / hi).powf(alpha);
-        lo.powf(alpha) / norm * (alpha / (alpha - 1.0))
+        lo.powf(alpha) / norm
+            * (alpha / (alpha - 1.0))
             * (lo.powf(1.0 - alpha) - hi.powf(1.0 - alpha))
     }
 }
@@ -68,7 +81,10 @@ impl OnOffEnvelope {
     /// never silently dropped.
     pub fn generate(rng: &mut SimRng, ticks: u32, params: &OnOffParams) -> Vec<(u32, f64)> {
         assert!(ticks > 0);
-        assert!(params.duty > 0.0 && params.duty <= 1.0, "duty must be in (0,1]");
+        assert!(
+            params.duty > 0.0 && params.duty <= 1.0,
+            "duty must be in (0,1]"
+        );
         let mean_on = bounded_pareto_mean(1.0, params.max_on.max(1.0 + 1e-9), params.on_alpha);
         let mean_off = (mean_on * (1.0 / params.duty - 1.0)).max(0.0);
         let mut out: Vec<(u32, f64)> = Vec::new();
@@ -161,15 +177,24 @@ mod tests {
             bursty_max += b.iter().map(|(_, w)| *w).fold(0.0, f64::max);
             steady_max += s.iter().map(|(_, w)| *w).fold(0.0, f64::max);
         }
-        assert!(bursty_active * 5 < steady_active, "{bursty_active} vs {steady_active}");
+        assert!(
+            bursty_active * 5 < steady_active,
+            "{bursty_active} vs {steady_active}"
+        );
         // P2A ∝ max weight × ticks: bursty must be dramatically spikier.
-        assert!(bursty_max > steady_max * 10.0, "{bursty_max} vs {steady_max}");
+        assert!(
+            bursty_max > steady_max * 10.0,
+            "{bursty_max} vs {steady_max}"
+        );
     }
 
     #[test]
     fn tiny_duty_still_emits_something() {
         let mut rng = SimRng::seed_from_u64(5);
-        let params = OnOffParams { duty: 1e-4, ..OnOffParams::bursty() };
+        let params = OnOffParams {
+            duty: 1e-4,
+            ..OnOffParams::bursty()
+        };
         for _ in 0..50 {
             let env = OnOffEnvelope::generate(&mut rng, 100, &params);
             assert!(!env.is_empty());
@@ -186,7 +211,9 @@ mod tests {
         // Empirical check.
         let mut rng = SimRng::seed_from_u64(6);
         let n = 200_000;
-        let emp: f64 = (0..n).map(|_| bounded_pareto(&mut rng, 2.0, 50.0, 1.5)).sum::<f64>()
+        let emp: f64 = (0..n)
+            .map(|_| bounded_pareto(&mut rng, 2.0, 50.0, 1.5))
+            .sum::<f64>()
             / n as f64;
         let theory = bounded_pareto_mean(2.0, 50.0, 1.5);
         assert!((emp - theory).abs() / theory < 0.02, "{emp} vs {theory}");

@@ -5,7 +5,10 @@ use ebs_core::rng::SimRng;
 /// Sample a Pareto(xm, α) variate: `x = xm / U^(1/α)`, `x ≥ xm`.
 /// Small α (≈1) gives very heavy tails.
 pub fn pareto(rng: &mut SimRng, xm: f64, alpha: f64) -> f64 {
-    assert!(xm > 0.0 && alpha > 0.0, "Pareto parameters must be positive");
+    assert!(
+        xm > 0.0 && alpha > 0.0,
+        "Pareto parameters must be positive"
+    );
     let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
     xm / u.powf(1.0 / alpha)
 }
@@ -13,7 +16,10 @@ pub fn pareto(rng: &mut SimRng, xm: f64, alpha: f64) -> f64 {
 /// Sample a bounded Pareto on `[lo, hi]` with tail index `alpha` via
 /// inverse CDF; keeps burst amplitudes heavy-tailed but finite.
 pub fn bounded_pareto(rng: &mut SimRng, lo: f64, hi: f64, alpha: f64) -> f64 {
-    assert!(lo > 0.0 && hi > lo && alpha > 0.0, "invalid bounded Pareto parameters");
+    assert!(
+        lo > 0.0 && hi > lo && alpha > 0.0,
+        "invalid bounded Pareto parameters"
+    );
     let u = rng.next_f64();
     let la = lo.powf(-alpha);
     let ha = hi.powf(-alpha);
@@ -40,7 +46,10 @@ mod tests {
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = v[v.len() / 2];
         let expect = 2f64.powf(0.5);
-        assert!((med - expect).abs() / expect < 0.03, "median {med} vs {expect}");
+        assert!(
+            (med - expect).abs() / expect < 0.03,
+            "median {med} vs {expect}"
+        );
     }
 
     #[test]

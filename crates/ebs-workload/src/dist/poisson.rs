@@ -66,8 +66,10 @@ mod tests {
     fn large_lambda_uses_normal_branch() {
         let mut rng = SimRng::seed_from_u64(4);
         let n = 20_000;
-        let mean =
-            (0..n).map(|_| poisson(&mut rng, 1000.0) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| poisson(&mut rng, 1000.0) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1000.0).abs() < 2.0, "mean {mean}");
     }
 }

@@ -55,7 +55,9 @@ impl ZipfSampler {
     /// Draw one rank in `[0, n)`; rank 0 is the most popular.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.next_f64();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 }
 

@@ -70,7 +70,10 @@ pub fn write_compute_metrics_csv<W: Write>(ds: &Dataset, mut w: W) -> io::Result
 
 /// Write the storage-domain metric data as CSV (sparse).
 pub fn write_storage_metrics_csv<W: Write>(ds: &Dataset, mut w: W) -> io::Result<()> {
-    writeln!(w, "tick,vd,segment,bs,sn,read_bytes,write_bytes,read_ops,write_ops")?;
+    writeln!(
+        w,
+        "tick,vd,segment,bs,sn,read_bytes,write_bytes,read_ops,write_ops"
+    )?;
     let fleet = &ds.fleet;
     for (i, series) in ds.storage.per_seg.iter().enumerate() {
         let seg = SegId::from_index(i);
@@ -130,7 +133,10 @@ pub fn write_specs_csv<W: Write>(ds: &Dataset, mut w: W) -> io::Result<()> {
 pub fn export_dir(ds: &Dataset, dir: &Path) -> io::Result<Vec<String>> {
     std::fs::create_dir_all(dir)?;
     let files = [
-        ("events.csv", write_events_csv as fn(&Dataset, std::fs::File) -> io::Result<()>),
+        (
+            "events.csv",
+            write_events_csv as fn(&Dataset, std::fs::File) -> io::Result<()>,
+        ),
         ("compute_metrics.csv", write_compute_metrics_csv),
         ("storage_metrics.csv", write_storage_metrics_csv),
         ("specs.csv", write_specs_csv),
@@ -250,8 +256,17 @@ pub fn read_events_csv<R: io::BufRead>(r: R) -> io::Result<Vec<ebs_core::io::IoE
             }
         };
         let size = field("size")?.parse().map_err(|_| bad("size", lineno))?;
-        let offset = field("offset")?.parse().map_err(|_| bad("offset", lineno))?;
-        events.push(IoEvent { t_us, vd, qp, op, size, offset });
+        let offset = field("offset")?
+            .parse()
+            .map_err(|_| bad("offset", lineno))?;
+        events.push(IoEvent {
+            t_us,
+            vd,
+            qp,
+            op,
+            size,
+            offset,
+        });
     }
     events.sort_by_key(|e| e.t_us);
     Ok(events)

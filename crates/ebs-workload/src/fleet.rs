@@ -145,10 +145,16 @@ pub fn summarize(fleet: &Fleet) -> FleetSummary {
         vms_per_user[vm.user.index()] += 1;
         vds_per_user[vm.user.index()] += fleet.vds_of_vm(vm.id).len();
     }
-    let active_vm: Vec<f64> =
-        vms_per_user.iter().filter(|&&c| c > 0).map(|&c| c as f64).collect();
-    let active_vd: Vec<f64> =
-        vds_per_user.iter().filter(|&&c| c > 0).map(|&c| c as f64).collect();
+    let active_vm: Vec<f64> = vms_per_user
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| c as f64)
+        .collect();
+    let active_vd: Vec<f64> = vds_per_user
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| c as f64)
+        .collect();
     FleetSummary {
         users: active_vm.len(),
         vms: fleet.vms.len(),
@@ -214,15 +220,23 @@ mod tests {
     #[test]
     fn whale_vm_exists_when_enabled() {
         let fleet = build_fleet(&WorkloadConfig::quick(3)).unwrap();
-        let max_vds =
-            fleet.vms.iter().map(|vm| fleet.vds_of_vm(vm.id).len()).max().unwrap();
+        let max_vds = fleet
+            .vms
+            .iter()
+            .map(|vm| fleet.vds_of_vm(vm.id).len())
+            .max()
+            .unwrap();
         assert_eq!(max_vds, WHALE_VD_COUNT);
 
         let mut cfg = WorkloadConfig::quick(3);
         cfg.whale_tenant = false;
         let fleet = build_fleet(&cfg).unwrap();
-        let max_vds =
-            fleet.vms.iter().map(|vm| fleet.vds_of_vm(vm.id).len()).max().unwrap();
+        let max_vds = fleet
+            .vms
+            .iter()
+            .map(|vm| fleet.vds_of_vm(vm.id).len())
+            .max()
+            .unwrap();
         assert!(max_vds < WHALE_VD_COUNT);
     }
 

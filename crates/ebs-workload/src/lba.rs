@@ -63,7 +63,11 @@ impl HotSpot {
         let len = len.min(seg_len);
         let slack = seg_len.saturating_sub(len);
         let start = seg_start + if slack > 0 { rng.below(slack + 1) } else { 0 };
-        HotSpot { start, len, cursor: 0 }
+        HotSpot {
+            start,
+            len,
+            cursor: 0,
+        }
     }
 
     fn segment_index(&self) -> u32 {
@@ -307,7 +311,9 @@ mod tests {
 
     #[test]
     fn multiple_spots_appear_across_vds() {
-        let multi = (0..40).filter(|&s| model(s, 200 * GIB).spot_count(Op::Write) > 1).count();
+        let multi = (0..40)
+            .filter(|&s| model(s, 200 * GIB).spot_count(Op::Write) > 1)
+            .count();
         assert_eq!(multi, 40, "write spots must always be plural");
     }
 
@@ -365,7 +371,11 @@ mod tests {
         }
         assert!(any > 5_000);
         // Zipf(0.6) over ≤4 spots: the top spot still leads with ≥ ~25 %.
-        assert!(top as f64 / any as f64 > 0.25, "top share {:.3}", top as f64 / any as f64);
+        assert!(
+            top as f64 / any as f64 > 0.25,
+            "top share {:.3}",
+            top as f64 / any as f64
+        );
     }
 
     #[test]
@@ -381,7 +391,11 @@ mod tests {
                 top_offsets.push(off);
             }
         }
-        assert!(top_offsets.len() > 100, "too few top-spot writes: {}", top_offsets.len());
+        assert!(
+            top_offsets.len() > 100,
+            "too few top-spot writes: {}",
+            top_offsets.len()
+        );
         let increasing = top_offsets.windows(2).filter(|w| w[1] > w[0]).count();
         let frac = increasing as f64 / (top_offsets.len() - 1) as f64;
         assert!(frac > 0.35, "sequentiality broken: {frac}");
@@ -438,12 +452,13 @@ mod tests {
             let cold_max = w
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| {
-                    !m.spots(op).iter().any(|s| s.segment_index() as usize == *i)
-                })
+                .filter(|(i, _)| !m.spots(op).iter().any(|s| s.segment_index() as usize == *i))
                 .map(|(_, &x)| x)
                 .fold(0.0, f64::max);
-            assert!(w[top] > cold_max, "top spot segment must beat cold segments ({op})");
+            assert!(
+                w[top] > cold_max,
+                "top spot segment must beat cold segments ({op})"
+            );
         }
     }
 
@@ -454,6 +469,9 @@ mod tests {
         let off = m.offset(&mut rng, Op::Write, 4096, 0);
         assert!(off < GIB);
         assert_eq!(m.segment_weights(Op::Read).len(), 1);
-        assert_eq!(m.hot_segment_index(Op::Read), m.hot_segment_index(Op::Write));
+        assert_eq!(
+            m.hot_segment_index(Op::Read),
+            m.hot_segment_index(Op::Write)
+        );
     }
 }

@@ -152,8 +152,12 @@ impl AppProfile {
                 vd_zipf_write: 2.0,
                 qp_zipf_write: 2.2,
                 qp_zipf_read: 0.7,
-                write_sizes: SizeMix { weights: [0.05, 0.10, 0.20, 0.30, 0.35] },
-                read_sizes: SizeMix { weights: [0.05, 0.10, 0.20, 0.30, 0.35] },
+                write_sizes: SizeMix {
+                    weights: [0.05, 0.10, 0.20, 0.30, 0.35],
+                },
+                read_sizes: SizeMix {
+                    weights: [0.05, 0.10, 0.20, 0.30, 0.35],
+                },
                 hot: HotSpotProfile {
                     hot_frac_write: 0.45,
                     hot_frac_read: 0.25,
@@ -191,8 +195,12 @@ impl AppProfile {
                 vd_zipf_write: 2.6,
                 qp_zipf_write: 2.8,
                 qp_zipf_read: 0.9,
-                write_sizes: SizeMix { weights: [0.60, 0.20, 0.15, 0.05, 0.0] },
-                read_sizes: SizeMix { weights: [0.55, 0.25, 0.15, 0.05, 0.0] },
+                write_sizes: SizeMix {
+                    weights: [0.60, 0.20, 0.15, 0.05, 0.0],
+                },
+                read_sizes: SizeMix {
+                    weights: [0.55, 0.25, 0.15, 0.05, 0.0],
+                },
                 hot: HotSpotProfile {
                     hot_frac_write: 0.65,
                     hot_frac_read: 0.35,
@@ -230,8 +238,12 @@ impl AppProfile {
                 vd_zipf_write: 2.4,
                 qp_zipf_write: 2.5,
                 qp_zipf_read: 0.8,
-                write_sizes: SizeMix { weights: [0.20, 0.20, 0.30, 0.20, 0.10] },
-                read_sizes: SizeMix { weights: [0.30, 0.25, 0.25, 0.15, 0.05] },
+                write_sizes: SizeMix {
+                    weights: [0.20, 0.20, 0.30, 0.20, 0.10],
+                },
+                read_sizes: SizeMix {
+                    weights: [0.30, 0.25, 0.25, 0.15, 0.05],
+                },
                 hot: HotSpotProfile {
                     hot_frac_write: 0.70,
                     hot_frac_read: 0.30,
@@ -269,8 +281,12 @@ impl AppProfile {
                 vd_zipf_write: 2.6,
                 qp_zipf_write: 2.0,
                 qp_zipf_read: 0.8,
-                write_sizes: SizeMix { weights: [0.05, 0.10, 0.25, 0.30, 0.30] },
-                read_sizes: SizeMix { weights: [0.05, 0.10, 0.25, 0.30, 0.30] },
+                write_sizes: SizeMix {
+                    weights: [0.05, 0.10, 0.25, 0.30, 0.30],
+                },
+                read_sizes: SizeMix {
+                    weights: [0.05, 0.10, 0.25, 0.30, 0.30],
+                },
                 hot: HotSpotProfile {
                     hot_frac_write: 0.50,
                     hot_frac_read: 0.30,
@@ -308,8 +324,12 @@ impl AppProfile {
                 vd_zipf_write: 2.8,
                 qp_zipf_write: 3.0,
                 qp_zipf_read: 0.9,
-                write_sizes: SizeMix { weights: [0.50, 0.30, 0.15, 0.05, 0.0] },
-                read_sizes: SizeMix { weights: [0.45, 0.30, 0.20, 0.05, 0.0] },
+                write_sizes: SizeMix {
+                    weights: [0.50, 0.30, 0.15, 0.05, 0.0],
+                },
+                read_sizes: SizeMix {
+                    weights: [0.45, 0.30, 0.20, 0.05, 0.0],
+                },
                 hot: HotSpotProfile {
                     hot_frac_write: 0.75,
                     hot_frac_read: 0.40,
@@ -347,8 +367,12 @@ impl AppProfile {
                 vd_zipf_write: 3.0,
                 qp_zipf_write: 3.0,
                 qp_zipf_read: 1.0,
-                write_sizes: SizeMix { weights: [0.35, 0.25, 0.25, 0.10, 0.05] },
-                read_sizes: SizeMix { weights: [0.30, 0.25, 0.25, 0.15, 0.05] },
+                write_sizes: SizeMix {
+                    weights: [0.35, 0.25, 0.25, 0.10, 0.05],
+                },
+                read_sizes: SizeMix {
+                    weights: [0.30, 0.25, 0.25, 0.15, 0.05],
+                },
                 hot: HotSpotProfile {
                     hot_frac_write: 0.70,
                     hot_frac_read: 0.45,
@@ -366,7 +390,10 @@ impl AppProfile {
 
     /// All six profiles in Table 4 row order.
     pub fn all() -> Vec<AppProfile> {
-        AppClass::ALL.iter().map(|&a| AppProfile::for_app(a)).collect()
+        AppClass::ALL
+            .iter()
+            .map(|&a| AppProfile::for_app(a))
+            .collect()
     }
 }
 
@@ -377,7 +404,10 @@ mod tests {
     #[test]
     fn population_weights_roughly_normalize() {
         let total: f64 = AppProfile::all().iter().map(|p| p.population_weight).sum();
-        assert!((total - 1.0).abs() < 1e-9, "population weights sum to {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "population weights sum to {total}"
+        );
     }
 
     #[test]
@@ -388,8 +418,16 @@ mod tests {
                 "{}: read σ should dominate (except FS, Table 4)",
                 p.app
             );
-            assert!(p.read_onoff.duty <= p.write_onoff.duty, "{}: read duty", p.app);
-            assert!(p.read_onoff.max_amp >= p.write_onoff.max_amp, "{}: read amp", p.app);
+            assert!(
+                p.read_onoff.duty <= p.write_onoff.duty,
+                "{}: read duty",
+                p.app
+            );
+            assert!(
+                p.read_onoff.max_amp >= p.write_onoff.max_amp,
+                "{}: read amp",
+                p.app
+            );
         }
     }
 

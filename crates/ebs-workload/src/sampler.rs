@@ -39,7 +39,12 @@ impl BurstClock {
     pub fn new(rng: &mut SimRng, start_us: u64, len_us: u64, spread_us: f64) -> Self {
         assert!(len_us > 0);
         let center_us = start_us + rng.below(len_us);
-        Self { start_us, len_us, center_us, spread_us: spread_us.max(1.0) }
+        Self {
+            start_us,
+            len_us,
+            center_us,
+            spread_us: spread_us.max(1.0),
+        }
     }
 
     /// Draw one timestamp inside the tick.
@@ -83,7 +88,9 @@ mod tests {
     fn custom_rate() {
         let mut rng = SimRng::seed_from_u64(3);
         let n = 20_000;
-        let total: u64 = (0..n).map(|_| sampled_count_at(&mut rng, 100.0, 0.05)).sum();
+        let total: u64 = (0..n)
+            .map(|_| sampled_count_at(&mut rng, 100.0, 0.05))
+            .sum();
         let mean = total as f64 / n as f64;
         assert!((mean - 5.0).abs() < 0.1);
     }
@@ -110,6 +117,10 @@ mod tests {
             })
             .count();
         // 70 % burst mass × nearly-all within 10 spreads ⇒ clearly over half.
-        assert!(near as f64 / n as f64 > 0.55, "near fraction {}", near as f64 / n as f64);
+        assert!(
+            near as f64 / n as f64 > 0.55,
+            "near fraction {}",
+            near as f64 / n as f64
+        );
     }
 }

@@ -85,8 +85,8 @@ pub fn build_plan(config: &WorkloadConfig, fleet: &Fleet) -> TrafficPlan {
         // E[(W/W̄)^γ] = exp(σ_w²(γ²−γ)/2) for lognormal W.
         const GAMMA: f64 = 0.35;
         let mean_write = profile.write_mean_bps * scale;
-        let amplification = (vm_write / mean_write).powf(GAMMA)
-            / (sw * sw * (GAMMA * GAMMA - GAMMA) / 2.0).exp();
+        let amplification =
+            (vm_write / mean_write).powf(GAMMA) / (sw * sw * (GAMMA * GAMMA - GAMMA) / 2.0).exp();
         let sx = (sr * sr - sw * sw).max(0.04).sqrt();
         let ratio_mu = (profile.read_mean_bps / profile.write_mean_bps).ln() - sx * sx / 2.0;
         let vm_read = vm_write * amplification * lognormal(&mut rng, ratio_mu, sx);
@@ -111,7 +111,10 @@ pub fn build_plan(config: &WorkloadConfig, fleet: &Fleet) -> TrafficPlan {
             rng.shuffle(&mut qw);
             rng.shuffle(&mut qr);
             for (k, qp) in d.qps().enumerate() {
-                qp_weights[qp] = RwWeight { read: qr[k], write: qw[k] };
+                qp_weights[qp] = RwWeight {
+                    read: qr[k],
+                    write: qw[k],
+                };
             }
         }
     }
@@ -123,8 +126,7 @@ pub fn build_plan(config: &WorkloadConfig, fleet: &Fleet) -> TrafficPlan {
     // conservative long-run utilization of the cap.
     const MAX_SUSTAINED_UTILIZATION: f64 = 0.85;
     for vd in fleet.vds.iter() {
-        let limit =
-            vd.spec.tput_cap * config.duration_secs * MAX_SUSTAINED_UTILIZATION;
+        let limit = vd.spec.tput_cap * config.duration_secs * MAX_SUSTAINED_UTILIZATION;
         let b = &mut vd_bytes[vd.id];
         let total = b.read + b.write;
         if total > limit {
@@ -133,7 +135,10 @@ pub fn build_plan(config: &WorkloadConfig, fleet: &Fleet) -> TrafficPlan {
             b.write *= f;
         }
     }
-    TrafficPlan { vd_bytes, qp_weights }
+    TrafficPlan {
+        vd_bytes,
+        qp_weights,
+    }
 }
 
 #[cfg(test)]
@@ -209,8 +214,14 @@ mod tests {
             if vd.spec.qp_count < 4 {
                 continue;
             }
-            let w = vd.qps().map(|q| plan.qp_weights[q].write).fold(0.0, f64::max);
-            let r = vd.qps().map(|q| plan.qp_weights[q].read).fold(0.0, f64::max);
+            let w = vd
+                .qps()
+                .map(|q| plan.qp_weights[q].write)
+                .fold(0.0, f64::max);
+            let r = vd
+                .qps()
+                .map(|q| plan.qp_weights[q].read)
+                .fold(0.0, f64::max);
             max_w.push(w);
             max_r.push(r);
         }

@@ -18,7 +18,10 @@ fn main() {
 
     println!("strategy         migrations  frequent%  mean residency");
     for strategy in ImporterSelect::ALL {
-        let cfg = BalancerConfig { strategy, ..BalancerConfig::default() };
+        let cfg = BalancerConfig {
+            strategy,
+            ..BalancerConfig::default()
+        };
         let run = run_balancer(&ds.fleet, &ds.storage, dc, &cfg);
         let freq = frequent_migration_proportion(run.seg_map.log(), 1);
         let residency = segment_residency_intervals(run.seg_map.log(), run.periods);
@@ -38,7 +41,10 @@ fn main() {
 
     println!("\nexporter threshold sweep (S2 importer):");
     for ratio in [1.1, 1.2, 1.5, 2.0] {
-        let cfg = BalancerConfig { exporter_ratio: ratio, ..BalancerConfig::default() };
+        let cfg = BalancerConfig {
+            exporter_ratio: ratio,
+            ..BalancerConfig::default()
+        };
         let run = run_balancer(&ds.fleet, &ds.storage, dc, &cfg);
         let mean_cov = if run.cov_series.is_empty() {
             0.0

@@ -56,7 +56,10 @@ fn main() {
 
     // Where should the cache live? Compare CN- and BS-cache latency gains
     // over stack-simulated five-stage latencies.
-    let cfg = StackConfig { apply_throttle: false, ..StackConfig::default() };
+    let cfg = StackConfig {
+        apply_throttle: false,
+        ..StackConfig::default()
+    };
     let mut sim = StackSim::new(&ds.fleet, cfg);
     let out = sim.run(&ds.events).expect("sorted events");
     let hot: HashMap<_, _> = [(vd, hb)].into_iter().collect();

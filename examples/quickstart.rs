@@ -18,7 +18,10 @@ fn main() {
     let ds = generate(&config).expect("config validates");
 
     let s = summarize(&ds.fleet);
-    println!("fleet: {} users, {} VMs, {} VDs, {} QPs", s.users, s.vms, s.vds, s.qps);
+    println!(
+        "fleet: {} users, {} VMs, {} VDs, {} QPs",
+        s.users, s.vms, s.vds, s.qps
+    );
 
     let (read, write) = ds.total_bytes();
     println!(
@@ -29,8 +32,13 @@ fn main() {
     );
 
     // Spatial skewness: how much of the read traffic do the top 1% of VMs carry?
-    let vm_reads =
-        rollup_compute(&ds.fleet, &ds.compute, ComputeLevel::Vm, Measure::ReadBytes, |_| true);
+    let vm_reads = rollup_compute(
+        &ds.fleet,
+        &ds.compute,
+        ComputeLevel::Vm,
+        Measure::ReadBytes,
+        |_| true,
+    );
     let totals = vm_reads.totals();
     if let Some(c) = ccr(&totals, 0.01) {
         println!("VM-level 1%-CCR (read): {:.1}%", c * 100.0);
@@ -46,7 +54,10 @@ fn main() {
     // threads, networks, BlockServer, ChunkServer. (Throttling is studied
     // separately — see the throttle_lending example — so the latency here
     // is the raw device path.)
-    let cfg = StackConfig { apply_throttle: false, ..StackConfig::default() };
+    let cfg = StackConfig {
+        apply_throttle: false,
+        ..StackConfig::default()
+    };
     let mut sim = StackSim::new(&ds.fleet, cfg);
     let out = sim.run(&ds.events).expect("events are time-sorted");
     println!(

@@ -16,7 +16,10 @@ use ebs::workload::{generate, WorkloadConfig};
 fn main() {
     let ds = generate(&WorkloadConfig::quick(23)).expect("config validates");
     let groups = build_groups(&ds.fleet, &ds.compute, CapDim::Throughput);
-    println!("{} poolable groups (multi-VD VMs and multi-VM nodes)", groups.len());
+    println!(
+        "{} poolable groups (multi-VD VMs and multi-VM nodes)",
+        groups.len()
+    );
 
     // How much headroom exists at throttle instants?
     let rar: Vec<f64> = groups.iter().flat_map(rar_samples).collect();

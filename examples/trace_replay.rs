@@ -17,7 +17,11 @@ fn main() {
     let ds = generate(&WorkloadConfig::quick(99)).expect("config validates");
     let mut csv = Vec::new();
     write_events_csv(&ds, &mut csv).expect("in-memory write");
-    println!("exported {} sampled IOs ({} bytes of CSV)", ds.trace_count(), csv.len());
+    println!(
+        "exported {} sampled IOs ({} bytes of CSV)",
+        ds.trace_count(),
+        csv.len()
+    );
 
     // 2. Import: the parser only needs the six block-layer columns.
     let events = read_events_csv(BufReader::new(csv.as_slice())).expect("well-formed CSV");
@@ -25,7 +29,10 @@ fn main() {
 
     // 3. Replay through the full stack. The fleet supplies the topology;
     //    the events supply the traffic.
-    let cfg = StackConfig { apply_throttle: false, ..StackConfig::default() };
+    let cfg = StackConfig {
+        apply_throttle: false,
+        ..StackConfig::default()
+    };
     let mut sim = StackSim::new(&ds.fleet, cfg);
     let out = sim.run(&events).expect("time-sorted");
     println!(
@@ -35,12 +42,15 @@ fn main() {
 
     // 4. The five-stage trace records are ready for any of the paper's
     //    analyses — here, the write-latency breakdown by stage.
-    let writes: Vec<_> =
-        out.traces.records().iter().filter(|r| r.op.is_write()).collect();
-    let mean =
-        |f: &dyn Fn(&ebs::core::trace::TraceRecord) -> f64| -> f64 {
-            writes.iter().map(|r| f(r)).sum::<f64>() / writes.len() as f64
-        };
+    let writes: Vec<_> = out
+        .traces
+        .records()
+        .iter()
+        .filter(|r| r.op.is_write())
+        .collect();
+    let mean = |f: &dyn Fn(&ebs::core::trace::TraceRecord) -> f64| -> f64 {
+        writes.iter().map(|r| f(r)).sum::<f64>() / writes.len() as f64
+    };
     println!("write-latency breakdown (mean us):");
     println!("  compute      {:8.1}", mean(&|r| r.lat.compute_us));
     println!("  frontend net {:8.1}", mean(&|r| r.lat.frontend_us));

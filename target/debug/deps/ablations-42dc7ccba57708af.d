@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-42dc7ccba57708af.d: crates/ebs-experiments/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-42dc7ccba57708af: crates/ebs-experiments/src/bin/ablations.rs
+
+crates/ebs-experiments/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-431f6d3cc502f34a.d: crates/ebs-experiments/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-431f6d3cc502f34a.rmeta: crates/ebs-experiments/src/bin/ablations.rs
+
+crates/ebs-experiments/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-8d282f71ba3dfb27.d: crates/ebs-experiments/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-8d282f71ba3dfb27.rmeta: crates/ebs-experiments/src/bin/ablations.rs
+
+crates/ebs-experiments/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-94da0cd32ccacbee.d: crates/ebs-experiments/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-94da0cd32ccacbee.rmeta: crates/ebs-experiments/src/bin/ablations.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

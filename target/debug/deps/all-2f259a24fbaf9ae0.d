@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-2f259a24fbaf9ae0.d: crates/ebs-experiments/src/bin/all.rs
+
+/root/repo/target/debug/deps/liball-2f259a24fbaf9ae0.rmeta: crates/ebs-experiments/src/bin/all.rs
+
+crates/ebs-experiments/src/bin/all.rs:

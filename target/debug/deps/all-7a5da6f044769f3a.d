@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-7a5da6f044769f3a.d: crates/ebs-experiments/src/bin/all.rs
+
+/root/repo/target/debug/deps/liball-7a5da6f044769f3a.rmeta: crates/ebs-experiments/src/bin/all.rs
+
+crates/ebs-experiments/src/bin/all.rs:

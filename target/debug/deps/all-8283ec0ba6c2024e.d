@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-8283ec0ba6c2024e.d: crates/ebs-experiments/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-8283ec0ba6c2024e: crates/ebs-experiments/src/bin/all.rs
+
+crates/ebs-experiments/src/bin/all.rs:

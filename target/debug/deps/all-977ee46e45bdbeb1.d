@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all-977ee46e45bdbeb1.d: crates/ebs-experiments/src/bin/all.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball-977ee46e45bdbeb1.rmeta: crates/ebs-experiments/src/bin/all.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_kernels-46153d72b6a94c7e.d: crates/bench/benches/analysis_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_kernels-46153d72b6a94c7e.rmeta: crates/bench/benches/analysis_kernels.rs Cargo.toml
+
+crates/bench/benches/analysis_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

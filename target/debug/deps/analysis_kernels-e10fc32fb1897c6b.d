@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_kernels-e10fc32fb1897c6b.d: crates/bench/benches/analysis_kernels.rs
+
+/root/repo/target/debug/deps/libanalysis_kernels-e10fc32fb1897c6b.rmeta: crates/bench/benches/analysis_kernels.rs
+
+crates/bench/benches/analysis_kernels.rs:

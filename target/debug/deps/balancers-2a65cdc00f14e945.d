@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/balancers-2a65cdc00f14e945.d: crates/bench/benches/balancers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbalancers-2a65cdc00f14e945.rmeta: crates/bench/benches/balancers.rs Cargo.toml
+
+crates/bench/benches/balancers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/balancers-c0d0ec66f70ac373.d: crates/bench/benches/balancers.rs
+
+/root/repo/target/debug/deps/libbalancers-c0d0ec66f70ac373.rmeta: crates/bench/benches/balancers.rs
+
+crates/bench/benches/balancers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-9d106ba6d544d2b2.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/debug/deps/bench-9d106ba6d544d2b2: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_policies-8b9534e3956575a4.d: crates/bench/benches/cache_policies.rs
+
+/root/repo/target/debug/deps/libcache_policies-8b9534e3956575a4.rmeta: crates/bench/benches/cache_policies.rs
+
+crates/bench/benches/cache_policies.rs:

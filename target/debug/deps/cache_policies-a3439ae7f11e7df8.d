@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_policies-a3439ae7f11e7df8.d: crates/bench/benches/cache_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_policies-a3439ae7f11e7df8.rmeta: crates/bench/benches/cache_policies.rs Cargo.toml
+
+crates/bench/benches/cache_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

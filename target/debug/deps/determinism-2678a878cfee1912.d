@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-2678a878cfee1912.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/libdeterminism-2678a878cfee1912.rmeta: tests/determinism.rs
+
+tests/determinism.rs:

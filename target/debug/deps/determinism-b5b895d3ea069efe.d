@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-b5b895d3ea069efe.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-b5b895d3ea069efe: tests/determinism.rs
+
+tests/determinism.rs:

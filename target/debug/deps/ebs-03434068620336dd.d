@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ebs-03434068620336dd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libebs-03434068620336dd.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libebs-03434068620336dd.rmeta: src/lib.rs
+
+src/lib.rs:

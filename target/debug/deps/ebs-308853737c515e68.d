@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebs-308853737c515e68.d: src/lib.rs
+
+/root/repo/target/debug/deps/ebs-308853737c515e68: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebs-784c7eabd9112c25.d: src/lib.rs
+
+/root/repo/target/debug/deps/libebs-784c7eabd9112c25.rmeta: src/lib.rs
+
+src/lib.rs:

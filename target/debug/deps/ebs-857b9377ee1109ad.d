@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebs-857b9377ee1109ad.d: src/lib.rs
+
+/root/repo/target/debug/deps/libebs-857b9377ee1109ad.rmeta: src/lib.rs
+
+src/lib.rs:

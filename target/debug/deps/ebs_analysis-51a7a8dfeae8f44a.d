@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ebs_analysis-51a7a8dfeae8f44a.d: crates/ebs-analysis/src/lib.rs crates/ebs-analysis/src/aggregate.rs crates/ebs-analysis/src/ccr.rs crates/ebs-analysis/src/cdf.rs crates/ebs-analysis/src/cov.rs crates/ebs-analysis/src/gini.rs crates/ebs-analysis/src/histogram.rs crates/ebs-analysis/src/mse.rs crates/ebs-analysis/src/p2a.rs crates/ebs-analysis/src/quantile.rs crates/ebs-analysis/src/table.rs crates/ebs-analysis/src/timeseries.rs crates/ebs-analysis/src/wr_ratio.rs
+
+/root/repo/target/debug/deps/libebs_analysis-51a7a8dfeae8f44a.rlib: crates/ebs-analysis/src/lib.rs crates/ebs-analysis/src/aggregate.rs crates/ebs-analysis/src/ccr.rs crates/ebs-analysis/src/cdf.rs crates/ebs-analysis/src/cov.rs crates/ebs-analysis/src/gini.rs crates/ebs-analysis/src/histogram.rs crates/ebs-analysis/src/mse.rs crates/ebs-analysis/src/p2a.rs crates/ebs-analysis/src/quantile.rs crates/ebs-analysis/src/table.rs crates/ebs-analysis/src/timeseries.rs crates/ebs-analysis/src/wr_ratio.rs
+
+/root/repo/target/debug/deps/libebs_analysis-51a7a8dfeae8f44a.rmeta: crates/ebs-analysis/src/lib.rs crates/ebs-analysis/src/aggregate.rs crates/ebs-analysis/src/ccr.rs crates/ebs-analysis/src/cdf.rs crates/ebs-analysis/src/cov.rs crates/ebs-analysis/src/gini.rs crates/ebs-analysis/src/histogram.rs crates/ebs-analysis/src/mse.rs crates/ebs-analysis/src/p2a.rs crates/ebs-analysis/src/quantile.rs crates/ebs-analysis/src/table.rs crates/ebs-analysis/src/timeseries.rs crates/ebs-analysis/src/wr_ratio.rs
+
+crates/ebs-analysis/src/lib.rs:
+crates/ebs-analysis/src/aggregate.rs:
+crates/ebs-analysis/src/ccr.rs:
+crates/ebs-analysis/src/cdf.rs:
+crates/ebs-analysis/src/cov.rs:
+crates/ebs-analysis/src/gini.rs:
+crates/ebs-analysis/src/histogram.rs:
+crates/ebs-analysis/src/mse.rs:
+crates/ebs-analysis/src/p2a.rs:
+crates/ebs-analysis/src/quantile.rs:
+crates/ebs-analysis/src/table.rs:
+crates/ebs-analysis/src/timeseries.rs:
+crates/ebs-analysis/src/wr_ratio.rs:

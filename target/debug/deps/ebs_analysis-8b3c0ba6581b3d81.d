@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ebs_analysis-8b3c0ba6581b3d81.d: crates/ebs-analysis/src/lib.rs crates/ebs-analysis/src/aggregate.rs crates/ebs-analysis/src/ccr.rs crates/ebs-analysis/src/cdf.rs crates/ebs-analysis/src/cov.rs crates/ebs-analysis/src/gini.rs crates/ebs-analysis/src/histogram.rs crates/ebs-analysis/src/mse.rs crates/ebs-analysis/src/p2a.rs crates/ebs-analysis/src/quantile.rs crates/ebs-analysis/src/table.rs crates/ebs-analysis/src/timeseries.rs crates/ebs-analysis/src/wr_ratio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebs_analysis-8b3c0ba6581b3d81.rmeta: crates/ebs-analysis/src/lib.rs crates/ebs-analysis/src/aggregate.rs crates/ebs-analysis/src/ccr.rs crates/ebs-analysis/src/cdf.rs crates/ebs-analysis/src/cov.rs crates/ebs-analysis/src/gini.rs crates/ebs-analysis/src/histogram.rs crates/ebs-analysis/src/mse.rs crates/ebs-analysis/src/p2a.rs crates/ebs-analysis/src/quantile.rs crates/ebs-analysis/src/table.rs crates/ebs-analysis/src/timeseries.rs crates/ebs-analysis/src/wr_ratio.rs Cargo.toml
+
+crates/ebs-analysis/src/lib.rs:
+crates/ebs-analysis/src/aggregate.rs:
+crates/ebs-analysis/src/ccr.rs:
+crates/ebs-analysis/src/cdf.rs:
+crates/ebs-analysis/src/cov.rs:
+crates/ebs-analysis/src/gini.rs:
+crates/ebs-analysis/src/histogram.rs:
+crates/ebs-analysis/src/mse.rs:
+crates/ebs-analysis/src/p2a.rs:
+crates/ebs-analysis/src/quantile.rs:
+crates/ebs-analysis/src/table.rs:
+crates/ebs-analysis/src/timeseries.rs:
+crates/ebs-analysis/src/wr_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ebs_balance-016299aa1d69eec8.d: crates/ebs-balance/src/lib.rs crates/ebs-balance/src/bs_balancer.rs crates/ebs-balance/src/dispatch.rs crates/ebs-balance/src/importer.rs crates/ebs-balance/src/migration.rs crates/ebs-balance/src/read_write.rs crates/ebs-balance/src/wt_rebind.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebs_balance-016299aa1d69eec8.rmeta: crates/ebs-balance/src/lib.rs crates/ebs-balance/src/bs_balancer.rs crates/ebs-balance/src/dispatch.rs crates/ebs-balance/src/importer.rs crates/ebs-balance/src/migration.rs crates/ebs-balance/src/read_write.rs crates/ebs-balance/src/wt_rebind.rs Cargo.toml
+
+crates/ebs-balance/src/lib.rs:
+crates/ebs-balance/src/bs_balancer.rs:
+crates/ebs-balance/src/dispatch.rs:
+crates/ebs-balance/src/importer.rs:
+crates/ebs-balance/src/migration.rs:
+crates/ebs-balance/src/read_write.rs:
+crates/ebs-balance/src/wt_rebind.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ebs_balance-5890710930f16f10.d: crates/ebs-balance/src/lib.rs crates/ebs-balance/src/bs_balancer.rs crates/ebs-balance/src/dispatch.rs crates/ebs-balance/src/importer.rs crates/ebs-balance/src/migration.rs crates/ebs-balance/src/read_write.rs crates/ebs-balance/src/wt_rebind.rs
+
+/root/repo/target/debug/deps/libebs_balance-5890710930f16f10.rlib: crates/ebs-balance/src/lib.rs crates/ebs-balance/src/bs_balancer.rs crates/ebs-balance/src/dispatch.rs crates/ebs-balance/src/importer.rs crates/ebs-balance/src/migration.rs crates/ebs-balance/src/read_write.rs crates/ebs-balance/src/wt_rebind.rs
+
+/root/repo/target/debug/deps/libebs_balance-5890710930f16f10.rmeta: crates/ebs-balance/src/lib.rs crates/ebs-balance/src/bs_balancer.rs crates/ebs-balance/src/dispatch.rs crates/ebs-balance/src/importer.rs crates/ebs-balance/src/migration.rs crates/ebs-balance/src/read_write.rs crates/ebs-balance/src/wt_rebind.rs
+
+crates/ebs-balance/src/lib.rs:
+crates/ebs-balance/src/bs_balancer.rs:
+crates/ebs-balance/src/dispatch.rs:
+crates/ebs-balance/src/importer.rs:
+crates/ebs-balance/src/migration.rs:
+crates/ebs-balance/src/read_write.rs:
+crates/ebs-balance/src/wt_rebind.rs:

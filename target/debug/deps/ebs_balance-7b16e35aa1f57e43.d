@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ebs_balance-7b16e35aa1f57e43.d: crates/ebs-balance/src/lib.rs crates/ebs-balance/src/bs_balancer.rs crates/ebs-balance/src/dispatch.rs crates/ebs-balance/src/importer.rs crates/ebs-balance/src/migration.rs crates/ebs-balance/src/read_write.rs crates/ebs-balance/src/wt_rebind.rs
+
+/root/repo/target/debug/deps/ebs_balance-7b16e35aa1f57e43: crates/ebs-balance/src/lib.rs crates/ebs-balance/src/bs_balancer.rs crates/ebs-balance/src/dispatch.rs crates/ebs-balance/src/importer.rs crates/ebs-balance/src/migration.rs crates/ebs-balance/src/read_write.rs crates/ebs-balance/src/wt_rebind.rs
+
+crates/ebs-balance/src/lib.rs:
+crates/ebs-balance/src/bs_balancer.rs:
+crates/ebs-balance/src/dispatch.rs:
+crates/ebs-balance/src/importer.rs:
+crates/ebs-balance/src/migration.rs:
+crates/ebs-balance/src/read_write.rs:
+crates/ebs-balance/src/wt_rebind.rs:

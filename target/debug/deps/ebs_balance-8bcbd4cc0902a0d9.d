@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ebs_balance-8bcbd4cc0902a0d9.d: crates/ebs-balance/src/lib.rs crates/ebs-balance/src/bs_balancer.rs crates/ebs-balance/src/dispatch.rs crates/ebs-balance/src/importer.rs crates/ebs-balance/src/migration.rs crates/ebs-balance/src/read_write.rs crates/ebs-balance/src/wt_rebind.rs
+
+/root/repo/target/debug/deps/libebs_balance-8bcbd4cc0902a0d9.rmeta: crates/ebs-balance/src/lib.rs crates/ebs-balance/src/bs_balancer.rs crates/ebs-balance/src/dispatch.rs crates/ebs-balance/src/importer.rs crates/ebs-balance/src/migration.rs crates/ebs-balance/src/read_write.rs crates/ebs-balance/src/wt_rebind.rs
+
+crates/ebs-balance/src/lib.rs:
+crates/ebs-balance/src/bs_balancer.rs:
+crates/ebs-balance/src/dispatch.rs:
+crates/ebs-balance/src/importer.rs:
+crates/ebs-balance/src/migration.rs:
+crates/ebs-balance/src/read_write.rs:
+crates/ebs-balance/src/wt_rebind.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebs_bench-1436330da727af0d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ebs_bench-1436330da727af0d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

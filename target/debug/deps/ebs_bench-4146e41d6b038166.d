@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ebs_bench-4146e41d6b038166.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebs_bench-4146e41d6b038166.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

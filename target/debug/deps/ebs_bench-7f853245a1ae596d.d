@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebs_bench-7f853245a1ae596d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libebs_bench-7f853245a1ae596d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ebs_bench-cff6ceb84f04dbc7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libebs_bench-cff6ceb84f04dbc7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libebs_bench-cff6ceb84f04dbc7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebs_bench-d8fe8ee6a55b210f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libebs_bench-d8fe8ee6a55b210f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

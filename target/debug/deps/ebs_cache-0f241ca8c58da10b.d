@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ebs_cache-0f241ca8c58da10b.d: crates/ebs-cache/src/lib.rs crates/ebs-cache/src/fifo.rs crates/ebs-cache/src/frozen.rs crates/ebs-cache/src/hottest_block.rs crates/ebs-cache/src/hybrid.rs crates/ebs-cache/src/lfu.rs crates/ebs-cache/src/location.rs crates/ebs-cache/src/lru.rs crates/ebs-cache/src/policy.rs crates/ebs-cache/src/simulate.rs crates/ebs-cache/src/utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebs_cache-0f241ca8c58da10b.rmeta: crates/ebs-cache/src/lib.rs crates/ebs-cache/src/fifo.rs crates/ebs-cache/src/frozen.rs crates/ebs-cache/src/hottest_block.rs crates/ebs-cache/src/hybrid.rs crates/ebs-cache/src/lfu.rs crates/ebs-cache/src/location.rs crates/ebs-cache/src/lru.rs crates/ebs-cache/src/policy.rs crates/ebs-cache/src/simulate.rs crates/ebs-cache/src/utilization.rs Cargo.toml
+
+crates/ebs-cache/src/lib.rs:
+crates/ebs-cache/src/fifo.rs:
+crates/ebs-cache/src/frozen.rs:
+crates/ebs-cache/src/hottest_block.rs:
+crates/ebs-cache/src/hybrid.rs:
+crates/ebs-cache/src/lfu.rs:
+crates/ebs-cache/src/location.rs:
+crates/ebs-cache/src/lru.rs:
+crates/ebs-cache/src/policy.rs:
+crates/ebs-cache/src/simulate.rs:
+crates/ebs-cache/src/utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ebs_cache-9bff31a166ccb345.d: crates/ebs-cache/src/lib.rs crates/ebs-cache/src/fifo.rs crates/ebs-cache/src/frozen.rs crates/ebs-cache/src/hottest_block.rs crates/ebs-cache/src/hybrid.rs crates/ebs-cache/src/lfu.rs crates/ebs-cache/src/location.rs crates/ebs-cache/src/lru.rs crates/ebs-cache/src/policy.rs crates/ebs-cache/src/simulate.rs crates/ebs-cache/src/utilization.rs
+
+/root/repo/target/debug/deps/ebs_cache-9bff31a166ccb345: crates/ebs-cache/src/lib.rs crates/ebs-cache/src/fifo.rs crates/ebs-cache/src/frozen.rs crates/ebs-cache/src/hottest_block.rs crates/ebs-cache/src/hybrid.rs crates/ebs-cache/src/lfu.rs crates/ebs-cache/src/location.rs crates/ebs-cache/src/lru.rs crates/ebs-cache/src/policy.rs crates/ebs-cache/src/simulate.rs crates/ebs-cache/src/utilization.rs
+
+crates/ebs-cache/src/lib.rs:
+crates/ebs-cache/src/fifo.rs:
+crates/ebs-cache/src/frozen.rs:
+crates/ebs-cache/src/hottest_block.rs:
+crates/ebs-cache/src/hybrid.rs:
+crates/ebs-cache/src/lfu.rs:
+crates/ebs-cache/src/location.rs:
+crates/ebs-cache/src/lru.rs:
+crates/ebs-cache/src/policy.rs:
+crates/ebs-cache/src/simulate.rs:
+crates/ebs-cache/src/utilization.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ebs_core-52496c002848a343.d: crates/ebs-core/src/lib.rs crates/ebs-core/src/apps.rs crates/ebs-core/src/error.rs crates/ebs-core/src/ids.rs crates/ebs-core/src/io.rs crates/ebs-core/src/metric.rs crates/ebs-core/src/parallel.rs crates/ebs-core/src/rng.rs crates/ebs-core/src/spec.rs crates/ebs-core/src/time.rs crates/ebs-core/src/topology.rs crates/ebs-core/src/trace.rs crates/ebs-core/src/units.rs
+
+/root/repo/target/debug/deps/libebs_core-52496c002848a343.rmeta: crates/ebs-core/src/lib.rs crates/ebs-core/src/apps.rs crates/ebs-core/src/error.rs crates/ebs-core/src/ids.rs crates/ebs-core/src/io.rs crates/ebs-core/src/metric.rs crates/ebs-core/src/parallel.rs crates/ebs-core/src/rng.rs crates/ebs-core/src/spec.rs crates/ebs-core/src/time.rs crates/ebs-core/src/topology.rs crates/ebs-core/src/trace.rs crates/ebs-core/src/units.rs
+
+crates/ebs-core/src/lib.rs:
+crates/ebs-core/src/apps.rs:
+crates/ebs-core/src/error.rs:
+crates/ebs-core/src/ids.rs:
+crates/ebs-core/src/io.rs:
+crates/ebs-core/src/metric.rs:
+crates/ebs-core/src/parallel.rs:
+crates/ebs-core/src/rng.rs:
+crates/ebs-core/src/spec.rs:
+crates/ebs-core/src/time.rs:
+crates/ebs-core/src/topology.rs:
+crates/ebs-core/src/trace.rs:
+crates/ebs-core/src/units.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ebs_core-65580688b2176ccc.d: crates/ebs-core/src/lib.rs crates/ebs-core/src/apps.rs crates/ebs-core/src/error.rs crates/ebs-core/src/ids.rs crates/ebs-core/src/io.rs crates/ebs-core/src/metric.rs crates/ebs-core/src/parallel.rs crates/ebs-core/src/rng.rs crates/ebs-core/src/spec.rs crates/ebs-core/src/time.rs crates/ebs-core/src/topology.rs crates/ebs-core/src/trace.rs crates/ebs-core/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebs_core-65580688b2176ccc.rmeta: crates/ebs-core/src/lib.rs crates/ebs-core/src/apps.rs crates/ebs-core/src/error.rs crates/ebs-core/src/ids.rs crates/ebs-core/src/io.rs crates/ebs-core/src/metric.rs crates/ebs-core/src/parallel.rs crates/ebs-core/src/rng.rs crates/ebs-core/src/spec.rs crates/ebs-core/src/time.rs crates/ebs-core/src/topology.rs crates/ebs-core/src/trace.rs crates/ebs-core/src/units.rs Cargo.toml
+
+crates/ebs-core/src/lib.rs:
+crates/ebs-core/src/apps.rs:
+crates/ebs-core/src/error.rs:
+crates/ebs-core/src/ids.rs:
+crates/ebs-core/src/io.rs:
+crates/ebs-core/src/metric.rs:
+crates/ebs-core/src/parallel.rs:
+crates/ebs-core/src/rng.rs:
+crates/ebs-core/src/spec.rs:
+crates/ebs-core/src/time.rs:
+crates/ebs-core/src/topology.rs:
+crates/ebs-core/src/trace.rs:
+crates/ebs-core/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ebs_criterion_shim-14eade4da35a4315.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libebs_criterion_shim-14eade4da35a4315.rlib: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libebs_criterion_shim-14eade4da35a4315.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebs_criterion_shim-22b9ee2c643dee01.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libebs_criterion_shim-22b9ee2c643dee01.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

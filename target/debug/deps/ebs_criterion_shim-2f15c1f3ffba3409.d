@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ebs_criterion_shim-2f15c1f3ffba3409.d: crates/criterion-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebs_criterion_shim-2f15c1f3ffba3409.rmeta: crates/criterion-shim/src/lib.rs Cargo.toml
+
+crates/criterion-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

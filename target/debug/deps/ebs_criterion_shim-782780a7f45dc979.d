@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebs_criterion_shim-782780a7f45dc979.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libebs_criterion_shim-782780a7f45dc979.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebs_criterion_shim-7c852461d49a08b7.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/ebs_criterion_shim-7c852461d49a08b7: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ebs_experiments-687fb02f3996e837.d: crates/ebs-experiments/src/lib.rs crates/ebs-experiments/src/ablations.rs crates/ebs-experiments/src/driver.rs crates/ebs-experiments/src/extensions.rs crates/ebs-experiments/src/fig2.rs crates/ebs-experiments/src/fig3.rs crates/ebs-experiments/src/fig4.rs crates/ebs-experiments/src/fig5.rs crates/ebs-experiments/src/fig6.rs crates/ebs-experiments/src/fig7.rs crates/ebs-experiments/src/scenario.rs crates/ebs-experiments/src/table2.rs crates/ebs-experiments/src/table3.rs crates/ebs-experiments/src/table4.rs
+
+/root/repo/target/debug/deps/libebs_experiments-687fb02f3996e837.rmeta: crates/ebs-experiments/src/lib.rs crates/ebs-experiments/src/ablations.rs crates/ebs-experiments/src/driver.rs crates/ebs-experiments/src/extensions.rs crates/ebs-experiments/src/fig2.rs crates/ebs-experiments/src/fig3.rs crates/ebs-experiments/src/fig4.rs crates/ebs-experiments/src/fig5.rs crates/ebs-experiments/src/fig6.rs crates/ebs-experiments/src/fig7.rs crates/ebs-experiments/src/scenario.rs crates/ebs-experiments/src/table2.rs crates/ebs-experiments/src/table3.rs crates/ebs-experiments/src/table4.rs
+
+crates/ebs-experiments/src/lib.rs:
+crates/ebs-experiments/src/ablations.rs:
+crates/ebs-experiments/src/driver.rs:
+crates/ebs-experiments/src/extensions.rs:
+crates/ebs-experiments/src/fig2.rs:
+crates/ebs-experiments/src/fig3.rs:
+crates/ebs-experiments/src/fig4.rs:
+crates/ebs-experiments/src/fig5.rs:
+crates/ebs-experiments/src/fig6.rs:
+crates/ebs-experiments/src/fig7.rs:
+crates/ebs-experiments/src/scenario.rs:
+crates/ebs-experiments/src/table2.rs:
+crates/ebs-experiments/src/table3.rs:
+crates/ebs-experiments/src/table4.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/ebs_experiments-ff3531a06253083e.d: crates/ebs-experiments/src/lib.rs crates/ebs-experiments/src/ablations.rs crates/ebs-experiments/src/driver.rs crates/ebs-experiments/src/extensions.rs crates/ebs-experiments/src/fig2.rs crates/ebs-experiments/src/fig3.rs crates/ebs-experiments/src/fig4.rs crates/ebs-experiments/src/fig5.rs crates/ebs-experiments/src/fig6.rs crates/ebs-experiments/src/fig7.rs crates/ebs-experiments/src/scenario.rs crates/ebs-experiments/src/table2.rs crates/ebs-experiments/src/table3.rs crates/ebs-experiments/src/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebs_experiments-ff3531a06253083e.rmeta: crates/ebs-experiments/src/lib.rs crates/ebs-experiments/src/ablations.rs crates/ebs-experiments/src/driver.rs crates/ebs-experiments/src/extensions.rs crates/ebs-experiments/src/fig2.rs crates/ebs-experiments/src/fig3.rs crates/ebs-experiments/src/fig4.rs crates/ebs-experiments/src/fig5.rs crates/ebs-experiments/src/fig6.rs crates/ebs-experiments/src/fig7.rs crates/ebs-experiments/src/scenario.rs crates/ebs-experiments/src/table2.rs crates/ebs-experiments/src/table3.rs crates/ebs-experiments/src/table4.rs Cargo.toml
+
+crates/ebs-experiments/src/lib.rs:
+crates/ebs-experiments/src/ablations.rs:
+crates/ebs-experiments/src/driver.rs:
+crates/ebs-experiments/src/extensions.rs:
+crates/ebs-experiments/src/fig2.rs:
+crates/ebs-experiments/src/fig3.rs:
+crates/ebs-experiments/src/fig4.rs:
+crates/ebs-experiments/src/fig5.rs:
+crates/ebs-experiments/src/fig6.rs:
+crates/ebs-experiments/src/fig7.rs:
+crates/ebs-experiments/src/scenario.rs:
+crates/ebs-experiments/src/table2.rs:
+crates/ebs-experiments/src/table3.rs:
+crates/ebs-experiments/src/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ebs_predict-2688d6234b039e61.d: crates/ebs-predict/src/lib.rs crates/ebs-predict/src/arima.rs crates/ebs-predict/src/attention.rs crates/ebs-predict/src/eval.rs crates/ebs-predict/src/gbdt.rs crates/ebs-predict/src/linear.rs crates/ebs-predict/src/matrix.rs
+
+/root/repo/target/debug/deps/libebs_predict-2688d6234b039e61.rlib: crates/ebs-predict/src/lib.rs crates/ebs-predict/src/arima.rs crates/ebs-predict/src/attention.rs crates/ebs-predict/src/eval.rs crates/ebs-predict/src/gbdt.rs crates/ebs-predict/src/linear.rs crates/ebs-predict/src/matrix.rs
+
+/root/repo/target/debug/deps/libebs_predict-2688d6234b039e61.rmeta: crates/ebs-predict/src/lib.rs crates/ebs-predict/src/arima.rs crates/ebs-predict/src/attention.rs crates/ebs-predict/src/eval.rs crates/ebs-predict/src/gbdt.rs crates/ebs-predict/src/linear.rs crates/ebs-predict/src/matrix.rs
+
+crates/ebs-predict/src/lib.rs:
+crates/ebs-predict/src/arima.rs:
+crates/ebs-predict/src/attention.rs:
+crates/ebs-predict/src/eval.rs:
+crates/ebs-predict/src/gbdt.rs:
+crates/ebs-predict/src/linear.rs:
+crates/ebs-predict/src/matrix.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ebs_predict-35e7b01e35887e8f.d: crates/ebs-predict/src/lib.rs crates/ebs-predict/src/arima.rs crates/ebs-predict/src/attention.rs crates/ebs-predict/src/eval.rs crates/ebs-predict/src/gbdt.rs crates/ebs-predict/src/linear.rs crates/ebs-predict/src/matrix.rs
+
+/root/repo/target/debug/deps/libebs_predict-35e7b01e35887e8f.rmeta: crates/ebs-predict/src/lib.rs crates/ebs-predict/src/arima.rs crates/ebs-predict/src/attention.rs crates/ebs-predict/src/eval.rs crates/ebs-predict/src/gbdt.rs crates/ebs-predict/src/linear.rs crates/ebs-predict/src/matrix.rs
+
+crates/ebs-predict/src/lib.rs:
+crates/ebs-predict/src/arima.rs:
+crates/ebs-predict/src/attention.rs:
+crates/ebs-predict/src/eval.rs:
+crates/ebs-predict/src/gbdt.rs:
+crates/ebs-predict/src/linear.rs:
+crates/ebs-predict/src/matrix.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ebs_predict-9b516a89a8f3b9e0.d: crates/ebs-predict/src/lib.rs crates/ebs-predict/src/arima.rs crates/ebs-predict/src/attention.rs crates/ebs-predict/src/eval.rs crates/ebs-predict/src/gbdt.rs crates/ebs-predict/src/linear.rs crates/ebs-predict/src/matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebs_predict-9b516a89a8f3b9e0.rmeta: crates/ebs-predict/src/lib.rs crates/ebs-predict/src/arima.rs crates/ebs-predict/src/attention.rs crates/ebs-predict/src/eval.rs crates/ebs-predict/src/gbdt.rs crates/ebs-predict/src/linear.rs crates/ebs-predict/src/matrix.rs Cargo.toml
+
+crates/ebs-predict/src/lib.rs:
+crates/ebs-predict/src/arima.rs:
+crates/ebs-predict/src/attention.rs:
+crates/ebs-predict/src/eval.rs:
+crates/ebs-predict/src/gbdt.rs:
+crates/ebs-predict/src/linear.rs:
+crates/ebs-predict/src/matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

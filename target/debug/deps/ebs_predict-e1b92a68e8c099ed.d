@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ebs_predict-e1b92a68e8c099ed.d: crates/ebs-predict/src/lib.rs crates/ebs-predict/src/arima.rs crates/ebs-predict/src/attention.rs crates/ebs-predict/src/eval.rs crates/ebs-predict/src/gbdt.rs crates/ebs-predict/src/linear.rs crates/ebs-predict/src/matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebs_predict-e1b92a68e8c099ed.rmeta: crates/ebs-predict/src/lib.rs crates/ebs-predict/src/arima.rs crates/ebs-predict/src/attention.rs crates/ebs-predict/src/eval.rs crates/ebs-predict/src/gbdt.rs crates/ebs-predict/src/linear.rs crates/ebs-predict/src/matrix.rs Cargo.toml
+
+crates/ebs-predict/src/lib.rs:
+crates/ebs-predict/src/arima.rs:
+crates/ebs-predict/src/attention.rs:
+crates/ebs-predict/src/eval.rs:
+crates/ebs-predict/src/gbdt.rs:
+crates/ebs-predict/src/linear.rs:
+crates/ebs-predict/src/matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebs_proptest_shim-0e644e398e519aff.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libebs_proptest_shim-0e644e398e519aff.rmeta: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebs_proptest_shim-31dde23cf0efa76a.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/debug/deps/ebs_proptest_shim-31dde23cf0efa76a: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebs_proptest_shim-c4d8b90c122086b8.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libebs_proptest_shim-c4d8b90c122086b8.rmeta: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ebs_proptest_shim-dccb4d0f9c28b19b.d: crates/proptest-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebs_proptest_shim-dccb4d0f9c28b19b.rmeta: crates/proptest-shim/src/lib.rs Cargo.toml
+
+crates/proptest-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

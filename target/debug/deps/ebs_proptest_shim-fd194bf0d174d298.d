@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ebs_proptest_shim-fd194bf0d174d298.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libebs_proptest_shim-fd194bf0d174d298.rlib: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libebs_proptest_shim-fd194bf0d174d298.rmeta: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ebs_stack-635a54dce6a0f625.d: crates/ebs-stack/src/lib.rs crates/ebs-stack/src/block_server.rs crates/ebs-stack/src/chunk_server.rs crates/ebs-stack/src/diting.rs crates/ebs-stack/src/hypervisor.rs crates/ebs-stack/src/latency.rs crates/ebs-stack/src/network.rs crates/ebs-stack/src/replication.rs crates/ebs-stack/src/segment.rs crates/ebs-stack/src/sim.rs crates/ebs-stack/src/throttle_gate.rs
+
+/root/repo/target/debug/deps/ebs_stack-635a54dce6a0f625: crates/ebs-stack/src/lib.rs crates/ebs-stack/src/block_server.rs crates/ebs-stack/src/chunk_server.rs crates/ebs-stack/src/diting.rs crates/ebs-stack/src/hypervisor.rs crates/ebs-stack/src/latency.rs crates/ebs-stack/src/network.rs crates/ebs-stack/src/replication.rs crates/ebs-stack/src/segment.rs crates/ebs-stack/src/sim.rs crates/ebs-stack/src/throttle_gate.rs
+
+crates/ebs-stack/src/lib.rs:
+crates/ebs-stack/src/block_server.rs:
+crates/ebs-stack/src/chunk_server.rs:
+crates/ebs-stack/src/diting.rs:
+crates/ebs-stack/src/hypervisor.rs:
+crates/ebs-stack/src/latency.rs:
+crates/ebs-stack/src/network.rs:
+crates/ebs-stack/src/replication.rs:
+crates/ebs-stack/src/segment.rs:
+crates/ebs-stack/src/sim.rs:
+crates/ebs-stack/src/throttle_gate.rs:

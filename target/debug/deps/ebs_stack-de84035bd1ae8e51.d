@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ebs_stack-de84035bd1ae8e51.d: crates/ebs-stack/src/lib.rs crates/ebs-stack/src/block_server.rs crates/ebs-stack/src/chunk_server.rs crates/ebs-stack/src/diting.rs crates/ebs-stack/src/hypervisor.rs crates/ebs-stack/src/latency.rs crates/ebs-stack/src/network.rs crates/ebs-stack/src/replication.rs crates/ebs-stack/src/segment.rs crates/ebs-stack/src/sim.rs crates/ebs-stack/src/throttle_gate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebs_stack-de84035bd1ae8e51.rmeta: crates/ebs-stack/src/lib.rs crates/ebs-stack/src/block_server.rs crates/ebs-stack/src/chunk_server.rs crates/ebs-stack/src/diting.rs crates/ebs-stack/src/hypervisor.rs crates/ebs-stack/src/latency.rs crates/ebs-stack/src/network.rs crates/ebs-stack/src/replication.rs crates/ebs-stack/src/segment.rs crates/ebs-stack/src/sim.rs crates/ebs-stack/src/throttle_gate.rs Cargo.toml
+
+crates/ebs-stack/src/lib.rs:
+crates/ebs-stack/src/block_server.rs:
+crates/ebs-stack/src/chunk_server.rs:
+crates/ebs-stack/src/diting.rs:
+crates/ebs-stack/src/hypervisor.rs:
+crates/ebs-stack/src/latency.rs:
+crates/ebs-stack/src/network.rs:
+crates/ebs-stack/src/replication.rs:
+crates/ebs-stack/src/segment.rs:
+crates/ebs-stack/src/sim.rs:
+crates/ebs-stack/src/throttle_gate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ebs_throttle-8dfe934793148582.d: crates/ebs-throttle/src/lib.rs crates/ebs-throttle/src/lending.rs crates/ebs-throttle/src/predictive.rs crates/ebs-throttle/src/rar.rs crates/ebs-throttle/src/reduction.rs crates/ebs-throttle/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebs_throttle-8dfe934793148582.rmeta: crates/ebs-throttle/src/lib.rs crates/ebs-throttle/src/lending.rs crates/ebs-throttle/src/predictive.rs crates/ebs-throttle/src/rar.rs crates/ebs-throttle/src/reduction.rs crates/ebs-throttle/src/scenario.rs Cargo.toml
+
+crates/ebs-throttle/src/lib.rs:
+crates/ebs-throttle/src/lending.rs:
+crates/ebs-throttle/src/predictive.rs:
+crates/ebs-throttle/src/rar.rs:
+crates/ebs-throttle/src/reduction.rs:
+crates/ebs-throttle/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ebs_throttle-cad41573c42c0a55.d: crates/ebs-throttle/src/lib.rs crates/ebs-throttle/src/lending.rs crates/ebs-throttle/src/predictive.rs crates/ebs-throttle/src/rar.rs crates/ebs-throttle/src/reduction.rs crates/ebs-throttle/src/scenario.rs
+
+/root/repo/target/debug/deps/libebs_throttle-cad41573c42c0a55.rlib: crates/ebs-throttle/src/lib.rs crates/ebs-throttle/src/lending.rs crates/ebs-throttle/src/predictive.rs crates/ebs-throttle/src/rar.rs crates/ebs-throttle/src/reduction.rs crates/ebs-throttle/src/scenario.rs
+
+/root/repo/target/debug/deps/libebs_throttle-cad41573c42c0a55.rmeta: crates/ebs-throttle/src/lib.rs crates/ebs-throttle/src/lending.rs crates/ebs-throttle/src/predictive.rs crates/ebs-throttle/src/rar.rs crates/ebs-throttle/src/reduction.rs crates/ebs-throttle/src/scenario.rs
+
+crates/ebs-throttle/src/lib.rs:
+crates/ebs-throttle/src/lending.rs:
+crates/ebs-throttle/src/predictive.rs:
+crates/ebs-throttle/src/rar.rs:
+crates/ebs-throttle/src/reduction.rs:
+crates/ebs-throttle/src/scenario.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ebs_throttle-ecf9a2003227512b.d: crates/ebs-throttle/src/lib.rs crates/ebs-throttle/src/lending.rs crates/ebs-throttle/src/predictive.rs crates/ebs-throttle/src/rar.rs crates/ebs-throttle/src/reduction.rs crates/ebs-throttle/src/scenario.rs
+
+/root/repo/target/debug/deps/libebs_throttle-ecf9a2003227512b.rmeta: crates/ebs-throttle/src/lib.rs crates/ebs-throttle/src/lending.rs crates/ebs-throttle/src/predictive.rs crates/ebs-throttle/src/rar.rs crates/ebs-throttle/src/reduction.rs crates/ebs-throttle/src/scenario.rs
+
+crates/ebs-throttle/src/lib.rs:
+crates/ebs-throttle/src/lending.rs:
+crates/ebs-throttle/src/predictive.rs:
+crates/ebs-throttle/src/rar.rs:
+crates/ebs-throttle/src/reduction.rs:
+crates/ebs-throttle/src/scenario.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ebs_throttle-f30a8c7e07e47d5b.d: crates/ebs-throttle/src/lib.rs crates/ebs-throttle/src/lending.rs crates/ebs-throttle/src/predictive.rs crates/ebs-throttle/src/rar.rs crates/ebs-throttle/src/reduction.rs crates/ebs-throttle/src/scenario.rs
+
+/root/repo/target/debug/deps/libebs_throttle-f30a8c7e07e47d5b.rmeta: crates/ebs-throttle/src/lib.rs crates/ebs-throttle/src/lending.rs crates/ebs-throttle/src/predictive.rs crates/ebs-throttle/src/rar.rs crates/ebs-throttle/src/reduction.rs crates/ebs-throttle/src/scenario.rs
+
+crates/ebs-throttle/src/lib.rs:
+crates/ebs-throttle/src/lending.rs:
+crates/ebs-throttle/src/predictive.rs:
+crates/ebs-throttle/src/rar.rs:
+crates/ebs-throttle/src/reduction.rs:
+crates/ebs-throttle/src/scenario.rs:

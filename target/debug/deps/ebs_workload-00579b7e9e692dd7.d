@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ebs_workload-00579b7e9e692dd7.d: crates/ebs-workload/src/lib.rs crates/ebs-workload/src/calibration.rs crates/ebs-workload/src/config.rs crates/ebs-workload/src/dataset.rs crates/ebs-workload/src/dist/mod.rs crates/ebs-workload/src/dist/gaussian.rs crates/ebs-workload/src/dist/onoff.rs crates/ebs-workload/src/dist/pareto.rs crates/ebs-workload/src/dist/poisson.rs crates/ebs-workload/src/dist/zipf.rs crates/ebs-workload/src/export.rs crates/ebs-workload/src/fleet.rs crates/ebs-workload/src/generator.rs crates/ebs-workload/src/lba.rs crates/ebs-workload/src/profile.rs crates/ebs-workload/src/sampler.rs crates/ebs-workload/src/spatial.rs
+
+/root/repo/target/debug/deps/libebs_workload-00579b7e9e692dd7.rmeta: crates/ebs-workload/src/lib.rs crates/ebs-workload/src/calibration.rs crates/ebs-workload/src/config.rs crates/ebs-workload/src/dataset.rs crates/ebs-workload/src/dist/mod.rs crates/ebs-workload/src/dist/gaussian.rs crates/ebs-workload/src/dist/onoff.rs crates/ebs-workload/src/dist/pareto.rs crates/ebs-workload/src/dist/poisson.rs crates/ebs-workload/src/dist/zipf.rs crates/ebs-workload/src/export.rs crates/ebs-workload/src/fleet.rs crates/ebs-workload/src/generator.rs crates/ebs-workload/src/lba.rs crates/ebs-workload/src/profile.rs crates/ebs-workload/src/sampler.rs crates/ebs-workload/src/spatial.rs
+
+crates/ebs-workload/src/lib.rs:
+crates/ebs-workload/src/calibration.rs:
+crates/ebs-workload/src/config.rs:
+crates/ebs-workload/src/dataset.rs:
+crates/ebs-workload/src/dist/mod.rs:
+crates/ebs-workload/src/dist/gaussian.rs:
+crates/ebs-workload/src/dist/onoff.rs:
+crates/ebs-workload/src/dist/pareto.rs:
+crates/ebs-workload/src/dist/poisson.rs:
+crates/ebs-workload/src/dist/zipf.rs:
+crates/ebs-workload/src/export.rs:
+crates/ebs-workload/src/fleet.rs:
+crates/ebs-workload/src/generator.rs:
+crates/ebs-workload/src/lba.rs:
+crates/ebs-workload/src/profile.rs:
+crates/ebs-workload/src/sampler.rs:
+crates/ebs-workload/src/spatial.rs:

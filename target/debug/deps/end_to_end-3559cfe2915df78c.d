@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3559cfe2915df78c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3559cfe2915df78c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-8ed8bdef4b066da0.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-8ed8bdef4b066da0.rmeta: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-8836dea045e3265b.d: tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-8836dea045e3265b: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-d3795bc1ebd32b59.d: tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/libexperiments_smoke-d3795bc1ebd32b59.rmeta: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

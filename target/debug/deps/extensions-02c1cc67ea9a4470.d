@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-02c1cc67ea9a4470.d: crates/ebs-experiments/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-02c1cc67ea9a4470.rmeta: crates/ebs-experiments/src/bin/extensions.rs
+
+crates/ebs-experiments/src/bin/extensions.rs:

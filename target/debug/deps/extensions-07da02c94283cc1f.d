@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-07da02c94283cc1f.d: crates/ebs-experiments/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-07da02c94283cc1f.rmeta: crates/ebs-experiments/src/bin/extensions.rs
+
+crates/ebs-experiments/src/bin/extensions.rs:

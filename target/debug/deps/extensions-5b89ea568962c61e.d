@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-5b89ea568962c61e.d: crates/ebs-experiments/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-5b89ea568962c61e: crates/ebs-experiments/src/bin/extensions.rs
+
+crates/ebs-experiments/src/bin/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-957ce3ff5ea1cd0a.d: crates/ebs-experiments/src/bin/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-957ce3ff5ea1cd0a.rmeta: crates/ebs-experiments/src/bin/extensions.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

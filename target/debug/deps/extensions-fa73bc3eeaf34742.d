@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-fa73bc3eeaf34742.d: crates/ebs-experiments/src/bin/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-fa73bc3eeaf34742.rmeta: crates/ebs-experiments/src/bin/extensions.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

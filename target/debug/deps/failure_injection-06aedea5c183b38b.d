@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-06aedea5c183b38b.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-06aedea5c183b38b: tests/failure_injection.rs
+
+tests/failure_injection.rs:

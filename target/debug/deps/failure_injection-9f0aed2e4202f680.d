@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-9f0aed2e4202f680.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/libfailure_injection-9f0aed2e4202f680.rmeta: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-198ecb9af30f3392.d: crates/ebs-experiments/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/libfig2-198ecb9af30f3392.rmeta: crates/ebs-experiments/src/bin/fig2.rs
+
+crates/ebs-experiments/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-396509b699ab0e04.d: crates/ebs-experiments/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/libfig2-396509b699ab0e04.rmeta: crates/ebs-experiments/src/bin/fig2.rs
+
+crates/ebs-experiments/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-b1ea7e4e529df16b.d: crates/ebs-experiments/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-b1ea7e4e529df16b: crates/ebs-experiments/src/bin/fig2.rs
+
+crates/ebs-experiments/src/bin/fig2.rs:

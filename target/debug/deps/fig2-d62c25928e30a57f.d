@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2-d62c25928e30a57f.d: crates/ebs-experiments/src/bin/fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2-d62c25928e30a57f.rmeta: crates/ebs-experiments/src/bin/fig2.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3-29aa03bd75743245.d: crates/ebs-experiments/src/bin/fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3-29aa03bd75743245.rmeta: crates/ebs-experiments/src/bin/fig3.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-305d10823e29a22f.d: crates/ebs-experiments/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-305d10823e29a22f.rmeta: crates/ebs-experiments/src/bin/fig3.rs
+
+crates/ebs-experiments/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-598d9d16d11c14a9.d: crates/ebs-experiments/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-598d9d16d11c14a9.rmeta: crates/ebs-experiments/src/bin/fig3.rs
+
+crates/ebs-experiments/src/bin/fig3.rs:

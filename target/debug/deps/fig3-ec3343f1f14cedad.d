@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-ec3343f1f14cedad.d: crates/ebs-experiments/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-ec3343f1f14cedad: crates/ebs-experiments/src/bin/fig3.rs
+
+crates/ebs-experiments/src/bin/fig3.rs:

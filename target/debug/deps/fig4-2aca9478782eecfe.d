@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-2aca9478782eecfe.d: crates/ebs-experiments/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-2aca9478782eecfe.rmeta: crates/ebs-experiments/src/bin/fig4.rs
+
+crates/ebs-experiments/src/bin/fig4.rs:

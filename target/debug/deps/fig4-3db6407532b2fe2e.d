@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4-3db6407532b2fe2e.d: crates/ebs-experiments/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-3db6407532b2fe2e.rmeta: crates/ebs-experiments/src/bin/fig4.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-59c4db381866a501.d: crates/ebs-experiments/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-59c4db381866a501: crates/ebs-experiments/src/bin/fig4.rs
+
+crates/ebs-experiments/src/bin/fig4.rs:

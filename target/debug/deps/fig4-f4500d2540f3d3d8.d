@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-f4500d2540f3d3d8.d: crates/ebs-experiments/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-f4500d2540f3d3d8.rmeta: crates/ebs-experiments/src/bin/fig4.rs
+
+crates/ebs-experiments/src/bin/fig4.rs:

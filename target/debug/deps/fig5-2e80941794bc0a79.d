@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-2e80941794bc0a79.d: crates/ebs-experiments/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-2e80941794bc0a79.rmeta: crates/ebs-experiments/src/bin/fig5.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

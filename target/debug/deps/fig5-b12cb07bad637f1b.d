@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-b12cb07bad637f1b.d: crates/ebs-experiments/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-b12cb07bad637f1b.rmeta: crates/ebs-experiments/src/bin/fig5.rs
+
+crates/ebs-experiments/src/bin/fig5.rs:

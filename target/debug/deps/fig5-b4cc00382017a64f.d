@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-b4cc00382017a64f.d: crates/ebs-experiments/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-b4cc00382017a64f: crates/ebs-experiments/src/bin/fig5.rs
+
+crates/ebs-experiments/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-bcf0c215a8592b60.d: crates/ebs-experiments/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-bcf0c215a8592b60.rmeta: crates/ebs-experiments/src/bin/fig5.rs
+
+crates/ebs-experiments/src/bin/fig5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-f32963f251f9d635.d: crates/ebs-experiments/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-f32963f251f9d635.rmeta: crates/ebs-experiments/src/bin/fig5.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6-6db1d3f52c5747c3.d: crates/ebs-experiments/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-6db1d3f52c5747c3.rmeta: crates/ebs-experiments/src/bin/fig6.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

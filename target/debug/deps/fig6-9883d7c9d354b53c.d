@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-9883d7c9d354b53c.d: crates/ebs-experiments/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-9883d7c9d354b53c: crates/ebs-experiments/src/bin/fig6.rs
+
+crates/ebs-experiments/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-b9c0c7d44583d105.d: crates/ebs-experiments/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-b9c0c7d44583d105.rmeta: crates/ebs-experiments/src/bin/fig6.rs
+
+crates/ebs-experiments/src/bin/fig6.rs:

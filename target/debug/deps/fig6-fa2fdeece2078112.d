@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-fa2fdeece2078112.d: crates/ebs-experiments/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-fa2fdeece2078112.rmeta: crates/ebs-experiments/src/bin/fig6.rs
+
+crates/ebs-experiments/src/bin/fig6.rs:

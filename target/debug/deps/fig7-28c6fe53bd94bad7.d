@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-28c6fe53bd94bad7.d: crates/ebs-experiments/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-28c6fe53bd94bad7.rmeta: crates/ebs-experiments/src/bin/fig7.rs
+
+crates/ebs-experiments/src/bin/fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-3f316db659c4e7d5.d: crates/ebs-experiments/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-3f316db659c4e7d5.rmeta: crates/ebs-experiments/src/bin/fig7.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-8d4c72a423ab00e0.d: crates/ebs-experiments/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-8d4c72a423ab00e0.rmeta: crates/ebs-experiments/src/bin/fig7.rs
+
+crates/ebs-experiments/src/bin/fig7.rs:

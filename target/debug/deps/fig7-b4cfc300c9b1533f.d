@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-b4cfc300c9b1533f.d: crates/ebs-experiments/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-b4cfc300c9b1533f: crates/ebs-experiments/src/bin/fig7.rs
+
+crates/ebs-experiments/src/bin/fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-e809b274f0dea542.d: crates/ebs-experiments/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-e809b274f0dea542.rmeta: crates/ebs-experiments/src/bin/fig7.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gendata-5106d6eca1495892.d: crates/ebs-experiments/src/bin/gendata.rs
+
+/root/repo/target/debug/deps/libgendata-5106d6eca1495892.rmeta: crates/ebs-experiments/src/bin/gendata.rs
+
+crates/ebs-experiments/src/bin/gendata.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gendata-7308e0e304508cba.d: crates/ebs-experiments/src/bin/gendata.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgendata-7308e0e304508cba.rmeta: crates/ebs-experiments/src/bin/gendata.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/gendata.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gendata-bfe1bea75f221113.d: crates/ebs-experiments/src/bin/gendata.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgendata-bfe1bea75f221113.rmeta: crates/ebs-experiments/src/bin/gendata.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/gendata.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

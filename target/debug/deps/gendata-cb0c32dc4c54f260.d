@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gendata-cb0c32dc4c54f260.d: crates/ebs-experiments/src/bin/gendata.rs
+
+/root/repo/target/debug/deps/gendata-cb0c32dc4c54f260: crates/ebs-experiments/src/bin/gendata.rs
+
+crates/ebs-experiments/src/bin/gendata.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gendata-cec0f084438759b3.d: crates/ebs-experiments/src/bin/gendata.rs
+
+/root/repo/target/debug/deps/libgendata-cec0f084438759b3.rmeta: crates/ebs-experiments/src/bin/gendata.rs
+
+crates/ebs-experiments/src/bin/gendata.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-4bd92f86525e37fc.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/libpaper_shapes-4bd92f86525e37fc.rmeta: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

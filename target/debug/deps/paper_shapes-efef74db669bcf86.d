@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-efef74db669bcf86.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-efef74db669bcf86: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

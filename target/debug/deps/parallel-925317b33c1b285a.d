@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel-925317b33c1b285a.d: crates/bench/benches/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-925317b33c1b285a.rmeta: crates/bench/benches/parallel.rs Cargo.toml
+
+crates/bench/benches/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

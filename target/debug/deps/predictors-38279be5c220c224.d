@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predictors-38279be5c220c224.d: crates/bench/benches/predictors.rs
+
+/root/repo/target/debug/deps/libpredictors-38279be5c220c224.rmeta: crates/bench/benches/predictors.rs
+
+crates/bench/benches/predictors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-27c8cf9283db3b56.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-27c8cf9283db3b56: tests/properties.rs
+
+tests/properties.rs:

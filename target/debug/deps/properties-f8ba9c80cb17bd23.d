@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f8ba9c80cb17bd23.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-f8ba9c80cb17bd23.rmeta: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stack_path-bda1071c39bd4f2d.d: crates/bench/benches/stack_path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstack_path-bda1071c39bd4f2d.rmeta: crates/bench/benches/stack_path.rs Cargo.toml
+
+crates/bench/benches/stack_path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack_path-c60fe2db9174d856.d: crates/bench/benches/stack_path.rs
+
+/root/repo/target/debug/deps/libstack_path-c60fe2db9174d856.rmeta: crates/bench/benches/stack_path.rs
+
+crates/bench/benches/stack_path.rs:

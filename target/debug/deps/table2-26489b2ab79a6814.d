@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-26489b2ab79a6814.d: crates/ebs-experiments/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-26489b2ab79a6814: crates/ebs-experiments/src/bin/table2.rs
+
+crates/ebs-experiments/src/bin/table2.rs:

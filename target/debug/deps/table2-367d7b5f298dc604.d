@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-367d7b5f298dc604.d: crates/ebs-experiments/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-367d7b5f298dc604.rmeta: crates/ebs-experiments/src/bin/table2.rs
+
+crates/ebs-experiments/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-3992422a8d908775.d: crates/ebs-experiments/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-3992422a8d908775.rmeta: crates/ebs-experiments/src/bin/table2.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

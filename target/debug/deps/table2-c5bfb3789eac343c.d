@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-c5bfb3789eac343c.d: crates/ebs-experiments/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-c5bfb3789eac343c.rmeta: crates/ebs-experiments/src/bin/table2.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-d97bae4d5dd215fc.d: crates/ebs-experiments/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-d97bae4d5dd215fc.rmeta: crates/ebs-experiments/src/bin/table2.rs
+
+crates/ebs-experiments/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3-192763c4063b6e5b.d: crates/ebs-experiments/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-192763c4063b6e5b.rmeta: crates/ebs-experiments/src/bin/table3.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-8db7820c42129500.d: crates/ebs-experiments/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-8db7820c42129500: crates/ebs-experiments/src/bin/table3.rs
+
+crates/ebs-experiments/src/bin/table3.rs:

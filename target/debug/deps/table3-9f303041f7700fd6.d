@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-9f303041f7700fd6.d: crates/ebs-experiments/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-9f303041f7700fd6.rmeta: crates/ebs-experiments/src/bin/table3.rs
+
+crates/ebs-experiments/src/bin/table3.rs:

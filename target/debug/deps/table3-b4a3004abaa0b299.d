@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-b4a3004abaa0b299.d: crates/ebs-experiments/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-b4a3004abaa0b299.rmeta: crates/ebs-experiments/src/bin/table3.rs
+
+crates/ebs-experiments/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-344afb989f99048e.d: crates/ebs-experiments/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-344afb989f99048e: crates/ebs-experiments/src/bin/table4.rs
+
+crates/ebs-experiments/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-a6c59b37c2775e25.d: crates/ebs-experiments/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-a6c59b37c2775e25.rmeta: crates/ebs-experiments/src/bin/table4.rs
+
+crates/ebs-experiments/src/bin/table4.rs:

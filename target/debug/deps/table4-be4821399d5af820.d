@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4-be4821399d5af820.d: crates/ebs-experiments/src/bin/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4-be4821399d5af820.rmeta: crates/ebs-experiments/src/bin/table4.rs Cargo.toml
+
+crates/ebs-experiments/src/bin/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-d962696e5a978f60.d: crates/ebs-experiments/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-d962696e5a978f60.rmeta: crates/ebs-experiments/src/bin/table4.rs
+
+crates/ebs-experiments/src/bin/table4.rs:

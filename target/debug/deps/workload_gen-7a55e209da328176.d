@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_gen-7a55e209da328176.d: crates/bench/benches/workload_gen.rs
+
+/root/repo/target/debug/deps/libworkload_gen-7a55e209da328176.rmeta: crates/bench/benches/workload_gen.rs
+
+crates/bench/benches/workload_gen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/balancer_tuning-5f25c5db8f3fb0f6.d: examples/balancer_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbalancer_tuning-5f25c5db8f3fb0f6.rmeta: examples/balancer_tuning.rs Cargo.toml
+
+examples/balancer_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

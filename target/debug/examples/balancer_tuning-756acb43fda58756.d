@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/balancer_tuning-756acb43fda58756.d: examples/balancer_tuning.rs
+
+/root/repo/target/debug/examples/libbalancer_tuning-756acb43fda58756.rmeta: examples/balancer_tuning.rs
+
+examples/balancer_tuning.rs:

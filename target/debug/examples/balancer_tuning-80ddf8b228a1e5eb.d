@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/balancer_tuning-80ddf8b228a1e5eb.d: examples/balancer_tuning.rs
+
+/root/repo/target/debug/examples/balancer_tuning-80ddf8b228a1e5eb: examples/balancer_tuning.rs
+
+examples/balancer_tuning.rs:

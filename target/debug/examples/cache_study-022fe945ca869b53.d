@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_study-022fe945ca869b53.d: examples/cache_study.rs
+
+/root/repo/target/debug/examples/cache_study-022fe945ca869b53: examples/cache_study.rs
+
+examples/cache_study.rs:

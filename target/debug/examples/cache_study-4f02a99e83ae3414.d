@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cache_study-4f02a99e83ae3414.d: examples/cache_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcache_study-4f02a99e83ae3414.rmeta: examples/cache_study.rs Cargo.toml
+
+examples/cache_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

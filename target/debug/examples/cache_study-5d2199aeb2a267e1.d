@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_study-5d2199aeb2a267e1.d: examples/cache_study.rs
+
+/root/repo/target/debug/examples/libcache_study-5d2199aeb2a267e1.rmeta: examples/cache_study.rs
+
+examples/cache_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4f9f170397fbfdcb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4f9f170397fbfdcb: examples/quickstart.rs
+
+examples/quickstart.rs:

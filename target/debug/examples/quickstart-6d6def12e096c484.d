@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6d6def12e096c484.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-6d6def12e096c484.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/throttle_lending-25548d1219436ba9.d: examples/throttle_lending.rs
+
+/root/repo/target/debug/examples/libthrottle_lending-25548d1219436ba9.rmeta: examples/throttle_lending.rs
+
+examples/throttle_lending.rs:

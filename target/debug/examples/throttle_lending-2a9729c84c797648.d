@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/throttle_lending-2a9729c84c797648.d: examples/throttle_lending.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthrottle_lending-2a9729c84c797648.rmeta: examples/throttle_lending.rs Cargo.toml
+
+examples/throttle_lending.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

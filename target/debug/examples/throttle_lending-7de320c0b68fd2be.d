@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/throttle_lending-7de320c0b68fd2be.d: examples/throttle_lending.rs
+
+/root/repo/target/debug/examples/throttle_lending-7de320c0b68fd2be: examples/throttle_lending.rs
+
+examples/throttle_lending.rs:

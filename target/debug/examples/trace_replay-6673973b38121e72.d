@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-6673973b38121e72.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/libtrace_replay-6673973b38121e72.rmeta: examples/trace_replay.rs
+
+examples/trace_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-8c383e48e1377a2f.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-8c383e48e1377a2f: examples/trace_replay.rs
+
+examples/trace_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-6e9a99c45d21075b.d: crates/ebs-experiments/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-6e9a99c45d21075b: crates/ebs-experiments/src/bin/ablations.rs
+
+crates/ebs-experiments/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-f3d0a28c8d8aaf48.d: crates/ebs-experiments/src/bin/all.rs
+
+/root/repo/target/release/deps/all-f3d0a28c8d8aaf48: crates/ebs-experiments/src/bin/all.rs
+
+crates/ebs-experiments/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-02d5877309d0ff49.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/release/deps/bench-02d5877309d0ff49: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-672833f239f32272.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-672833f239f32272: tests/determinism.rs
+
+tests/determinism.rs:

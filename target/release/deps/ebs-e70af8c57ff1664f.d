@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ebs-e70af8c57ff1664f.d: src/lib.rs
+
+/root/repo/target/release/deps/ebs-e70af8c57ff1664f: src/lib.rs
+
+src/lib.rs:

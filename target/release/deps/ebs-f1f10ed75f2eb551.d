@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ebs-f1f10ed75f2eb551.d: src/lib.rs
+
+/root/repo/target/release/deps/libebs-f1f10ed75f2eb551.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libebs-f1f10ed75f2eb551.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ebs_balance-996bb7820125644b.d: crates/ebs-balance/src/lib.rs crates/ebs-balance/src/bs_balancer.rs crates/ebs-balance/src/dispatch.rs crates/ebs-balance/src/importer.rs crates/ebs-balance/src/migration.rs crates/ebs-balance/src/read_write.rs crates/ebs-balance/src/wt_rebind.rs
+
+/root/repo/target/release/deps/libebs_balance-996bb7820125644b.rlib: crates/ebs-balance/src/lib.rs crates/ebs-balance/src/bs_balancer.rs crates/ebs-balance/src/dispatch.rs crates/ebs-balance/src/importer.rs crates/ebs-balance/src/migration.rs crates/ebs-balance/src/read_write.rs crates/ebs-balance/src/wt_rebind.rs
+
+/root/repo/target/release/deps/libebs_balance-996bb7820125644b.rmeta: crates/ebs-balance/src/lib.rs crates/ebs-balance/src/bs_balancer.rs crates/ebs-balance/src/dispatch.rs crates/ebs-balance/src/importer.rs crates/ebs-balance/src/migration.rs crates/ebs-balance/src/read_write.rs crates/ebs-balance/src/wt_rebind.rs
+
+crates/ebs-balance/src/lib.rs:
+crates/ebs-balance/src/bs_balancer.rs:
+crates/ebs-balance/src/dispatch.rs:
+crates/ebs-balance/src/importer.rs:
+crates/ebs-balance/src/migration.rs:
+crates/ebs-balance/src/read_write.rs:
+crates/ebs-balance/src/wt_rebind.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ebs_bench-1cf24e7f84cfaa92.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libebs_bench-1cf24e7f84cfaa92.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libebs_bench-1cf24e7f84cfaa92.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

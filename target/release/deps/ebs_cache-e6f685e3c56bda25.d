@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ebs_cache-e6f685e3c56bda25.d: crates/ebs-cache/src/lib.rs crates/ebs-cache/src/fifo.rs crates/ebs-cache/src/frozen.rs crates/ebs-cache/src/hottest_block.rs crates/ebs-cache/src/hybrid.rs crates/ebs-cache/src/lfu.rs crates/ebs-cache/src/location.rs crates/ebs-cache/src/lru.rs crates/ebs-cache/src/policy.rs crates/ebs-cache/src/simulate.rs crates/ebs-cache/src/utilization.rs
+
+/root/repo/target/release/deps/libebs_cache-e6f685e3c56bda25.rlib: crates/ebs-cache/src/lib.rs crates/ebs-cache/src/fifo.rs crates/ebs-cache/src/frozen.rs crates/ebs-cache/src/hottest_block.rs crates/ebs-cache/src/hybrid.rs crates/ebs-cache/src/lfu.rs crates/ebs-cache/src/location.rs crates/ebs-cache/src/lru.rs crates/ebs-cache/src/policy.rs crates/ebs-cache/src/simulate.rs crates/ebs-cache/src/utilization.rs
+
+/root/repo/target/release/deps/libebs_cache-e6f685e3c56bda25.rmeta: crates/ebs-cache/src/lib.rs crates/ebs-cache/src/fifo.rs crates/ebs-cache/src/frozen.rs crates/ebs-cache/src/hottest_block.rs crates/ebs-cache/src/hybrid.rs crates/ebs-cache/src/lfu.rs crates/ebs-cache/src/location.rs crates/ebs-cache/src/lru.rs crates/ebs-cache/src/policy.rs crates/ebs-cache/src/simulate.rs crates/ebs-cache/src/utilization.rs
+
+crates/ebs-cache/src/lib.rs:
+crates/ebs-cache/src/fifo.rs:
+crates/ebs-cache/src/frozen.rs:
+crates/ebs-cache/src/hottest_block.rs:
+crates/ebs-cache/src/hybrid.rs:
+crates/ebs-cache/src/lfu.rs:
+crates/ebs-cache/src/location.rs:
+crates/ebs-cache/src/lru.rs:
+crates/ebs-cache/src/policy.rs:
+crates/ebs-cache/src/simulate.rs:
+crates/ebs-cache/src/utilization.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ebs_core-637bd97364f76009.d: crates/ebs-core/src/lib.rs crates/ebs-core/src/apps.rs crates/ebs-core/src/error.rs crates/ebs-core/src/ids.rs crates/ebs-core/src/io.rs crates/ebs-core/src/metric.rs crates/ebs-core/src/parallel.rs crates/ebs-core/src/rng.rs crates/ebs-core/src/spec.rs crates/ebs-core/src/time.rs crates/ebs-core/src/topology.rs crates/ebs-core/src/trace.rs crates/ebs-core/src/units.rs
+
+/root/repo/target/release/deps/libebs_core-637bd97364f76009.rlib: crates/ebs-core/src/lib.rs crates/ebs-core/src/apps.rs crates/ebs-core/src/error.rs crates/ebs-core/src/ids.rs crates/ebs-core/src/io.rs crates/ebs-core/src/metric.rs crates/ebs-core/src/parallel.rs crates/ebs-core/src/rng.rs crates/ebs-core/src/spec.rs crates/ebs-core/src/time.rs crates/ebs-core/src/topology.rs crates/ebs-core/src/trace.rs crates/ebs-core/src/units.rs
+
+/root/repo/target/release/deps/libebs_core-637bd97364f76009.rmeta: crates/ebs-core/src/lib.rs crates/ebs-core/src/apps.rs crates/ebs-core/src/error.rs crates/ebs-core/src/ids.rs crates/ebs-core/src/io.rs crates/ebs-core/src/metric.rs crates/ebs-core/src/parallel.rs crates/ebs-core/src/rng.rs crates/ebs-core/src/spec.rs crates/ebs-core/src/time.rs crates/ebs-core/src/topology.rs crates/ebs-core/src/trace.rs crates/ebs-core/src/units.rs
+
+crates/ebs-core/src/lib.rs:
+crates/ebs-core/src/apps.rs:
+crates/ebs-core/src/error.rs:
+crates/ebs-core/src/ids.rs:
+crates/ebs-core/src/io.rs:
+crates/ebs-core/src/metric.rs:
+crates/ebs-core/src/parallel.rs:
+crates/ebs-core/src/rng.rs:
+crates/ebs-core/src/spec.rs:
+crates/ebs-core/src/time.rs:
+crates/ebs-core/src/topology.rs:
+crates/ebs-core/src/trace.rs:
+crates/ebs-core/src/units.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ebs_criterion_shim-6ee98c1596a08e3d.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/libebs_criterion_shim-6ee98c1596a08e3d.rlib: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/libebs_criterion_shim-6ee98c1596a08e3d.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ebs_predict-5e6911755b94f840.d: crates/ebs-predict/src/lib.rs crates/ebs-predict/src/arima.rs crates/ebs-predict/src/attention.rs crates/ebs-predict/src/eval.rs crates/ebs-predict/src/gbdt.rs crates/ebs-predict/src/linear.rs crates/ebs-predict/src/matrix.rs
+
+/root/repo/target/release/deps/libebs_predict-5e6911755b94f840.rlib: crates/ebs-predict/src/lib.rs crates/ebs-predict/src/arima.rs crates/ebs-predict/src/attention.rs crates/ebs-predict/src/eval.rs crates/ebs-predict/src/gbdt.rs crates/ebs-predict/src/linear.rs crates/ebs-predict/src/matrix.rs
+
+/root/repo/target/release/deps/libebs_predict-5e6911755b94f840.rmeta: crates/ebs-predict/src/lib.rs crates/ebs-predict/src/arima.rs crates/ebs-predict/src/attention.rs crates/ebs-predict/src/eval.rs crates/ebs-predict/src/gbdt.rs crates/ebs-predict/src/linear.rs crates/ebs-predict/src/matrix.rs
+
+crates/ebs-predict/src/lib.rs:
+crates/ebs-predict/src/arima.rs:
+crates/ebs-predict/src/attention.rs:
+crates/ebs-predict/src/eval.rs:
+crates/ebs-predict/src/gbdt.rs:
+crates/ebs-predict/src/linear.rs:
+crates/ebs-predict/src/matrix.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ebs_proptest_shim-13f0256bb88755cf.d: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/release/deps/libebs_proptest_shim-13f0256bb88755cf.rlib: crates/proptest-shim/src/lib.rs
+
+/root/repo/target/release/deps/libebs_proptest_shim-13f0256bb88755cf.rmeta: crates/proptest-shim/src/lib.rs
+
+crates/proptest-shim/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ebs_throttle-163b8d7ce0fcd561.d: crates/ebs-throttle/src/lib.rs crates/ebs-throttle/src/lending.rs crates/ebs-throttle/src/predictive.rs crates/ebs-throttle/src/rar.rs crates/ebs-throttle/src/reduction.rs crates/ebs-throttle/src/scenario.rs
+
+/root/repo/target/release/deps/libebs_throttle-163b8d7ce0fcd561.rlib: crates/ebs-throttle/src/lib.rs crates/ebs-throttle/src/lending.rs crates/ebs-throttle/src/predictive.rs crates/ebs-throttle/src/rar.rs crates/ebs-throttle/src/reduction.rs crates/ebs-throttle/src/scenario.rs
+
+/root/repo/target/release/deps/libebs_throttle-163b8d7ce0fcd561.rmeta: crates/ebs-throttle/src/lib.rs crates/ebs-throttle/src/lending.rs crates/ebs-throttle/src/predictive.rs crates/ebs-throttle/src/rar.rs crates/ebs-throttle/src/reduction.rs crates/ebs-throttle/src/scenario.rs
+
+crates/ebs-throttle/src/lib.rs:
+crates/ebs-throttle/src/lending.rs:
+crates/ebs-throttle/src/predictive.rs:
+crates/ebs-throttle/src/rar.rs:
+crates/ebs-throttle/src/reduction.rs:
+crates/ebs-throttle/src/scenario.rs:

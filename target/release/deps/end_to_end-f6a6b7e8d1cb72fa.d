@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-f6a6b7e8d1cb72fa.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-f6a6b7e8d1cb72fa: tests/end_to_end.rs
+
+tests/end_to_end.rs:

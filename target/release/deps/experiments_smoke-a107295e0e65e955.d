@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments_smoke-a107295e0e65e955.d: tests/experiments_smoke.rs
+
+/root/repo/target/release/deps/experiments_smoke-a107295e0e65e955: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

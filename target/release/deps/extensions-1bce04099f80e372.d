@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-1bce04099f80e372.d: crates/ebs-experiments/src/bin/extensions.rs
+
+/root/repo/target/release/deps/extensions-1bce04099f80e372: crates/ebs-experiments/src/bin/extensions.rs
+
+crates/ebs-experiments/src/bin/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-e0822c30bda9879c.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-e0822c30bda9879c: tests/failure_injection.rs
+
+tests/failure_injection.rs:

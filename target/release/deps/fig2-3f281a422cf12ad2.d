@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-3f281a422cf12ad2.d: crates/ebs-experiments/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-3f281a422cf12ad2: crates/ebs-experiments/src/bin/fig2.rs
+
+crates/ebs-experiments/src/bin/fig2.rs:

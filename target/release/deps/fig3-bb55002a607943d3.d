@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-bb55002a607943d3.d: crates/ebs-experiments/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-bb55002a607943d3: crates/ebs-experiments/src/bin/fig3.rs
+
+crates/ebs-experiments/src/bin/fig3.rs:

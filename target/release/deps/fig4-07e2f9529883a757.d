@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-07e2f9529883a757.d: crates/ebs-experiments/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-07e2f9529883a757: crates/ebs-experiments/src/bin/fig4.rs
+
+crates/ebs-experiments/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-cda5aa5ca4de8711.d: crates/ebs-experiments/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-cda5aa5ca4de8711: crates/ebs-experiments/src/bin/fig5.rs
+
+crates/ebs-experiments/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-b76110edec8d1db0.d: crates/ebs-experiments/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-b76110edec8d1db0: crates/ebs-experiments/src/bin/fig6.rs
+
+crates/ebs-experiments/src/bin/fig6.rs:

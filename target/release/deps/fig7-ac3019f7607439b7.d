@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-ac3019f7607439b7.d: crates/ebs-experiments/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-ac3019f7607439b7: crates/ebs-experiments/src/bin/fig7.rs
+
+crates/ebs-experiments/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gendata-bdd530c52178d7f6.d: crates/ebs-experiments/src/bin/gendata.rs
+
+/root/repo/target/release/deps/gendata-bdd530c52178d7f6: crates/ebs-experiments/src/bin/gendata.rs
+
+crates/ebs-experiments/src/bin/gendata.rs:

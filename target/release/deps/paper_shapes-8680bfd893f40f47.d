@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shapes-8680bfd893f40f47.d: tests/paper_shapes.rs
+
+/root/repo/target/release/deps/paper_shapes-8680bfd893f40f47: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel-2df55d086ba1d3cd.d: crates/bench/benches/parallel.rs
+
+/root/repo/target/release/deps/parallel-2df55d086ba1d3cd: crates/bench/benches/parallel.rs
+
+crates/bench/benches/parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-9365fba6d562f72f.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-9365fba6d562f72f: tests/properties.rs
+
+tests/properties.rs:

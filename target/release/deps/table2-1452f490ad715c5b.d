@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-1452f490ad715c5b.d: crates/ebs-experiments/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-1452f490ad715c5b: crates/ebs-experiments/src/bin/table2.rs
+
+crates/ebs-experiments/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-9ef427964807061c.d: crates/ebs-experiments/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-9ef427964807061c: crates/ebs-experiments/src/bin/table3.rs
+
+crates/ebs-experiments/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-716d0981bad27263.d: crates/ebs-experiments/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-716d0981bad27263: crates/ebs-experiments/src/bin/table4.rs
+
+crates/ebs-experiments/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/balancer_tuning-b7fd0f3a65186db5.d: examples/balancer_tuning.rs
+
+/root/repo/target/release/examples/balancer_tuning-b7fd0f3a65186db5: examples/balancer_tuning.rs
+
+examples/balancer_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cache_study-3b8cfac874411bd6.d: examples/cache_study.rs
+
+/root/repo/target/release/examples/cache_study-3b8cfac874411bd6: examples/cache_study.rs
+
+examples/cache_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a97aa85c4e4551ae.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a97aa85c4e4551ae: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/throttle_lending-11583e6e41561072.d: examples/throttle_lending.rs
+
+/root/repo/target/release/examples/throttle_lending-11583e6e41561072: examples/throttle_lending.rs
+
+examples/throttle_lending.rs:

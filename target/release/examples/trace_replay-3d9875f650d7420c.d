@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_replay-3d9875f650d7420c.d: examples/trace_replay.rs
+
+/root/repo/target/release/examples/trace_replay-3d9875f650d7420c: examples/trace_replay.rs
+
+examples/trace_replay.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libebs_criterion_shim.rlib: /root/repo/crates/criterion-shim/src/lib.rs

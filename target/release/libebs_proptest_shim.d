@@ -1,0 +1,1 @@
+/root/repo/target/release/libebs_proptest_shim.rlib: /root/repo/crates/proptest-shim/src/lib.rs

@@ -1,13 +1,57 @@
 //! Cross-crate determinism: one seed must reproduce every artifact bit-
-//! for-bit — datasets, stack traces, balancer placements, lending gains.
+//! for-bit — datasets, stack traces, balancer placements, lending gains —
+//! and the parallel execution layer must never perturb any of them: the
+//! same seed yields byte-identical outputs at 1, 2, and N worker threads.
 
 use ebs::balance::bs_balancer::{run_balancer, BalancerConfig};
 use ebs::balance::importer::ImporterSelect;
+use ebs::balance::wt_rebind::{simulate_fleet, RebindConfig};
 use ebs::core::ids::DcId;
+use ebs::core::parallel::set_thread_override;
 use ebs::stack::sim::{StackConfig, StackSim};
 use ebs::throttle::lending::{lending_gains, LendingConfig};
 use ebs::throttle::scenario::{build_groups, CapDim};
-use ebs::workload::{generate, WorkloadConfig};
+use ebs::workload::{generate, Dataset, WorkloadConfig};
+use std::sync::{Mutex, OnceLock};
+
+/// Serializes the tests that flip the process-wide thread override.
+fn override_guard() -> &'static Mutex<()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD.get_or_init(|| Mutex::new(()))
+}
+
+/// Run `f` at 1, 2, and N(=8) worker threads and assert all three results
+/// are identical. The 1-thread run takes the pure serial path, so this
+/// pins "parallel == serial" for every seed it is called with.
+fn assert_thread_count_invariant<T, F>(f: F) -> T
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn() -> T,
+{
+    let _guard = override_guard().lock().unwrap();
+    set_thread_override(Some(1));
+    let serial = f();
+    for threads in [2, 8] {
+        set_thread_override(Some(threads));
+        let parallel = f();
+        assert_eq!(serial, parallel, "output diverged at {threads} threads");
+    }
+    set_thread_override(None);
+    serial
+}
+
+/// Datasets compared field by field (fleet topology is seed-determined
+/// before any parallel fan-out, so events + metric series are the parts
+/// the parallel generator could plausibly perturb).
+fn assert_same_dataset(a: &Dataset, b: &Dataset) {
+    assert_eq!(a.events, b.events);
+    for (x, y) in a.compute.per_qp.iter().zip(b.compute.per_qp.iter()) {
+        assert_eq!(x, y);
+    }
+    for (x, y) in a.storage.per_seg.iter().zip(b.storage.per_seg.iter()) {
+        assert_eq!(x, y);
+    }
+}
 
 #[test]
 fn datasets_are_bitwise_reproducible() {
@@ -34,7 +78,10 @@ fn different_seeds_produce_different_traffic() {
 fn stack_traces_are_reproducible() {
     let ds = generate(&WorkloadConfig::quick(778)).unwrap();
     let run = |seed| {
-        let cfg = StackConfig { seed, ..StackConfig::default() };
+        let cfg = StackConfig {
+            seed,
+            ..StackConfig::default()
+        };
         let mut sim = StackSim::new(&ds.fleet, cfg);
         sim.run(&ds.events).unwrap()
     };
@@ -54,7 +101,10 @@ fn stack_traces_are_reproducible() {
 #[test]
 fn balancer_runs_are_reproducible_even_with_random_importers() {
     let ds = generate(&WorkloadConfig::quick(779)).unwrap();
-    let cfg = BalancerConfig { strategy: ImporterSelect::Random, ..BalancerConfig::default() };
+    let cfg = BalancerConfig {
+        strategy: ImporterSelect::Random,
+        ..BalancerConfig::default()
+    };
     let a = run_balancer(&ds.fleet, &ds.storage, DcId(0), &cfg);
     let b = run_balancer(&ds.fleet, &ds.storage, DcId(0), &cfg);
     assert_eq!(a.seg_map.log(), b.seg_map.log());
@@ -67,4 +117,61 @@ fn lending_gains_are_reproducible() {
     let groups = build_groups(&ds.fleet, &ds.compute, CapDim::Throughput);
     let cfg = LendingConfig::default();
     assert_eq!(lending_gains(&groups, &cfg), lending_gains(&groups, &cfg));
+}
+
+/// The seeds the parallel == serial contract is pinned for: the default
+/// workload seed, the experiment harness seed, and an arbitrary third.
+const PARALLEL_SEEDS: [u64; 3] = [0xEB5_5EED, ebs::experiments::EXPERIMENT_SEED, 424_242];
+
+#[test]
+fn parallel_generation_matches_serial_for_every_seed() {
+    let _guard = override_guard().lock().unwrap();
+    for seed in PARALLEL_SEEDS {
+        let cfg = WorkloadConfig::quick(seed);
+        set_thread_override(Some(1));
+        let serial = generate(&cfg).unwrap();
+        for threads in [2, 8] {
+            set_thread_override(Some(threads));
+            let parallel = generate(&cfg).unwrap();
+            assert_same_dataset(&serial, &parallel);
+        }
+        set_thread_override(None);
+    }
+}
+
+#[test]
+fn parallel_rebind_sweep_matches_serial() {
+    for seed in PARALLEL_SEEDS {
+        let ds = generate(&WorkloadConfig::quick(seed)).unwrap();
+        assert_thread_count_invariant(|| {
+            simulate_fleet(&ds.fleet, &ds.events, &RebindConfig::default())
+        });
+    }
+}
+
+#[test]
+fn parallel_cache_sweep_matches_serial() {
+    use ebs::experiments::{driver, fig7};
+    for seed in PARALLEL_SEEDS {
+        let ds = generate(&WorkloadConfig::quick(seed)).unwrap();
+        let by_vd = driver::events_partition(&ds);
+        let rows = assert_thread_count_invariant(|| {
+            fig7::panel_a(&by_vd)
+                .into_iter()
+                .map(|r| (r.algo.label(), r.block_size, r.hit_ratio.p50, r.hit_ratio.n))
+                .collect::<Vec<_>>()
+        });
+        assert!(
+            !rows.is_empty(),
+            "panel A produced no rows for seed {seed:#x}"
+        );
+    }
+}
+
+#[test]
+fn parallel_experiment_driver_matches_serial() {
+    use ebs::experiments::{dataset, driver, Scale};
+    let ds = dataset(Scale::Quick);
+    let sections = assert_thread_count_invariant(|| driver::run_all(&ds));
+    assert_eq!(sections.len(), 11, "every section must render");
 }

@@ -22,11 +22,20 @@ fn calibration_invariants_hold() {
 #[test]
 fn vm_level_read_skew_beats_prior_work() {
     let ds = dataset();
-    let reads = rollup_compute(&ds.fleet, &ds.compute, ComputeLevel::Vm, Measure::ReadBytes, |_| {
-        true
-    });
-    let writes =
-        rollup_compute(&ds.fleet, &ds.compute, ComputeLevel::Vm, Measure::WriteBytes, |_| true);
+    let reads = rollup_compute(
+        &ds.fleet,
+        &ds.compute,
+        ComputeLevel::Vm,
+        Measure::ReadBytes,
+        |_| true,
+    );
+    let writes = rollup_compute(
+        &ds.fleet,
+        &ds.compute,
+        ComputeLevel::Vm,
+        Measure::WriteBytes,
+        |_| true,
+    );
     let r1 = ccr(&reads.totals(), 0.01).unwrap();
     let w1 = ccr(&writes.totals(), 0.01).unwrap();
     // Observation 1: far above Lee et al.'s 16.6 %.
@@ -64,10 +73,17 @@ fn stack_simulation_is_lossless_and_consistent() {
     let ds = dataset();
     let mut sim = StackSim::new(
         &ds.fleet,
-        StackConfig { apply_throttle: false, ..StackConfig::default() },
+        StackConfig {
+            apply_throttle: false,
+            ..StackConfig::default()
+        },
     );
     let out = sim.run(&ds.events).expect("sorted events");
-    assert_eq!(out.traces.len(), ds.events.len(), "every IO becomes a trace");
+    assert_eq!(
+        out.traces.len(),
+        ds.events.len(),
+        "every IO becomes a trace"
+    );
     // Byte totals in the trace match the event stream exactly.
     let ev_bytes: f64 = ds.events.iter().map(|e| e.size as f64).sum();
     let (tr, tw) = out.traces.rw_bytes();

@@ -2,7 +2,7 @@
 //! loudly on malformed input and degrade gracefully on empty input — never
 //! panic, never fabricate numbers.
 
-use ebs::core::ids::{QpId, VdId};
+use ebs::core::ids::VdId;
 use ebs::core::io::{IoEvent, Op};
 use ebs::stack::sim::{StackConfig, StackSim};
 use ebs::workload::{generate, WorkloadConfig};
@@ -63,7 +63,9 @@ fn predictors_survive_pathological_series() {
         vec![0.0],
         vec![0.0; 50],
         vec![1e15; 30],
-        (0..40).map(|i| if i % 2 == 0 { 0.0 } else { 1e12 }).collect(),
+        (0..40)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1e12 })
+            .collect(),
     ];
     for series in &nasty {
         let mut models: Vec<Box<dyn Predictor>> = vec![
@@ -75,7 +77,12 @@ fn predictors_survive_pathological_series() {
         for m in &mut models {
             m.fit(series);
             let p = m.predict_next(series);
-            assert!(p.is_finite() && p >= 0.0, "{} on {:?}…", m.name(), series.first());
+            assert!(
+                p.is_finite() && p >= 0.0,
+                "{} on {:?}…",
+                m.name(),
+                series.first()
+            );
         }
     }
 }
@@ -104,7 +111,10 @@ fn csv_import_rejects_garbage() {
         "t_us,vd,qp,op,size,offset\n1,0,0,Q,4096,0\n",
         "t_us,vd,qp,op,size,offset\n1,0,0,R\n",
     ] {
-        assert!(read_events_csv(BufReader::new(bad.as_bytes())).is_err(), "{bad:?}");
+        assert!(
+            read_events_csv(BufReader::new(bad.as_bytes())).is_err(),
+            "{bad:?}"
+        );
     }
 }
 
@@ -114,7 +124,13 @@ fn cache_simulation_of_idle_vd_reports_no_ratio() {
     use ebs::cache::LruCache;
     let mut lru = LruCache::new(16);
     let stats = simulate(&mut lru, &[]);
-    assert_eq!(stats, HitStats { accesses: 0, hits: 0 });
+    assert_eq!(
+        stats,
+        HitStats {
+            accesses: 0,
+            hits: 0
+        }
+    );
     assert_eq!(stats.ratio(), None);
 }
 

@@ -22,15 +22,24 @@ fn observation_1_and_2_vm_level_skew() {
 #[test]
 fn table4_bigdata_vs_docker_contrast() {
     let rows = table4::run(&ds());
-    let bd = rows.iter().find(|r| r.app == ebs::core::AppClass::BigData).unwrap();
+    let bd = rows
+        .iter()
+        .find(|r| r.app == ebs::core::AppClass::BigData)
+        .unwrap();
     let max_write_share = rows.iter().map(|r| r.share.1).fold(0.0, f64::max);
-    assert!(bd.share.1 >= max_write_share - 1e-9, "BigData leads write share");
+    assert!(
+        bd.share.1 >= max_write_share - 1e-9,
+        "BigData leads write share"
+    );
     let min_read_ccr = rows
         .iter()
         .filter(|r| r.ccr1.0.is_finite())
         .map(|r| r.ccr1.0)
         .fold(f64::INFINITY, f64::min);
-    assert!(bd.ccr1.0 <= min_read_ccr + 0.12, "BigData among the least skewed");
+    assert!(
+        bd.ccr1.0 <= min_read_ccr + 0.12,
+        "BigData among the least skewed"
+    );
 }
 
 #[test]
@@ -51,12 +60,21 @@ fn section4_wt_skew_and_rebinding_limits() {
 fn section5_headroom_and_lending() {
     let f3 = fig3::run(&ds());
     let rar = fig3::median_rar(&f3).expect("throttle events exist");
-    assert!(rar > 0.4, "median RAR {rar:.3} — headroom abundant under throttle");
+    assert!(
+        rar > 0.4,
+        "median RAR {rar:.3} — headroom abundant under throttle"
+    );
     assert!(f3.c.mixed.0 < 0.3, "throttles are single-sided");
     assert!(f3.c.tput_over_iops_events > 1.0, "throughput caps dominate");
-    let (_, _, pos, _) =
-        f3.fg.iter().find(|(p, k, _, _)| *p == 0.8 && *k == "multi-VD VM").unwrap();
-    assert!(*pos > 0.5, "most groups gain from lending at p=0.8: {pos:.2}");
+    let (_, _, pos, _) = f3
+        .fg
+        .iter()
+        .find(|(p, k, _, _)| *p == 0.8 && *k == "multi-VD VM")
+        .unwrap();
+    assert!(
+        *pos > 0.5,
+        "most groups gain from lending at p=0.8: {pos:.2}"
+    );
 }
 
 #[test]
@@ -73,7 +91,10 @@ fn section6_importers_and_predictors() {
     let c = fig4::panel_c(&d, dc);
     let score = |tag: &str| c.iter().find(|(n, _)| n.starts_with(tag)).unwrap().1;
     assert!(score("P2") < score("P1"), "ARIMA beats linear fit");
-    assert!(score("P5") <= score("P4") * 1.05, "per-period attention beats per-epoch");
+    assert!(
+        score("P5") <= score("P4") * 1.05,
+        "per-period attention beats per-epoch"
+    );
 }
 
 #[test]
@@ -81,11 +102,17 @@ fn section7_hotspots_and_caches() {
     let d = ds();
     let f6 = fig6::run(&d);
     let row = &f6.rows[0];
-    assert!(row.access_rate.p50 > row.median_lba_share * 3.0, "LBA hotspot exists");
+    assert!(
+        row.access_rate.p50 > row.median_lba_share * 3.0,
+        "LBA hotspot exists"
+    );
     assert!(row.write_dominant > 0.5, "hottest blocks write-dominant");
-    assert!((0.25..=0.75).contains(&row.hot_rate.p50), "hot rate near one half");
+    assert!(
+        (0.25..=0.75).contains(&row.hot_rate.p50),
+        "hot rate near one half"
+    );
 
-    let f7a = fig7::panel_a(&d);
+    let f7a = fig7::panel_a(&driver::events_partition(&d));
     let p50 = |algo, bs: u64| {
         f7a.iter()
             .find(|r| r.algo == algo && r.block_size == bs)
@@ -99,6 +126,12 @@ fn section7_hotspots_and_caches() {
     assert!((p50(Fifo, 64 << 20) - p50(Lru, 64 << 20)).abs() < 0.05);
     let small_gap = p50(Lru, 64 << 20) - p50(Frozen, 64 << 20);
     let large_gap = p50(Lru, 2048 << 20) - p50(Frozen, 2048 << 20);
-    assert!(small_gap > 0.0, "FrozenHot must trail at 64 MiB (gap {small_gap:.3})");
-    assert!(large_gap < small_gap, "FrozenHot must close the gap at 2 GiB");
+    assert!(
+        small_gap > 0.0,
+        "FrozenHot must trail at 64 MiB (gap {small_gap:.3})"
+    );
+    assert!(
+        large_gap < small_gap,
+        "FrozenHot must close the gap at 2 GiB"
+    );
 }

@@ -150,7 +150,10 @@ fn balancer_conserves_segments_under_random_strategies() {
     use ebs::balance::importer::ImporterSelect;
     let ds = ebs::workload::generate(&ebs::workload::WorkloadConfig::quick(4242)).unwrap();
     for strategy in ImporterSelect::ALL {
-        let cfg = BalancerConfig { strategy, ..BalancerConfig::default() };
+        let cfg = BalancerConfig {
+            strategy,
+            ..BalancerConfig::default()
+        };
         let run = run_balancer(&ds.fleet, &ds.storage, ebs::core::ids::DcId(0), &cfg);
         let counts = run.seg_map.load_counts(ds.fleet.block_servers.len());
         assert_eq!(
