@@ -2,11 +2,16 @@
 //!
 //! Times the three parallelized hot paths — dataset generation, the full
 //! `bin/all` experiment driver, and the cache/balance sweeps — once with
-//! the pool pinned to one thread (the pure serial path) and once with the
-//! ambient thread count, then writes the timings and speedups to
-//! `BENCH_parallel.json`.
+//! the pool pinned to one thread (the pure serial path) and once pinned to
+//! an **explicit** multi-thread count, then writes the timings, speedups,
+//! and both thread counts to `BENCH_parallel.json`. (An earlier version
+//! ran the "parallel" leg at the ambient thread count, which on a 1-CPU
+//! container is also 1 — every recorded speedup was a vacuous ≈1.0 and
+//! the JSON did not say so.)
 //!
-//! Usage: `bench [--quick|--medium|--full] [--iters N] [--out PATH]`.
+//! Usage: `bench [--quick|--medium|--full] [--iters N] [--threads N]
+//! [--out PATH]`. `--threads` defaults to `max(4, available cores)` so the
+//! parallel leg genuinely exercises the fan-out even on small hosts.
 //! Every pair also asserts the parallel output equals the serial output,
 //! so the baseline doubles as an end-to-end determinism check.
 
@@ -42,13 +47,19 @@ impl Entry {
     }
 }
 
-/// Measure `f` at 1 thread and at the ambient thread count, asserting the
+/// Measure `f` at 1 thread and at `par_threads` threads, asserting the
 /// outputs match.
-fn measure<T: PartialEq>(name: &'static str, iters: usize, mut f: impl FnMut() -> T) -> Entry {
+fn measure<T: PartialEq>(
+    name: &'static str,
+    iters: usize,
+    par_threads: usize,
+    mut f: impl FnMut() -> T,
+) -> Entry {
     set_thread_override(Some(1));
     let (serial_s, serial_out) = time_best(iters, &mut f);
-    set_thread_override(None);
+    set_thread_override(Some(par_threads));
     let (parallel_s, parallel_out) = time_best(iters, &mut f);
+    set_thread_override(None);
     assert!(
         serial_out == parallel_out,
         "{name}: parallel output diverged from serial"
@@ -78,38 +89,46 @@ fn main() {
     let iters: usize = flag("--iters")
         .map(|v| v.parse().expect("--iters N"))
         .unwrap_or(3);
+    let par_threads: usize = flag("--threads")
+        .map(|v| v.parse().expect("--threads N"))
+        .filter(|&n| n > 1)
+        .unwrap_or_else(|| current_threads().max(4));
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_parallel.json".to_string());
 
-    let threads = current_threads();
     let scale_name = format!("{scale:?}").to_lowercase();
-    eprintln!("benchmarking at scale {scale_name}, {threads} threads, best of {iters}");
+    eprintln!(
+        "benchmarking at scale {scale_name}, serial (1 thread) vs parallel ({par_threads} threads), best of {iters}"
+    );
 
     let cfg = scale.config(EXPERIMENT_SEED);
     let mut entries = Vec::new();
 
-    entries.push(measure("workload_generate", iters, || {
+    entries.push(measure("workload_generate", iters, par_threads, || {
         let ds = generate(&cfg).expect("canonical config must validate");
         let (read, write) = ds.total_bytes();
         (ds.events.len(), read.to_bits(), write.to_bits())
     }));
 
     let ds = dataset(scale);
-    entries.push(measure("experiments_all", iters, || driver::run_all(&ds)));
+    entries.push(measure("experiments_all", iters, par_threads, || {
+        driver::run_all(&ds)
+    }));
 
     let by_vd = driver::events_partition(&ds);
-    entries.push(measure("cache_sweep", iters, || {
+    entries.push(measure("cache_sweep", iters, par_threads, || {
         fig7::panel_a(&by_vd)
             .into_iter()
             .map(|r| (r.block_size, r.hit_ratio.p50.to_bits()))
             .collect::<Vec<_>>()
     }));
-    entries.push(measure("balance_sweep", iters, || {
+    entries.push(measure("balance_sweep", iters, par_threads, || {
         simulate_fleet(&ds.fleet, &ds.events, &RebindConfig::default())
     }));
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
-    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str("  \"serial_threads\": 1,\n");
+    json.push_str(&format!("  \"parallel_threads\": {par_threads},\n"));
     json.push_str(&format!("  \"iters\": {iters},\n"));
     json.push_str("  \"paths\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -132,4 +151,7 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, json).expect("write baseline");
     eprintln!("wrote {out_path}");
+    // With EBS_OBS=1 the timed runs also populated the metrics registry;
+    // drop the run report next to the baseline.
+    ebs_obs::report::emit_global();
 }

@@ -7,9 +7,12 @@
 /// CCR of `contributions` at top-fraction `frac` (e.g. `0.01` for the
 /// paper's "1 %-CCR"). Returns a fraction in `[0, 1]`.
 ///
-/// The number of top entities is `ceil(frac · n)`, clamped to at least one,
-/// so tiny fleets still have a well-defined "top 1 %". Returns `None` if the
-/// slice is empty or total contribution is not positive.
+/// For positive fractions the number of top entities is `ceil(frac · n)`,
+/// clamped to at least one, so tiny fleets still have a well-defined
+/// "top 1 %". The top-0 % of a fleet contributes nothing, so `frac = 0.0`
+/// is `0.0` — not the top-1 share the old floor-at-one clamp produced.
+/// Returns `None` if the slice is empty or total contribution is not
+/// positive.
 pub fn ccr(contributions: &[f64], frac: f64) -> Option<f64> {
     if contributions.is_empty() || !(0.0..=1.0).contains(&frac) {
         return None;
@@ -17,6 +20,9 @@ pub fn ccr(contributions: &[f64], frac: f64) -> Option<f64> {
     let total: f64 = contributions.iter().sum();
     if total <= 0.0 {
         return None;
+    }
+    if frac == 0.0 {
+        return Some(0.0);
     }
     let mut sorted: Vec<f64> = contributions.to_vec();
     sorted.sort_by(|a, b| b.partial_cmp(a).expect("contributions must not be NaN"));
@@ -96,5 +102,30 @@ mod tests {
     fn full_fraction_is_total() {
         let v = [2.0, 3.0, 5.0];
         assert!((ccr(&v, 1.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_fraction_contributes_nothing() {
+        // The top 0% of any fleet carries 0% of the traffic — previously
+        // this returned the top-1 contributor's share (0.9 here).
+        let mut v = vec![1.0; 9];
+        v.push(81.0);
+        assert_eq!(ccr(&v, 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn boundary_fractions_cover_the_clamp_edges() {
+        let n = 10;
+        let mut v = vec![1.0; n - 1];
+        v.push(81.0); // top entity: 90% of 90 total
+                      // frac = 1/n selects exactly the top entity…
+        let one_of_n = ccr(&v, 1.0 / n as f64).unwrap();
+        assert!((one_of_n - 0.9).abs() < 1e-12);
+        // …any smaller positive fraction still floors at one entity…
+        let tiny = ccr(&v, 1e-6).unwrap();
+        assert!((tiny - 0.9).abs() < 1e-12);
+        // …frac = 1.0 takes everything, and frac = 0.0 takes nothing.
+        assert!((ccr(&v, 1.0).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(ccr(&v, 0.0), Some(0.0));
     }
 }

@@ -2,7 +2,7 @@
 
 /// A histogram over `[lo, hi)` with uniform bins; values outside the range
 /// are clamped into the first/last bin so mass is never silently dropped.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -53,6 +53,39 @@ impl Histogram {
     /// Raw counts per bin.
     pub fn counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Lower edge of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Add `other`'s mass bin-by-bin. Because addition commutes, merging a
+    /// set of histograms yields the same result in any order — the property
+    /// the observability layer relies on when workers record locally and
+    /// merge at the end.
+    ///
+    /// # Panics
+    /// Panics if the two histograms have different ranges or bin counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "cannot merge histograms of different shape"
+        );
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
     }
 
     /// Fraction of mass in each bin (all zeros if no observations).
@@ -122,6 +155,28 @@ mod tests {
         let h = Histogram::new(0.0, 1.0, 4);
         assert_eq!(h.bin_edges(0), (0.0, 0.25));
         assert_eq!(h.bin_center(3), 0.875);
+    }
+
+    #[test]
+    fn merge_adds_counts_in_any_order() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        a.extend([0.1, 0.6]);
+        let mut b = Histogram::new(0.0, 1.0, 4);
+        b.extend([0.3, 0.6, 0.9]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.counts(), ba.counts());
+        assert_eq!(ab.counts(), &[1, 1, 2, 1]);
+        assert_eq!(ab.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shape")]
+    fn merge_rejects_mismatched_shapes() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        a.merge(&Histogram::new(0.0, 2.0, 4));
     }
 
     #[test]

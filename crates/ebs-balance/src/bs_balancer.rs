@@ -167,6 +167,7 @@ pub fn balance_period(
                 exporter,
             };
             let Some(mut importer) = select_importer(config.strategy, rng, &ctx) else {
+                ebs_obs::counter_add("balance.migrations_aborted", 1);
                 break;
             };
             if config.enforce_vd_spread {
@@ -183,7 +184,10 @@ pub fn balance_period(
                         .min_by(|&a, &b| current[a].partial_cmp(&current[b]).expect("no NaNs"));
                     match alt {
                         Some(a) => importer = a,
-                        None => continue,
+                        None => {
+                            ebs_obs::counter_add("balance.migrations_aborted", 1);
+                            continue;
+                        }
                     }
                 }
             }
@@ -237,6 +241,8 @@ pub fn run_balancer(
         );
     }
     let migrations = seg_map.log().len();
+    ebs_obs::counter_add("balance.migrations", migrations as u64);
+    ebs_obs::counter_add("balance.balancer_runs", 1);
     BalancerRun {
         seg_map,
         periods: periods as u32,

@@ -169,6 +169,17 @@ pub fn simulate_node(
         &mut active_periods,
     );
 
+    if ebs_obs::enabled() {
+        // Attempts = periods the balancer evaluated; fired = swaps taken.
+        // Counters sum across nodes/worker threads, so the merged totals
+        // are thread-count invariant.
+        let mut reg = ebs_obs::Registry::new();
+        reg.counter_add("balance.rebind.attempts", active_periods);
+        reg.counter_add("balance.rebind.fired", rebinds);
+        reg.counter_add("balance.rebind.skipped", active_periods - rebinds);
+        ebs_obs::merge(&reg);
+    }
+
     let cov_static = cov(&cum_static)?;
     let cov_rebound = cov(&cum_rebound).unwrap_or(0.0);
     let gain = if cov_static > 0.0 {

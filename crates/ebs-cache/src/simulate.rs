@@ -91,11 +91,31 @@ pub fn simulate(policy: &mut dyn CachePolicy, events: &[IoEvent]) -> HitStats {
 /// event stream. Policy state is private per run; the stream is only ever
 /// borrowed, so a policy × capacity sweep never clones events.
 pub fn sweep_policies(hb: &HottestBlock, events: &[IoEvent]) -> Vec<(Algorithm, HitStats)> {
+    let obs_on = ebs_obs::enabled();
     Algorithm::ALL
         .iter()
         .map(|&algo| {
             let mut policy = build_policy(algo, hb);
-            (algo, simulate(policy.as_mut(), events))
+            let stats = simulate(policy.as_mut(), events);
+            if obs_on {
+                // FIFO/LRU admit every miss, so evictions are the misses
+                // that no longer fit; FrozenHot never admits or evicts.
+                let misses = stats.accesses - stats.hits;
+                let evictions = match algo {
+                    Algorithm::Fifo | Algorithm::Lru => {
+                        misses - policy.len().min(misses as usize) as u64
+                    }
+                    Algorithm::Frozen => 0,
+                };
+                let key = algo.label().to_lowercase();
+                let mut reg = ebs_obs::Registry::new();
+                reg.counter_add(&format!("cache.{key}.accesses"), stats.accesses);
+                reg.counter_add(&format!("cache.{key}.hits"), stats.hits);
+                reg.counter_add(&format!("cache.{key}.misses"), misses);
+                reg.counter_add(&format!("cache.{key}.evictions"), evictions);
+                ebs_obs::merge(&reg);
+            }
+            (algo, stats)
         })
         .collect()
 }

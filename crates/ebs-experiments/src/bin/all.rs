@@ -2,11 +2,15 @@
 //!
 //! Sections run as parallel jobs on the `ebs-core` pool (see
 //! `ebs_experiments::driver`); set `EBS_THREADS=1` for a serial run. The
-//! printed output is identical either way.
+//! printed output is identical either way — and identical with `EBS_OBS=1`,
+//! which additionally writes the observability run report (default
+//! `OBS_report.jsonl`/`.csv`, override with `EBS_OBS_OUT`) without
+//! touching stdout.
 use ebs_experiments::*;
 
 fn main() {
     let scale = Scale::from_args();
     let ds = dataset(scale);
     println!("{}", driver::run_all(&ds).join("\n\n"));
+    ebs_obs::report::emit_global();
 }

@@ -40,26 +40,40 @@ type Section = (usize, String);
 /// section, across its parameter grid), yet byte-identical to the serial
 /// harness at any thread count.
 pub fn run_all(ds: &Dataset) -> Vec<String> {
+    let run_started = ebs_obs::enabled().then(std::time::Instant::now);
+    let whole_run = ebs_obs::timer("driver.run_all");
     let by_vd = events_partition(ds);
     let by_vd = &by_vd;
 
     type Job<'a> = Box<dyn FnOnce() -> Option<Section> + Send + 'a>;
 
+    /// Run one section under a named stage timer (a no-op when `EBS_OBS`
+    /// is off — no clock is read).
+    fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
+        let _span = ebs_obs::timer(&format!("driver.section.{name}"));
+        f()
+    }
+
     // Wave 1: everything that only needs the dataset, plus the stack
     // simulation that wave 2 consumes.
     let sim_slot: Mutex<Option<SimOutput>> = Mutex::new(None);
     let wave1: Vec<Job<'_>> = vec![
-        Box::new(|| Some((0, table2::render(&table2::run(ds))))),
-        Box::new(|| Some((1, table3::render(&table3::run(ds))))),
-        Box::new(|| Some((2, table4::render(&table4::run(ds))))),
-        Box::new(|| Some((3, fig2::render(&fig2::run(ds))))),
-        Box::new(|| Some((4, fig3::render(&fig3::run(ds))))),
-        Box::new(|| Some((5, fig4::render(&fig4::run(ds))))),
-        Box::new(|| Some((6, fig5::render(&fig5::run(ds))))),
-        Box::new(|| Some((7, fig6::render(&fig6::run_with(ds, by_vd))))),
-        Box::new(|| Some((9, ablations::render_with(ds, by_vd)))),
+        Box::new(|| Some((0, timed("table2", || table2::render(&table2::run(ds)))))),
+        Box::new(|| Some((1, timed("table3", || table3::render(&table3::run(ds)))))),
+        Box::new(|| Some((2, timed("table4", || table4::render(&table4::run(ds)))))),
+        Box::new(|| Some((3, timed("fig2", || fig2::render(&fig2::run(ds)))))),
+        Box::new(|| Some((4, timed("fig3", || fig3::render(&fig3::run(ds)))))),
+        Box::new(|| Some((5, timed("fig4", || fig4::render(&fig4::run(ds)))))),
+        Box::new(|| Some((6, timed("fig5", || fig5::render(&fig5::run(ds)))))),
         Box::new(|| {
-            *sim_slot.lock().expect("sim slot") = Some(stack_traces(ds));
+            Some((
+                7,
+                timed("fig6", || fig6::render(&fig6::run_with(ds, by_vd))),
+            ))
+        }),
+        Box::new(|| Some((9, timed("ablations", || ablations::render_with(ds, by_vd))))),
+        Box::new(|| {
+            *sim_slot.lock().expect("sim slot") = Some(timed("stack_sim", || stack_traces(ds)));
             None
         }),
     ];
@@ -72,12 +86,32 @@ pub fn run_all(ds: &Dataset) -> Vec<String> {
         .expect("sim job ran in wave 1");
     let sim = &sim;
     let wave2: Vec<Job<'_>> = vec![
-        Box::new(move || Some((8, fig7::render(&fig7::run_with(ds, sim, by_vd))))),
-        Box::new(move || Some((10, extensions::render_with(ds, sim, by_vd)))),
+        Box::new(move || {
+            Some((
+                8,
+                timed("fig7", || fig7::render(&fig7::run_with(ds, sim, by_vd))),
+            ))
+        }),
+        Box::new(move || {
+            Some((
+                10,
+                timed("extensions", || extensions::render_with(ds, sim, by_vd)),
+            ))
+        }),
     ];
     sections.extend(par_jobs(wave2).into_iter().flatten());
 
     sections.sort_by_key(|&(pos, _)| pos);
+    drop(whole_run);
+    if let Some(t0) = run_started {
+        let events = ds.events.len() as u64;
+        ebs_obs::counter_add("driver.events_processed", events);
+        ebs_obs::counter_add("driver.sections_rendered", sections.len() as u64);
+        let secs = t0.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            ebs_obs::gauge_set("driver.events_per_sec", events as f64 / secs);
+        }
+    }
     sections.into_iter().map(|(_, text)| text).collect()
 }
 

@@ -90,6 +90,66 @@ pub struct SimOutput {
     pub stats: SimStats,
 }
 
+/// Local per-run metric recorder, allocated only when `EBS_OBS` is on.
+/// Records into private histograms during the event loop (no shared lock
+/// on the hot path) and merges into the global registry once at the end,
+/// so instrumentation can never reorder or perturb the simulation.
+struct StackObs {
+    queue_wait: ebs_obs::Histogram,
+    stage_compute: ebs_obs::Histogram,
+    stage_frontend: ebs_obs::Histogram,
+    stage_block_server: ebs_obs::Histogram,
+    stage_backend: ebs_obs::Histogram,
+    stage_chunk_server: ebs_obs::Histogram,
+    total: ebs_obs::Histogram,
+}
+
+impl StackObs {
+    fn new() -> Self {
+        Self {
+            queue_wait: ebs_obs::Histogram::new(0.0, 10_000.0, 40),
+            stage_compute: ebs_obs::Histogram::new(0.0, 20_000.0, 40),
+            stage_frontend: ebs_obs::Histogram::new(0.0, 2_000.0, 40),
+            stage_block_server: ebs_obs::Histogram::new(0.0, 2_000.0, 40),
+            stage_backend: ebs_obs::Histogram::new(0.0, 2_000.0, 40),
+            stage_chunk_server: ebs_obs::Histogram::new(0.0, 5_000.0, 40),
+            total: ebs_obs::Histogram::new(0.0, 50_000.0, 50),
+        }
+    }
+
+    fn record_io(&mut self, wait_us: f64, lat: &StageLatency) {
+        self.queue_wait.add(wait_us);
+        self.stage_compute.add(lat.compute_us);
+        self.stage_frontend.add(lat.frontend_us);
+        self.stage_block_server.add(lat.block_server_us);
+        self.stage_backend.add(lat.backend_us);
+        self.stage_chunk_server.add(lat.chunk_server_us);
+        self.total.add(lat.total_us());
+    }
+
+    /// Publish the run's metrics to the global registry in one merge.
+    fn finish(self, stats: &SimStats, engines: &[ChunkServer]) {
+        let mut reg = ebs_obs::Registry::new();
+        reg.counter_add("stack.sim.ios", stats.ios);
+        reg.counter_add("stack.throttle_gate.fires", stats.throttled);
+        reg.counter_add("stack.prefetch.hits", stats.prefetch_hits);
+        reg.counter_add("stack.prefetch.lookups", stats.ios);
+        reg.counter_add("stack.gc.runs", stats.gc_runs);
+        reg.merge_hist("stack.queue.wait_us", &self.queue_wait);
+        reg.merge_hist("stack.lat.compute_us", &self.stage_compute);
+        reg.merge_hist("stack.lat.frontend_us", &self.stage_frontend);
+        reg.merge_hist("stack.lat.block_server_us", &self.stage_block_server);
+        reg.merge_hist("stack.lat.backend_us", &self.stage_backend);
+        reg.merge_hist("stack.lat.chunk_server_us", &self.stage_chunk_server);
+        reg.merge_hist("stack.lat.total_us", &self.total);
+        // GC pressure multiplier across engines ([1, 2] by construction).
+        for engine in engines {
+            reg.observe("stack.gc.pressure", 1.0, 2.0, 20, engine.gc_pressure());
+        }
+        ebs_obs::merge(&reg);
+    }
+}
+
 /// The simulator itself. One instance per run.
 pub struct StackSim<'a> {
     fleet: &'a Fleet,
@@ -161,6 +221,7 @@ impl<'a> StackSim<'a> {
         let mut records: Vec<TraceRecord> = Vec::with_capacity(events.len());
         let mut stats = SimStats::default();
         let mut total_latency = 0.0;
+        let mut obs = ebs_obs::enabled().then(StackObs::new);
 
         for ev in events {
             let t = ev.t_us as f64;
@@ -243,7 +304,13 @@ impl<'a> StackSim<'a> {
                 chunk_server_us,
             };
             total_latency += lat.total_us();
+            if let Some(o) = obs.as_mut() {
+                o.record_io(wait, &lat);
+            }
             records.push(diting.record(self.fleet, ev, wt, bs, lat));
+        }
+        if let Some(o) = obs {
+            o.finish(&stats, &engines);
         }
         stats.mean_latency_us = if stats.ios > 0 {
             total_latency / stats.ios as f64

@@ -52,10 +52,16 @@ pub fn simulate_lending(group: &ThrottleGroup, config: &LendingConfig) -> Lendin
     let mut throttled_with = 0usize;
     let mut caps = base_caps.clone();
     let mut lent_this_period = false;
+    let mut grants = 0u64;
+    let mut reclaims = 0u64;
 
     for t in 0..group.ticks {
         if t % config.period_ticks == 0 {
             caps.copy_from_slice(&base_caps);
+            if lent_this_period {
+                // The period boundary takes the lent cap back.
+                reclaims += 1;
+            }
             lent_this_period = false;
         }
         // Baseline: fixed caps.
@@ -107,9 +113,29 @@ pub fn simulate_lending(group: &ThrottleGroup, config: &LendingConfig) -> Lendin
                         caps[i] -= lent * headroom[i] / total_headroom;
                     }
                     lent_this_period = true;
+                    grants += 1;
                 }
             }
         }
+    }
+    if lent_this_period {
+        // The run ends while a grant is outstanding: the simulation is
+        // over, so the cap is reclaimed with it.
+        reclaims += 1;
+    }
+    if ebs_obs::enabled() {
+        let mut reg = ebs_obs::Registry::new();
+        reg.counter_add("throttle.lending.grants", grants);
+        reg.counter_add("throttle.lending.reclaims", reclaims);
+        reg.counter_add(
+            "throttle.lending.throttled_ticks_without",
+            throttled_without as u64,
+        );
+        reg.counter_add(
+            "throttle.lending.throttled_ticks_with",
+            throttled_with as u64,
+        );
+        ebs_obs::merge(&reg);
     }
     let gain = if throttled_without + throttled_with > 0 {
         Some(

@@ -27,6 +27,7 @@ pub use ebs_balance as balance;
 pub use ebs_cache as cache;
 pub use ebs_core as core;
 pub use ebs_experiments as experiments;
+pub use ebs_obs as obs;
 pub use ebs_predict as predict;
 pub use ebs_stack as stack;
 pub use ebs_throttle as throttle;

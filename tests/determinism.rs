@@ -2,6 +2,8 @@
 //! for-bit — datasets, stack traces, balancer placements, lending gains —
 //! and the parallel execution layer must never perturb any of them: the
 //! same seed yields byte-identical outputs at 1, 2, and N worker threads.
+//! The observability layer rides the same contract: flipping `EBS_OBS`
+//! records metrics but must never move a single output byte.
 
 use ebs::balance::bs_balancer::{run_balancer, BalancerConfig};
 use ebs::balance::importer::ImporterSelect;
@@ -16,6 +18,15 @@ use std::sync::{Mutex, OnceLock};
 
 /// Serializes the tests that flip the process-wide thread override.
 fn override_guard() -> &'static Mutex<()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD.get_or_init(|| Mutex::new(()))
+}
+
+/// Serializes the tests that flip the process-wide observability override
+/// against every test that would record into the global registry while it
+/// is on (i.e. any test that runs a simulator). Lock ordering: obs guard
+/// first, then the thread-override guard, never the reverse.
+fn obs_guard() -> &'static Mutex<()> {
     static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
     GUARD.get_or_init(|| Mutex::new(()))
 }
@@ -174,4 +185,83 @@ fn parallel_experiment_driver_matches_serial() {
     let ds = dataset(Scale::Quick);
     let sections = assert_thread_count_invariant(|| driver::run_all(&ds));
     assert_eq!(sections.len(), 11, "every section must render");
+}
+
+#[test]
+fn obs_toggle_never_changes_driver_output() {
+    use ebs::experiments::{dataset, driver, Scale};
+    let _guard = obs_guard().lock().unwrap();
+    let _threads = override_guard().lock().unwrap();
+    let ds = dataset(Scale::Quick);
+    ebs::obs::set_obs_override(Some(false));
+    let off = driver::run_all(&ds);
+    ebs::obs::set_obs_override(Some(true));
+    ebs::obs::reset();
+    let on = driver::run_all(&ds);
+    let snap = ebs::obs::snapshot();
+    ebs::obs::set_obs_override(None);
+    assert_eq!(off, on, "EBS_OBS must not move a single output byte");
+    // The run report must actually observe the simulators: at least the
+    // four instrumented subsystems plus the driver itself.
+    for prefix in ["stack.", "balance.", "throttle.", "cache.", "driver."] {
+        assert!(
+            snap.rows().iter().any(|r| r.name().starts_with(prefix)),
+            "no {prefix}* metric in the run report"
+        );
+    }
+    assert!(snap.counter("stack.sim.ios") > 0);
+    assert_eq!(
+        snap.counter("driver.events_processed"),
+        ds.events.len() as u64
+    );
+}
+
+#[test]
+fn obs_metrics_are_thread_count_invariant() {
+    use ebs::experiments::{dataset, driver, Scale};
+    let _obs = obs_guard().lock().unwrap();
+    let _threads = override_guard().lock().unwrap();
+    let ds = dataset(Scale::Quick);
+    ebs::obs::set_obs_override(Some(true));
+    let deterministic_rows = |threads| {
+        set_thread_override(Some(threads));
+        ebs::obs::reset();
+        driver::run_all(&ds);
+        let snap = ebs::obs::snapshot();
+        set_thread_override(None);
+        // Wall-clock timers and the derived rate gauge legitimately vary;
+        // every counter and histogram must not.
+        snap.rows()
+            .into_iter()
+            .filter(|r| {
+                matches!(
+                    r,
+                    ebs::obs::Row::Counter { .. } | ebs::obs::Row::Hist { .. }
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let serial = deterministic_rows(1);
+    let parallel = deterministic_rows(8);
+    ebs::obs::set_obs_override(None);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "recorded metrics diverged across threads");
+}
+
+/// The gold master pin: the full-scale driver with observability ON must
+/// reproduce `full_run_output.txt` byte for byte (the file records
+/// `bin/all`'s stdout, which joins sections with blank lines and ends with
+/// the final newline `println!` appends). This is the slowest test of the
+/// suite (~2 min on one core) and the one that makes "observability is
+/// free" an enforced property rather than a comment.
+#[test]
+fn full_driver_with_obs_on_matches_gold_master() {
+    use ebs::experiments::{dataset, driver, Scale};
+    let _guard = obs_guard().lock().unwrap();
+    let gold = std::fs::read_to_string("full_run_output.txt").expect("gold master present");
+    let ds = dataset(Scale::Full);
+    ebs::obs::set_obs_override(Some(true));
+    let out = format!("{}\n", driver::run_all(&ds).join("\n\n"));
+    ebs::obs::set_obs_override(None);
+    assert_eq!(gold, out, "full-scale output moved with EBS_OBS on");
 }
