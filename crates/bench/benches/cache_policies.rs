@@ -2,7 +2,7 @@
 //! and a full per-VD trace-driven simulation.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use ebs_cache::hottest_block::{events_by_vd, hottest_block};
+use ebs_cache::hottest_block::hottest_block;
 use ebs_cache::policy::CachePolicy;
 use ebs_cache::simulate::{build_policy, simulate, Algorithm};
 use ebs_cache::{FifoCache, FrozenCache, LruCache};
@@ -66,8 +66,8 @@ fn bench_policy_access(c: &mut Criterion) {
 
 fn bench_trace_simulation(c: &mut Criterion) {
     let ds = generate(&WorkloadConfig::quick(5)).unwrap();
-    let by_vd = events_by_vd(&ds.fleet, &ds.events);
-    let (idx, events) = by_vd
+    let by_vd = ds.index().vd_slices();
+    let (idx, &events) = by_vd
         .iter()
         .enumerate()
         .max_by_key(|(_, e)| e.len())

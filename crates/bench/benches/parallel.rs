@@ -44,16 +44,16 @@ fn bench_driver(c: &mut Criterion) {
 
 fn bench_sweeps(c: &mut Criterion) {
     let ds = generate(&WorkloadConfig::medium(9)).unwrap();
-    let by_vd = driver::events_partition(&ds);
+    let idx = ds.index();
     let mut g = c.benchmark_group("parallel/sweeps_medium");
     g.sample_size(10);
     g.bench_function("cache_serial", |b| {
         set_thread_override(Some(1));
-        b.iter(|| ebs_experiments::fig7::panel_a(black_box(&by_vd)));
+        b.iter(|| ebs_experiments::fig7::panel_a(black_box(idx)));
         set_thread_override(None);
     });
     g.bench_function("cache_parallel", |b| {
-        b.iter(|| ebs_experiments::fig7::panel_a(black_box(&by_vd)));
+        b.iter(|| ebs_experiments::fig7::panel_a(black_box(idx)));
     });
     g.bench_function("rebind_serial", |b| {
         set_thread_override(Some(1));

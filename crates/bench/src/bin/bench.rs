@@ -1,24 +1,40 @@
-//! Wall-clock baseline for the parallel execution layer.
+//! Wall-clock baselines for the performance-critical layers, in two modes.
 //!
-//! Times the three parallelized hot paths — dataset generation, the full
-//! `bin/all` experiment driver, and the cache/balance sweeps — once with
-//! the pool pinned to one thread (the pure serial path) and once pinned to
-//! an **explicit** multi-thread count, then writes the timings, speedups,
-//! and both thread counts to `BENCH_parallel.json`. (An earlier version
-//! ran the "parallel" leg at the ambient thread count, which on a 1-CPU
-//! container is also 1 — every recorded speedup was a vacuous ≈1.0 and
-//! the JSON did not say so.)
+//! **`--mode parallel`** (default) times the three parallelized hot paths —
+//! dataset generation, the full `bin/all` experiment driver, and the
+//! cache/balance sweeps — once with the pool pinned to one thread (the
+//! pure serial path) and once pinned to an **explicit** multi-thread
+//! count, then writes the timings, speedups, and both thread counts to
+//! `BENCH_parallel.json`. (An earlier version ran the "parallel" leg at
+//! the ambient thread count, which on a 1-CPU container is also 1 — every
+//! recorded speedup was a vacuous ≈1.0 and the JSON did not say so.)
 //!
-//! Usage: `bench [--quick|--medium|--full] [--iters N] [--threads N]
-//! [--out PATH]`. `--threads` defaults to `max(4, available cores)` so the
-//! parallel leg genuinely exercises the fan-out even on small hosts.
-//! Every pair also asserts the parallel output equals the serial output,
-//! so the baseline doubles as an end-to-end determinism check.
+//! **`--mode hotpath`** times the zero-copy event index and the O(1) cache
+//! kernels against the pre-optimization implementations, which are kept
+//! verbatim in `ebs_cache::reference` — so every before/after pair runs in
+//! the *same binary on the same host*, serial (1 thread pinned), and each
+//! pair asserts the two legs produce identical results before a speedup is
+//! recorded. Results go to `BENCH_hotpath.json`.
+//!
+//! Usage: `bench [--mode parallel|hotpath] [--quick|--medium|--full]
+//! [--iters N] [--threads N] [--out PATH]`. `--threads` (parallel mode
+//! only) defaults to `max(4, available cores)` so the parallel leg
+//! genuinely exercises the fan-out even on small hosts.
 
 use ebs_balance::wt_rebind::{simulate_fleet, RebindConfig};
+use ebs_cache::hottest_block::{
+    events_by_vd, hot_rate, hottest_block, HottestBlock, BLOCK_SIZES, HOT_RATE_WINDOW_US,
+};
+use ebs_cache::policy::{CachePolicy, PAGE_BYTES};
+use ebs_cache::reference::{ref_hot_rate, RefFifoCache, RefLruCache};
+use ebs_cache::simulate::{simulate, Algorithm};
+use ebs_cache::{FifoCache, FrozenCache, LruCache};
+use ebs_core::ids::VdId;
+use ebs_core::index::EventIndex;
+use ebs_core::io::Op;
 use ebs_core::parallel::{current_threads, set_thread_override};
 use ebs_experiments::{dataset, driver, fig7, Scale, EXPERIMENT_SEED};
-use ebs_workload::generate;
+use ebs_workload::{generate, Dataset};
 use std::time::Instant;
 
 /// Best-of-`iters` wall time of `f`, in seconds, plus the last result.
@@ -34,16 +50,16 @@ fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, out.expect("at least one iteration"))
 }
 
-/// One serial-vs-parallel measurement.
+/// One before/after (or serial/parallel) measurement.
 struct Entry {
     name: &'static str,
-    serial_s: f64,
-    parallel_s: f64,
+    base_s: f64,
+    new_s: f64,
 }
 
 impl Entry {
     fn speedup(&self) -> f64 {
-        self.serial_s / self.parallel_s
+        self.base_s / self.new_s
     }
 }
 
@@ -66,9 +82,346 @@ fn measure<T: PartialEq>(
     );
     Entry {
         name,
-        serial_s,
-        parallel_s,
+        base_s: serial_s,
+        new_s: parallel_s,
     }
+}
+
+/// Measure a before/after pair on the same inputs, asserting both legs
+/// produce the same value. Caller is responsible for thread pinning.
+fn measure_pair<T: PartialEq>(
+    name: &'static str,
+    iters: usize,
+    mut before: impl FnMut() -> T,
+    mut after: impl FnMut() -> T,
+) -> Entry {
+    let (base_s, base_out) = time_best(iters, &mut before);
+    let (new_s, new_out) = time_best(iters, &mut after);
+    assert!(
+        base_out == new_out,
+        "{name}: optimized output diverged from the reference"
+    );
+    Entry {
+        name,
+        base_s,
+        new_s,
+    }
+}
+
+/// Emit the measured entries as JSON (plus a console table) and write the
+/// file. `labels` names the two timing columns.
+fn write_report(out_path: &str, header: &str, labels: (&str, &str), entries: &[Entry]) {
+    let mut json = String::from("{\n");
+    json.push_str(header);
+    json.push_str("  \"paths\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        eprintln!(
+            "{:>20}: {} {:8.3}s  {} {:8.3}s  speedup {:5.2}x",
+            e.name,
+            labels.0,
+            e.base_s,
+            labels.1,
+            e.new_s,
+            e.speedup()
+        );
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"{}_s\": {:.6}, \"{}_s\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            e.name,
+            labels.0,
+            e.base_s,
+            labels.1,
+            e.new_s,
+            e.speedup(),
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, json).expect("write baseline");
+    eprintln!("wrote {out_path}");
+}
+
+/// The serial-vs-parallel baseline (BENCH_parallel.json).
+fn run_parallel_mode(scale: Scale, iters: usize, par_threads: usize, out_path: &str) {
+    let scale_name = format!("{scale:?}").to_lowercase();
+    eprintln!(
+        "benchmarking at scale {scale_name}, serial (1 thread) vs parallel ({par_threads} threads), best of {iters}"
+    );
+
+    let cfg = scale.config(EXPERIMENT_SEED);
+    let mut entries = Vec::new();
+
+    entries.push(measure("workload_generate", iters, par_threads, || {
+        let ds = generate(&cfg).expect("canonical config must validate");
+        let (read, write) = ds.total_bytes();
+        (ds.events.len(), read.to_bits(), write.to_bits())
+    }));
+
+    let ds = dataset(scale);
+    entries.push(measure("experiments_all", iters, par_threads, || {
+        driver::run_all(&ds)
+    }));
+
+    let idx = ds.index();
+    entries.push(measure("cache_sweep", iters, par_threads, || {
+        fig7::panel_a(idx)
+            .into_iter()
+            .map(|r| (r.block_size, r.hit_ratio.p50.to_bits()))
+            .collect::<Vec<_>>()
+    }));
+    entries.push(measure("balance_sweep", iters, par_threads, || {
+        simulate_fleet(&ds.fleet, &ds.events, &RebindConfig::default())
+    }));
+
+    let header = format!(
+        "  \"scale\": \"{scale_name}\",\n  \"serial_threads\": 1,\n  \"parallel_threads\": {par_threads},\n  \"iters\": {iters},\n"
+    );
+    write_report(out_path, &header, ("serial", "parallel"), &entries);
+}
+
+/// A deterministic skewed page stream for the cache-kernel micros:
+/// 70 % in a hot set, 30 % over a wide range (mirrors the paper's
+/// hot-block pattern at page granularity).
+fn page_stream(n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11;
+            if h % 10 < 7 {
+                h % 8192
+            } else {
+                h % 4_000_000
+            }
+        })
+        .collect()
+}
+
+/// Replay `stream` through `policy`, returning (hits, final residency).
+fn replay<P: CachePolicy + ?Sized>(policy: &mut P, stream: &[u64]) -> u64 {
+    let mut hits = 0u64;
+    for &p in stream {
+        if policy.access(p, Op::Read) {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// The pre-optimization Figure 7(a) inner loop: dynamic dispatch over the
+/// old LRU/FIFO kernels, per-VD event `Vec`s. Kept here (not in the
+/// library) because it exists only to be raced against `fig7::panel_a`.
+fn panel_a_reference(ds: &Dataset) -> Vec<(Algorithm, u64, u64)> {
+    let by_vd = events_by_vd(&ds.fleet, &ds.events);
+    let mut out = Vec::new();
+    for &bs in &BLOCK_SIZES {
+        for algo in Algorithm::ALL {
+            let mut hits = 0u64;
+            let mut accesses = 0u64;
+            for (i, evs) in by_vd.iter().enumerate() {
+                if evs.len() < ebs_experiments::fig6::MIN_EVENTS {
+                    continue;
+                }
+                let Some(hb) = hottest_block(VdId::from_index(i), evs, bs) else {
+                    continue;
+                };
+                let pages = (hb.block_size / PAGE_BYTES).max(1) as usize;
+                let mut policy: Box<dyn CachePolicy> = match algo {
+                    Algorithm::Fifo => Box::new(RefFifoCache::new(pages)),
+                    Algorithm::Lru => Box::new(RefLruCache::new(pages)),
+                    Algorithm::Frozen => Box::new(FrozenCache::covering_bytes(
+                        hb.block * hb.block_size,
+                        hb.block_size,
+                    )),
+                };
+                let stats = simulate(policy.as_mut(), evs);
+                hits += stats.hits;
+                accesses += stats.accesses;
+            }
+            out.push((
+                algo,
+                bs,
+                hits.wrapping_mul(1_000_003).wrapping_add(accesses),
+            ));
+        }
+    }
+    out
+}
+
+/// The optimized Figure 7(a) inner loop on the shared index, folded to the
+/// same digest as [`panel_a_reference`] for the output-equality assert.
+fn panel_a_indexed(idx: &EventIndex) -> Vec<(Algorithm, u64, u64)> {
+    let mut out = Vec::new();
+    for &bs in &BLOCK_SIZES {
+        for algo in Algorithm::ALL {
+            let mut hits = 0u64;
+            let mut accesses = 0u64;
+            for (i, evs) in idx.vd_slices().into_iter().enumerate() {
+                if evs.len() < ebs_experiments::fig6::MIN_EVENTS {
+                    continue;
+                }
+                let Some(hb) = hottest_block(VdId::from_index(i), evs, bs) else {
+                    continue;
+                };
+                let pages = (hb.block_size / PAGE_BYTES).max(1) as usize;
+                let stats = match algo {
+                    Algorithm::Fifo => {
+                        let mut p = FifoCache::new(pages);
+                        simulate(&mut p, evs)
+                    }
+                    Algorithm::Lru => {
+                        let mut p = LruCache::new(pages);
+                        simulate(&mut p, evs)
+                    }
+                    Algorithm::Frozen => {
+                        let mut p =
+                            FrozenCache::covering_bytes(hb.block * hb.block_size, hb.block_size);
+                        simulate(&mut p, evs)
+                    }
+                };
+                hits += stats.hits;
+                accesses += stats.accesses;
+            }
+            out.push((
+                algo,
+                bs,
+                hits.wrapping_mul(1_000_003).wrapping_add(accesses),
+            ));
+        }
+    }
+    out
+}
+
+/// Per-VD hottest blocks over owned per-VD `Vec`s (before leg input).
+fn hot_blocks_of(by_vd: &[Vec<ebs_core::io::IoEvent>], bs: u64) -> Vec<(usize, HottestBlock)> {
+    by_vd
+        .iter()
+        .enumerate()
+        .filter_map(|(i, evs)| hottest_block(VdId::from_index(i), evs, bs).map(|hb| (i, hb)))
+        .collect()
+}
+
+/// The old-vs-new kernel baseline (BENCH_hotpath.json). Everything is
+/// pinned to one thread: this mode measures single-core kernel cost, not
+/// fan-out.
+fn run_hotpath_mode(scale: Scale, iters: usize, out_path: &str) {
+    let scale_name = format!("{scale:?}").to_lowercase();
+    eprintln!(
+        "benchmarking hot-path kernels at scale {scale_name}, before (reference) vs after (optimized), serial, best of {iters}"
+    );
+    set_thread_override(Some(1));
+
+    let ds = dataset(scale);
+    let mut entries = Vec::new();
+
+    // Tentpole: one shared index build vs the per-VD copying partition.
+    entries.push(measure_pair(
+        "partition_build",
+        iters,
+        || {
+            let by_vd = events_by_vd(&ds.fleet, &ds.events);
+            by_vd.iter().map(Vec::len).collect::<Vec<_>>()
+        },
+        || {
+            let idx = EventIndex::build(&ds.fleet, &ds.events);
+            (0..idx.vd_count())
+                .map(|i| idx.vd(VdId::from_index(i)).len())
+                .collect::<Vec<_>>()
+        },
+    ));
+
+    // Satellite: Dataset::events_for_vd, old linear filter vs index view.
+    let idx = ds.index();
+    entries.push(measure_pair(
+        "vd_lookup",
+        iters,
+        || {
+            (0..ds.fleet.vd_count())
+                .map(|i| {
+                    let vd = VdId::from_index(i);
+                    ds.events.iter().filter(|e| e.vd == vd).count()
+                })
+                .sum::<usize>()
+        },
+        || {
+            (0..ds.fleet.vd_count())
+                .map(|i| idx.vd(VdId::from_index(i)).len())
+                .sum::<usize>()
+        },
+    ));
+
+    // Cache-kernel micros on a fixed skewed stream.
+    let stream = page_stream(2_000_000);
+    let capacity = (256 << 20) / PAGE_BYTES as usize; // 256 MiB of 4 KiB pages
+    entries.push(measure_pair(
+        "lru_access",
+        iters,
+        || {
+            let mut c = RefLruCache::new(capacity);
+            (replay(&mut c, &stream), c.residency())
+        },
+        || {
+            let mut c = LruCache::new(capacity);
+            (replay(&mut c, &stream), c.residency())
+        },
+    ));
+    entries.push(measure_pair(
+        "fifo_access",
+        iters,
+        || {
+            let mut c = RefFifoCache::new(capacity);
+            (replay(&mut c, &stream), c.residency())
+        },
+        || {
+            let mut c = FifoCache::new(capacity);
+            (replay(&mut c, &stream), c.residency())
+        },
+    ));
+
+    // hot_rate: per-window hash map vs linear run-scan, over real VD data.
+    let by_vd = events_by_vd(&ds.fleet, &ds.events);
+    let hot = hot_blocks_of(&by_vd, 64 << 20);
+    entries.push(measure_pair(
+        "hot_rate",
+        iters,
+        || {
+            hot.iter()
+                .filter_map(|(i, hb)| ref_hot_rate(&by_vd[*i], hb, HOT_RATE_WINDOW_US, 3))
+                .map(f64::to_bits)
+                .collect::<Vec<_>>()
+        },
+        || {
+            hot.iter()
+                .filter_map(|(i, hb)| {
+                    hot_rate(idx.vd(VdId::from_index(*i)), hb, HOT_RATE_WINDOW_US, 3)
+                })
+                .map(f64::to_bits)
+                .collect::<Vec<_>>()
+        },
+    ));
+    drop(by_vd);
+    drop(hot);
+
+    // The headline: the full Figure 7(a) policy × block-size sweep.
+    entries.push(measure_pair(
+        "cache_sweep",
+        iters,
+        || panel_a_reference(&ds),
+        || panel_a_indexed(idx),
+    ));
+
+    // experiments_all has no in-binary "before" leg (the old partition
+    // path is gone from the driver); record its absolute time so runs can
+    // be compared across commits.
+    let (run_all_s, _) = time_best(iters, || driver::run_all(&ds));
+    eprintln!(
+        "{:>20}: {:8.3}s (absolute, for cross-commit comparison)",
+        "experiments_all", run_all_s
+    );
+
+    set_thread_override(None);
+
+    let header = format!(
+        "  \"scale\": \"{scale_name}\",\n  \"threads\": 1,\n  \"iters\": {iters},\n  \"experiments_all_s\": {run_all_s:.6},\n"
+    );
+    write_report(out_path, &header, ("before", "after"), &entries);
 }
 
 fn main() {
@@ -89,68 +442,26 @@ fn main() {
     let iters: usize = flag("--iters")
         .map(|v| v.parse().expect("--iters N"))
         .unwrap_or(3);
-    let par_threads: usize = flag("--threads")
-        .map(|v| v.parse().expect("--threads N"))
-        .filter(|&n| n > 1)
-        .unwrap_or_else(|| current_threads().max(4));
-    let out_path = flag("--out").unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let mode = flag("--mode").unwrap_or_else(|| "parallel".to_string());
 
-    let scale_name = format!("{scale:?}").to_lowercase();
-    eprintln!(
-        "benchmarking at scale {scale_name}, serial (1 thread) vs parallel ({par_threads} threads), best of {iters}"
-    );
-
-    let cfg = scale.config(EXPERIMENT_SEED);
-    let mut entries = Vec::new();
-
-    entries.push(measure("workload_generate", iters, par_threads, || {
-        let ds = generate(&cfg).expect("canonical config must validate");
-        let (read, write) = ds.total_bytes();
-        (ds.events.len(), read.to_bits(), write.to_bits())
-    }));
-
-    let ds = dataset(scale);
-    entries.push(measure("experiments_all", iters, par_threads, || {
-        driver::run_all(&ds)
-    }));
-
-    let by_vd = driver::events_partition(&ds);
-    entries.push(measure("cache_sweep", iters, par_threads, || {
-        fig7::panel_a(&by_vd)
-            .into_iter()
-            .map(|r| (r.block_size, r.hit_ratio.p50.to_bits()))
-            .collect::<Vec<_>>()
-    }));
-    entries.push(measure("balance_sweep", iters, par_threads, || {
-        simulate_fleet(&ds.fleet, &ds.events, &RebindConfig::default())
-    }));
-
-    let mut json = String::from("{\n");
-    json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
-    json.push_str("  \"serial_threads\": 1,\n");
-    json.push_str(&format!("  \"parallel_threads\": {par_threads},\n"));
-    json.push_str(&format!("  \"iters\": {iters},\n"));
-    json.push_str("  \"paths\": [\n");
-    for (i, e) in entries.iter().enumerate() {
-        eprintln!(
-            "{:>20}: serial {:8.3}s  parallel {:8.3}s  speedup {:5.2}x",
-            e.name,
-            e.serial_s,
-            e.parallel_s,
-            e.speedup()
-        );
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3}}}{}\n",
-            e.name,
-            e.serial_s,
-            e.parallel_s,
-            e.speedup(),
-            if i + 1 < entries.len() { "," } else { "" }
-        ));
+    match mode.as_str() {
+        "parallel" => {
+            let par_threads: usize = flag("--threads")
+                .map(|v| v.parse().expect("--threads N"))
+                .filter(|&n| n > 1)
+                .unwrap_or_else(|| current_threads().max(4));
+            let out_path = flag("--out").unwrap_or_else(|| "BENCH_parallel.json".to_string());
+            run_parallel_mode(scale, iters, par_threads, &out_path);
+        }
+        "hotpath" => {
+            let out_path = flag("--out").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+            run_hotpath_mode(scale, iters, &out_path);
+        }
+        other => {
+            eprintln!("unknown --mode {other:?} (expected \"parallel\" or \"hotpath\")");
+            std::process::exit(2);
+        }
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, json).expect("write baseline");
-    eprintln!("wrote {out_path}");
     // With EBS_OBS=1 the timed runs also populated the metrics registry;
     // drop the run report next to the baseline.
     ebs_obs::report::emit_global();

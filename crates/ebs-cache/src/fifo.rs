@@ -1,15 +1,24 @@
 //! First-In-First-Out cache.
 
 use crate::policy::CachePolicy;
+use ebs_core::hash::{fx_set_with_capacity, FxHashSet};
 use ebs_core::io::Op;
-use std::collections::{HashSet, VecDeque};
 
 /// FIFO: pages are evicted in admission order, irrespective of re-use.
+///
+/// Implemented as a fixed ring buffer plus a deterministic fast-hash
+/// residency set: admission overwrites the oldest slot and advances a wrap
+/// cursor, so there is no deque shuffling and no allocation after warm-up.
+/// The original `VecDeque` + std `HashSet` design survives as
+/// [`crate::reference::RefFifoCache`] for differential tests and
+/// benchmarks.
 #[derive(Clone, Debug)]
 pub struct FifoCache {
     capacity: usize,
-    queue: VecDeque<u64>,
-    resident: HashSet<u64>,
+    ring: Vec<u64>,
+    /// Oldest slot once the ring is full — the next eviction target.
+    cursor: usize,
+    resident: FxHashSet<u64>,
 }
 
 impl FifoCache {
@@ -18,9 +27,19 @@ impl FifoCache {
         assert!(capacity > 0, "cache needs capacity");
         Self {
             capacity,
-            queue: VecDeque::with_capacity(capacity),
-            resident: HashSet::with_capacity(capacity),
+            ring: Vec::with_capacity(capacity),
+            cursor: 0,
+            resident: fx_set_with_capacity(capacity),
         }
+    }
+
+    /// Resident pages in eviction order (oldest admitted first).
+    pub fn residency(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        for i in 0..self.ring.len() {
+            out.push(self.ring[(self.cursor + i) % self.ring.len()]);
+        }
+        out
     }
 }
 
@@ -37,17 +56,19 @@ impl CachePolicy for FifoCache {
         if self.resident.contains(&page) {
             return true;
         }
-        if self.queue.len() == self.capacity {
-            let evicted = self.queue.pop_front().expect("non-empty at capacity");
+        if self.ring.len() == self.capacity {
+            let evicted = std::mem::replace(&mut self.ring[self.cursor], page);
             self.resident.remove(&evicted);
+            self.cursor = (self.cursor + 1) % self.capacity;
+        } else {
+            self.ring.push(page);
         }
-        self.queue.push_back(page);
         self.resident.insert(page);
         false
     }
 
     fn len(&self) -> usize {
-        self.queue.len()
+        self.ring.len()
     }
 }
 
@@ -95,5 +116,33 @@ mod tests {
         let mut c = FifoCache::new(8);
         let hits = (0..100).filter(|&p| touch(&mut c, p)).count();
         assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn residency_is_in_admission_order_across_wraps() {
+        let mut c = FifoCache::new(3);
+        for p in [1, 2, 3] {
+            touch(&mut c, p);
+        }
+        assert_eq!(c.residency(), vec![1, 2, 3]);
+        touch(&mut c, 4); // wraps: evicts 1
+        assert_eq!(c.residency(), vec![2, 3, 4]);
+        touch(&mut c, 5); // evicts 2
+        assert_eq!(c.residency(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn matches_reference_fifo_on_a_mixed_stream() {
+        let mut new = FifoCache::new(16);
+        let mut old = crate::reference::RefFifoCache::new(16);
+        let mut x: u64 = 7;
+        for _ in 0..5000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let page = (x >> 33) % 40;
+            assert_eq!(new.access(page, Op::Read), old.access(page, Op::Read));
+        }
+        assert_eq!(new.residency(), old.residency());
     }
 }

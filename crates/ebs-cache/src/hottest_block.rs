@@ -5,10 +5,11 @@
 //! write-to-read ratio, and *hot rate* — the fraction of 5-minute windows
 //! in which the block beats its own long-run access rate.
 
+use ebs_core::hash::FxHashMap;
 use ebs_core::ids::VdId;
+use ebs_core::index::window_runs;
 use ebs_core::io::IoEvent;
 use ebs_core::topology::Fleet;
-use std::collections::HashMap;
 
 /// The block sizes swept by Figure 6/7, in bytes.
 pub const BLOCK_SIZES: [u64; 6] = [
@@ -23,7 +24,12 @@ pub const BLOCK_SIZES: [u64; 6] = [
 /// Window width for the hot-rate analysis (5 minutes, §7.2).
 pub const HOT_RATE_WINDOW_US: u64 = 300 * 1_000_000;
 
-/// Group a time-sorted event stream by VD (order preserved).
+/// Group a time-sorted event stream by VD (order preserved), copying every
+/// event into per-VD `Vec`s.
+///
+/// Production code paths use the zero-copy [`ebs_core::EventIndex`] views
+/// instead (`Dataset::index().vd(..)`); this helper remains for tests and
+/// as the benchmark baseline the index is measured against.
 pub fn events_by_vd(fleet: &Fleet, events: &[IoEvent]) -> Vec<Vec<IoEvent>> {
     let mut out = vec![Vec::new(); fleet.vds.len()];
     for ev in events {
@@ -70,7 +76,7 @@ pub fn hottest_block(vd: VdId, events: &[IoEvent], block_size: u64) -> Option<Ho
     if events.is_empty() {
         return None;
     }
-    let mut counts: HashMap<u64, (usize, usize)> = HashMap::new(); // block → (reads, writes)
+    let mut counts: FxHashMap<u64, (usize, usize)> = FxHashMap::default(); // block → (reads, writes)
     for ev in events {
         let e = counts.entry(ev.offset / block_size).or_default();
         if ev.op.is_read() {
@@ -98,6 +104,11 @@ pub fn hottest_block(vd: VdId, events: &[IoEvent], block_size: u64) -> Option<Ho
 /// 5-minute windows (among windows where the VD saw any traffic) in which
 /// the block's within-window access rate exceeds its long-run rate.
 /// `None` when fewer than `min_windows` active windows exist.
+///
+/// `events` must be time-sorted (every per-VD view of the shared event
+/// index is): each active window is then one contiguous run, so a single
+/// linear scan replaces the old per-window hash map (preserved as
+/// [`crate::reference::ref_hot_rate`], which the tests check against).
 pub fn hot_rate(
     events: &[IoEvent],
     hb: &HottestBlock,
@@ -107,23 +118,26 @@ pub fn hot_rate(
     if events.is_empty() {
         return None;
     }
-    let mut per_window: HashMap<u64, (usize, usize)> = HashMap::new(); // window → (block, total)
-    for ev in events {
-        let w = ev.t_us / window_us;
-        let e = per_window.entry(w).or_default();
-        if ev.offset / hb.block_size == hb.block {
-            e.0 += 1;
+    debug_assert!(
+        events.windows(2).all(|w| w[0].t_us <= w[1].t_us),
+        "hot_rate needs a time-sorted stream"
+    );
+    let mut windows = 0usize;
+    let mut above = 0usize;
+    for (_w, run) in window_runs(events, window_us) {
+        let blk = run
+            .iter()
+            .filter(|e| e.offset / hb.block_size == hb.block)
+            .count();
+        windows += 1;
+        if blk as f64 / run.len() as f64 > hb.access_rate {
+            above += 1;
         }
-        e.1 += 1;
     }
-    if per_window.len() < min_windows {
+    if windows < min_windows {
         return None;
     }
-    let above = per_window
-        .values()
-        .filter(|&&(blk, tot)| blk as f64 / tot as f64 > hb.access_rate)
-        .count();
-    Some(above as f64 / per_window.len() as f64)
+    Some(above as f64 / windows as f64)
 }
 
 #[cfg(test)]
@@ -218,6 +232,23 @@ mod tests {
         for (i, evs) in by_vd.iter().enumerate() {
             for e in evs {
                 assert_eq!(e.vd.index(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn run_scan_hot_rate_matches_the_reference() {
+        let ds = ebs_workload::generate(&ebs_workload::WorkloadConfig::quick(95)).unwrap();
+        for (i, evs) in events_by_vd(&ds.fleet, &ds.events).iter().enumerate() {
+            let Some(hb) = hottest_block(VdId::from_index(i), evs, 64 << 20) else {
+                continue;
+            };
+            for min_windows in [1usize, 2, 8] {
+                assert_eq!(
+                    hot_rate(evs, &hb, HOT_RATE_WINDOW_US, min_windows),
+                    crate::reference::ref_hot_rate(evs, &hb, HOT_RATE_WINDOW_US, min_windows),
+                    "VD {i}, min_windows {min_windows}"
+                );
             }
         }
     }

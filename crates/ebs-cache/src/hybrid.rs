@@ -11,11 +11,13 @@
 
 use crate::hottest_block::HottestBlock;
 use crate::location::{CacheSite, LatencyGain};
+use ebs_core::hash::FxHashMap;
 use ebs_core::ids::{CnId, VdId};
 use ebs_core::io::Op;
 use ebs_core::topology::Fleet;
 use ebs_core::trace::TraceRecord;
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 
 /// Hybrid-deployment configuration.
 #[derive(Clone, Copy, Debug)]
@@ -38,12 +40,12 @@ impl Default for HybridConfig {
 
 /// Assign each cacheable VD a cache site: the `cn_slots_per_node` hottest
 /// disks of every node win CN slots; the rest fall back to the BS-cache.
-pub fn assign_sites(
+pub fn assign_sites<S: BuildHasher>(
     fleet: &Fleet,
-    hot: &HashMap<VdId, HottestBlock>,
+    hot: &HashMap<VdId, HottestBlock, S>,
     config: &HybridConfig,
-) -> HashMap<VdId, CacheSite> {
-    let mut per_cn: HashMap<CnId, Vec<(f64, VdId)>> = HashMap::new();
+) -> FxHashMap<VdId, CacheSite> {
+    let mut per_cn: FxHashMap<CnId, Vec<(f64, VdId)>> = FxHashMap::default();
     for (&vd, hb) in hot {
         if hb.access_rate < config.threshold {
             continue;
@@ -51,7 +53,7 @@ pub fn assign_sites(
         let cn = fleet.vms[fleet.vds[vd].vm].cn;
         per_cn.entry(cn).or_default().push((hb.access_rate, vd));
     }
-    let mut sites = HashMap::new();
+    let mut sites = FxHashMap::default();
     for (_, mut vds) in per_cn {
         vds.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaNs").then(a.1.cmp(&b.1)));
         for (rank, (_, vd)) in vds.into_iter().enumerate() {
@@ -69,10 +71,10 @@ pub fn assign_sites(
 /// Latency gain of a hybrid deployment: each cache-hit record is served at
 /// its VD's assigned site; records of uncached VDs (or cache misses) pay
 /// the full path. `None` when no records of `op` exist.
-pub fn hybrid_latency_gain(
+pub fn hybrid_latency_gain<S: BuildHasher>(
     records: &[TraceRecord],
     hits: &[bool],
-    sites: &HashMap<VdId, CacheSite>,
+    sites: &HashMap<VdId, CacheSite, S>,
     op: Op,
 ) -> Option<LatencyGain> {
     assert_eq!(records.len(), hits.len());
@@ -113,7 +115,10 @@ pub fn hybrid_latency_gain(
 /// CN-cache slots actually consumed per compute node — the provisioning
 /// footprint a hybrid deployment needs (bounded by `cn_slots_per_node`, by
 /// construction).
-pub fn cn_slot_usage(fleet: &Fleet, sites: &HashMap<VdId, CacheSite>) -> Vec<usize> {
+pub fn cn_slot_usage<S: BuildHasher>(
+    fleet: &Fleet,
+    sites: &HashMap<VdId, CacheSite, S>,
+) -> Vec<usize> {
     let mut counts = vec![0usize; fleet.compute_nodes.len()];
     for (&vd, &site) in sites {
         if site == CacheSite::ComputeNode {

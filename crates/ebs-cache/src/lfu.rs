@@ -8,8 +8,9 @@
 //! — useful context for the §7.3.1 trade-off.
 
 use crate::policy::CachePolicy;
+use ebs_core::hash::{fx_map_with_capacity, FxHashMap};
 use ebs_core::io::Op;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// LFU with FIFO tie-breaking (classic O(log n) implementation over a
 /// `(count, seq)` ordered set).
@@ -18,7 +19,7 @@ pub struct LfuCache {
     capacity: usize,
     seq: u64,
     /// page → (count, seq at insertion/last bump)
-    meta: HashMap<u64, (u64, u64)>,
+    meta: FxHashMap<u64, (u64, u64)>,
     /// ordered victims: (count, seq, page)
     order: BTreeSet<(u64, u64, u64)>,
 }
@@ -30,7 +31,7 @@ impl LfuCache {
         Self {
             capacity,
             seq: 0,
-            meta: HashMap::with_capacity(capacity),
+            meta: fx_map_with_capacity(capacity),
             order: BTreeSet::new(),
         }
     }

@@ -16,7 +16,14 @@
 //! * [`utilization`] — per-node cacheable-VD dispersion, the paper's
 //!   provisioning-cost argument for the BS side (Figure 7(d));
 //! * [`hybrid`] — the deployment §7.3.2 closes on: a few CN-cache slots
-//!   per node for the hottest disks, BS-cache as the backup tier.
+//!   per node for the hottest disks, BS-cache as the backup tier;
+//! * [`reference`] — the pre-optimization kernels, kept verbatim as
+//!   differential-test oracles and in-binary benchmark baselines.
+//!
+//! The hot kernels are O(1) per access (slab-list LRU, ring FIFO) and all
+//! hot-path maps use the deterministic fast hasher from
+//! [`ebs_core::hash`]; event streams are borrowed from the shared
+//! [`ebs_core::EventIndex`], never copied.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +36,7 @@ pub mod lfu;
 pub mod location;
 pub mod lru;
 pub mod policy;
+pub mod reference;
 pub mod simulate;
 pub mod utilization;
 
@@ -40,5 +48,6 @@ pub use lfu::LfuCache;
 pub use location::{hit_oracle, latency_gain, CacheSite, LatencyGain};
 pub use lru::LruCache;
 pub use policy::CachePolicy;
+pub use reference::{ref_hot_rate, RefFifoCache, RefLruCache};
 pub use simulate::{build_policy, simulate, Algorithm, HitStats};
 pub use utilization::{per_bs_counts, per_cn_counts, CACHEABLE_THRESHOLD};

@@ -6,12 +6,15 @@
 //! ChunkServer. The *latency gain* at percentile q is
 //! `q%ile(with cache) / q%ile(without)` — smaller is better.
 
+use crate::frozen::FrozenCache;
 use crate::hottest_block::HottestBlock;
-use crate::simulate::frozen_io_hits;
+use crate::policy::pages_of;
+use ebs_core::hash::FxHashMap;
 use ebs_core::ids::VdId;
-use ebs_core::io::{IoEvent, Op};
+use ebs_core::io::Op;
 use ebs_core::trace::TraceRecord;
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 
 /// Where the frozen cache is deployed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -49,40 +52,33 @@ pub struct LatencyGain {
 /// Per-IO cache-hit oracle: which trace records hit a frozen cache pinned
 /// at each cacheable VD's hottest block. VDs whose hottest-block access
 /// rate is below `threshold` get no cache.
-pub fn hit_oracle(
-    hot: &HashMap<VdId, HottestBlock>,
+///
+/// Builds each cacheable VD's frozen range once, then scans the records in
+/// a single pass — no intermediate event copies (the old version cloned
+/// the full record stream into `IoEvent`s, then per-VD sub-vectors).
+pub fn hit_oracle<S: BuildHasher>(
+    hot: &HashMap<VdId, HottestBlock, S>,
     records: &[TraceRecord],
     threshold: f64,
 ) -> Vec<bool> {
-    // frozen_io_hits works on IoEvents; adapt records.
-    let events: Vec<IoEvent> = records
+    let caches: FxHashMap<VdId, FrozenCache> = hot
         .iter()
-        .map(|r| IoEvent {
-            t_us: r.t_us,
-            vd: r.vd,
-            qp: r.qp,
-            op: r.op,
-            size: r.size,
-            offset: r.offset,
+        .filter(|(_, hb)| hb.access_rate >= threshold)
+        .map(|(&vd, hb)| {
+            (
+                vd,
+                FrozenCache::covering_bytes(hb.block * hb.block_size, hb.block_size),
+            )
         })
         .collect();
-    let mut hits = vec![false; records.len()];
-    // Group indexes by VD to run the per-VD oracle once.
-    let mut by_vd: HashMap<VdId, Vec<usize>> = HashMap::new();
-    for (i, r) in records.iter().enumerate() {
-        by_vd.entry(r.vd).or_default().push(i);
-    }
-    for (vd, idxs) in by_vd {
-        let Some(hb) = hot.get(&vd) else { continue };
-        if hb.access_rate < threshold {
-            continue;
-        }
-        let sub: Vec<IoEvent> = idxs.iter().map(|&i| events[i]).collect();
-        for (k, hit) in frozen_io_hits(hb, &sub).into_iter().enumerate() {
-            hits[idxs[k]] = hit;
-        }
-    }
-    hits
+    records
+        .iter()
+        .map(|r| match caches.get(&r.vd) {
+            // An IO is a hit when every page it touches is frozen.
+            Some(cache) => pages_of(r.offset, r.size).all(|p| cache.contains(p)),
+            None => false,
+        })
+        .collect()
 }
 
 /// Latency gain of deploying frozen caches at `site`, for `op` traffic,

@@ -1,18 +1,39 @@
 //! Least-Recently-Used cache.
 
 use crate::policy::CachePolicy;
+use ebs_core::hash::{fx_map_with_capacity, FxHashMap};
 use ebs_core::io::Op;
-use std::collections::{BTreeMap, HashMap};
+
+/// Sentinel slot index for "no node".
+const NIL: u32 = u32::MAX;
+
+/// One slab slot of the recency list.
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    page: u64,
+    prev: u32,
+    next: u32,
+}
 
 /// LRU: every access refreshes recency; the stalest page is evicted.
-/// Implemented with a logical clock: `HashMap` page → stamp plus a
-/// `BTreeMap` stamp → page (O(log n) per access).
+///
+/// Implemented as an intrusive doubly-linked list threaded through a slab
+/// of pre-allocated nodes, with a deterministic fast-hash map page → slot.
+/// Every operation — hit refresh, miss admission, eviction — is O(1):
+/// unlink/relink is three pointer writes, and the evicted victim's slot is
+/// reused in place for the admitted page (no allocation after warm-up).
+/// This replaces the original logical-clock design (`HashMap` stamps plus
+/// a `BTreeMap` recency order, O(log n) per access), which survives as
+/// [`crate::reference::RefLruCache`] for differential tests and benchmarks.
 #[derive(Clone, Debug)]
 pub struct LruCache {
     capacity: usize,
-    clock: u64,
-    stamp_of: HashMap<u64, u64>,
-    by_stamp: BTreeMap<u64, u64>,
+    slot_of: FxHashMap<u64, u32>,
+    nodes: Vec<Node>,
+    /// Most-recently-used slot.
+    head: u32,
+    /// Least-recently-used slot (the eviction victim).
+    tail: u32,
 }
 
 impl LruCache {
@@ -21,18 +42,51 @@ impl LruCache {
         assert!(capacity > 0, "cache needs capacity");
         Self {
             capacity,
-            clock: 0,
-            stamp_of: HashMap::with_capacity(capacity),
-            by_stamp: BTreeMap::new(),
+            slot_of: fx_map_with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
         }
     }
 
-    fn refresh(&mut self, page: u64) {
-        if let Some(old) = self.stamp_of.insert(page, self.clock) {
-            self.by_stamp.remove(&old);
+    /// Detach `slot` from the list (its prev/next become dangling).
+    fn unlink(&mut self, slot: u32) {
+        let Node { prev, next, .. } = self.nodes[slot as usize];
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p as usize].next = next,
         }
-        self.by_stamp.insert(self.clock, page);
-        self.clock += 1;
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n as usize].prev = prev,
+        }
+    }
+
+    /// Attach `slot` at the head (most-recent end).
+    fn push_front(&mut self, slot: u32) {
+        let old_head = self.head;
+        {
+            let node = &mut self.nodes[slot as usize];
+            node.prev = NIL;
+            node.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = slot,
+            h => self.nodes[h as usize].prev = slot,
+        }
+        self.head = slot;
+    }
+
+    /// Resident pages in eviction order (least-recent first).
+    pub fn residency(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut slot = self.tail;
+        while slot != NIL {
+            let node = self.nodes[slot as usize];
+            out.push(node.page);
+            slot = node.prev;
+        }
+        out
     }
 }
 
@@ -46,19 +100,37 @@ impl CachePolicy for LruCache {
     }
 
     fn access(&mut self, page: u64, _op: Op) -> bool {
-        let hit = self.stamp_of.contains_key(&page);
-        if !hit && self.stamp_of.len() == self.capacity {
-            let (&stale_stamp, &victim) =
-                self.by_stamp.iter().next().expect("non-empty at capacity");
-            self.by_stamp.remove(&stale_stamp);
-            self.stamp_of.remove(&victim);
+        if let Some(&slot) = self.slot_of.get(&page) {
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return true;
         }
-        self.refresh(page);
-        hit
+        let slot = if self.nodes.len() == self.capacity {
+            // At capacity: evict the tail and reuse its slot in place.
+            let victim = self.tail;
+            let old_page = self.nodes[victim as usize].page;
+            self.slot_of.remove(&old_page);
+            self.unlink(victim);
+            self.nodes[victim as usize].page = page;
+            victim
+        } else {
+            let slot = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                page,
+                prev: NIL,
+                next: NIL,
+            });
+            slot
+        };
+        self.slot_of.insert(page, slot);
+        self.push_front(slot);
+        false
     }
 
     fn len(&self) -> usize {
-        self.stamp_of.len()
+        self.nodes.len()
     }
 }
 
@@ -101,12 +173,28 @@ mod tests {
     }
 
     #[test]
-    fn internal_maps_stay_consistent() {
+    fn list_and_map_stay_consistent() {
         let mut c = LruCache::new(3);
         for i in 0..500u64 {
             touch(&mut c, (i * 7) % 11);
-            assert_eq!(c.stamp_of.len(), c.by_stamp.len());
+            let resident = c.residency();
+            assert_eq!(resident.len(), c.slot_of.len());
+            for page in resident {
+                assert!(c.slot_of.contains_key(&page));
+            }
         }
+    }
+
+    #[test]
+    fn residency_is_in_recency_order() {
+        let mut c = LruCache::new(3);
+        touch(&mut c, 1);
+        touch(&mut c, 2);
+        touch(&mut c, 3);
+        touch(&mut c, 1); // refresh 1 → order is now 2, 3, 1
+        assert_eq!(c.residency(), vec![2, 3, 1]);
+        touch(&mut c, 4); // evicts 2
+        assert_eq!(c.residency(), vec![3, 1, 4]);
     }
 
     #[test]
@@ -118,5 +206,20 @@ mod tests {
         for p in 0..200u64 {
             assert_eq!(lru.access(p, Op::Write), fifo.access(p, Op::Write));
         }
+    }
+
+    #[test]
+    fn matches_reference_lru_on_a_mixed_stream() {
+        let mut new = LruCache::new(16);
+        let mut old = crate::reference::RefLruCache::new(16);
+        let mut x: u64 = 99;
+        for _ in 0..5000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let page = (x >> 33) % 40;
+            assert_eq!(new.access(page, Op::Read), old.access(page, Op::Read));
+        }
+        assert_eq!(new.residency(), old.residency());
     }
 }

@@ -56,13 +56,22 @@ impl HitStats {
     }
 }
 
+/// Cache pages per the paper's protocol for a VD whose hottest block is
+/// `hb`: the cache is sized to the hottest block.
+fn policy_pages(hb: &HottestBlock) -> usize {
+    (hb.block_size / PAGE_BYTES).max(1) as usize
+}
+
 /// Build the policy instance for `algo`, sized/placed per the paper's
 /// protocol for a VD whose hottest block is `hb`.
+///
+/// This is the dynamic-dispatch entry point for callers that genuinely
+/// need a policy chosen at runtime; the hot sweep ([`sweep_policies`])
+/// builds concrete policy types instead so `simulate` monomorphizes.
 pub fn build_policy(algo: Algorithm, hb: &HottestBlock) -> Box<dyn CachePolicy> {
-    let pages = (hb.block_size / PAGE_BYTES).max(1) as usize;
     match algo {
-        Algorithm::Fifo => Box::new(FifoCache::new(pages)),
-        Algorithm::Lru => Box::new(LruCache::new(pages)),
+        Algorithm::Fifo => Box::new(FifoCache::new(policy_pages(hb))),
+        Algorithm::Lru => Box::new(LruCache::new(policy_pages(hb))),
         Algorithm::Frozen => Box::new(FrozenCache::covering_bytes(
             hb.block * hb.block_size,
             hb.block_size,
@@ -71,7 +80,11 @@ pub fn build_policy(algo: Algorithm, hb: &HottestBlock) -> Box<dyn CachePolicy> 
 }
 
 /// Run one policy over a VD's event stream, counting page-level hits.
-pub fn simulate(policy: &mut dyn CachePolicy, events: &[IoEvent]) -> HitStats {
+///
+/// Generic over the policy type: called with a concrete `FifoCache` /
+/// `LruCache` / `FrozenCache` the access loop monomorphizes and inlines;
+/// `&mut dyn CachePolicy` still works for runtime-chosen policies.
+pub fn simulate<P: CachePolicy + ?Sized>(policy: &mut P, events: &[IoEvent]) -> HitStats {
     let mut stats = HitStats {
         accesses: 0,
         hits: 0,
@@ -89,21 +102,35 @@ pub fn simulate(policy: &mut dyn CachePolicy, events: &[IoEvent]) -> HitStats {
 
 /// Simulate every algorithm of Figure 7(a) over one **shared, immutable**
 /// event stream. Policy state is private per run; the stream is only ever
-/// borrowed, so a policy × capacity sweep never clones events.
+/// borrowed, so a policy × capacity sweep never clones events. Each
+/// algorithm runs through a statically-dispatched `simulate` instance.
 pub fn sweep_policies(hb: &HottestBlock, events: &[IoEvent]) -> Vec<(Algorithm, HitStats)> {
     let obs_on = ebs_obs::enabled();
     Algorithm::ALL
         .iter()
         .map(|&algo| {
-            let mut policy = build_policy(algo, hb);
-            let stats = simulate(policy.as_mut(), events);
+            let (stats, resident) = match algo {
+                Algorithm::Fifo => {
+                    let mut policy = FifoCache::new(policy_pages(hb));
+                    (simulate(&mut policy, events), policy.len())
+                }
+                Algorithm::Lru => {
+                    let mut policy = LruCache::new(policy_pages(hb));
+                    (simulate(&mut policy, events), policy.len())
+                }
+                Algorithm::Frozen => {
+                    let mut policy =
+                        FrozenCache::covering_bytes(hb.block * hb.block_size, hb.block_size);
+                    (simulate(&mut policy, events), policy.len())
+                }
+            };
             if obs_on {
                 // FIFO/LRU admit every miss, so evictions are the misses
                 // that no longer fit; FrozenHot never admits or evicts.
                 let misses = stats.accesses - stats.hits;
                 let evictions = match algo {
                     Algorithm::Fifo | Algorithm::Lru => {
-                        misses - policy.len().min(misses as usize) as u64
+                        misses - resident.min(misses as usize) as u64
                     }
                     Algorithm::Frozen => 0,
                 };

@@ -10,12 +10,16 @@ use crate::hottest_block::HottestBlock;
 use ebs_core::ids::{BsId, VdId};
 use ebs_core::topology::Fleet;
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 
 /// The paper's cacheable threshold: hottest-block access rate ≥ 25 %.
 pub const CACHEABLE_THRESHOLD: f64 = 0.25;
 
 /// VDs whose hottest block clears `threshold`.
-pub fn cacheable_vds(hot: &HashMap<VdId, HottestBlock>, threshold: f64) -> Vec<VdId> {
+pub fn cacheable_vds<S: BuildHasher>(
+    hot: &HashMap<VdId, HottestBlock, S>,
+    threshold: f64,
+) -> Vec<VdId> {
     let mut v: Vec<VdId> = hot
         .iter()
         .filter(|(_, hb)| hb.access_rate >= threshold)
@@ -26,9 +30,9 @@ pub fn cacheable_vds(hot: &HashMap<VdId, HottestBlock>, threshold: f64) -> Vec<V
 }
 
 /// Cacheable-VD count per compute node (CN-cache provisioning unit).
-pub fn per_cn_counts(
+pub fn per_cn_counts<S: BuildHasher>(
     fleet: &Fleet,
-    hot: &HashMap<VdId, HottestBlock>,
+    hot: &HashMap<VdId, HottestBlock, S>,
     threshold: f64,
 ) -> Vec<usize> {
     let mut counts = vec![0usize; fleet.compute_nodes.len()];
@@ -41,9 +45,9 @@ pub fn per_cn_counts(
 /// Cacheable-VD count per BlockServer (BS-cache provisioning unit): each
 /// cacheable VD's cache lives at the BS hosting its hottest block's
 /// segment. `seg_home` overrides the fleet's initial placement when given.
-pub fn per_bs_counts(
+pub fn per_bs_counts<S: BuildHasher>(
     fleet: &Fleet,
-    hot: &HashMap<VdId, HottestBlock>,
+    hot: &HashMap<VdId, HottestBlock, S>,
     threshold: f64,
     seg_home: Option<&[BsId]>,
 ) -> Vec<usize> {

@@ -35,7 +35,9 @@
 
 pub mod apps;
 pub mod error;
+pub mod hash;
 pub mod ids;
+pub mod index;
 pub mod io;
 pub mod metric;
 pub mod parallel;
@@ -48,7 +50,9 @@ pub mod units;
 
 pub use apps::AppClass;
 pub use error::EbsError;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{BsId, CnId, DcId, IdVec, QpId, SegId, SnId, TraceId, UserId, VdId, VmId, WtId};
+pub use index::{EventIndex, PermutedEvents};
 pub use io::{IoEvent, Op};
 pub use metric::{ComputeMetrics, Flow, Measure, RwFlow, Series, SeriesSample, StorageMetrics};
 pub use parallel::{par_jobs, par_map_deterministic};
@@ -62,9 +66,11 @@ pub use trace::{StageLatency, TraceRecord, TraceSet};
 /// Convenient glob-import surface: `use ebs_core::prelude::*;`.
 pub mod prelude {
     pub use crate::apps::AppClass;
+    pub use crate::hash::{FxBuildHasher, FxHashMap, FxHashSet};
     pub use crate::ids::{
         BsId, CnId, DcId, IdVec, QpId, SegId, SnId, TraceId, UserId, VdId, VmId, WtId,
     };
+    pub use crate::index::{EventIndex, PermutedEvents};
     pub use crate::io::{IoEvent, Op};
     pub use crate::metric::{
         ComputeMetrics, Flow, Measure, RwFlow, Series, SeriesSample, StorageMetrics,

@@ -5,9 +5,11 @@
 use ebs_analysis::table::Table;
 use ebs_balance::bs_balancer::{run_balancer, BalancerConfig};
 use ebs_balance::wt_rebind::{simulate_fleet, RebindConfig};
+use ebs_cache::frozen::FrozenCache;
 use ebs_cache::hottest_block::BLOCK_SIZES;
-use ebs_cache::simulate::{build_policy, simulate, Algorithm};
+use ebs_cache::simulate::simulate;
 use ebs_cache::utilization::{cacheable_vds, per_cn_counts, std_dev};
+use ebs_core::index::EventIndex;
 use ebs_core::parallel::par_map_deterministic;
 use ebs_throttle::lending::{lending_gains, LendingConfig};
 use ebs_throttle::scenario::{build_groups, CapDim};
@@ -81,28 +83,22 @@ pub fn exporter_threshold_sweep(ds: &Dataset) -> Vec<(f64, usize, f64)> {
 /// `(threshold, cacheable VDs, CN-count std, mean frozen hit ratio among
 /// cacheable VDs)`.
 pub fn cache_threshold_sweep(ds: &Dataset) -> Vec<(f64, usize, f64, f64)> {
-    cache_threshold_sweep_with(
-        ds,
-        &ebs_cache::hottest_block::events_by_vd(&ds.fleet, &ds.events),
-    )
+    cache_threshold_sweep_with(ds, ds.index())
 }
 
-/// [`cache_threshold_sweep`] over a pre-computed per-VD event partition,
-/// shared (borrowed, never cloned) across every threshold.
-pub fn cache_threshold_sweep_with(
-    ds: &Dataset,
-    by_vd: &[Vec<ebs_core::io::IoEvent>],
-) -> Vec<(f64, usize, f64, f64)> {
+/// [`cache_threshold_sweep`] over the shared event index; every threshold
+/// borrows the same per-VD views (no event copies).
+pub fn cache_threshold_sweep_with(ds: &Dataset, idx: &EventIndex) -> Vec<(f64, usize, f64, f64)> {
     let bs = BLOCK_SIZES[3]; // 512 MiB
-    let hot = crate::fig7::hot_map(by_vd, bs);
+    let hot = crate::fig7::hot_map(idx, bs);
     par_map_deterministic(&CACHE_THRESHOLDS, |_, &threshold| {
         let vds = cacheable_vds(&hot, threshold);
         let counts = per_cn_counts(&ds.fleet, &hot, threshold);
         let mut ratios = Vec::new();
         for &vd in &vds {
             let hb = &hot[&vd];
-            let mut policy = build_policy(Algorithm::Frozen, hb);
-            if let Some(r) = simulate(policy.as_mut(), &by_vd[vd.index()]).ratio() {
+            let mut policy = FrozenCache::covering_bytes(hb.block * hb.block_size, hb.block_size);
+            if let Some(r) = simulate(&mut policy, idx.vd(vd)).ratio() {
                 ratios.push(r);
             }
         }
@@ -117,16 +113,13 @@ pub fn cache_threshold_sweep_with(
 
 /// Run and render every sweep.
 pub fn render(ds: &Dataset) -> String {
-    render_with(
-        ds,
-        &ebs_cache::hottest_block::events_by_vd(&ds.fleet, &ds.events),
-    )
+    render_with(ds, ds.index())
 }
 
-/// [`render`] over a shared per-VD event partition. The four sweeps are
+/// [`render`] over the shared event index. The four sweeps are
 /// independent, so they run as parallel jobs; their tables concatenate in
 /// the fixed ablation order regardless of which finishes first.
-pub fn render_with(ds: &Dataset, by_vd: &[Vec<ebs_core::io::IoEvent>]) -> String {
+pub fn render_with(ds: &Dataset, idx: &EventIndex) -> String {
     type Job<'a> = Box<dyn FnOnce() -> String + Send + 'a>;
     let jobs: Vec<Job<'_>> = vec![
         Box::new(|| {
@@ -169,7 +162,7 @@ pub fn render_with(ds: &Dataset, by_vd: &[Vec<ebs_core::io::IoEvent>]) -> String
                 "mean frozen hit",
             ])
             .with_title("Ablation: frozen-cache placement threshold (§7.3, 512 MiB)");
-            for (th, n, std, hit) in cache_threshold_sweep_with(ds, by_vd) {
+            for (th, n, std, hit) in cache_threshold_sweep_with(ds, idx) {
                 t.row([
                     format!("{th:.2}"),
                     n.to_string(),

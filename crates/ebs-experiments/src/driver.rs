@@ -5,9 +5,9 @@
 //! independent, so the driver fans them out on the [`ebs_core::parallel`]
 //! pool instead. Two properties hold regardless of thread count:
 //!
-//! * **Shared inputs are borrowed, never cloned.** The dataset, the per-VD
-//!   event partition ([`events_partition`], computed once), and the stack
-//!   simulation output are each produced once and lent to every job.
+//! * **Shared inputs are borrowed, never cloned.** The dataset, its shared
+//!   [`ebs_core::EventIndex`] (built once, zero event copies), and the
+//!   stack simulation output are each produced once and lent to every job.
 //! * **Output is canonical.** Each job is tagged with its print position;
 //!   the driver reassembles sections in the order the serial harness
 //!   printed them, no matter which job finishes first.
@@ -19,18 +19,10 @@
 
 use crate::scenario::stack_traces;
 use crate::{ablations, extensions, fig2, fig3, fig4, fig5, fig6, fig7, table2, table3, table4};
-use ebs_core::io::IoEvent;
 use ebs_core::parallel::par_jobs;
 use ebs_stack::SimOutput;
 use ebs_workload::Dataset;
 use std::sync::Mutex;
-
-/// Partition the dataset's sampled events per VD. Computed once per run
-/// and shared (borrowed) by every section that needs a per-VD view —
-/// Figures 6 and 7, the cache ablation, and the hybrid-cache extension.
-pub fn events_partition(ds: &Dataset) -> Vec<Vec<IoEvent>> {
-    ebs_cache::hottest_block::events_by_vd(&ds.fleet, &ds.events)
-}
 
 /// A section's canonical print position paired with its rendered text.
 type Section = (usize, String);
@@ -42,8 +34,9 @@ type Section = (usize, String);
 pub fn run_all(ds: &Dataset) -> Vec<String> {
     let run_started = ebs_obs::enabled().then(std::time::Instant::now);
     let whole_run = ebs_obs::timer("driver.run_all");
-    let by_vd = events_partition(ds);
-    let by_vd = &by_vd;
+    // Build the shared event index up front (one pass over the events);
+    // every section that needs a per-VD view borrows slices from it.
+    let idx = ds.index();
 
     type Job<'a> = Box<dyn FnOnce() -> Option<Section> + Send + 'a>;
 
@@ -65,13 +58,8 @@ pub fn run_all(ds: &Dataset) -> Vec<String> {
         Box::new(|| Some((4, timed("fig3", || fig3::render(&fig3::run(ds)))))),
         Box::new(|| Some((5, timed("fig4", || fig4::render(&fig4::run(ds)))))),
         Box::new(|| Some((6, timed("fig5", || fig5::render(&fig5::run(ds)))))),
-        Box::new(|| {
-            Some((
-                7,
-                timed("fig6", || fig6::render(&fig6::run_with(ds, by_vd))),
-            ))
-        }),
-        Box::new(|| Some((9, timed("ablations", || ablations::render_with(ds, by_vd))))),
+        Box::new(|| Some((7, timed("fig6", || fig6::render(&fig6::run_with(ds, idx)))))),
+        Box::new(|| Some((9, timed("ablations", || ablations::render_with(ds, idx))))),
         Box::new(|| {
             *sim_slot.lock().expect("sim slot") = Some(timed("stack_sim", || stack_traces(ds)));
             None
@@ -89,13 +77,13 @@ pub fn run_all(ds: &Dataset) -> Vec<String> {
         Box::new(move || {
             Some((
                 8,
-                timed("fig7", || fig7::render(&fig7::run_with(ds, sim, by_vd))),
+                timed("fig7", || fig7::render(&fig7::run_with(ds, sim, idx))),
             ))
         }),
         Box::new(move || {
             Some((
                 10,
-                timed("extensions", || extensions::render_with(ds, sim, by_vd)),
+                timed("extensions", || extensions::render_with(ds, sim, idx)),
             ))
         }),
     ];

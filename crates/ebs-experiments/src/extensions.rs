@@ -16,6 +16,7 @@ use ebs_balance::migration::segment_residency_intervals;
 use ebs_cache::hybrid::{assign_sites, cn_slot_usage, hybrid_latency_gain, HybridConfig};
 use ebs_cache::location::{hit_oracle, latency_gain, CacheSite};
 use ebs_cache::utilization::CACHEABLE_THRESHOLD;
+use ebs_core::index::EventIndex;
 use ebs_core::io::Op;
 use ebs_core::parallel::par_map_deterministic;
 use ebs_stack::SimOutput;
@@ -73,18 +74,17 @@ pub fn lending_extension(ds: &Dataset) -> Vec<(f64, f64, f64, f64, f64)> {
 /// Hybrid deployment sweep: `(cn_slots, write p50 gain, max CN slots used)`
 /// plus the pure CN / BS baselines.
 pub fn hybrid_extension(ds: &Dataset, sim: &SimOutput) -> (Vec<(usize, f64, usize)>, f64, f64) {
-    let by_vd = ebs_cache::hottest_block::events_by_vd(&ds.fleet, &ds.events);
-    hybrid_extension_with(ds, sim, &by_vd)
+    hybrid_extension_with(ds, sim, ds.index())
 }
 
-/// [`hybrid_extension`] over a shared per-VD event partition; the slot
-/// sweep itself fans out in parallel over one borrowed trace.
+/// [`hybrid_extension`] over the shared event index; the slot sweep itself
+/// fans out in parallel over one borrowed trace.
 pub fn hybrid_extension_with(
     ds: &Dataset,
     sim: &SimOutput,
-    by_vd: &[Vec<ebs_core::io::IoEvent>],
+    idx: &EventIndex,
 ) -> (Vec<(usize, f64, usize)>, f64, f64) {
-    let hot = crate::fig7::hot_map(by_vd, 2048 << 20);
+    let hot = crate::fig7::hot_map(idx, 2048 << 20);
     let records = sim.traces.records();
     let hits = hit_oracle(&hot, records, CACHEABLE_THRESHOLD);
     let sweep = par_map_deterministic(&[0usize, 1, 2, 4, 8], |_, &slots| {
@@ -116,15 +116,11 @@ pub fn hybrid_extension_with(
 
 /// Run and render all three extensions.
 pub fn render(ds: &Dataset, sim: &SimOutput) -> String {
-    render_with(
-        ds,
-        sim,
-        &ebs_cache::hottest_block::events_by_vd(&ds.fleet, &ds.events),
-    )
+    render_with(ds, sim, ds.index())
 }
 
-/// [`render`] over a shared per-VD event partition.
-pub fn render_with(ds: &Dataset, sim: &SimOutput, by_vd: &[Vec<ebs_core::io::IoEvent>]) -> String {
+/// [`render`] over the shared event index.
+pub fn render_with(ds: &Dataset, sim: &SimOutput, idx: &EventIndex) -> String {
     let mut out = String::new();
 
     let mut t = Table::new(["strategy", "mean norm. residency", "migrations"])
@@ -154,7 +150,7 @@ pub fn render_with(ds: &Dataset, sim: &SimOutput, by_vd: &[Vec<ebs_core::io::IoE
     out.push('\n');
     out.push_str(&t.render());
 
-    let (sweep, cn, bs) = hybrid_extension_with(ds, sim, by_vd);
+    let (sweep, cn, bs) = hybrid_extension_with(ds, sim, idx);
     let mut t = Table::new(["CN slots/node", "write p50 gain", "max slots used"])
         .with_title("Extension: hybrid CN+BS cache deployment (§7.3.2)");
     for (slots, gain, used) in sweep {

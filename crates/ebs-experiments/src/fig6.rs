@@ -8,9 +8,10 @@ use crate::fig3::Dist;
 use ebs_analysis::table::Table;
 use ebs_analysis::wr_ratio::{READ_DOMINANT, WRITE_DOMINANT};
 use ebs_cache::hottest_block::{
-    events_by_vd, hot_rate, hottest_block, HottestBlock, BLOCK_SIZES, HOT_RATE_WINDOW_US,
+    hot_rate, hottest_block, HottestBlock, BLOCK_SIZES, HOT_RATE_WINDOW_US,
 };
 use ebs_core::ids::VdId;
+use ebs_core::index::EventIndex;
 use ebs_workload::Dataset;
 
 /// Minimum sampled IOs for a VD to enter the per-VD statistics.
@@ -43,11 +44,12 @@ pub struct Fig6 {
 }
 
 /// Compute each VD's hottest block at `block_size`; only VDs with at least
-/// [`MIN_EVENTS`] sampled IOs participate.
+/// [`MIN_EVENTS`] sampled IOs participate. Views are borrowed from the
+/// dataset's shared event index — no partition is rebuilt here.
 pub fn hottest_blocks(ds: &Dataset, block_size: u64) -> Vec<(HottestBlock, Vec<usize>)> {
-    let by_vd = events_by_vd(&ds.fleet, &ds.events);
-    by_vd
-        .iter()
+    ds.index()
+        .vd_slices()
+        .into_iter()
         .enumerate()
         .filter(|(_, evs)| evs.len() >= MIN_EVENTS)
         .filter_map(|(i, evs)| {
@@ -56,9 +58,9 @@ pub fn hottest_blocks(ds: &Dataset, block_size: u64) -> Vec<(HottestBlock, Vec<u
         .collect()
 }
 
-/// Run the whole figure, partitioning the event stream itself.
+/// Run the whole figure over the dataset's shared event index.
 pub fn run(ds: &Dataset) -> Fig6 {
-    run_with(ds, &events_by_vd(&ds.fleet, &ds.events))
+    run_with(ds, ds.index())
 }
 
 /// What one VD contributes to a [`SizeRow`].
@@ -69,13 +71,14 @@ struct VdStats {
     hot_rate: Option<f64>,
 }
 
-/// Run the whole figure over a pre-computed per-VD event partition. VDs fan
-/// out in parallel per block size; their statistics fold in VD order, so
-/// the rows match a serial pass exactly.
-pub fn run_with(ds: &Dataset, by_vd: &[Vec<ebs_core::io::IoEvent>]) -> Fig6 {
+/// Run the whole figure over an explicit event index. VDs fan out in
+/// parallel per block size over borrowed slices; their statistics fold in
+/// VD order, so the rows match a serial pass exactly.
+pub fn run_with(ds: &Dataset, idx: &EventIndex) -> Fig6 {
+    let slices = idx.vd_slices();
     let mut rows = Vec::new();
     for &bs in &BLOCK_SIZES {
-        let per_vd = ebs_core::parallel::par_map_deterministic(by_vd, |i, evs| {
+        let per_vd = ebs_core::parallel::par_map_deterministic(&slices, |i, evs| {
             if evs.len() < MIN_EVENTS {
                 return None;
             }

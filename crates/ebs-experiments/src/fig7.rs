@@ -7,16 +7,17 @@
 use crate::fig3::Dist;
 use crate::fig6::MIN_EVENTS;
 use ebs_analysis::table::Table;
-use ebs_cache::hottest_block::{events_by_vd, hottest_block, HottestBlock, BLOCK_SIZES};
+use ebs_cache::hottest_block::{hottest_block, HottestBlock, BLOCK_SIZES};
 use ebs_cache::location::{hit_oracle, latency_gain, CacheSite, LatencyGain};
 use ebs_cache::simulate::{sweep_policies, Algorithm};
 use ebs_cache::utilization::{per_bs_counts, per_cn_counts, std_dev, CACHEABLE_THRESHOLD};
+use ebs_core::hash::{FxHashMap, FxHashSet};
 use ebs_core::ids::VdId;
-use ebs_core::io::{IoEvent, Op};
+use ebs_core::index::EventIndex;
+use ebs_core::io::Op;
 use ebs_core::parallel::par_map_deterministic;
 use ebs_stack::SimOutput;
 use ebs_workload::Dataset;
-use std::collections::HashMap;
 
 /// Panel (a): one row per (algorithm, block size).
 #[derive(Clone, Debug)]
@@ -59,10 +60,11 @@ pub struct Fig7 {
 }
 
 /// Hottest blocks of all sufficiently busy VDs at `block_size`, computed
-/// over one shared per-VD partition of the sampled events (VDs fan out in
-/// parallel; the map's contents don't depend on scheduling).
-pub fn hot_map(by_vd: &[Vec<IoEvent>], block_size: u64) -> HashMap<VdId, HottestBlock> {
-    par_map_deterministic(by_vd, |i, evs| {
+/// over the shared event index's per-VD views (VDs fan out in parallel
+/// over borrowed slices; the map's contents don't depend on scheduling).
+pub fn hot_map(idx: &EventIndex, block_size: u64) -> FxHashMap<VdId, HottestBlock> {
+    let slices = idx.vd_slices();
+    par_map_deterministic(&slices, |i, evs| {
         if evs.len() < MIN_EVENTS {
             return None;
         }
@@ -74,12 +76,13 @@ pub fn hot_map(by_vd: &[Vec<IoEvent>], block_size: u64) -> HashMap<VdId, Hottest
 }
 
 /// Panel (a): simulate the three policies per VD per block size. The policy
-/// × capacity grid runs VDs in parallel over the shared event partition —
+/// × capacity grid runs VDs in parallel over the shared event index —
 /// no per-run event clones — and merges ratios in VD order.
-pub fn panel_a(by_vd: &[Vec<IoEvent>]) -> Vec<HitRow> {
+pub fn panel_a(idx: &EventIndex) -> Vec<HitRow> {
+    let slices = idx.vd_slices();
     let mut rows = Vec::new();
     for &bs in &BLOCK_SIZES {
-        let per_vd = par_map_deterministic(by_vd, |i, evs| {
+        let per_vd = par_map_deterministic(&slices, |i, evs| {
             if evs.len() < MIN_EVENTS {
                 return None;
             }
@@ -91,7 +94,7 @@ pub fn panel_a(by_vd: &[Vec<IoEvent>]) -> Vec<HitRow> {
                     .collect::<Vec<_>>(),
             )
         });
-        let mut ratios: HashMap<Algorithm, Vec<f64>> = HashMap::new();
+        let mut ratios: FxHashMap<Algorithm, Vec<f64>> = FxHashMap::default();
         for vd_ratios in per_vd.into_iter().flatten() {
             for (algo, r) in vd_ratios {
                 ratios.entry(algo).or_default().push(r);
@@ -110,12 +113,12 @@ pub fn panel_a(by_vd: &[Vec<IoEvent>]) -> Vec<HitRow> {
 
 /// Panels (b/c): latency gains with frozen caches at the 2 GiB hottest
 /// block (the size where FrozenHot matches LRU, per the paper's choice).
-pub fn panel_bc(sim: &SimOutput, by_vd: &[Vec<IoEvent>]) -> Vec<(CacheSite, Op, LatencyGain)> {
-    let hot = hot_map(by_vd, 2048 << 20);
+pub fn panel_bc(sim: &SimOutput, idx: &EventIndex) -> Vec<(CacheSite, Op, LatencyGain)> {
+    let hot = hot_map(idx, 2048 << 20);
     // Gains are evaluated over the IOs of *cacheable* VDs — the disks a
     // deployment would actually equip with a cache; mixing in the cold
     // majority would only dilute every site identically.
-    let cacheable: std::collections::HashSet<VdId> = hot
+    let cacheable: FxHashSet<VdId> = hot
         .iter()
         .filter(|(_, hb)| hb.access_rate >= CACHEABLE_THRESHOLD)
         .map(|(&vd, _)| vd)
@@ -140,11 +143,11 @@ pub fn panel_bc(sim: &SimOutput, by_vd: &[Vec<IoEvent>]) -> Vec<(CacheSite, Op, 
 }
 
 /// Panel (d): cacheable-VD dispersion per provisioning unit.
-pub fn panel_d(ds: &Dataset, by_vd: &[Vec<IoEvent>]) -> Vec<UtilRow> {
+pub fn panel_d(ds: &Dataset, idx: &EventIndex) -> Vec<UtilRow> {
     BLOCK_SIZES
         .iter()
         .map(|&bs| {
-            let hot = hot_map(by_vd, bs);
+            let hot = hot_map(idx, bs);
             let cn = per_cn_counts(&ds.fleet, &hot, CACHEABLE_THRESHOLD);
             let bsc = per_bs_counts(&ds.fleet, &hot, CACHEABLE_THRESHOLD, None);
             let rel = |counts: &[usize]| -> f64 {
@@ -167,18 +170,19 @@ pub fn panel_d(ds: &Dataset, by_vd: &[Vec<IoEvent>]) -> Vec<UtilRow> {
         .collect()
 }
 
-/// Run the whole figure, partitioning the event stream itself.
+/// Run the whole figure over the dataset's shared event index (built on
+/// first use, cached for every later section).
 pub fn run(ds: &Dataset, sim: &SimOutput) -> Fig7 {
-    run_with(ds, sim, &events_by_vd(&ds.fleet, &ds.events))
+    run_with(ds, sim, ds.index())
 }
 
-/// Run the whole figure over a pre-computed per-VD event partition, so a
-/// driver that runs several figures can build the partition once.
-pub fn run_with(ds: &Dataset, sim: &SimOutput, by_vd: &[Vec<IoEvent>]) -> Fig7 {
+/// Run the whole figure over an explicit event index, so a driver that
+/// runs several figures shares one set of per-VD views.
+pub fn run_with(ds: &Dataset, sim: &SimOutput, idx: &EventIndex) -> Fig7 {
     Fig7 {
-        a: panel_a(by_vd),
-        bc: panel_bc(sim, by_vd),
-        d: panel_d(ds, by_vd),
+        a: panel_a(idx),
+        bc: panel_bc(sim, idx),
+        d: panel_d(ds, idx),
     }
 }
 

@@ -2,9 +2,31 @@
 
 use crate::config::WorkloadConfig;
 use crate::spatial::TrafficPlan;
+use ebs_core::index::EventIndex;
 use ebs_core::io::IoEvent;
 use ebs_core::metric::{ComputeMetrics, StorageMetrics};
 use ebs_core::topology::Fleet;
+use std::sync::OnceLock;
+
+/// Lazily-built [`EventIndex`] cache. Cloning a dataset resets the cache
+/// (the clone rebuilds on first use); equality/debug ignore it.
+#[derive(Default)]
+pub(crate) struct IndexCell(OnceLock<EventIndex>);
+
+impl Clone for IndexCell {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl std::fmt::Debug for IndexCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.get() {
+            Some(idx) => write!(f, "IndexCell(built, {} events)", idx.len()),
+            None => f.write_str("IndexCell(unbuilt)"),
+        }
+    }
+}
 
 /// One complete synthetic dataset, the stand-in for the paper's production
 /// collection (§2.3): fleet topology + specification data, compute- and
@@ -27,6 +49,9 @@ pub struct Dataset {
     pub events: Vec<IoEvent>,
     /// The generating configuration.
     pub config: WorkloadConfig,
+    /// Shared event index over `events`, built on first use (see
+    /// [`Dataset::index`]).
+    pub(crate) index: IndexCell,
 }
 
 impl Dataset {
@@ -49,8 +74,51 @@ impl Dataset {
         (t.read.bytes, t.write.bytes)
     }
 
-    /// Sampled events belonging to one VD, in time order.
-    pub fn events_for_vd(&self, vd: ebs_core::ids::VdId) -> Vec<&IoEvent> {
-        self.events.iter().filter(|e| e.vd == vd).collect()
+    /// The shared [`EventIndex`] over this dataset's sampled events — the
+    /// per-VD / per-QP / per-segment / per-window views every trace-driven
+    /// analysis borrows. Built exactly once per dataset instance (lazily,
+    /// thread-safe); every later call is a pointer read.
+    pub fn index(&self) -> &EventIndex {
+        self.index
+            .0
+            .get_or_init(|| EventIndex::build(&self.fleet, &self.events))
+    }
+
+    /// Sampled events belonging to one VD, in time order — an O(1) borrow
+    /// from the shared index (previously an O(V·E) linear filter).
+    pub fn events_for_vd(&self, vd: ebs_core::ids::VdId) -> &[IoEvent] {
+        self.index().vd(vd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pre-index `events_for_vd`: a full-stream linear filter.
+    fn filter_events_for_vd(ds: &Dataset, vd: ebs_core::ids::VdId) -> Vec<IoEvent> {
+        ds.events.iter().filter(|e| e.vd == vd).copied().collect()
+    }
+
+    #[test]
+    fn indexed_vd_events_match_the_linear_filter() {
+        let ds = crate::generate(&crate::WorkloadConfig::quick(4242)).unwrap();
+        for i in 0..ds.fleet.vd_count() {
+            let vd = ebs_core::ids::VdId::from_index(i);
+            assert_eq!(
+                ds.events_for_vd(vd),
+                filter_events_for_vd(&ds, vd).as_slice(),
+                "VD {i}: index lookup disagrees with the linear filter"
+            );
+        }
+    }
+
+    #[test]
+    fn index_is_built_once_and_survives_clone() {
+        let ds = crate::generate(&crate::WorkloadConfig::quick(4243)).unwrap();
+        let first = ds.index() as *const EventIndex;
+        assert_eq!(ds.index() as *const EventIndex, first, "index rebuilt");
+        let cloned = ds.clone();
+        assert_eq!(cloned.index().len(), ds.index().len());
     }
 }

@@ -95,6 +95,7 @@ pub fn generate_for_fleet(config: &WorkloadConfig, fleet: Fleet) -> Result<Datas
         storage,
         events,
         config: config.clone(),
+        index: Default::default(),
     })
 }
 

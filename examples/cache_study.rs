@@ -6,7 +6,7 @@
 //! cargo run --example cache_study
 //! ```
 
-use ebs::cache::hottest_block::{events_by_vd, hot_rate, hottest_block, HOT_RATE_WINDOW_US};
+use ebs::cache::hottest_block::{hot_rate, hottest_block, HOT_RATE_WINDOW_US};
 use ebs::cache::location::{hit_oracle, latency_gain, CacheSite};
 use ebs::cache::simulate::{build_policy, simulate, Algorithm};
 use ebs::core::ids::VdId;
@@ -18,10 +18,12 @@ use std::collections::HashMap;
 
 fn main() {
     let ds = generate(&WorkloadConfig::quick(7)).expect("config validates");
-    let by_vd = events_by_vd(&ds.fleet, &ds.events);
+    // Per-VD views come from the dataset's shared event index (built once,
+    // no event copies).
+    let by_vd = ds.index().vd_slices();
 
     // The busiest disk in the sample.
-    let (vd_idx, events) = by_vd
+    let (vd_idx, &events) = by_vd
         .iter()
         .enumerate()
         .max_by_key(|(_, evs)| evs.len())

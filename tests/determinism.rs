@@ -162,12 +162,12 @@ fn parallel_rebind_sweep_matches_serial() {
 
 #[test]
 fn parallel_cache_sweep_matches_serial() {
-    use ebs::experiments::{driver, fig7};
+    use ebs::experiments::fig7;
     for seed in PARALLEL_SEEDS {
         let ds = generate(&WorkloadConfig::quick(seed)).unwrap();
-        let by_vd = driver::events_partition(&ds);
+        let idx = ds.index();
         let rows = assert_thread_count_invariant(|| {
-            fig7::panel_a(&by_vd)
+            fig7::panel_a(idx)
                 .into_iter()
                 .map(|r| (r.algo.label(), r.block_size, r.hit_ratio.p50, r.hit_ratio.n))
                 .collect::<Vec<_>>()

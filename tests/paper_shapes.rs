@@ -112,7 +112,7 @@ fn section7_hotspots_and_caches() {
         "hot rate near one half"
     );
 
-    let f7a = fig7::panel_a(&driver::events_partition(&d));
+    let f7a = fig7::panel_a(d.index());
     let p50 = |algo, bs: u64| {
         f7a.iter()
             .find(|r| r.algo == algo && r.block_size == bs)

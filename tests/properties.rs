@@ -134,6 +134,79 @@ proptest! {
     }
 
     #[test]
+    fn slab_lru_agrees_with_the_reference_implementation(
+        capacity in 1usize..24,
+        accesses in prop::collection::vec(0u64..48, 1..500),
+    ) {
+        use ebs::cache::RefLruCache;
+        let mut slab = LruCache::new(capacity);
+        let mut reference = RefLruCache::new(capacity);
+        for (i, &page) in accesses.iter().enumerate() {
+            let op = if page % 3 == 0 { Op::Write } else { Op::Read };
+            let a = slab.access(page, op);
+            let b = reference.access(page, op);
+            prop_assert_eq!(a, b, "access {} (page {}) diverged", i, page);
+            prop_assert_eq!(slab.len(), reference.len(), "len diverged at access {}", i);
+        }
+        // Same resident pages in the same eviction order.
+        prop_assert_eq!(slab.residency(), reference.residency());
+    }
+
+    #[test]
+    fn ring_fifo_agrees_with_the_reference_implementation(
+        capacity in 1usize..24,
+        accesses in prop::collection::vec(0u64..48, 1..500),
+    ) {
+        use ebs::cache::RefFifoCache;
+        let mut ring = FifoCache::new(capacity);
+        let mut reference = RefFifoCache::new(capacity);
+        for (i, &page) in accesses.iter().enumerate() {
+            let op = if page % 2 == 0 { Op::Write } else { Op::Read };
+            let a = ring.access(page, op);
+            let b = reference.access(page, op);
+            prop_assert_eq!(a, b, "access {} (page {}) diverged", i, page);
+            prop_assert_eq!(ring.len(), reference.len(), "len diverged at access {}", i);
+        }
+        // Same resident pages in the same admission order.
+        prop_assert_eq!(ring.residency(), reference.residency());
+    }
+
+    #[test]
+    fn fx_hash_is_stable_and_outputs_are_insertion_order_independent(
+        keys in prop::collection::vec(0u64..100_000, 1..150),
+    ) {
+        use ebs::core::hash::{FxBuildHasher, FxHashMap};
+        use std::hash::BuildHasher;
+        let hash_of = |k: &u64| FxBuildHasher.hash_one(k);
+        // No hidden per-instance or per-process state: rehashing agrees.
+        for k in &keys {
+            prop_assert_eq!(hash_of(k), hash_of(k));
+        }
+        // Populate two maps in opposite insertion orders; every
+        // order-independent reduction the hot paths rely on must agree.
+        let mut fwd: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut rev: FxHashMap<u64, u64> = FxHashMap::default();
+        for &k in &keys {
+            fwd.insert(k, k.wrapping_mul(3));
+        }
+        for &k in keys.iter().rev() {
+            rev.insert(k, k.wrapping_mul(3));
+        }
+        prop_assert_eq!(fwd.len(), rev.len());
+        let sorted = |m: &FxHashMap<u64, u64>| {
+            let mut v: Vec<(u64, u64)> = m.iter().map(|(&k, &x)| (k, x)).collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(sorted(&fwd), sorted(&rev));
+        // Max over a total order (the hottest-block reduction shape).
+        prop_assert_eq!(
+            fwd.iter().max_by_key(|&(&k, &x)| (x, std::cmp::Reverse(k))).map(|(&k, _)| k),
+            rev.iter().max_by_key(|&(&k, &x)| (x, std::cmp::Reverse(k))).map(|(&k, _)| k)
+        );
+    }
+
+    #[test]
     fn wr_ratio_bounds_hold(w in 0.0f64..1e12, r in 0.0f64..1e12) {
         if let Some(x) = ebs::analysis::wr_ratio(w, r) {
             prop_assert!((-1.0..=1.0).contains(&x));
