@@ -16,7 +16,14 @@
 //! pair asserts the two legs produce identical results before a speedup is
 //! recorded. Results go to `BENCH_hotpath.json`.
 //!
-//! Usage: `bench [--mode parallel|hotpath] [--quick|--medium|--full]
+//! **`--mode store`** races the `ebs-store` columnar container against the
+//! CSV export for the same trace: encode, decode, and streaming-aggregate
+//! throughput, plus on-disk size. Each pair asserts both legs reconstruct
+//! the same events (or the same statistics) before a speedup is recorded.
+//! Results go to `BENCH_store.json`; the run fails if decode is not ≥3x
+//! faster than CSV parse or the store is not ≤0.5x the CSV size.
+//!
+//! Usage: `bench [--mode parallel|hotpath|store] [--quick|--medium|--full]
 //! [--iters N] [--threads N] [--out PATH]`. `--threads` (parallel mode
 //! only) defaults to `max(4, available cores)` so the parallel leg
 //! genuinely exercises the fan-out even on small hosts.
@@ -424,6 +431,182 @@ fn run_hotpath_mode(scale: Scale, iters: usize, out_path: &str) {
     write_report(out_path, &header, ("before", "after"), &entries);
 }
 
+/// The store-vs-CSV baseline (BENCH_store.json): same trace, columnar
+/// container against the CSV pipeline, serial.
+fn run_store_mode(scale: Scale, iters: usize, out_path: &str) {
+    use ebs_store::{ChunkReader, StoreWriter, StreamSummary, EVENTS_PER_CHUNK};
+    use ebs_workload::export::{
+        read_events_csv, write_compute_metrics_csv, write_events_csv, write_specs_csv,
+        write_storage_metrics_csv,
+    };
+
+    let scale_name = format!("{scale:?}").to_lowercase();
+    eprintln!(
+        "benchmarking trace store at scale {scale_name}, csv vs ebs-store, serial, best of {iters}"
+    );
+    set_thread_override(Some(1));
+    let ds = dataset(scale);
+    let events = ds.events.len();
+
+    // The CSV side of the size comparison: all four tables, since the
+    // store holds config + specs + both metric domains + events.
+    let mut csv_events = Vec::new();
+    write_events_csv(&ds, &mut csv_events).expect("csv encode");
+    let mut csv_total = csv_events.len();
+    type CsvLeg = fn(&Dataset, &mut Vec<u8>) -> std::io::Result<()>;
+    let legs: [CsvLeg; 3] = [
+        |ds, w| write_compute_metrics_csv(ds, w),
+        |ds, w| write_storage_metrics_csv(ds, w),
+        |ds, w| write_specs_csv(ds, w),
+    ];
+    for writer in legs {
+        let mut buf = Vec::new();
+        writer(&ds, &mut buf).expect("csv encode");
+        csv_total += buf.len();
+    }
+
+    // Events-only store container, the counterpart of events.csv.
+    let store_trace = {
+        let mut w = StoreWriter::new(Vec::new()).expect("store header");
+        w.write_events_chunked(&ds.events, EVENTS_PER_CHUNK)
+            .expect("store encode");
+        w.finish().expect("store finish")
+    };
+    // The full container, the counterpart of the 4-file CSV export.
+    let store_full = {
+        use ebs_store::format::kind;
+        use ebs_workload::store::{encode_config, spec_rows};
+        let mut w = StoreWriter::new(Vec::new()).expect("store header");
+        w.write_chunk(kind::CONFIG, &encode_config(&ds.config))
+            .expect("config chunk");
+        w.write_specs(&spec_rows(&ds.fleet)).expect("specs chunk");
+        w.write_series(
+            kind::COMPUTE_METRICS,
+            ds.compute.ticks,
+            ds.compute.per_qp.as_slice(),
+        )
+        .expect("compute chunk");
+        w.write_series(
+            kind::STORAGE_METRICS,
+            ds.storage.ticks,
+            ds.storage.per_seg.as_slice(),
+        )
+        .expect("storage chunk");
+        w.write_events_chunked(&ds.events, EVENTS_PER_CHUNK)
+            .expect("event chunks");
+        w.finish().expect("store finish")
+    };
+
+    let mut entries = Vec::new();
+    entries.push(measure_pair(
+        "trace_encode",
+        iters,
+        || {
+            let mut buf = Vec::new();
+            write_events_csv(&ds, &mut buf).expect("csv encode");
+            events
+        },
+        || {
+            let mut w = StoreWriter::new(Vec::new()).expect("store header");
+            w.write_events_chunked(&ds.events, EVENTS_PER_CHUNK)
+                .expect("store encode");
+            w.finish().expect("store finish");
+            events
+        },
+    ));
+    entries.push(measure_pair(
+        "trace_decode",
+        iters,
+        || read_events_csv(csv_events.as_slice()).expect("csv parse"),
+        || {
+            let mut out = Vec::with_capacity(events);
+            for batch in ChunkReader::new(store_trace.as_slice())
+                .expect("store header")
+                .into_event_chunks()
+            {
+                out.extend(batch.expect("store decode"));
+            }
+            out
+        },
+    ));
+    // Streaming aggregation: CCR / P2A / median request size straight off
+    // the serialized bytes, without materializing the trace.
+    let ticks = ds.config.storage_ticks();
+    let vd_count = ds.fleet.vd_count();
+    let digest = |s: &StreamSummary| {
+        (
+            s.ccr(0.2).map(f64::to_bits),
+            s.p2a().map(f64::to_bits),
+            s.size_quantile(0.5).map(f64::to_bits),
+        )
+    };
+    entries.push(measure_pair(
+        "stream_aggregate",
+        iters,
+        || {
+            let evs = read_events_csv(csv_events.as_slice()).expect("csv parse");
+            let mut s = StreamSummary::new(vd_count, ticks);
+            s.fold_chunk(&evs).expect("fold");
+            digest(&s)
+        },
+        || {
+            let mut s = StreamSummary::new(vd_count, ticks);
+            for batch in ChunkReader::new(store_trace.as_slice())
+                .expect("store header")
+                .into_event_chunks()
+            {
+                s.fold_chunk(&batch.expect("store decode")).expect("fold");
+            }
+            digest(&s)
+        },
+    ));
+    set_thread_override(None);
+
+    // The asserted ratio compares equivalent data: the events-only container
+    // against events.csv. The full container is reported too, but it is not
+    // a like-for-like size comparison — the store keeps metric series
+    // bit-exact while the CSV exports round them to 0–2 decimals.
+    let size_ratio = store_trace.len() as f64 / csv_events.len() as f64;
+    let full_ratio = store_full.len() as f64 / csv_total as f64;
+    let decode = &entries[1];
+    eprintln!(
+        "on-disk: trace store {} bytes vs events.csv {} bytes (ratio {:.3}); \
+         full store {} bytes vs all csv tables {} bytes (ratio {:.3})",
+        store_trace.len(),
+        csv_events.len(),
+        size_ratio,
+        store_full.len(),
+        csv_total,
+        full_ratio
+    );
+    assert!(
+        decode.speedup() >= 3.0,
+        "store decode must be >=3x faster than CSV parse, measured {:.2}x",
+        decode.speedup()
+    );
+    assert!(
+        size_ratio <= 0.5,
+        "trace store must be <=0.5x the size of events.csv, measured {size_ratio:.3}"
+    );
+
+    let header = format!(
+        "  \"scale\": \"{scale_name}\",\n  \"threads\": 1,\n  \"iters\": {iters},\n  \
+         \"events\": {events},\n  \"csv_bytes\": {},\n  \
+         \"store_bytes\": {},\n  \"size_ratio\": {size_ratio:.4},\n  \
+         \"full_csv_bytes\": {csv_total},\n  \"full_store_bytes\": {},\n  \
+         \"full_size_ratio\": {full_ratio:.4},\n  \
+         \"encode_events_per_s\": {:.0},\n  \"decode_events_per_s\": {:.0},\n  \
+         \"stream_events_per_s\": {:.0},\n",
+        csv_events.len(),
+        store_trace.len(),
+        store_full.len(),
+        events as f64 / entries[0].new_s,
+        events as f64 / entries[1].new_s,
+        events as f64 / entries[2].new_s,
+    );
+    write_report(out_path, &header, ("csv", "store"), &entries);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = if args.iter().any(|a| a == "--quick") {
@@ -457,8 +640,14 @@ fn main() {
             let out_path = flag("--out").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
             run_hotpath_mode(scale, iters, &out_path);
         }
+        "store" => {
+            let out_path = flag("--out").unwrap_or_else(|| "BENCH_store.json".to_string());
+            run_store_mode(scale, iters, &out_path);
+        }
         other => {
-            eprintln!("unknown --mode {other:?} (expected \"parallel\" or \"hotpath\")");
+            eprintln!(
+                "unknown --mode {other:?} (expected \"parallel\", \"hotpath\", or \"store\")"
+            );
             std::process::exit(2);
         }
     }

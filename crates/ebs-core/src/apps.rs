@@ -86,6 +86,18 @@ impl AppClass {
         }
     }
 
+    /// The class at dense index `idx` inside [`AppClass::ALL`] (inverse of
+    /// [`AppClass::index`]; used by the trace-store codec).
+    pub fn from_index(idx: usize) -> Option<AppClass> {
+        Self::ALL.get(idx).copied()
+    }
+
+    /// The class whose Table 4 label is `label`, if any (inverse of
+    /// [`AppClass::label`]; used by the CSV importer).
+    pub fn from_label(label: &str) -> Option<AppClass> {
+        Self::ALL.iter().copied().find(|c| c.label() == label)
+    }
+
     /// Dense index of this class inside [`AppClass::ALL`].
     pub fn index(self) -> usize {
         Self::ALL
@@ -120,6 +132,16 @@ mod tests {
         for c in AppClass::ALL {
             assert!(!c.example_apps().is_empty(), "{c} has no example apps");
         }
+    }
+
+    #[test]
+    fn index_and_label_round_trip() {
+        for c in AppClass::ALL {
+            assert_eq!(AppClass::from_index(c.index()), Some(c));
+            assert_eq!(AppClass::from_label(c.label()), Some(c));
+        }
+        assert_eq!(AppClass::from_index(99), None);
+        assert_eq!(AppClass::from_label("Mainframe"), None);
     }
 
     #[test]

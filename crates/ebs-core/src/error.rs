@@ -13,6 +13,17 @@ pub enum EbsError {
     UnknownEntity(String),
     /// A dataset did not contain the data an analysis required.
     EmptyDataset(String),
+    /// An underlying IO operation failed (message of the `std::io::Error`).
+    Io(String),
+    /// A stored file ended before a complete header/chunk could be read.
+    Truncated(String),
+    /// A stored chunk's CRC32 did not match its payload.
+    ChecksumMismatch(String),
+    /// A stored file declares a format version this build cannot read.
+    VersionSkew(String),
+    /// A stored file is structurally malformed (bad magic, impossible
+    /// lengths, inconsistent cross-references) beyond simple truncation.
+    CorruptStore(String),
 }
 
 impl EbsError {
@@ -35,6 +46,38 @@ impl EbsError {
     pub fn empty_dataset(msg: impl Into<String>) -> Self {
         EbsError::EmptyDataset(msg.into())
     }
+
+    /// Build an [`EbsError::Truncated`].
+    pub fn truncated(msg: impl Into<String>) -> Self {
+        EbsError::Truncated(msg.into())
+    }
+
+    /// Build an [`EbsError::ChecksumMismatch`].
+    pub fn checksum_mismatch(msg: impl Into<String>) -> Self {
+        EbsError::ChecksumMismatch(msg.into())
+    }
+
+    /// Build an [`EbsError::VersionSkew`].
+    pub fn version_skew(msg: impl Into<String>) -> Self {
+        EbsError::VersionSkew(msg.into())
+    }
+
+    /// Build an [`EbsError::CorruptStore`].
+    pub fn corrupt_store(msg: impl Into<String>) -> Self {
+        EbsError::CorruptStore(msg.into())
+    }
+}
+
+impl From<std::io::Error> for EbsError {
+    fn from(e: std::io::Error) -> Self {
+        // An unexpected EOF from a `Read` adapter is a truncation in store
+        // terms; everything else is an environment failure.
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            EbsError::Truncated(e.to_string())
+        } else {
+            EbsError::Io(e.to_string())
+        }
+    }
 }
 
 impl fmt::Display for EbsError {
@@ -44,6 +87,11 @@ impl fmt::Display for EbsError {
             EbsError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             EbsError::UnknownEntity(m) => write!(f, "unknown entity: {m}"),
             EbsError::EmptyDataset(m) => write!(f, "empty dataset: {m}"),
+            EbsError::Io(m) => write!(f, "io error: {m}"),
+            EbsError::Truncated(m) => write!(f, "truncated store: {m}"),
+            EbsError::ChecksumMismatch(m) => write!(f, "checksum mismatch: {m}"),
+            EbsError::VersionSkew(m) => write!(f, "version skew: {m}"),
+            EbsError::CorruptStore(m) => write!(f, "corrupt store: {m}"),
         }
     }
 }
@@ -60,6 +108,31 @@ mod tests {
         assert_eq!(e.to_string(), "invalid configuration: tick width");
         let e = EbsError::empty_dataset("no segments");
         assert!(e.to_string().contains("empty dataset"));
+    }
+
+    #[test]
+    fn store_variants_display_their_category() {
+        assert_eq!(
+            EbsError::truncated("chunk 3").to_string(),
+            "truncated store: chunk 3"
+        );
+        assert!(EbsError::checksum_mismatch("x")
+            .to_string()
+            .contains("checksum mismatch"));
+        assert!(EbsError::version_skew("v9")
+            .to_string()
+            .contains("version skew"));
+        assert!(EbsError::corrupt_store("magic")
+            .to_string()
+            .contains("corrupt store"));
+    }
+
+    #[test]
+    fn io_errors_convert_by_kind() {
+        let eof = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(EbsError::from(eof), EbsError::Truncated(_)));
+        let perm = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "no");
+        assert!(matches!(EbsError::from(perm), EbsError::Io(_)));
     }
 
     #[test]

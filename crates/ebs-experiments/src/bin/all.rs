@@ -6,11 +6,22 @@
 //! which additionally writes the observability run report (default
 //! `OBS_report.jsonl`/`.csv`, override with `EBS_OBS_OUT`) without
 //! touching stdout.
+//!
+//! `--trace <path>` persists the dataset: the first run generates and
+//! saves it to `path`, later runs replay from the store instead of
+//! regenerating. Output is byte-identical either way (the store round
+//! trip is exact); replay status goes to stderr only.
 use ebs_experiments::*;
 
 fn main() {
     let scale = Scale::from_args();
-    let ds = dataset(scale);
+    let ds = match Scale::trace_path_from_args() {
+        Some(path) => dataset_or_replay(scale, &path).unwrap_or_else(|e| {
+            eprintln!("cannot use trace store {}: {e}", path.display());
+            std::process::exit(2);
+        }),
+        None => dataset(scale),
+    };
     println!("{}", driver::run_all(&ds).join("\n\n"));
     ebs_obs::report::emit_global();
 }

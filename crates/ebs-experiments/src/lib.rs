@@ -39,4 +39,4 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 
-pub use scenario::{dataset, stack_traces, Scale, EXPERIMENT_SEED};
+pub use scenario::{dataset, dataset_or_replay, stack_traces, Scale, EXPERIMENT_SEED};

@@ -4,6 +4,7 @@
 //! numbers across tables/figures are mutually consistent, exactly like the
 //! paper's single 12-hour collection window.
 
+use ebs_core::error::EbsError;
 use ebs_stack::sim::{StackConfig, StackSim};
 use ebs_stack::SimOutput;
 use ebs_workload::{generate, Dataset, WorkloadConfig};
@@ -33,6 +34,20 @@ impl Scale {
         }
     }
 
+    /// Parse a `--trace <path>` argument: the store file to replay from
+    /// (or to create on the first run). `None` when the flag is absent.
+    pub fn trace_path_from_args() -> Option<std::path::PathBuf> {
+        let args: Vec<String> = std::env::args().collect();
+        let at = args.iter().position(|a| a == "--trace")?;
+        match args.get(at + 1) {
+            Some(p) if !p.starts_with("--") => Some(std::path::PathBuf::from(p)),
+            _ => {
+                eprintln!("--trace requires a path argument");
+                std::process::exit(2);
+            }
+        }
+    }
+
     /// The workload configuration for this scale.
     pub fn config(self, seed: u64) -> WorkloadConfig {
         match self {
@@ -52,6 +67,37 @@ pub const EXPERIMENT_SEED: u64 = 0xEB5_2025;
 /// Generate the canonical dataset at `scale`.
 pub fn dataset(scale: Scale) -> Dataset {
     generate(&scale.config(EXPERIMENT_SEED)).expect("canonical config must validate")
+}
+
+/// The canonical dataset at `scale`, persisted at `path`.
+///
+/// If `path` exists the dataset is *replayed* from the store (no
+/// generation); otherwise it is generated once and saved there for the
+/// next run. Either way the returned dataset is identical to
+/// [`dataset`]`(scale)` — the store round-trip is byte-exact — so every
+/// experiment's output is unchanged by the flag. Status goes to stderr;
+/// stdout stays reserved for experiment output.
+///
+/// A present-but-unreadable store (truncated, corrupt, version-skewed) is
+/// a hard error: silently regenerating would mask data loss.
+pub fn dataset_or_replay(scale: Scale, path: &std::path::Path) -> Result<Dataset, EbsError> {
+    if path.exists() {
+        let ds = Dataset::load(path)?;
+        eprintln!(
+            "replayed {} events from {}",
+            ds.trace_count(),
+            path.display()
+        );
+        return Ok(ds);
+    }
+    let ds = dataset(scale);
+    ds.save(path)?;
+    eprintln!(
+        "generated {} events and saved them to {}",
+        ds.trace_count(),
+        path.display()
+    );
+    Ok(ds)
 }
 
 /// Route the dataset's sampled events through the stack simulator,

@@ -1,0 +1,406 @@
+//! Column codecs for the three paper datasets.
+//!
+//! Each payload is column-major: all timestamps, then all VD ids, then all
+//! QP ids, … — so same-typed values sit adjacent and the varint encoder
+//! sees short, similar integers (timestamps become small deltas, ids and
+//! sizes repeat). Floats always travel as raw IEEE-754 bits; a
+//! save→load→save cycle is byte-identical.
+
+use crate::bytes::{ByteReader, ByteWriter};
+use ebs_core::apps::AppClass;
+use ebs_core::error::EbsError;
+use ebs_core::ids::{QpId, VdId};
+use ebs_core::io::{IoEvent, Op};
+use ebs_core::metric::{Flow, RwFlow, Series};
+use ebs_core::time::TickSpec;
+
+/// One row of the specification dataset: the per-VD subscription facts the
+/// paper's Table 1 lists, flattened for storage. `ebs-workload` maps these
+/// to/from its `Fleet`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpecRow {
+    /// Owning VM (dense id).
+    pub vm: u32,
+    /// Inferred application class of the owning VM.
+    pub app: AppClass,
+    /// VD capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Queue pairs of the VD.
+    pub qp_count: u8,
+    /// Throughput cap (bytes/s).
+    pub tput_cap: f64,
+    /// IOPS cap.
+    pub iops_cap: f64,
+}
+
+/// Encode a time-sorted batch of events, column-major with delta-encoded
+/// timestamps. Returns [`EbsError::InvalidSpec`] if the batch is not sorted
+/// by `t_us` (the invariant every dataset in the workspace maintains).
+pub fn encode_events(events: &[IoEvent]) -> Result<Vec<u8>, EbsError> {
+    let mut w = ByteWriter::new();
+    w.put_varint(events.len() as u64);
+    let mut prev = 0u64;
+    for e in events {
+        if e.t_us < prev {
+            return Err(EbsError::invalid_spec(format!(
+                "event batch not time-sorted: {} after {prev}",
+                e.t_us
+            )));
+        }
+        w.put_varint(e.t_us - prev);
+        prev = e.t_us;
+    }
+    for e in events {
+        w.put_varint(e.vd.0 as u64);
+    }
+    for e in events {
+        w.put_varint(e.qp.0 as u64);
+    }
+    // Op column: one bit per event, 1 = write.
+    let mut bits = vec![0u8; events.len().div_ceil(8)];
+    for (i, e) in events.iter().enumerate() {
+        if e.op.is_write() {
+            bits[i / 8] |= 1 << (i % 8);
+        }
+    }
+    w.put_bytes(&bits);
+    for e in events {
+        w.put_varint(e.size as u64);
+    }
+    for e in events {
+        w.put_varint(e.offset);
+    }
+    Ok(w.into_bytes())
+}
+
+/// Decode one event batch. Timestamps come back non-decreasing by
+/// construction (deltas are unsigned); ids and sizes are range-checked
+/// against their column types, not against any fleet — the loader layers
+/// fleet validation on top.
+pub fn decode_events(payload: &[u8]) -> Result<Vec<IoEvent>, EbsError> {
+    let mut r = ByteReader::new(payload, "events chunk");
+    let declared = r_count(&mut r)?;
+    let count = r.check_count(declared, 5)?;
+    // Build the event vector once and fill the remaining columns in place:
+    // one allocation total, no per-column temporaries (this decode is the
+    // replay hot path the `bench --mode store` baseline measures).
+    let mut events = Vec::with_capacity(count);
+    let mut prev = 0u64;
+    for _ in 0..count {
+        let delta = r.get_varint()?;
+        prev = prev.checked_add(delta).ok_or_else(|| {
+            EbsError::corrupt_store("events chunk: timestamp overflows u64".to_string())
+        })?;
+        events.push(IoEvent {
+            t_us: prev,
+            vd: VdId(0),
+            qp: QpId(0),
+            op: Op::Read,
+            size: 0,
+            offset: 0,
+        });
+    }
+    for e in events.iter_mut() {
+        e.vd = VdId(r.get_varint_u32()?);
+    }
+    for e in events.iter_mut() {
+        e.qp = QpId(r.get_varint_u32()?);
+    }
+    let bits = r.get_bytes(count.div_ceil(8))?;
+    for (i, e) in events.iter_mut().enumerate() {
+        if bits[i / 8] >> (i % 8) & 1 == 1 {
+            e.op = Op::Write;
+        }
+    }
+    for e in events.iter_mut() {
+        e.size = r.get_varint_u32()?;
+    }
+    for e in events.iter_mut() {
+        e.offset = r.get_varint()?;
+    }
+    r.expect_end()?;
+    Ok(events)
+}
+
+/// Read the leading element count of a payload.
+fn r_count(r: &mut ByteReader<'_>) -> Result<u64, EbsError> {
+    r.get_varint()
+}
+
+/// Encode the specification dataset (one row per VD, VD-id order).
+pub fn encode_specs(rows: &[SpecRow]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_varint(rows.len() as u64);
+    for row in rows {
+        w.put_varint(row.vm as u64);
+        w.put_u8(row.app.index() as u8);
+        w.put_varint(row.capacity_bytes);
+        w.put_u8(row.qp_count);
+        w.put_f64_bits(row.tput_cap);
+        w.put_f64_bits(row.iops_cap);
+    }
+    w.into_bytes()
+}
+
+/// Decode the specification dataset.
+pub fn decode_specs(payload: &[u8]) -> Result<Vec<SpecRow>, EbsError> {
+    let mut r = ByteReader::new(payload, "specs chunk");
+    let declared = r_count(&mut r)?;
+    let count = r.check_count(declared, 20)?;
+    let mut rows = Vec::with_capacity(count);
+    for i in 0..count {
+        let vm = r.get_varint_u32()?;
+        let app_idx = r.get_u8()?;
+        let app = AppClass::from_index(app_idx as usize).ok_or_else(|| {
+            EbsError::corrupt_store(format!(
+                "specs chunk: row {i} has unknown app class {app_idx}"
+            ))
+        })?;
+        rows.push(SpecRow {
+            vm,
+            app,
+            capacity_bytes: r.get_varint()?,
+            qp_count: r.get_u8()?,
+            tput_cap: r.get_f64_bits()?,
+            iops_cap: r.get_f64_bits()?,
+        });
+    }
+    r.expect_end()?;
+    Ok(rows)
+}
+
+/// Encode one metric domain: the tick grid plus one sparse series per
+/// entity (QP or segment), entity-id order.
+pub fn encode_series_set(ticks: TickSpec, series: &[Series]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_f64_bits(ticks.tick_secs);
+    w.put_varint(ticks.ticks as u64);
+    w.put_varint(series.len() as u64);
+    for s in series {
+        w.put_varint(s.samples().len() as u64);
+        let mut prev = 0u32;
+        for sample in s.samples() {
+            w.put_varint((sample.tick - prev) as u64);
+            prev = sample.tick;
+            w.put_f64_bits(sample.rw.read.bytes);
+            w.put_f64_bits(sample.rw.read.ops);
+            w.put_f64_bits(sample.rw.write.bytes);
+            w.put_f64_bits(sample.rw.write.ops);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode one metric domain back into a tick grid and per-entity series.
+pub fn decode_series_set(
+    payload: &[u8],
+    domain: &str,
+) -> Result<(TickSpec, Vec<Series>), EbsError> {
+    let mut r = ByteReader::new(payload, "metric chunk");
+    let tick_secs = r.get_f64_bits()?;
+    let ticks = r.get_varint_u32()?;
+    if !(tick_secs.is_finite() && tick_secs > 0.0) || ticks == 0 {
+        return Err(EbsError::corrupt_store(format!(
+            "{domain} metrics: invalid tick grid ({tick_secs} s x {ticks})"
+        )));
+    }
+    let spec = TickSpec::new(tick_secs, ticks);
+    let declared_entities = r.get_varint()?;
+    let entities = r.check_count(declared_entities, 1)?;
+    let mut out = Vec::with_capacity(entities);
+    for entity in 0..entities {
+        let declared_samples = r.get_varint()?;
+        let samples = r.check_count(declared_samples, 33)?;
+        let mut series = Series::new();
+        let mut tick = 0u32;
+        for k in 0..samples {
+            let delta = r.get_varint_u32()?;
+            if k > 0 && delta == 0 {
+                return Err(EbsError::corrupt_store(format!(
+                    "{domain} metrics: entity {entity} repeats tick {tick}"
+                )));
+            }
+            tick = tick.checked_add(delta).ok_or_else(|| {
+                EbsError::corrupt_store(format!(
+                    "{domain} metrics: entity {entity} tick overflows u32"
+                ))
+            })?;
+            let rw = RwFlow {
+                read: Flow {
+                    bytes: r.get_f64_bits()?,
+                    ops: r.get_f64_bits()?,
+                },
+                write: Flow {
+                    bytes: r.get_f64_bits()?,
+                    ops: r.get_f64_bits()?,
+                },
+            };
+            // `Series::push` requires non-decreasing ticks, which the
+            // delta decoding guarantees; it drops all-zero flows, which
+            // a well-formed store never contains.
+            series.push(tick, rw);
+        }
+        out.push(series);
+    }
+    r.expect_end()?;
+    Ok((spec, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<IoEvent> {
+        (0..1000u64)
+            .map(|i| IoEvent {
+                t_us: i * 37,
+                vd: VdId((i % 7) as u32),
+                qp: QpId((i % 13) as u32),
+                op: if i % 3 == 0 { Op::Write } else { Op::Read },
+                size: 4096 * ((i % 5) as u32 + 1),
+                offset: i * 8192 + (i % 11) * (1 << 30),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let events = sample_events();
+        let payload = encode_events(&events).unwrap();
+        assert_eq!(decode_events(&payload).unwrap(), events);
+    }
+
+    #[test]
+    fn empty_event_batch_round_trips() {
+        let payload = encode_events(&[]).unwrap();
+        assert!(decode_events(&payload).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unsorted_batch_is_rejected_at_encode_time() {
+        let mut events = sample_events();
+        events.swap(0, 500);
+        assert!(matches!(
+            encode_events(&events),
+            Err(EbsError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn event_encoding_is_compact() {
+        let events = sample_events();
+        let payload = encode_events(&events).unwrap();
+        // Struct size is 32 bytes; the column encoding should be well
+        // under half of that per event for realistic streams.
+        assert!(
+            payload.len() < events.len() * 16,
+            "{} bytes for {} events",
+            payload.len(),
+            events.len()
+        );
+    }
+
+    #[test]
+    fn truncated_event_payload_is_typed_not_panic() {
+        let events = sample_events();
+        let payload = encode_events(&events).unwrap();
+        for cut in [0, 1, 2, payload.len() / 2, payload.len() - 1] {
+            let err = decode_events(&payload[..cut]).unwrap_err();
+            assert!(
+                matches!(err, EbsError::Truncated(_) | EbsError::CorruptStore(_)),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn specs_round_trip() {
+        let rows = vec![
+            SpecRow {
+                vm: 3,
+                app: AppClass::Database,
+                capacity_bytes: 100 << 30,
+                qp_count: 4,
+                tput_cap: 3.2e8,
+                iops_cap: 12_000.0,
+            },
+            SpecRow {
+                vm: 0,
+                app: AppClass::Docker,
+                capacity_bytes: 40 << 30,
+                qp_count: 1,
+                tput_cap: 1.0e8,
+                iops_cap: 2_400.0,
+            },
+        ];
+        let payload = encode_specs(&rows);
+        assert_eq!(decode_specs(&payload).unwrap(), rows);
+    }
+
+    #[test]
+    fn bad_app_class_is_corruption() {
+        let rows = vec![SpecRow {
+            vm: 0,
+            app: AppClass::BigData,
+            capacity_bytes: 1 << 30,
+            qp_count: 1,
+            tput_cap: 1.0,
+            iops_cap: 1.0,
+        }];
+        let mut payload = encode_specs(&rows);
+        payload[2] = 42; // app byte of row 0 (after count varint + vm varint)
+        assert!(matches!(
+            decode_specs(&payload),
+            Err(EbsError::CorruptStore(_))
+        ));
+    }
+
+    #[test]
+    fn series_sets_round_trip_bit_exactly() {
+        let mut a = Series::new();
+        a.push(
+            3,
+            RwFlow {
+                read: Flow {
+                    bytes: 1.5e9,
+                    ops: 366.2,
+                },
+                write: Flow::ZERO,
+            },
+        );
+        a.push(
+            9,
+            RwFlow {
+                read: Flow::ZERO,
+                write: Flow {
+                    bytes: 7.25e8,
+                    ops: 177.0,
+                },
+            },
+        );
+        let b = Series::new();
+        let ticks = TickSpec::new(10.0, 360);
+        let payload = encode_series_set(ticks, &[a.clone(), b.clone()]);
+        let (spec, decoded) = decode_series_set(&payload, "compute").unwrap();
+        assert_eq!(spec, ticks);
+        assert_eq!(decoded, vec![a, b]);
+    }
+
+    #[test]
+    fn zero_tick_grid_is_corruption() {
+        let payload = encode_series_set(TickSpec::new(1.0, 5), &[]);
+        // Flip the tick_secs field to -1.0 bits.
+        let mut bad = payload.clone();
+        bad[..8].copy_from_slice(&(-1.0f64).to_bits().to_le_bytes());
+        assert!(matches!(
+            decode_series_set(&bad, "compute"),
+            Err(EbsError::CorruptStore(_))
+        ));
+        let mut bad = payload;
+        bad[8] = 0; // ticks varint -> 0
+        assert!(matches!(
+            decode_series_set(&bad, "storage"),
+            Err(EbsError::CorruptStore(_))
+        ));
+    }
+}

@@ -1,0 +1,162 @@
+//! CRC32 (IEEE 802.3 polynomial, the zlib/gzip variant), implemented
+//! in-repo because the build environment is offline — the same reason
+//! `ebs_core::hash` carries its own FxHash. Uses the slicing-by-8
+//! technique: eight 256-entry tables built once at first use, folding
+//! eight input bytes per step, so checksum verification stays well off
+//! the critical path of streaming decode.
+
+use std::sync::OnceLock;
+
+/// Reflected polynomial of CRC-32/ISO-HDLC.
+const POLY: u32 = 0xEDB8_8320;
+
+fn tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, slot) in t[0].iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        // t[k][i] extends t[k-1][i] by one zero byte, so the eight tables
+        // jointly advance the state across an 8-byte word in one step.
+        for k in 1..8 {
+            let (done, rest) = t.split_at_mut(k);
+            let base = &done[0];
+            let prev = done[k - 1];
+            for (slot, p) in rest[0].iter_mut().zip(prev) {
+                *slot = (p >> 8) ^ base[(p & 0xFF) as usize];
+            }
+        }
+        t
+    })
+}
+
+/// Incremental CRC32 state.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh checksum state.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = tables();
+        let mut crc = self.state;
+        let mut chunks = bytes.chunks_exact(8);
+        for w in &mut chunks {
+            let lo = u32::from_le_bytes(w[..4].try_into().expect("4-byte slice")) ^ crc;
+            let hi = u32::from_le_bytes(w[4..].try_into().expect("4-byte slice"));
+            crc = t[7][(lo & 0xFF) as usize]
+                ^ t[6][(lo >> 8 & 0xFF) as usize]
+                ^ t[5][(lo >> 16 & 0xFF) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][(hi & 0xFF) as usize]
+                ^ t[2][(hi >> 8 & 0xFF) as usize]
+                ^ t[1][(hi >> 16 & 0xFF) as usize]
+                ^ t[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Final checksum value.
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference byte-at-a-time implementation, kept only to pin the
+    /// slicing-by-8 fast path to the classic algorithm.
+    fn crc32_bytewise(bytes: &[u8]) -> u32 {
+        let t = &tables()[0];
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in bytes {
+            crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        crc ^ 0xFFFF_FFFF
+    }
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sliced_path_matches_bytewise_at_every_alignment() {
+        let data: Vec<u8> = (0..257u32).map(|i| (i * 31 % 251) as u8).collect();
+        for len in 0..data.len() {
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_bytewise(&data[..len]),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data = b"hey hey, my my, skewness is here to stay";
+        let mut c = Crc32::new();
+        c.update(&data[..7]);
+        c.update(&data[7..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn incremental_split_mid_word_equals_one_shot() {
+        let data: Vec<u8> = (0..100u8).collect();
+        for split in [1, 3, 8, 13, 64, 99] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), crc32(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data = vec![0u8; 1024];
+        data[500] = 0x55;
+        let base = crc32(&data);
+        data[500] ^= 0x01;
+        assert_ne!(crc32(&data), base);
+    }
+}

@@ -1,0 +1,52 @@
+//! On-disk layout constants of the `ebs-store` container (DESIGN.md §12).
+//!
+//! ```text
+//! file   := magic(8) version(u32 LE) chunk* end-chunk
+//! chunk  := kind(u8) payload_len(u32 LE) crc32(u32 LE) payload
+//! ```
+//!
+//! The CRC covers exactly the payload bytes. The end chunk carries the
+//! number of preceding chunks and the total event count, so a file cut at
+//! a chunk boundary — which would otherwise parse cleanly — is still
+//! detected as truncated.
+
+/// File magic: identifies an ebs-store container independent of version.
+pub const MAGIC: [u8; 8] = *b"EBSSTORE";
+
+/// Current format version. Readers reject anything newer ([version skew]);
+/// older versions would be migrated here once version 2 exists.
+///
+/// [version skew]: ebs_core::error::EbsError::VersionSkew
+pub const VERSION: u32 = 1;
+
+/// Upper bound on a single chunk's payload (writers stay far below; a
+/// declared length past this is corruption, not an allocation request).
+pub const MAX_CHUNK_LEN: u32 = 256 << 20;
+
+/// Default number of events per chunk written by
+/// [`crate::writer::StoreWriter::write_events_chunked`]: large enough to
+/// amortize framing, small enough that streaming readers hold ~2 MB live.
+pub const EVENTS_PER_CHUNK: usize = 65_536;
+
+/// Chunk kind tags. Unknown kinds are skipped by readers (forward-compatible
+/// within one version: a v1 reader ignores optional chunks it predates).
+pub mod kind {
+    /// Opaque generation-config payload (encoded by `ebs-workload`).
+    pub const CONFIG: u8 = 1;
+    /// Specification data: one row per VD (§2.3 "specification dataset").
+    pub const SPECS: u8 = 2;
+    /// A column-major batch of sampled IO events (trace dataset).
+    pub const EVENTS: u8 = 3;
+    /// Compute-domain metric series (per QP).
+    pub const COMPUTE_METRICS: u8 = 4;
+    /// Storage-domain metric series (per segment).
+    pub const STORAGE_METRICS: u8 = 5;
+    /// Terminal chunk: chunk count + event total for truncation detection.
+    pub const END: u8 = 0xFF;
+}
+
+/// Bytes of the fixed file header (magic + version).
+pub const HEADER_LEN: usize = MAGIC.len() + 4;
+
+/// Bytes of a chunk frame header (kind + length + crc).
+pub const FRAME_LEN: usize = 1 + 4 + 4;

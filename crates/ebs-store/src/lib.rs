@@ -1,0 +1,60 @@
+//! # ebs-store — persistent columnar trace store with streaming replay
+//!
+//! The paper's three datasets (trace events, performance metrics,
+//! specifications; §2.3) are expensive to regenerate and much too large to
+//! re-derive per experiment. This crate gives them a durable on-disk form:
+//! a versioned, chunked, column-major binary container in which each chunk
+//! is sealed by a length header and a CRC32 checksum.
+//!
+//! Layout (DESIGN.md §12):
+//!
+//! ```text
+//! file   := magic "EBSSTORE" version(u32 LE) chunk* end-chunk
+//! chunk  := kind(u8) payload_len(u32 LE) crc32(u32 LE) payload
+//! ```
+//!
+//! Payloads are column-major: timestamps are delta-encoded varints (events
+//! are globally time-sorted, so deltas are small), ids and sizes are LEB128
+//! varints, floats travel as raw IEEE-754 bits so a save→load→save cycle is
+//! byte-identical. The [`writer::StoreWriter`] produces containers; the
+//! [`reader::ChunkReader`] either materializes them fully or streams event
+//! chunks one at a time into a [`stream::StreamSummary`], which computes
+//! the paper's CCR / P2A / size-quantile statistics without ever holding
+//! the whole trace in memory.
+//!
+//! Failure model: every decode path returns a typed
+//! [`ebs_core::error::EbsError`] — [`Truncated`], [`ChecksumMismatch`],
+//! [`VersionSkew`], or [`CorruptStore`] — and hostile input can never
+//! panic or trigger an unbounded allocation (declared counts are validated
+//! against the bytes actually present before any `Vec` is reserved).
+//!
+//! The crate is dependency-free by design (the build environment is
+//! offline): CRC32 and varints are implemented in-repo, the same way
+//! `ebs_core::hash` carries its own FxHash.
+//!
+//! [`Truncated`]: ebs_core::error::EbsError::Truncated
+//! [`ChecksumMismatch`]: ebs_core::error::EbsError::ChecksumMismatch
+//! [`VersionSkew`]: ebs_core::error::EbsError::VersionSkew
+//! [`CorruptStore`]: ebs_core::error::EbsError::CorruptStore
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bytes;
+pub mod columns;
+pub mod crc32;
+pub mod format;
+pub mod reader;
+pub mod stream;
+pub mod writer;
+
+pub use bytes::{ByteReader, ByteWriter};
+pub use columns::{
+    decode_events, decode_series_set, decode_specs, encode_events, encode_series_set, encode_specs,
+    SpecRow,
+};
+pub use crc32::{crc32, Crc32};
+pub use format::{EVENTS_PER_CHUNK, FRAME_LEN, HEADER_LEN, MAGIC, MAX_CHUNK_LEN, VERSION};
+pub use reader::{Chunk, ChunkReader, EndSummary, EventChunks};
+pub use stream::StreamSummary;
+pub use writer::StoreWriter;

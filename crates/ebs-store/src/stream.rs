@@ -1,0 +1,227 @@
+//! Streaming aggregation over event chunks: the paper's headline
+//! skewness statistics (CCR, P2A, size quantiles) computed one chunk at a
+//! time, so a multi-gigabyte trace never has to materialize as a single
+//! `Vec<IoEvent>`.
+//!
+//! The summary keeps O(vd_count + ticks + distinct sizes) state — per-VD
+//! byte totals feed [`ebs_analysis::ccr`], per-tick byte totals feed
+//! [`ebs_analysis::p2a`], and a size histogram answers quantiles with the
+//! same linear-interpolation convention as [`ebs_analysis::quantile`].
+
+use std::collections::BTreeMap;
+
+use ebs_analysis::{ccr, p2a};
+use ebs_core::error::EbsError;
+use ebs_core::io::IoEvent;
+use ebs_core::time::TickSpec;
+
+/// Incremental trace summary, fed by [`fold_chunk`](Self::fold_chunk).
+#[derive(Clone, Debug)]
+pub struct StreamSummary {
+    ticks: TickSpec,
+    vd_bytes: Vec<f64>,
+    tick_bytes: Vec<f64>,
+    size_counts: BTreeMap<u32, u64>,
+    events: u64,
+    bytes: u64,
+}
+
+impl StreamSummary {
+    /// Empty summary for a fleet of `vd_count` disks over the `ticks` grid.
+    pub fn new(vd_count: usize, ticks: TickSpec) -> Self {
+        Self {
+            ticks,
+            vd_bytes: vec![0.0; vd_count],
+            tick_bytes: vec![0.0; ticks.ticks as usize],
+            size_counts: BTreeMap::new(),
+            events: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Absorb one decoded chunk of events.
+    ///
+    /// A `vd` index outside the fleet is [`EbsError::CorruptStore`] — the
+    /// summary is fed from disk, so out-of-range ids mean a damaged or
+    /// mismatched file, not a programming error.
+    pub fn fold_chunk(&mut self, events: &[IoEvent]) -> Result<(), EbsError> {
+        for ev in events {
+            let vd = ev.vd.0 as usize;
+            if vd >= self.vd_bytes.len() {
+                return Err(EbsError::corrupt_store(format!(
+                    "event names vd {vd} but the fleet has {} disks",
+                    self.vd_bytes.len()
+                )));
+            }
+            let size = f64::from(ev.size);
+            self.vd_bytes[vd] += size;
+            let tick = self.ticks.tick_of_us(ev.t_us) as usize;
+            self.tick_bytes[tick] += size;
+            *self.size_counts.entry(ev.size).or_insert(0) += 1;
+            self.events += 1;
+            self.bytes += u64::from(ev.size);
+        }
+        Ok(())
+    }
+
+    /// Events absorbed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Total bytes moved by absorbed events.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Per-VD byte contributions (index = vd id).
+    pub fn vd_bytes(&self) -> &[f64] {
+        &self.vd_bytes
+    }
+
+    /// Per-tick byte series over the configured grid.
+    pub fn tick_bytes(&self) -> &[f64] {
+        &self.tick_bytes
+    }
+
+    /// Capacity contribution ratio: smallest fraction of disks carrying
+    /// `frac` of the traffic (paper §3.1). `None` while no bytes absorbed.
+    pub fn ccr(&self, frac: f64) -> Option<f64> {
+        ccr(&self.vd_bytes, frac)
+    }
+
+    /// Peak-to-average ratio of the per-tick byte series (paper §3.2).
+    pub fn p2a(&self) -> Option<f64> {
+        p2a(&self.tick_bytes)
+    }
+
+    /// The `q`-quantile of request sizes, linear-interpolated between order
+    /// statistics exactly like [`ebs_analysis::quantile`] — but computed
+    /// from the weighted histogram, without expanding one value per event.
+    pub fn size_quantile(&self, q: f64) -> Option<f64> {
+        if self.events == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.events - 1) as f64;
+        let lo_rank = pos.floor() as u64;
+        let hi_rank = pos.ceil() as u64;
+        let lo = self.value_at_rank(lo_rank)?;
+        if lo_rank == hi_rank {
+            return Some(lo);
+        }
+        let hi = self.value_at_rank(hi_rank)?;
+        let frac = pos - lo_rank as f64;
+        Some(lo * (1.0 - frac) + hi * frac)
+    }
+
+    /// Fraction of events with size ≤ `x` (the empirical CDF at `x`).
+    pub fn size_cdf_at(&self, x: f64) -> Option<f64> {
+        if self.events == 0 {
+            return None;
+        }
+        let below: u64 = self
+            .size_counts
+            .iter()
+            .take_while(|(&size, _)| f64::from(size) <= x)
+            .map(|(_, &n)| n)
+            .sum();
+        Some(below as f64 / self.events as f64)
+    }
+
+    fn value_at_rank(&self, rank: u64) -> Option<f64> {
+        let mut seen = 0u64;
+        for (&size, &count) in &self.size_counts {
+            seen += count;
+            if rank < seen {
+                return Some(f64::from(size));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_analysis::{quantile, Cdf};
+    use ebs_core::ids::{QpId, VdId};
+    use ebs_core::io::Op;
+
+    fn events() -> Vec<IoEvent> {
+        // Skewed on purpose: vd 0 carries most of the bytes, and traffic
+        // bunches into the first tick.
+        let sizes = [4096u32, 8192, 4096, 65536, 4096, 16384, 8192, 4096];
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| IoEvent {
+                t_us: if i < 6 { 100 + i as u64 } else { 2_000_000 },
+                vd: VdId(if i == 3 { 1 } else { 0 }),
+                qp: QpId(0),
+                op: Op::Read,
+                size,
+                offset: 0,
+            })
+            .collect()
+    }
+
+    fn grid() -> TickSpec {
+        TickSpec::new(1.0, 4)
+    }
+
+    #[test]
+    fn folding_in_chunks_equals_folding_at_once() {
+        let evs = events();
+        let mut whole = StreamSummary::new(2, grid());
+        whole.fold_chunk(&evs).unwrap();
+        let mut parts = StreamSummary::new(2, grid());
+        for chunk in evs.chunks(3) {
+            parts.fold_chunk(chunk).unwrap();
+        }
+        assert_eq!(whole.vd_bytes(), parts.vd_bytes());
+        assert_eq!(whole.tick_bytes(), parts.tick_bytes());
+        assert_eq!(whole.events(), parts.events());
+        assert_eq!(whole.size_quantile(0.5), parts.size_quantile(0.5));
+    }
+
+    #[test]
+    fn matches_batch_analysis_on_materialized_events() {
+        let evs = events();
+        let mut s = StreamSummary::new(2, grid());
+        s.fold_chunk(&evs).unwrap();
+
+        let mut vd_bytes = vec![0.0f64; 2];
+        let mut tick_bytes = vec![0.0f64; 4];
+        let sizes: Vec<f64> = evs.iter().map(|e| f64::from(e.size)).collect();
+        for e in &evs {
+            vd_bytes[e.vd.0 as usize] += f64::from(e.size);
+            tick_bytes[grid().tick_of_us(e.t_us) as usize] += f64::from(e.size);
+        }
+        assert_eq!(s.ccr(0.8), ccr(&vd_bytes, 0.8));
+        assert_eq!(s.p2a(), p2a(&tick_bytes));
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.size_quantile(q), quantile(&sizes, q), "q={q}");
+        }
+        let cdf = Cdf::new(&sizes);
+        for x in [0.0, 4096.0, 8192.0, 9000.0, 65536.0, 1e9] {
+            assert_eq!(s.size_cdf_at(x), cdf.at(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_vd_is_corrupt_store() {
+        let mut s = StreamSummary::new(1, grid());
+        let mut evs = events();
+        evs[0].vd = VdId(7);
+        assert!(matches!(s.fold_chunk(&evs), Err(EbsError::CorruptStore(_))));
+    }
+
+    #[test]
+    fn empty_summary_yields_none_everywhere() {
+        let s = StreamSummary::new(4, grid());
+        assert_eq!(s.ccr(0.8), None);
+        assert_eq!(s.size_quantile(0.5), None);
+        assert_eq!(s.size_cdf_at(4096.0), None);
+    }
+}

@@ -44,15 +44,19 @@ pub mod dist;
 pub mod export;
 pub mod fleet;
 pub mod generator;
+pub mod import;
 pub mod lba;
 pub mod profile;
 pub mod sampler;
 pub mod spatial;
+pub mod store;
 
 pub use config::WorkloadConfig;
 pub use dataset::Dataset;
 pub use fleet::{build_fleet, summarize, FleetSummary};
 pub use generator::{generate, generate_for_fleet};
+pub use import::{dataset_from_csv, import_dir, read_specs_csv, SpecCsvRow};
 pub use lba::LbaModel;
 pub use profile::AppProfile;
 pub use spatial::{build_plan, TrafficPlan};
+pub use store::{spec_rows, stream_events};

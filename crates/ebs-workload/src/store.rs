@@ -1,0 +1,409 @@
+//! Dataset persistence: [`Dataset::save`] / [`Dataset::load`] over the
+//! `ebs-store` columnar container, plus a streaming event reader for
+//! analyses that never need the whole trace in memory.
+//!
+//! The fleet and the traffic plan are *not* stored: both are deterministic
+//! functions of the [`WorkloadConfig`] (`build_fleet` + `build_plan` draw
+//! from seeded RNG streams), so the store carries the config as its own
+//! chunk and the loader rebuilds them. The specification chunk is still
+//! written — the loader cross-checks it row-for-row against the rebuilt
+//! fleet, so a store paired with the wrong code version (or a tampered
+//! config chunk) fails loudly instead of silently re-deriving different
+//! subscriptions.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use ebs_core::error::EbsError;
+use ebs_core::ids::IdVec;
+use ebs_core::io::IoEvent;
+use ebs_core::metric::{ComputeMetrics, StorageMetrics};
+use ebs_core::topology::Fleet;
+use ebs_store::columns::{decode_series_set, decode_specs, SpecRow};
+use ebs_store::format::{kind, EVENTS_PER_CHUNK};
+use ebs_store::{ByteReader, ByteWriter, Chunk, ChunkReader, EventChunks, StoreWriter};
+
+use crate::config::WorkloadConfig;
+use crate::dataset::Dataset;
+use crate::fleet::build_fleet;
+use crate::spatial::build_plan;
+
+/// Encode a [`WorkloadConfig`] as a store payload. Floats travel as raw
+/// bits, so the round trip is exact even for non-decimal-representable
+/// values.
+pub fn encode_config(config: &WorkloadConfig) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_varint(config.seed);
+    w.put_varint(u64::from(config.dc_count));
+    w.put_varint(u64::from(config.cns_per_dc));
+    w.put_varint(u64::from(config.sns_per_dc));
+    w.put_varint(u64::from(config.bss_per_sn));
+    w.put_varint(u64::from(config.users_per_dc));
+    w.put_varint(u64::from(config.vms_per_dc));
+    w.put_f64_bits(config.duration_secs);
+    w.put_f64_bits(config.compute_tick_secs);
+    w.put_f64_bits(config.storage_tick_secs);
+    w.put_f64_bits(config.traffic_scale);
+    w.put_varint(config.dc_skew.len() as u64);
+    for &s in &config.dc_skew {
+        w.put_f64_bits(s);
+    }
+    w.put_u8(u8::from(config.whale_tenant));
+    w.into_bytes()
+}
+
+/// Decode a [`WorkloadConfig`] payload. The decoded config is validated —
+/// a store whose config cannot generate a fleet is reported as corrupt,
+/// not handed to the generator to panic on.
+pub fn decode_config(payload: &[u8]) -> Result<WorkloadConfig, EbsError> {
+    let mut r = ByteReader::new(payload, "config chunk");
+    let seed = r.get_varint()?;
+    let dc_count = r.get_varint_u32()?;
+    let cns_per_dc = r.get_varint_u32()?;
+    let sns_per_dc = r.get_varint_u32()?;
+    let bss_per_sn = r.get_varint_u32()?;
+    let users_per_dc = r.get_varint_u32()?;
+    let vms_per_dc = r.get_varint_u32()?;
+    let duration_secs = r.get_f64_bits()?;
+    let compute_tick_secs = r.get_f64_bits()?;
+    let storage_tick_secs = r.get_f64_bits()?;
+    let traffic_scale = r.get_f64_bits()?;
+    let declared = r.get_varint()?;
+    let skew_len = r.check_count(declared, 8)?;
+    let mut dc_skew = Vec::with_capacity(skew_len);
+    for _ in 0..skew_len {
+        dc_skew.push(r.get_f64_bits()?);
+    }
+    let whale_tenant = match r.get_u8()? {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(EbsError::corrupt_store(format!(
+                "config chunk: whale_tenant flag is {other}, not 0/1"
+            )))
+        }
+    };
+    r.expect_end()?;
+    let config = WorkloadConfig {
+        seed,
+        dc_count,
+        cns_per_dc,
+        sns_per_dc,
+        bss_per_sn,
+        users_per_dc,
+        vms_per_dc,
+        duration_secs,
+        compute_tick_secs,
+        storage_tick_secs,
+        traffic_scale,
+        dc_skew,
+        whale_tenant,
+    };
+    config.validate().map_err(|e| {
+        EbsError::corrupt_store(format!("config chunk decodes to an invalid config: {e}"))
+    })?;
+    Ok(config)
+}
+
+/// The specification dataset of a fleet, one [`SpecRow`] per VD in id
+/// order — what [`Dataset::save`] writes and the loader cross-checks.
+pub fn spec_rows(fleet: &Fleet) -> Vec<SpecRow> {
+    fleet
+        .vds
+        .iter()
+        .map(|vd| {
+            let vm = fleet.vms.get(vd.vm).expect("VD names an existing VM");
+            SpecRow {
+                vm: vd.vm.0,
+                app: vm.app,
+                capacity_bytes: vd.spec.capacity_bytes,
+                qp_count: vd.spec.qp_count,
+                tput_cap: vd.spec.tput_cap,
+                iops_cap: vd.spec.iops_cap,
+            }
+        })
+        .collect()
+}
+
+impl Dataset {
+    /// Persist this dataset to `path` as an ebs-store container.
+    ///
+    /// Chunk order is canonical (config, specs, compute metrics, storage
+    /// metrics, event chunks, end), so saving the same dataset twice —
+    /// or saving a loaded dataset — produces byte-identical files.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), EbsError> {
+        let file = File::create(path.as_ref())?;
+        let mut w = StoreWriter::new(BufWriter::new(file))?;
+        w.write_chunk(kind::CONFIG, &encode_config(&self.config))?;
+        w.write_specs(&spec_rows(&self.fleet))?;
+        w.write_series(
+            kind::COMPUTE_METRICS,
+            self.compute.ticks,
+            self.compute.per_qp.as_slice(),
+        )?;
+        w.write_series(
+            kind::STORAGE_METRICS,
+            self.storage.ticks,
+            self.storage.per_seg.as_slice(),
+        )?;
+        w.write_events_chunked(&self.events, EVENTS_PER_CHUNK)?;
+        w.finish()?;
+        Ok(())
+    }
+
+    /// Load a dataset from an ebs-store container at `path`.
+    ///
+    /// The fleet and plan are rebuilt deterministically from the stored
+    /// config; the stored specification chunk is verified against the
+    /// rebuilt fleet and every event is range-checked against it, so a
+    /// corrupt or mismatched store surfaces as a typed error — never as a
+    /// panic in a downstream consumer like `EventIndex::build`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, EbsError> {
+        let file = File::open(path.as_ref())?;
+        let mut reader = ChunkReader::new(BufReader::new(file))?;
+        let chunks = reader.read_all()?;
+        let end = reader
+            .end_summary()
+            .ok_or_else(|| EbsError::truncated("store has no end chunk".to_string()))?;
+
+        let config = decode_config(require_unique(&chunks, kind::CONFIG, "config")?)?;
+        let fleet = build_fleet(&config)?;
+        let plan = build_plan(&config, &fleet);
+
+        let stored_specs = decode_specs(require_unique(&chunks, kind::SPECS, "specs")?)?;
+        let rebuilt_specs = spec_rows(&fleet);
+        if stored_specs != rebuilt_specs {
+            return Err(EbsError::corrupt_store(format!(
+                "specification chunk ({} rows) does not match the fleet rebuilt \
+                 from the stored config ({} VDs): store and generator disagree",
+                stored_specs.len(),
+                rebuilt_specs.len()
+            )));
+        }
+
+        let (cticks, per_qp) = decode_series_set(
+            require_unique(&chunks, kind::COMPUTE_METRICS, "compute metrics")?,
+            "compute",
+        )?;
+        check_entity_count("compute", per_qp.len(), fleet.qps.len())?;
+        let (sticks, per_seg) = decode_series_set(
+            require_unique(&chunks, kind::STORAGE_METRICS, "storage metrics")?,
+            "storage",
+        )?;
+        check_entity_count("storage", per_seg.len(), fleet.segments.len())?;
+
+        let mut events: Vec<IoEvent> = Vec::new();
+        for chunk in chunks.iter().filter(|c| c.kind == kind::EVENTS) {
+            events.extend(ebs_store::decode_events(&chunk.payload)?);
+        }
+        if events.len() as u64 != end.events {
+            return Err(EbsError::truncated(format!(
+                "end chunk pins {} events but chunks held {}",
+                end.events,
+                events.len()
+            )));
+        }
+        validate_events(&events, &fleet)?;
+
+        Ok(Dataset {
+            fleet,
+            plan,
+            compute: ComputeMetrics {
+                ticks: cticks,
+                per_qp: IdVec::from_vec(per_qp),
+            },
+            storage: StorageMetrics {
+                ticks: sticks,
+                per_seg: IdVec::from_vec(per_seg),
+            },
+            events,
+            config,
+            index: Default::default(),
+        })
+    }
+}
+
+/// Open a streaming event reader over the store at `path`: yields decoded
+/// event batches one chunk at a time (non-event chunks are skipped), so
+/// aggregations such as [`ebs_store::StreamSummary`] run in O(chunk)
+/// memory regardless of trace size.
+pub fn stream_events(path: impl AsRef<Path>) -> Result<EventChunks<BufReader<File>>, EbsError> {
+    let file = File::open(path.as_ref())?;
+    Ok(ChunkReader::new(BufReader::new(file))?.into_event_chunks())
+}
+
+/// Find the single chunk of `chunk_kind`; zero or duplicates are corruption.
+fn require_unique<'c>(
+    chunks: &'c [Chunk],
+    chunk_kind: u8,
+    what: &str,
+) -> Result<&'c [u8], EbsError> {
+    let mut found = None;
+    for c in chunks.iter().filter(|c| c.kind == chunk_kind) {
+        if found.is_some() {
+            return Err(EbsError::corrupt_store(format!(
+                "store has more than one {what} chunk"
+            )));
+        }
+        found = Some(c.payload.as_slice());
+    }
+    found.ok_or_else(|| EbsError::corrupt_store(format!("store has no {what} chunk")))
+}
+
+/// A metric chunk must carry exactly one series per fleet entity.
+fn check_entity_count(domain: &str, got: usize, want: usize) -> Result<(), EbsError> {
+    if got != want {
+        return Err(EbsError::corrupt_store(format!(
+            "{domain} metrics carry {got} series but the fleet has {want} entities"
+        )));
+    }
+    Ok(())
+}
+
+/// Range-check loaded events against the rebuilt fleet: timestamps sorted
+/// across chunks, VD ids in range, QPs owned by the event's VD. Everything
+/// `EventIndex::build` asserts is verified here first with typed errors.
+fn validate_events(events: &[IoEvent], fleet: &Fleet) -> Result<(), EbsError> {
+    let mut prev = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        if ev.t_us < prev {
+            return Err(EbsError::corrupt_store(format!(
+                "event {i} at {} us breaks the global time sort (previous {prev})",
+                ev.t_us
+            )));
+        }
+        prev = ev.t_us;
+        let vd = fleet.vds.get(ev.vd).ok_or_else(|| {
+            EbsError::corrupt_store(format!(
+                "event {i} names vd {} but the fleet has {} disks",
+                ev.vd.0,
+                fleet.vds.len()
+            ))
+        })?;
+        let qp_ok = ev.qp.0 >= vd.qp_base && ev.qp.0 < vd.qp_base + u32::from(vd.spec.qp_count);
+        if !qp_ok {
+            return Err(EbsError::corrupt_store(format!(
+                "event {i} books qp {} which vd {} does not own",
+                ev.qp.0, ev.vd.0
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ebs-store-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn config_round_trips_exactly() {
+        for config in [
+            WorkloadConfig::default(),
+            WorkloadConfig::quick(7),
+            WorkloadConfig::medium(0xDEAD_BEEF),
+        ] {
+            let payload = encode_config(&config);
+            let back = decode_config(&payload).unwrap();
+            assert_eq!(format!("{config:?}"), format!("{back:?}"));
+            assert_eq!(payload, encode_config(&back));
+        }
+    }
+
+    #[test]
+    fn invalid_decoded_config_is_corrupt_store() {
+        let mut config = WorkloadConfig::quick(1);
+        config.dc_count = 0; // encodes fine, validates never
+        let payload = encode_config(&config);
+        assert!(matches!(
+            decode_config(&payload),
+            Err(EbsError::CorruptStore(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_save_is_byte_identical() {
+        let ds = generate(&WorkloadConfig::quick(11)).unwrap();
+        let p1 = tmp("first.ebs");
+        let p2 = tmp("second.ebs");
+        ds.save(&p1).unwrap();
+        let loaded = Dataset::load(&p1).unwrap();
+        loaded.save(&p2).unwrap();
+        let b1 = std::fs::read(&p1).unwrap();
+        let b2 = std::fs::read(&p2).unwrap();
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+        assert_eq!(b1, b2, "save -> load -> save changed bytes");
+    }
+
+    #[test]
+    fn loaded_dataset_matches_generated() {
+        let ds = generate(&WorkloadConfig::quick(23)).unwrap();
+        let p = tmp("roundtrip.ebs");
+        ds.save(&p).unwrap();
+        let loaded = Dataset::load(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(loaded.events, ds.events);
+        assert_eq!(
+            loaded.compute.per_qp.as_slice(),
+            ds.compute.per_qp.as_slice()
+        );
+        assert_eq!(
+            loaded.storage.per_seg.as_slice(),
+            ds.storage.per_seg.as_slice()
+        );
+        assert_eq!(loaded.fleet.vd_count(), ds.fleet.vd_count());
+        // The rebuilt index works over loaded events (same shape as fresh).
+        assert_eq!(loaded.index().len(), ds.index().len());
+    }
+
+    #[test]
+    fn streaming_reader_sees_the_full_trace() {
+        let ds = generate(&WorkloadConfig::quick(31)).unwrap();
+        let p = tmp("stream.ebs");
+        ds.save(&p).unwrap();
+        let mut streamed = Vec::new();
+        for batch in stream_events(&p).unwrap() {
+            streamed.extend(batch.unwrap());
+        }
+        std::fs::remove_file(&p).ok();
+        assert_eq!(streamed, ds.events);
+    }
+
+    #[test]
+    fn tampered_spec_chunk_is_detected() {
+        let ds = generate(&WorkloadConfig::quick(47)).unwrap();
+        let p = tmp("tamper.ebs");
+        ds.save(&p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        // Re-frame the file with a forged config chunk whose seed differs:
+        // the rebuilt fleet then disagrees with the stored specs.
+        let mut forged_config = ds.config;
+        forged_config.seed ^= 1;
+        let mut r = ebs_store::ChunkReader::new(bytes.as_slice()).unwrap();
+        let chunks = r.read_all().unwrap();
+        let mut w = ebs_store::StoreWriter::new(Vec::new()).unwrap();
+        for c in &chunks {
+            if c.kind == kind::CONFIG {
+                w.write_chunk(kind::CONFIG, &encode_config(&forged_config))
+                    .unwrap();
+            } else {
+                w.write_chunk(c.kind, &c.payload).unwrap();
+            }
+        }
+        let forged = w.finish().unwrap();
+        let p2 = tmp("tamper-forged.ebs");
+        std::fs::write(&p2, forged).unwrap();
+        let err = Dataset::load(&p2).unwrap_err();
+        std::fs::remove_file(&p2).ok();
+        assert!(matches!(err, EbsError::CorruptStore(_)), "{err}");
+    }
+}

@@ -30,5 +30,6 @@ pub use ebs_experiments as experiments;
 pub use ebs_obs as obs;
 pub use ebs_predict as predict;
 pub use ebs_stack as stack;
+pub use ebs_store as store;
 pub use ebs_throttle as throttle;
 pub use ebs_workload as workload;

@@ -248,6 +248,51 @@ fn obs_metrics_are_thread_count_invariant() {
     assert_eq!(serial, parallel, "recorded metrics diverged across threads");
 }
 
+/// Replaying the canonical dataset from an ebs-store file must be
+/// indistinguishable from generating it in memory: same dataset fields,
+/// and byte-identical driver output at 1, 2, and 8 worker threads, with
+/// observability both off and on. This is the contract that makes
+/// `bin/all --trace <path>` safe to use for the gold-master runs.
+#[test]
+fn replay_from_store_is_byte_identical_to_generation() {
+    use ebs::experiments::{dataset, dataset_or_replay, driver, Scale};
+    let _obs = obs_guard().lock().unwrap();
+    let _threads = override_guard().lock().unwrap();
+    let path = std::env::temp_dir().join(format!("ebs-replay-{}.ebs", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    set_thread_override(Some(1));
+    ebs::obs::set_obs_override(Some(false));
+    let generated = dataset(Scale::Quick);
+    let baseline = driver::run_all(&generated);
+    // First call generates and saves; all later calls replay from the file.
+    let saved = dataset_or_replay(Scale::Quick, &path).unwrap();
+    assert_same_dataset(&generated, &saved);
+
+    for threads in [1, 2, 8] {
+        set_thread_override(Some(threads));
+        let replayed = dataset_or_replay(Scale::Quick, &path).unwrap();
+        assert_same_dataset(&generated, &replayed);
+        assert_eq!(
+            baseline,
+            driver::run_all(&replayed),
+            "replayed output diverged at {threads} threads, obs off"
+        );
+        ebs::obs::set_obs_override(Some(true));
+        ebs::obs::reset();
+        assert_eq!(
+            baseline,
+            driver::run_all(&replayed),
+            "replayed output diverged at {threads} threads, obs on"
+        );
+        ebs::obs::set_obs_override(Some(false));
+    }
+
+    set_thread_override(None);
+    ebs::obs::set_obs_override(None);
+    let _ = std::fs::remove_file(&path);
+}
+
 /// The gold master pin: the full-scale driver with observability ON must
 /// reproduce `full_run_output.txt` byte for byte (the file records
 /// `bin/all`'s stdout, which joins sections with blank lines and ends with

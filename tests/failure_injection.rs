@@ -118,6 +118,77 @@ fn csv_import_rejects_garbage() {
     }
 }
 
+/// Bytes of a saved quick-scale store, for corruption experiments.
+fn saved_store_bytes() -> Vec<u8> {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("ebs-failinj-{}.ebs", std::process::id()));
+    let ds = generate(&WorkloadConfig::quick(503)).unwrap();
+    ds.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    bytes
+}
+
+/// Write `bytes` to a fresh temp file, run `Dataset::load` on it, clean up.
+fn load_bytes(
+    bytes: &[u8],
+    tag: &str,
+) -> Result<ebs::workload::Dataset, ebs::core::error::EbsError> {
+    let path = std::env::temp_dir().join(format!("ebs-failinj-{}-{tag}.ebs", std::process::id()));
+    std::fs::write(&path, bytes).unwrap();
+    let out = ebs::workload::Dataset::load(&path);
+    let _ = std::fs::remove_file(&path);
+    out
+}
+
+#[test]
+fn store_truncated_at_any_sampled_prefix_is_a_typed_error_not_a_panic() {
+    use ebs::core::error::EbsError;
+    let bytes = saved_store_bytes();
+    // Sample ~60 cut points across the file, plus the structural boundaries
+    // (mid-magic, mid-version, mid-frame, first payload byte).
+    let mut cuts = vec![0, 4, 10, 12, 15, 22];
+    cuts.extend((1..60).map(|i| i * bytes.len() / 60));
+    for cut in cuts {
+        let cut = cut.min(bytes.len() - 1);
+        let err = load_bytes(&bytes[..cut], &format!("cut{cut}"))
+            .expect_err("a strict prefix must never load");
+        assert!(
+            matches!(err, EbsError::Truncated(_) | EbsError::CorruptStore(_)),
+            "cut at {cut}: unexpected error class {err}"
+        );
+    }
+}
+
+#[test]
+fn store_flipped_payload_byte_is_a_checksum_mismatch() {
+    use ebs::core::error::EbsError;
+    use ebs::store::{FRAME_LEN, HEADER_LEN};
+    let mut bytes = saved_store_bytes();
+    let at = HEADER_LEN + FRAME_LEN + 3; // inside the first chunk's payload
+    bytes[at] ^= 0x20;
+    let err = load_bytes(&bytes, "flip").expect_err("corrupted payload must not load");
+    assert!(matches!(err, EbsError::ChecksumMismatch(_)), "{err}");
+}
+
+#[test]
+fn store_wrong_magic_is_corrupt_store() {
+    use ebs::core::error::EbsError;
+    let mut bytes = saved_store_bytes();
+    bytes[..8].copy_from_slice(b"NOTEBSST");
+    let err = load_bytes(&bytes, "magic").expect_err("wrong magic must not load");
+    assert!(matches!(err, EbsError::CorruptStore(_)), "{err}");
+}
+
+#[test]
+fn store_future_version_is_version_skew() {
+    use ebs::core::error::EbsError;
+    let mut bytes = saved_store_bytes();
+    bytes[8..12].copy_from_slice(&(ebs::store::VERSION + 7).to_le_bytes());
+    let err = load_bytes(&bytes, "version").expect_err("future version must not load");
+    assert!(matches!(err, EbsError::VersionSkew(_)), "{err}");
+}
+
 #[test]
 fn cache_simulation_of_idle_vd_reports_no_ratio() {
     use ebs::cache::simulate::{simulate, HitStats};
