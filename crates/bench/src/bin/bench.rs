@@ -479,7 +479,8 @@ fn run_store_mode(scale: Scale, iters: usize, out_path: &str) {
         let mut w = StoreWriter::new(Vec::new()).expect("store header");
         w.write_chunk(kind::CONFIG, &encode_config(&ds.config))
             .expect("config chunk");
-        w.write_specs(&spec_rows(&ds.fleet)).expect("specs chunk");
+        w.write_specs(&spec_rows(&ds.fleet).expect("generated fleet is well-formed"))
+            .expect("specs chunk");
         w.write_series(
             kind::COMPUTE_METRICS,
             ds.compute.ticks,

@@ -91,7 +91,7 @@ impl PeriodTraffic {
     /// by cluster-local BS position (`bss` gives the cluster's BSs).
     pub fn bs_totals(&self, p: usize, map: &SegmentMap, bss: &[BsId]) -> Vec<f64> {
         let mut local = vec![0.0; bss.len()];
-        let pos: std::collections::HashMap<BsId, usize> =
+        let pos: ebs_core::hash::FxHashMap<BsId, usize> =
             bss.iter().enumerate().map(|(i, &b)| (b, i)).collect();
         if let Some(entries) = self.periods.get(p) {
             for &(seg, v) in entries {

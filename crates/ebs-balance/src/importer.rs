@@ -264,7 +264,7 @@ mod tests {
         let hist = vec![vec![0.0]; 4];
         let next = [0.0; 4];
         let mut rng = SimRng::seed_from_u64(6);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = ebs_core::hash::FxHashSet::default();
         for _ in 0..100 {
             seen.insert(
                 select_importer(

@@ -1,9 +1,9 @@
 //! Migration-log analysis: frequent-migration detection (§6.1.1) and
 //! migration intervals (§6.1.2).
 
+use ebs_core::hash::{FxHashMap, FxHashSet};
 use ebs_core::ids::BsId;
 use ebs_stack::segment::Migration;
-use std::collections::{HashMap, HashSet};
 
 /// A migration is *frequent* when, within one detection window, its source
 /// or destination BlockServer has **both** incoming and outgoing
@@ -17,8 +17,8 @@ pub fn frequent_migration_proportion(log: &[Migration], window_periods: u32) -> 
     }
     assert!(window_periods > 0);
     // Per window: sets of BSs with outgoing / incoming moves.
-    let mut out_by_window: HashMap<u32, HashSet<BsId>> = HashMap::new();
-    let mut in_by_window: HashMap<u32, HashSet<BsId>> = HashMap::new();
+    let mut out_by_window: FxHashMap<u32, FxHashSet<BsId>> = FxHashMap::default();
+    let mut in_by_window: FxHashMap<u32, FxHashSet<BsId>> = FxHashMap::default();
     for m in log {
         let w = m.at / window_periods;
         out_by_window.entry(w).or_default().insert(m.from);
@@ -44,7 +44,7 @@ pub fn frequent_migration_proportion(log: &[Migration], window_periods: u32) -> 
 /// stay put longer (Figure 4(b)).
 pub fn migration_intervals(log: &[Migration], total_periods: u32) -> Vec<f64> {
     assert!(total_periods > 0);
-    let mut by_bs: HashMap<BsId, Vec<u32>> = HashMap::new();
+    let mut by_bs: FxHashMap<BsId, Vec<u32>> = FxHashMap::default();
     for m in log {
         by_bs.entry(m.from).or_default().push(m.at);
     }
@@ -67,7 +67,7 @@ pub fn migration_intervals(log: &[Migration], total_periods: u32) -> Vec<f64> {
 /// so strategies that avoid re-migration are rewarded.
 pub fn segment_residency_intervals(log: &[Migration], total_periods: u32) -> Vec<f64> {
     assert!(total_periods > 0);
-    let mut by_seg: HashMap<ebs_core::ids::SegId, Vec<u32>> = HashMap::new();
+    let mut by_seg: FxHashMap<ebs_core::ids::SegId, Vec<u32>> = FxHashMap::default();
     for m in log {
         by_seg.entry(m.seg).or_default().push(m.at);
     }

@@ -138,12 +138,12 @@ mod tests {
 
     fn setup() -> (
         ebs_workload::Dataset,
-        HashMap<VdId, HottestBlock>,
+        FxHashMap<VdId, HottestBlock>,
         Vec<TraceRecord>,
         Vec<bool>,
     ) {
         let ds = generate(&WorkloadConfig::quick(201)).unwrap();
-        let hot: HashMap<VdId, HottestBlock> = events_by_vd(&ds.fleet, &ds.events)
+        let hot: FxHashMap<VdId, HottestBlock> = events_by_vd(&ds.fleet, &ds.events)
             .iter()
             .enumerate()
             .filter(|(_, e)| e.len() >= 30)

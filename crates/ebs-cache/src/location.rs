@@ -176,7 +176,7 @@ mod tests {
 
     #[test]
     fn oracle_marks_in_block_ios_of_cacheable_vds() {
-        let hot: HashMap<_, _> = [hot_for(0, 0.5)].into_iter().collect();
+        let hot: FxHashMap<_, _> = [hot_for(0, 0.5)].into_iter().collect();
         let records = vec![
             rec(0, 0, Op::Write, 0, false),       // in block → hit
             rec(1, 0, Op::Write, 1 << 30, false), // outside → miss
@@ -188,7 +188,7 @@ mod tests {
 
     #[test]
     fn threshold_disables_cold_vds() {
-        let hot: HashMap<_, _> = [hot_for(0, 0.1)].into_iter().collect();
+        let hot: FxHashMap<_, _> = [hot_for(0, 0.1)].into_iter().collect();
         let records = vec![rec(0, 0, Op::Write, 0, false)];
         let hits = hit_oracle(&hot, &records, 0.25);
         assert_eq!(hits, vec![false]);
@@ -196,7 +196,7 @@ mod tests {
 
     #[test]
     fn cn_gain_beats_bs_gain() {
-        let hot: HashMap<_, _> = [hot_for(0, 0.9)].into_iter().collect();
+        let hot: FxHashMap<_, _> = [hot_for(0, 0.9)].into_iter().collect();
         let records: Vec<TraceRecord> = (0..100).map(|i| rec(i, 0, Op::Write, 0, false)).collect();
         let hits = hit_oracle(&hot, &records, 0.25);
         let cn = latency_gain(&records, &hits, CacheSite::ComputeNode, Op::Write).unwrap();
@@ -209,7 +209,7 @@ mod tests {
     fn tail_unaffected_when_tail_ios_miss() {
         // 99 cached fast IOs + tail IOs outside the hot block: the 99%ile
         // barely moves (the Figure 7(b/c) tail result).
-        let hot: HashMap<_, _> = [hot_for(0, 0.9)].into_iter().collect();
+        let hot: FxHashMap<_, _> = [hot_for(0, 0.9)].into_iter().collect();
         let mut records: Vec<TraceRecord> =
             (0..95).map(|i| rec(i, 0, Op::Write, 0, false)).collect();
         for i in 95..100 {

@@ -16,8 +16,9 @@
 //! Nothing on the `bin/all` production path may call into this module.
 
 use crate::policy::CachePolicy;
+use ebs_core::hash::{fx_map_with_capacity, fx_set_with_capacity, FxHashMap, FxHashSet};
 use ebs_core::io::{IoEvent, Op};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// The pre-rewrite LRU: logical clock with `HashMap` page → stamp plus a
 /// `BTreeMap` stamp → page (O(log n) per access).
@@ -25,7 +26,7 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 pub struct RefLruCache {
     capacity: usize,
     clock: u64,
-    stamp_of: HashMap<u64, u64>,
+    stamp_of: FxHashMap<u64, u64>,
     by_stamp: BTreeMap<u64, u64>,
 }
 
@@ -36,7 +37,7 @@ impl RefLruCache {
         Self {
             capacity,
             clock: 0,
-            stamp_of: HashMap::with_capacity(capacity),
+            stamp_of: fx_map_with_capacity(capacity),
             by_stamp: BTreeMap::new(),
         }
     }
@@ -87,7 +88,7 @@ impl CachePolicy for RefLruCache {
 pub struct RefFifoCache {
     capacity: usize,
     queue: VecDeque<u64>,
-    resident: HashSet<u64>,
+    resident: FxHashSet<u64>,
 }
 
 impl RefFifoCache {
@@ -97,7 +98,7 @@ impl RefFifoCache {
         Self {
             capacity,
             queue: VecDeque::with_capacity(capacity),
-            resident: HashSet::with_capacity(capacity),
+            resident: fx_set_with_capacity(capacity),
         }
     }
 
@@ -146,7 +147,7 @@ pub fn ref_hot_rate(
     if events.is_empty() {
         return None;
     }
-    let mut per_window: HashMap<u64, (usize, usize)> = HashMap::new(); // window → (block, total)
+    let mut per_window: FxHashMap<u64, (usize, usize)> = FxHashMap::default(); // window → (block, total)
     for ev in events {
         let w = ev.t_us / window_us;
         let e = per_window.entry(w).or_default();

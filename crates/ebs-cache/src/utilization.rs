@@ -90,7 +90,10 @@ mod tests {
     use crate::hottest_block::{events_by_vd, hottest_block};
     use ebs_workload::{generate, WorkloadConfig};
 
-    fn hot_map(ds: &ebs_workload::Dataset, block_size: u64) -> HashMap<VdId, HottestBlock> {
+    fn hot_map(
+        ds: &ebs_workload::Dataset,
+        block_size: u64,
+    ) -> ebs_core::hash::FxHashMap<VdId, HottestBlock> {
         events_by_vd(&ds.fleet, &ds.events)
             .iter()
             .enumerate()

@@ -32,7 +32,7 @@ type Section = (usize, String);
 /// section, across its parameter grid), yet byte-identical to the serial
 /// harness at any thread count.
 pub fn run_all(ds: &Dataset) -> Vec<String> {
-    let run_started = ebs_obs::enabled().then(std::time::Instant::now);
+    let run_started = ebs_obs::stopwatch();
     let whole_run = ebs_obs::timer("driver.run_all");
     // Build the shared event index up front (one pass over the events);
     // every section that needs a per-VD view borrows slices from it.
@@ -91,11 +91,10 @@ pub fn run_all(ds: &Dataset) -> Vec<String> {
 
     sections.sort_by_key(|&(pos, _)| pos);
     drop(whole_run);
-    if let Some(t0) = run_started {
+    if let Some(secs) = run_started.elapsed_secs() {
         let events = ds.events.len() as u64;
         ebs_obs::counter_add("driver.events_processed", events);
         ebs_obs::counter_add("driver.sections_rendered", sections.len() as u64);
-        let secs = t0.elapsed().as_secs_f64();
         if secs > 0.0 {
             ebs_obs::gauge_set("driver.events_per_sec", events as f64 / secs);
         }

@@ -42,6 +42,7 @@ impl Scale {
         match args.get(at + 1) {
             Some(p) if !p.starts_with("--") => Some(std::path::PathBuf::from(p)),
             _ => {
+                // ebs-lint: allow(D4) -- CLI usage error on behalf of the bins that share this helper
                 eprintln!("--trace requires a path argument");
                 std::process::exit(2);
             }
@@ -83,6 +84,7 @@ pub fn dataset(scale: Scale) -> Dataset {
 pub fn dataset_or_replay(scale: Scale, path: &std::path::Path) -> Result<Dataset, EbsError> {
     if path.exists() {
         let ds = Dataset::load(path)?;
+        // ebs-lint: allow(D4) -- replay status for the bins; stdout stays reserved for experiment output
         eprintln!(
             "replayed {} events from {}",
             ds.trace_count(),
@@ -92,6 +94,7 @@ pub fn dataset_or_replay(scale: Scale, path: &std::path::Path) -> Result<Dataset
     }
     let ds = dataset(scale);
     ds.save(path)?;
+    // ebs-lint: allow(D4) -- first-run status for the bins; stdout stays reserved for experiment output
     eprintln!(
         "generated {} events and saved them to {}",
         ds.trace_count(),

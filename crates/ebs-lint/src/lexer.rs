@@ -1,0 +1,424 @@
+//! A lightweight Rust lexer: just enough tokenization to analyze source
+//! structurally without a full parser.
+//!
+//! The point of lexing (rather than regex-matching lines) is that rule
+//! scanning must never fire inside string literals, char literals, raw
+//! strings, or comments — `"HashMap::new()"` in a doc string is not a
+//! violation — and must survive the constructs that break naive scanners:
+//! nested block comments, `r#"…"#` raw strings with arbitrary hash runs,
+//! lifetimes vs. char literals, raw identifiers. Everything the rules need
+//! is a token stream with byte-accurate spans plus the comment list (for
+//! suppression directives).
+
+/// Kinds of tokens the rule engine distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, without `r#`).
+    Ident,
+    /// Lifetime such as `'a` (quote included in the span).
+    Lifetime,
+    /// Numeric literal (integer or float, suffix included).
+    Number,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"` ….
+    Str,
+    /// Character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A single punctuation byte (`.`, `[`, `<`, `!`, …).
+    Punct(u8),
+}
+
+/// One token with its span. Lines and columns are 1-based; `col` counts
+/// bytes from the line start (the workspace is ASCII-clean in practice).
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Byte offset of the token start in the source.
+    pub start: usize,
+    /// Byte length of the token.
+    pub len: usize,
+    /// 1-based line of the token start.
+    pub line: u32,
+    /// 1-based byte column of the token start.
+    pub col: u32,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.start + self.len]
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, src: &str, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text(src) == name
+    }
+
+    /// Whether this token is the punctuation byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+}
+
+/// A comment with its line extent, kept out of the token stream but
+/// available to the suppression scanner.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text including the delimiters (`// …` or `/* … */`).
+    pub text: String,
+    /// 1-based first line the comment touches.
+    pub line: u32,
+    /// 1-based last line the comment touches.
+    pub end_line: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, comments and whitespace removed.
+    pub tokens: Vec<Tok>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments. The lexer is total: malformed input
+/// (an unterminated string, a stray byte) never panics — the remainder is
+/// consumed as best-effort tokens.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    text: &'s str,
+    pos: usize,
+    line: u32,
+    line_start: usize,
+    out: Lexed,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(text: &'s str) -> Self {
+        Self {
+            src: text.as_bytes(),
+            text,
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn col(&self, at: usize) -> u32 {
+        (at - self.line_start) as u32 + 1
+    }
+
+    /// Advance one byte, tracking line starts.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos + 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, start_line: u32, start_col: u32) {
+        self.out.tokens.push(Tok {
+            kind,
+            start,
+            len: self.pos - start,
+            line: start_line,
+            col: start_col,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            let start = self.pos;
+            let start_line = self.line;
+            let start_col = self.col(start);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => {
+                    self.string_literal();
+                    self.push(TokKind::Str, start, start_line, start_col);
+                }
+                b'\'' => self.quote(start, start_line, start_col),
+                b'r' | b'b' | b'c' if self.raw_or_prefixed_string() => {
+                    self.push(TokKind::Str, start, start_line, start_col);
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    // Byte literal b'x'.
+                    self.bump();
+                    self.char_literal();
+                    self.push(TokKind::Char, start, start_line, start_col);
+                }
+                _ if is_ident_start(c) => {
+                    self.ident();
+                    self.push(TokKind::Ident, start, start_line, start_col);
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.push(TokKind::Number, start, start_line, start_col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), start, start_line, start_col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text: self.text[start..self.pos].to_string(),
+            line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.bump_n(2); // consume `/*`
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text: self.text[start..self.pos].to_string(),
+            line,
+            end_line: self.line,
+        });
+    }
+
+    /// Plain `"…"` string with escapes; leaves `pos` after the closing quote.
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// `'a` lifetime vs `'x'` char literal.
+    fn quote(&mut self, start: usize, start_line: u32, start_col: u32) {
+        // Char literal if it is `'\…'`, or `'X'` (one char then a quote).
+        if self.peek(1) == b'\\' || (self.peek(1) != 0 && self.peek(2) == b'\'') {
+            self.char_literal();
+            self.push(TokKind::Char, start, start_line, start_col);
+        } else {
+            // Lifetime: consume the quote plus identifier characters.
+            self.bump();
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            self.push(TokKind::Lifetime, start, start_line, start_col);
+        }
+    }
+
+    /// Consume a char/byte literal starting at the quote; handles escapes.
+    fn char_literal(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'\'' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// If positioned at a raw/byte/C string prefix (`r"`, `r#"`, `br"`,
+    /// `b"`, `cr#"` …), consume the whole literal and return true.
+    /// Raw identifiers (`r#ident`) are left alone.
+    fn raw_or_prefixed_string(&mut self) -> bool {
+        let mut k = 0usize;
+        // Optional one- or two-letter prefix out of {b, c} x {r} or bare r.
+        match (self.peek(0), self.peek(1)) {
+            (b'b' | b'c', b'r') => k = 2,
+            (b'r' | b'b' | b'c', _) => k = 1,
+            _ => {}
+        }
+        let raw = self
+            .src
+            .get(self.pos..self.pos + k)
+            .is_some_and(|p| p.contains(&b'r'));
+        if raw {
+            // Count hashes after the prefix.
+            let mut hashes = 0usize;
+            while self.peek(k + hashes) == b'#' {
+                hashes += 1;
+            }
+            if self.peek(k + hashes) != b'"' {
+                return false; // raw identifier `r#foo` or plain ident
+            }
+            self.bump_n(k + hashes + 1);
+            // Scan to `"` followed by `hashes` hashes.
+            while self.pos < self.src.len() {
+                if self.peek(0) == b'"' {
+                    let mut got = 0usize;
+                    while got < hashes && self.peek(1 + got) == b'#' {
+                        got += 1;
+                    }
+                    if got == hashes {
+                        self.bump_n(1 + hashes);
+                        return true;
+                    }
+                }
+                self.bump();
+            }
+            return true; // unterminated: consumed to EOF, stay total
+        }
+        // Non-raw prefixed string: b"…" / c"…".
+        if k == 1 && self.peek(1) == b'"' {
+            self.bump();
+            self.string_literal();
+            return true;
+        }
+        false
+    }
+
+    fn ident(&mut self) {
+        // Raw identifier prefix `r#` (callers already excluded raw strings).
+        if self.peek(0) == b'r' && self.peek(1) == b'#' && is_ident_start(self.peek(2)) {
+            self.bump_n(2);
+        }
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+    }
+
+    fn number(&mut self) {
+        // Integer part (decimal, hex, octal, binary — letters are folded in
+        // by the continue-class below, which also eats type suffixes).
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        // Fractional part only when followed by a digit — `1..10` must lex
+        // as Number(1) Punct(.) Punct(.) Number(10).
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump();
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_tokens() {
+        let src = r##"let x = "unwrap() inside"; // panic! here
+        /* HashMap::new() /* nested */ still comment */ foo"##;
+        let toks = kinds(src);
+        // The string literal is ONE Str token; no Ident token leaks out of it.
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k == TokKind::Str || !t.contains("unwrap")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "foo"));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn raw_strings_with_hash_runs() {
+        let src = r####"let s = r#"say "unwrap()""#; after"####;
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(_, t)| t == "after"));
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k == TokKind::Str || !t.contains("unwrap")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'b'; let n = '\\n'; }";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn spans_are_line_col_accurate() {
+        let src = "a\n  bcd";
+        let lexed = lex(src);
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let toks = kinds("for i in 1..10 { x[i] }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Number && t == "1"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Number && t == "10"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Number && t.contains('.')));
+    }
+
+    #[test]
+    fn totality_on_malformed_input() {
+        for bad in ["\"unterminated", "r#\"open", "/* open", "'\\", "€"] {
+            let _ = lex(bad); // must not panic
+        }
+    }
+}

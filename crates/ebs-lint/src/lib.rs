@@ -1,0 +1,143 @@
+//! `ebs-lint`: in-repo static analysis enforcing the workspace's
+//! determinism, no-panic, and hot-path invariants.
+//!
+//! See [`rules`] for the rule catalogue (D1–D5), [`baseline`] for the
+//! ratchet, and `DESIGN.md` §13 for the policy rationale. The crate is
+//! deliberately dependency-free — its own lexer, TOML-subset parser, and
+//! JSON writer — so it keeps working whatever state the rest of the
+//! workspace is in.
+
+pub mod baseline;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use baseline::Baseline;
+use diag::Violation;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Name of the checked-in ratchet file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.toml";
+
+/// The outcome of a full workspace check.
+#[derive(Debug)]
+pub struct Report {
+    /// Violations to report (sorted; empty means the check passes).
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of legacy sites covered by the baseline.
+    pub baselined: usize,
+    /// `(rule, path, live, allowed)` entries where the baseline allows more
+    /// than the live count — candidates for tightening.
+    pub stale: Vec<(String, String, usize, usize)>,
+}
+
+impl Report {
+    /// Whether the check passes (`strict_baseline` also fails on stale
+    /// baseline entries, the CI ratchet-tightening guard).
+    pub fn ok(&self, strict_baseline: bool) -> bool {
+        self.violations.is_empty() && (!strict_baseline || self.stale.is_empty())
+    }
+}
+
+/// Run every rule over the workspace at `root` and reconcile D3 findings
+/// with the checked-in baseline.
+pub fn run(root: &Path) -> Result<Report, String> {
+    let baseline_path = root.join(BASELINE_FILE);
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text).map_err(|e| format!("{BASELINE_FILE}: {e}"))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(format!("{BASELINE_FILE}: {e}")),
+    };
+    let (report, _) = run_with_baseline(root, &baseline)?;
+    Ok(report)
+}
+
+/// Like [`run`], but with an explicit baseline; also returns the live
+/// per-file D3 ratchet counts (what `ebs-lint baseline` writes).
+pub fn run_with_baseline(root: &Path, baseline: &Baseline) -> Result<(Report, Baseline), String> {
+    let files = walk::discover(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut ratchet_by_file: BTreeMap<String, Vec<Violation>> = BTreeMap::new();
+    for f in &files {
+        let src = std::fs::read_to_string(&f.abs).map_err(|e| format!("reading {}: {e}", f.rel))?;
+        let mut outcome = rules::check_source(&f.rel, f.class, f.total, &src);
+        violations.append(&mut outcome.strict);
+        if !outcome.ratchet.is_empty() {
+            ratchet_by_file
+                .entry(f.rel.clone())
+                .or_default()
+                .append(&mut outcome.ratchet);
+        }
+    }
+
+    // Reconcile ratchetable D3 findings with the baseline.
+    let mut baselined = 0usize;
+    let mut stale = Vec::new();
+    let mut live = Baseline::default();
+    for (path, found) in &ratchet_by_file {
+        live.counts
+            .entry("D3".to_string())
+            .or_default()
+            .insert(path.clone(), found.len());
+        let allowed = baseline.allowed("D3", path);
+        if found.len() > allowed {
+            for v in found {
+                let mut v = v.clone();
+                v.message = format!(
+                    "{} — file has {} ratcheted D3 site(s) but {BASELINE_FILE} allows {}",
+                    v.message,
+                    found.len(),
+                    allowed
+                );
+                violations.push(v);
+            }
+        } else {
+            baselined += found.len();
+            if found.len() < allowed {
+                stale.push(("D3".to_string(), path.clone(), found.len(), allowed));
+            }
+        }
+    }
+    // Baseline entries for files with no remaining findings are stale too.
+    for (rule, per_file) in &baseline.counts {
+        for (path, &allowed) in per_file {
+            let live_count = ratchet_by_file.get(path).map_or(0, Vec::len);
+            if live_count == 0 {
+                stale.push((rule.clone(), path.clone(), 0, allowed));
+            }
+        }
+    }
+    stale.sort();
+    stale.dedup();
+
+    diag::sort(&mut violations);
+    Ok((
+        Report {
+            violations,
+            files_scanned: files.len(),
+            baselined,
+            stale,
+        },
+        live,
+    ))
+}
+
+/// Locate the workspace root: walk up from `start` to the first directory
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

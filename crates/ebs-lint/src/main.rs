@@ -1,0 +1,116 @@
+//! CLI for the in-repo static analyzer.
+//!
+//! ```text
+//! cargo run -p ebs-lint -- check [--format json] [--strict-baseline] [--root DIR]
+//! cargo run -p ebs-lint -- baseline [--root DIR]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations (or stale baseline under
+//! `--strict-baseline`), 2 usage or I/O error.
+
+use ebs_lint::{baseline::Baseline, diag, find_root, run_with_baseline, BASELINE_FILE};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd: Option<&str> = None;
+    let mut format_json = false;
+    let mut strict_baseline = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" | "baseline" if cmd.is_none() => cmd = Some(arg.as_str()),
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format_json = true,
+                Some("human") => format_json = false,
+                other => return usage(&format!("--format expects json|human, got {other:?}")),
+            },
+            "--strict-baseline" => strict_baseline = true,
+            "--root" => match it.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => return usage("--root expects a directory"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(cmd) = cmd else {
+        return usage("expected a command: check | baseline");
+    };
+
+    let root =
+        match root_arg.or_else(|| std::env::current_dir().ok().and_then(|cwd| find_root(&cwd))) {
+            Some(root) => root,
+            None => return fail("could not locate the workspace root (no [workspace] Cargo.toml)"),
+        };
+
+    let baseline_path = root.join(BASELINE_FILE);
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => return fail(&format!("{BASELINE_FILE}: {e}")),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return fail(&format!("{BASELINE_FILE}: {e}")),
+    };
+
+    let (report, live) = match run_with_baseline(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+
+    match cmd {
+        "baseline" => {
+            let text = live.render();
+            if let Err(e) = std::fs::write(&baseline_path, &text) {
+                return fail(&format!("writing {BASELINE_FILE}: {e}"));
+            }
+            println!(
+                "wrote {} with {} legacy D3 site(s) across {} file(s)",
+                baseline_path.display(),
+                live.total(),
+                live.counts.get("D3").map_or(0, |m| m.len())
+            );
+            ExitCode::SUCCESS
+        }
+        _ => {
+            if format_json {
+                print!(
+                    "{}",
+                    diag::render_json(&report.violations, report.files_scanned, report.baselined)
+                );
+            } else {
+                print!(
+                    "{}",
+                    diag::render_human(&report.violations, report.files_scanned, report.baselined)
+                );
+                for (rule, path, livec, allowed) in &report.stale {
+                    eprintln!(
+                        "note: stale baseline entry [{rule}] \"{path}\" = {allowed} \
+                         (live count {livec}); run `cargo run -p ebs-lint -- baseline`"
+                    );
+                }
+            }
+            if report.ok(strict_baseline) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ebs-lint: {msg}");
+    eprintln!(
+        "usage: ebs-lint check [--format json|human] [--strict-baseline] [--root DIR]\n\
+                \x20      ebs-lint baseline [--root DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("ebs-lint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,242 @@
+//! End-to-end tests for the linter: fixture files with known violations
+//! (and known traps), the suppression grammar, the baseline ratchet, and
+//! a self-check over the real workspace.
+//!
+//! The fixture sources live in `tests/fixtures/` — cargo never compiles
+//! them (only top-level files in `tests/` are targets) and the workspace
+//! walker skips that directory for the same reason.
+
+use ebs_lint::baseline::Baseline;
+use ebs_lint::rules::{check_source, CheckOutcome, FileClass};
+use std::path::PathBuf;
+
+const D1: &str = include_str!("fixtures/d1.rs");
+const D2_D4_D5: &str = include_str!("fixtures/d2_d4_d5.rs");
+const D3: &str = include_str!("fixtures/d3.rs");
+const TRAPS: &str = include_str!("fixtures/traps.rs");
+const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
+
+fn scan(class: FileClass, total: bool, src: &str) -> CheckOutcome {
+    check_source("fixture.rs", class, total, src)
+}
+
+/// `(rule, line, col)` triples of a violation list, for compact asserts.
+fn spans(vs: &[ebs_lint::diag::Violation]) -> Vec<(&str, u32, u32)> {
+    vs.iter().map(|v| (v.rule, v.line, v.col)).collect()
+}
+
+#[test]
+fn d1_flags_default_hashers_and_spares_explicit_ones() {
+    let out = scan(FileClass::Lib, false, D1);
+    assert!(out.ratchet.is_empty());
+    let got = spans(&out.strict);
+    assert_eq!(
+        got,
+        vec![("D1", 7, 12), ("D1", 7, 32), ("D1", 8, 13), ("D1", 9, 31)],
+        "got {got:?}"
+    );
+}
+
+#[test]
+fn d1_applies_even_in_test_files() {
+    // Determinism of tests is part of the invariant: no class exemption.
+    let out = scan(FileClass::TestFile, false, D1);
+    assert_eq!(out.strict.len(), 4);
+}
+
+#[test]
+fn d2_d4_d5_fire_in_library_code() {
+    let out = scan(FileClass::Lib, false, D2_D4_D5);
+    let got = spans(&out.strict);
+    let rules_on = |rule: &str| -> Vec<u32> {
+        got.iter()
+            .filter(|(r, _, _)| *r == rule)
+            .map(|&(_, l, _)| l)
+            .collect()
+    };
+    assert_eq!(rules_on("D2"), vec![4, 5], "got {got:?}");
+    assert_eq!(rules_on("D4"), vec![10, 11, 12], "got {got:?}");
+    assert_eq!(rules_on("D5"), vec![16, 17, 18], "got {got:?}");
+    assert_eq!(got.len(), 8, "no other rule should fire: {got:?}");
+}
+
+#[test]
+fn clock_and_print_rules_respect_file_class() {
+    // Harness and obs code own the clock and the terminal…
+    for class in [FileClass::Harness, FileClass::Obs] {
+        let out = scan(class, false, D2_D4_D5);
+        let got = spans(&out.strict);
+        assert!(
+            got.iter().all(|(r, _, _)| *r == "D5"),
+            "{class:?} should only see D5: {got:?}"
+        );
+        // …but ambient randomness is banned everywhere.
+        assert_eq!(got.len(), 3, "{class:?}: {got:?}");
+    }
+    // Bins must stay deterministic (D2/D5) but may print (no D4) and
+    // panic on bad CLI input (no D3).
+    let out = scan(FileClass::Bin, false, D2_D4_D5);
+    let got = spans(&out.strict);
+    assert_eq!(got.iter().filter(|(r, _, _)| *r == "D2").count(), 2);
+    assert_eq!(got.iter().filter(|(r, _, _)| *r == "D4").count(), 0);
+}
+
+#[test]
+fn d3_ratchets_outside_total_modules_and_hard_errors_inside() {
+    let legacy = scan(FileClass::Lib, false, D3);
+    assert!(legacy.strict.is_empty(), "got {:?}", spans(&legacy.strict));
+    assert_eq!(
+        spans(&legacy.ratchet)
+            .iter()
+            .map(|&(_, l, _)| l)
+            .collect::<Vec<_>>(),
+        vec![5, 6, 8, 11, 12, 15, 16, 17],
+        "got {:?}",
+        spans(&legacy.ratchet)
+    );
+
+    let total = scan(FileClass::Lib, true, D3);
+    assert!(total.ratchet.is_empty());
+    assert_eq!(total.strict.len(), 8, "got {:?}", spans(&total.strict));
+
+    // Bins and test files may panic freely.
+    for class in [FileClass::Bin, FileClass::TestFile] {
+        let out = scan(class, false, D3);
+        assert!(out.strict.is_empty() && out.ratchet.is_empty(), "{class:?}");
+    }
+}
+
+#[test]
+fn trigger_tokens_in_strings_comments_and_tests_are_ignored() {
+    let out = scan(FileClass::Lib, false, TRAPS);
+    assert!(
+        out.strict.is_empty() && out.ratchet.is_empty(),
+        "traps fired: strict {:?} ratchet {:?}",
+        spans(&out.strict),
+        spans(&out.ratchet)
+    );
+}
+
+#[test]
+fn suppressions_need_a_reason_and_a_known_rule() {
+    let out = scan(FileClass::Lib, false, SUPPRESSED);
+    // Reasoned directives silence lines 5 and 9; the reasonless one (13)
+    // and the unknown-rule one (18) are SUP violations and leave their
+    // unwraps (14, 19) live.
+    let strict = spans(&out.strict);
+    assert_eq!(
+        strict.iter().map(|&(r, l, _)| (r, l)).collect::<Vec<_>>(),
+        vec![("SUP", 13), ("SUP", 18)],
+        "got {strict:?}"
+    );
+    assert_eq!(
+        spans(&out.ratchet)
+            .iter()
+            .map(|&(_, l, _)| l)
+            .collect::<Vec<_>>(),
+        vec![14, 19]
+    );
+}
+
+// ---------------------------------------------------------------------
+// Baseline ratchet, end to end over a throwaway workspace on disk.
+// ---------------------------------------------------------------------
+
+struct TempWorkspace {
+    root: PathBuf,
+}
+
+impl TempWorkspace {
+    fn new(name: &str, lib_rs: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("ebs-lint-{}-{name}", std::process::id()));
+        let src = root.join("crates/foo/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+        std::fs::write(src.join("lib.rs"), lib_rs).unwrap();
+        Self { root }
+    }
+
+    fn write_baseline(&self, text: &str) {
+        std::fs::write(self.root.join(ebs_lint::BASELINE_FILE), text).unwrap();
+    }
+}
+
+impl Drop for TempWorkspace {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.root).ok();
+    }
+}
+
+const ONE_UNWRAP: &str = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+const TWO_UNWRAPS: &str =
+    "pub fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n    x.unwrap() + y.unwrap()\n}\n";
+
+#[test]
+fn ratchet_rejects_new_unwraps_until_baselined() {
+    let ws = TempWorkspace::new("ratchet", ONE_UNWRAP);
+
+    // No baseline: the legacy site is a violation.
+    let report = ebs_lint::run(&ws.root).unwrap();
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].rule, "D3");
+    assert!(report.violations[0].message.contains("allows 0"));
+
+    // `ebs-lint baseline` semantics: write the live counts, now clean.
+    let (_, live) = ebs_lint::run_with_baseline(&ws.root, &Baseline::default()).unwrap();
+    ws.write_baseline(&live.render());
+    let report = ebs_lint::run(&ws.root).unwrap();
+    assert!(report.violations.is_empty());
+    assert_eq!(report.baselined, 1);
+    assert!(report.stale.is_empty());
+
+    // A NEW unwrap exceeds the allowance: every site in the file reports.
+    std::fs::write(ws.root.join("crates/foo/src/lib.rs"), TWO_UNWRAPS).unwrap();
+    let report = ebs_lint::run(&ws.root).unwrap();
+    assert_eq!(report.violations.len(), 2);
+    assert!(report.violations[0].message.contains("allows 1"));
+}
+
+#[test]
+fn stale_baseline_entries_fail_only_under_strict() {
+    let ws = TempWorkspace::new("stale", ONE_UNWRAP);
+    ws.write_baseline("[D3]\n\"crates/foo/src/lib.rs\" = 3\n");
+    let report = ebs_lint::run(&ws.root).unwrap();
+    assert!(report.violations.is_empty());
+    assert_eq!(report.stale.len(), 1, "allowance 3 vs live 1 is stale");
+    assert!(report.ok(false), "stale is advisory by default");
+    assert!(
+        !report.ok(true),
+        "--strict-baseline turns stale into failure"
+    );
+}
+
+#[test]
+fn fixing_the_last_site_leaves_an_orphan_stale_entry() {
+    let ws = TempWorkspace::new("orphan", "pub fn f(x: u32) -> u32 {\n    x\n}\n");
+    ws.write_baseline("[D3]\n\"crates/foo/src/lib.rs\" = 1\n");
+    let report = ebs_lint::run(&ws.root).unwrap();
+    assert!(report.violations.is_empty());
+    assert_eq!(
+        report.stale,
+        vec![("D3".into(), "crates/foo/src/lib.rs".into(), 0, 1)]
+    );
+}
+
+// ---------------------------------------------------------------------
+// Self-check: the real workspace is clean modulo its checked-in baseline.
+// ---------------------------------------------------------------------
+
+#[test]
+fn workspace_is_clean_modulo_baseline() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .unwrap();
+    assert!(root.join("Cargo.toml").exists(), "bad root {root:?}");
+    let report = ebs_lint::run(&root).unwrap();
+    let rendered =
+        ebs_lint::diag::render_human(&report.violations, report.files_scanned, report.baselined);
+    assert!(report.violations.is_empty(), "{rendered}");
+    assert!(report.files_scanned > 100, "walker found too few files");
+}

@@ -1,0 +1,19 @@
+//! D1 fixture: default-hasher std maps, plus every exemption.
+use std::collections::HashMap;
+use std::collections::HashSet as Set;
+use ebs_core::hash::FxBuildHasher;
+
+pub fn positives() {
+    let a: HashMap<u32, u32> = HashMap::new(); // line 7: two D1 hits
+    let b = Set::new(); // line 8: aliased import is still a std set
+    let c = std::collections::HashMap::with_capacity(4); // line 9
+    drop((a, b, c));
+}
+
+pub fn negatives() {
+    // Explicit hasher in the type: the caller chose, D1 is satisfied.
+    let a: HashMap<u32, u32, FxBuildHasher> = HashMap::with_hasher(FxBuildHasher::default());
+    let b: &HashMap<u32, u32, FxBuildHasher> = &a;
+    let c = std::collections::BTreeMap::<u32, u32>::new();
+    drop((b, c));
+}

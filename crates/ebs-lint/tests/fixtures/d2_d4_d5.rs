@@ -1,0 +1,24 @@
+//! D2/D4/D5 fixture: wall clocks, terminal writes, ambient randomness.
+
+pub fn clocks() {
+    let t0 = std::time::Instant::now(); // line 4: D2
+    let wall = std::time::SystemTime::now(); // line 5: D2
+    drop((t0, wall));
+}
+
+pub fn prints(x: u32) {
+    println!("x = {x}"); // line 10: D4
+    eprintln!("x = {x}"); // line 11: D4
+    dbg!(x); // line 12: D4
+}
+
+pub fn entropy() {
+    let r = thread_rng(); // line 16: D5
+    let v: u64 = rand::random(); // line 17: D5
+    let s = std::collections::hash_map::RandomState::new(); // line 18: D5
+    drop((r, v, s));
+}
+
+pub fn instant_without_now_is_fine(i: std::time::Instant) -> std::time::Instant {
+    i
+}

@@ -1,0 +1,27 @@
+//! D3 fixture: panicking calls and unchecked indexing, plus the postfix
+//! positions that must NOT count as indexing.
+
+pub fn positives(v: &[u32], o: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = o.unwrap(); // line 5: D3
+    let b = r.expect("present"); // line 6: D3
+    if v.is_empty() {
+        panic!("empty input"); // line 8: D3
+    }
+    match a {
+        0 => unreachable!(), // line 11: D3
+        1 => todo!(), // line 12: D3
+        _ => {}
+    }
+    let c = v[0]; // line 15: D3 (ident before `[`)
+    let d = v.iter().collect::<Vec<_>>()[0]; // line 16: D3 (`)` before `[`)
+    let e = [1u32, 2][0]; // line 17: D3 (`]` before `[`; the literal itself is not)
+    a + b + c + d + e
+}
+
+pub fn negatives(arr: [u32; 2], bytes: &mut [u8]) -> u32 {
+    let [lo, hi] = arr; // `let [` destructures, no indexing
+    bytes.first().copied().unwrap_or(0) as u32 + lo + hi
+}
+
+#[derive(Debug)]
+pub struct Holder(pub Vec<u32>);

@@ -1,0 +1,20 @@
+//! Suppression fixture: directives with and without reasons.
+
+pub fn properly_suppressed(o: Option<u32>) -> u32 {
+    // ebs-lint: allow(D3) -- fixture demonstrates a reasoned same-item suppression
+    o.unwrap()
+}
+
+pub fn suppressed_on_own_line(v: &[u32]) -> u32 {
+    v[0] // ebs-lint: allow(D3) -- bounds proven by caller contract
+}
+
+pub fn missing_reason(o: Option<u32>) -> u32 {
+    // ebs-lint: allow(D3)
+    o.unwrap()
+}
+
+pub fn unknown_rule(o: Option<u32>) -> u32 {
+    // ebs-lint: allow(D9) -- no such rule
+    o.unwrap()
+}

@@ -1,0 +1,31 @@
+//! False-positive traps: every rule's trigger tokens appear here, but only
+//! in positions the linter must ignore. A correct scan reports ZERO
+//! violations for this file (as class `Lib`, non-total).
+
+// Comments are not code: HashMap::new() .unwrap() panic! thread_rng()
+// Instant::now SystemTime println! rand::random RandomState
+
+pub fn strings() -> (&'static str, &'static str, &'static str) {
+    let plain = "HashMap::new() and v[0].unwrap() and panic!(\"boom\")";
+    let raw = r#"Instant::now() println! thread_rng() unreachable!"#;
+    let hashes = r##"nested "quote" with SystemTime and .expect("x")"##;
+    (plain, raw, hashes)
+}
+
+/* Block comment trap: /* nested */ todo! eprintln! OsRng from_entropy */
+
+pub fn char_literals() -> (char, char) {
+    ('[', '!') // a bracket in a char literal opens nothing
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic and read clocks (D2/D3/D4 are production rules).
+    #[test]
+    fn unwrap_and_clock_are_fine_here() {
+        let t0 = std::time::Instant::now();
+        let v = vec![1u32];
+        assert_eq!(v[0], Some(1u32).unwrap());
+        println!("elapsed {:?}", t0.elapsed());
+    }
+}

@@ -183,6 +183,33 @@ impl Drop for StageTimer {
     }
 }
 
+/// A manual stopwatch for derived rates (events/sec and friends): armed
+/// only while observability is on, so deterministic code paths never read
+/// a clock. Unlike [`StageTimer`] it records nothing on its own — callers
+/// read [`Stopwatch::elapsed_secs`] and feed whatever gauge they like.
+///
+/// This is the only sanctioned way for code outside `ebs-obs`/`bench` to
+/// touch wall time (rule D2 in `DESIGN.md` §13).
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Option<Instant>,
+}
+
+/// Start a stopwatch (a no-op, clock-free value when observability is off).
+pub fn stopwatch() -> Stopwatch {
+    Stopwatch {
+        started: enabled().then(Instant::now),
+    }
+}
+
+impl Stopwatch {
+    /// Seconds since construction, or `None` when observability was off at
+    /// construction time.
+    pub fn elapsed_secs(&self) -> Option<f64> {
+        self.started.map(|t0| t0.elapsed().as_secs_f64())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

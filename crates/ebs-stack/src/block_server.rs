@@ -6,10 +6,10 @@
 //! ChunkServer into local memory, so subsequent sequential reads skip the
 //! CS hop.
 
+use ebs_core::hash::FxHashMap;
 use ebs_core::ids::SegId;
 use ebs_core::io::{IoEvent, Op};
 use ebs_core::units::{KIB, SEGMENT_BYTES};
-use std::collections::HashMap;
 
 /// Reads at least this large count toward the "continuous large block
 /// read" detector.
@@ -49,7 +49,7 @@ struct SeqState {
 /// The prefetch engine of one BlockServer process.
 #[derive(Clone, Debug, Default)]
 pub struct Prefetcher {
-    state: HashMap<SegId, SeqState>,
+    state: FxHashMap<SegId, SeqState>,
     hits: u64,
     misses: u64,
 }

@@ -109,12 +109,20 @@ impl<'a> ByteReader<'a> {
         Ok(b)
     }
 
+    /// Read the next `N` bytes into a fixed array (the panic-free spelling
+    /// of `slice.try_into()` — offset arithmetic is checked too).
+    fn get_array<const N: usize>(&mut self) -> Result<[u8; N], EbsError> {
+        let end = self.pos.checked_add(N).ok_or_else(|| self.short(N))?;
+        let bytes = self.buf.get(self.pos..end).ok_or_else(|| self.short(N))?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(bytes);
+        self.pos = end;
+        Ok(out)
+    }
+
     /// Read a fixed-width little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, EbsError> {
-        let end = self.pos + 4;
-        let bytes = self.buf.get(self.pos..end).ok_or_else(|| self.short(4))?;
-        self.pos = end;
-        Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+        Ok(u32::from_le_bytes(self.get_array::<4>()?))
     }
 
     /// Read an unsigned LEB128 varint.
@@ -161,12 +169,7 @@ impl<'a> ByteReader<'a> {
 
     /// Read a bit-exact `f64`.
     pub fn get_f64_bits(&mut self) -> Result<f64, EbsError> {
-        let end = self.pos + 8;
-        let bytes = self.buf.get(self.pos..end).ok_or_else(|| self.short(8))?;
-        self.pos = end;
-        Ok(f64::from_bits(u64::from_le_bytes(
-            bytes.try_into().expect("8-byte slice"),
-        )))
+        Ok(f64::from_bits(u64::from_le_bytes(self.get_array::<8>()?)))
     }
 
     /// Assert the payload is fully consumed (trailing garbage is corruption,

@@ -56,12 +56,17 @@ pub fn encode_events(events: &[IoEvent]) -> Result<Vec<u8>, EbsError> {
     for e in events {
         w.put_varint(e.qp.0 as u64);
     }
-    // Op column: one bit per event, 1 = write.
-    let mut bits = vec![0u8; events.len().div_ceil(8)];
-    for (i, e) in events.iter().enumerate() {
-        if e.op.is_write() {
-            bits[i / 8] |= 1 << (i % 8);
+    // Op column: one bit per event, 1 = write. Packing by chunks of 8
+    // keeps every access in bounds without index arithmetic.
+    let mut bits = Vec::with_capacity(events.len().div_ceil(8));
+    for group in events.chunks(8) {
+        let mut byte = 0u8;
+        for (bit, e) in group.iter().enumerate() {
+            if e.op.is_write() {
+                byte |= 1 << bit;
+            }
         }
+        bits.push(byte);
     }
     w.put_bytes(&bits);
     for e in events {
@@ -107,9 +112,13 @@ pub fn decode_events(payload: &[u8]) -> Result<Vec<IoEvent>, EbsError> {
         e.qp = QpId(r.get_varint_u32()?);
     }
     let bits = r.get_bytes(count.div_ceil(8))?;
-    for (i, e) in events.iter_mut().enumerate() {
-        if bits[i / 8] >> (i % 8) & 1 == 1 {
-            e.op = Op::Write;
+    // `chunks_mut(8).zip(bits)` pairs each event group with its op byte;
+    // the zip bound makes the lockstep structural instead of indexed.
+    for (group, &byte) in events.chunks_mut(8).zip(bits) {
+        for (bit, e) in group.iter_mut().enumerate() {
+            if byte >> bit & 1 == 1 {
+                e.op = Op::Write;
+            }
         }
     }
     for e in events.iter_mut() {

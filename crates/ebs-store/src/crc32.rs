@@ -63,8 +63,10 @@ impl Crc32 {
         let mut crc = self.state;
         let mut chunks = bytes.chunks_exact(8);
         for w in &mut chunks {
-            let lo = u32::from_le_bytes(w[..4].try_into().expect("4-byte slice")) ^ crc;
-            let hi = u32::from_le_bytes(w[4..].try_into().expect("4-byte slice"));
+            // `chunks_exact(8)` guarantees both halves are 4 bytes; the
+            // default is unreachable and keeps this hot loop panic-free.
+            let lo = u32::from_le_bytes(w[..4].try_into().unwrap_or_default()) ^ crc;
+            let hi = u32::from_le_bytes(w[4..].try_into().unwrap_or_default());
             crc = t[7][(lo & 0xFF) as usize]
                 ^ t[6][(lo >> 8 & 0xFF) as usize]
                 ^ t[5][(lo >> 16 & 0xFF) as usize]

@@ -39,6 +39,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The whole crate is a total module (ebs-lint rule D3): decode paths must
+// return typed errors, never panic. Test code is exempt — the cfg_attr
+// keeps `cargo test` usable while CI's `-D warnings` enforces the rest.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bytes;
 pub mod columns;

@@ -101,9 +101,10 @@ impl<R: Read> ChunkReader<R> {
         }
         let mut frame = [0u8; 9];
         read_exact(&mut self.input, &mut frame, "chunk frame")?;
-        let chunk_kind = frame[0];
-        let len = u32::from_le_bytes(frame[1..5].try_into().expect("4-byte slice"));
-        let want_crc = u32::from_le_bytes(frame[5..9].try_into().expect("4-byte slice"));
+        let mut fr = ByteReader::new(&frame, "chunk frame");
+        let chunk_kind = fr.get_u8()?;
+        let len = fr.get_u32()?;
+        let want_crc = fr.get_u32()?;
         if len > MAX_CHUNK_LEN {
             return Err(EbsError::corrupt_store(format!(
                 "chunk {} declares a {len}-byte payload, over the {MAX_CHUNK_LEN}-byte limit",

@@ -47,16 +47,19 @@ impl StreamSummary {
     pub fn fold_chunk(&mut self, events: &[IoEvent]) -> Result<(), EbsError> {
         for ev in events {
             let vd = ev.vd.0 as usize;
-            if vd >= self.vd_bytes.len() {
-                return Err(EbsError::corrupt_store(format!(
-                    "event names vd {vd} but the fleet has {} disks",
-                    self.vd_bytes.len()
-                )));
-            }
             let size = f64::from(ev.size);
-            self.vd_bytes[vd] += size;
+            let fleet_size = self.vd_bytes.len();
+            *self.vd_bytes.get_mut(vd).ok_or_else(|| {
+                EbsError::corrupt_store(format!(
+                    "event names vd {vd} but the fleet has {fleet_size} disks"
+                ))
+            })? += size;
+            // `tick_of_us` clamps to the grid, so this lookup cannot miss on
+            // any input; the typed error is the totality fallback.
             let tick = self.ticks.tick_of_us(ev.t_us) as usize;
-            self.tick_bytes[tick] += size;
+            *self.tick_bytes.get_mut(tick).ok_or_else(|| {
+                EbsError::corrupt_store(format!("tick {tick} outside the summary grid"))
+            })? += size;
             *self.size_counts.entry(ev.size).or_insert(0) += 1;
             self.events += 1;
             self.bytes += u64::from(ev.size);

@@ -261,7 +261,7 @@ mod tests {
     #[test]
     fn app_classes_are_diverse() {
         let fleet = build_fleet(&WorkloadConfig::medium(11)).unwrap();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = ebs_core::hash::FxHashSet::default();
         for vm in fleet.vms.iter() {
             seen.insert(vm.app);
         }

@@ -147,7 +147,11 @@ pub fn fleet_from_specs(rows: &[SpecCsvRow]) -> Result<Fleet, EbsError> {
     let cn_count = rows.iter().map(|r| r.cn + 1).max().unwrap_or(0);
     let mut cn_dc = vec![None; cn_count as usize];
     for row in rows {
-        let slot = &mut cn_dc[row.cn as usize];
+        // Sized from max(cn)+1 above, so the lookup cannot miss; the typed
+        // error keeps this importer total on any row set.
+        let slot = cn_dc.get_mut(row.cn as usize).ok_or_else(|| {
+            EbsError::invalid_spec(format!("cn {} outside the {cn_count}-node table", row.cn))
+        })?;
         match *slot {
             None => *slot = Some(row.dc),
             Some(dc) if dc == row.dc => {}
@@ -176,7 +180,9 @@ pub fn fleet_from_specs(rows: &[SpecCsvRow]) -> Result<Fleet, EbsError> {
     let mut vm_info: Vec<Option<(u32, u32, AppClass)>> = vec![None; vm_count as usize];
     for row in rows {
         let info = (row.cn, row.user, row.app);
-        let slot = &mut vm_info[row.vm as usize];
+        let slot = vm_info.get_mut(row.vm as usize).ok_or_else(|| {
+            EbsError::invalid_spec(format!("vm {} outside the {vm_count}-vm table", row.vm))
+        })?;
         match *slot {
             None => *slot = Some(info),
             Some(prev) if prev == info => {}

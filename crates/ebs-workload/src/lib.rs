@@ -44,11 +44,15 @@ pub mod dist;
 pub mod export;
 pub mod fleet;
 pub mod generator;
+// `import` and `store` are total modules (ebs-lint rule D3): they decode
+// external bytes, so every failure must be a typed error, never a panic.
+#[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod import;
 pub mod lba;
 pub mod profile;
 pub mod sampler;
 pub mod spatial;
+#[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod store;
 
 pub use config::WorkloadConfig;

@@ -108,20 +108,30 @@ pub fn decode_config(payload: &[u8]) -> Result<WorkloadConfig, EbsError> {
 
 /// The specification dataset of a fleet, one [`SpecRow`] per VD in id
 /// order — what [`Dataset::save`] writes and the loader cross-checks.
-pub fn spec_rows(fleet: &Fleet) -> Vec<SpecRow> {
+///
+/// A VD naming a VM outside the fleet is [`EbsError::InvalidSpec`]: every
+/// builder-produced fleet satisfies the invariant, but fleets can also
+/// arrive from imported CSVs, so this stays total instead of panicking.
+pub fn spec_rows(fleet: &Fleet) -> Result<Vec<SpecRow>, EbsError> {
     fleet
         .vds
         .iter()
         .map(|vd| {
-            let vm = fleet.vms.get(vd.vm).expect("VD names an existing VM");
-            SpecRow {
+            let vm = fleet.vms.get(vd.vm).ok_or_else(|| {
+                EbsError::invalid_spec(format!(
+                    "vd names vm {} but the fleet has {} VMs",
+                    vd.vm.0,
+                    fleet.vms.len()
+                ))
+            })?;
+            Ok(SpecRow {
                 vm: vd.vm.0,
                 app: vm.app,
                 capacity_bytes: vd.spec.capacity_bytes,
                 qp_count: vd.spec.qp_count,
                 tput_cap: vd.spec.tput_cap,
                 iops_cap: vd.spec.iops_cap,
-            }
+            })
         })
         .collect()
 }
@@ -136,7 +146,7 @@ impl Dataset {
         let file = File::create(path.as_ref())?;
         let mut w = StoreWriter::new(BufWriter::new(file))?;
         w.write_chunk(kind::CONFIG, &encode_config(&self.config))?;
-        w.write_specs(&spec_rows(&self.fleet))?;
+        w.write_specs(&spec_rows(&self.fleet)?)?;
         w.write_series(
             kind::COMPUTE_METRICS,
             self.compute.ticks,
@@ -172,7 +182,7 @@ impl Dataset {
         let plan = build_plan(&config, &fleet);
 
         let stored_specs = decode_specs(require_unique(&chunks, kind::SPECS, "specs")?)?;
-        let rebuilt_specs = spec_rows(&fleet);
+        let rebuilt_specs = spec_rows(&fleet)?;
         if stored_specs != rebuilt_specs {
             return Err(EbsError::corrupt_store(format!(
                 "specification chunk ({} rows) does not match the fleet rebuilt \
@@ -326,6 +336,15 @@ mod tests {
             decode_config(&payload),
             Err(EbsError::CorruptStore(_))
         ));
+    }
+
+    #[test]
+    fn spec_rows_reject_vd_naming_a_missing_vm() {
+        let ds = generate(&WorkloadConfig::quick(3)).unwrap();
+        assert!(spec_rows(&ds.fleet).is_ok());
+        let mut fleet = ds.fleet.clone();
+        fleet.vms = ebs_core::ids::IdVec::new(); // every VD now dangles
+        assert!(matches!(spec_rows(&fleet), Err(EbsError::InvalidSpec(_))));
     }
 
     #[test]

@@ -14,7 +14,7 @@ use ebs::core::io::Op;
 use ebs::core::units::format_bytes;
 use ebs::stack::sim::{StackConfig, StackSim};
 use ebs::workload::{generate, WorkloadConfig};
-use std::collections::HashMap;
+use ebs_core::hash::FxHashMap;
 
 fn main() {
     let ds = generate(&WorkloadConfig::quick(7)).expect("config validates");
@@ -64,7 +64,7 @@ fn main() {
     };
     let mut sim = StackSim::new(&ds.fleet, cfg);
     let out = sim.run(&ds.events).expect("sorted events");
-    let hot: HashMap<_, _> = [(vd, hb)].into_iter().collect();
+    let hot: FxHashMap<_, _> = [(vd, hb)].into_iter().collect();
     let hits = hit_oracle(&hot, out.traces.records(), 0.0);
     for site in CacheSite::ALL {
         if let Some(g) = latency_gain(out.traces.records(), &hits, site, Op::Write) {
