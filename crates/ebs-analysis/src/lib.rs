@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod batch;
 pub mod ccr;
 pub mod cdf;
 pub mod cov;
@@ -33,6 +34,9 @@ pub mod timeseries;
 pub mod wr_ratio;
 
 pub use aggregate::{ComputeLevel, StorageLevel};
+pub use batch::{
+    count_values, keyed_sums, scatter_add, tick_sums, weighted_cdf_at, weighted_quantile,
+};
 pub use ccr::ccr;
 pub use cdf::Cdf;
 pub use cov::{cov, normalized_cov};

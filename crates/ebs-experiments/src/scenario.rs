@@ -90,6 +90,7 @@ pub fn dataset_or_replay(scale: Scale, path: &std::path::Path) -> Result<Dataset
             ds.trace_count(),
             path.display()
         );
+        emit_store_stats(path);
         return Ok(ds);
     }
     let ds = dataset(scale);
@@ -100,7 +101,23 @@ pub fn dataset_or_replay(scale: Scale, path: &std::path::Path) -> Result<Dataset
         ds.trace_count(),
         path.display()
     );
+    emit_store_stats(path);
     Ok(ds)
+}
+
+/// Print the store's per-chunk and per-column byte accounting to stderr.
+/// Best-effort: the store was just read or written successfully, so a
+/// failing rescan only costs the stats lines, never the run.
+fn emit_store_stats(path: &std::path::Path) {
+    let Ok(file) = std::fs::File::open(path) else {
+        return;
+    };
+    if let Ok(stats) = ebs_store::StoreStats::scan(std::io::BufReader::new(file)) {
+        for line in stats.render() {
+            // ebs-lint: allow(D4) -- replay accounting for the bins; stdout stays reserved for experiment output
+            eprintln!("{line}");
+        }
+    }
 }
 
 /// Route the dataset's sampled events through the stack simulator,

@@ -14,7 +14,9 @@ const HARNESS_CRATES: &[&str] = &["bench", "criterion-shim", "proptest-shim"];
 pub const TOTAL_MODULES: &[&str] = &[
     "crates/ebs-store/src/reader.rs",
     "crates/ebs-store/src/bytes.rs",
+    "crates/ebs-store/src/codec.rs",
     "crates/ebs-store/src/columns.rs",
+    "crates/ebs-store/src/seal.rs",
     "crates/ebs-store/src/stream.rs",
     "crates/ebs-workload/src/import.rs",
     "crates/ebs-workload/src/store.rs",
@@ -144,6 +146,10 @@ mod tests {
     #[test]
     fn total_modules_are_store_and_workload_io() {
         assert!(TOTAL_MODULES.contains(&"crates/ebs-store/src/reader.rs"));
+        // The v2 decode kernels and the frame seal sit on the hostile-input
+        // path, so they are D3-strict like the reader that calls them.
+        assert!(TOTAL_MODULES.contains(&"crates/ebs-store/src/codec.rs"));
+        assert!(TOTAL_MODULES.contains(&"crates/ebs-store/src/seal.rs"));
         assert!(TOTAL_MODULES.contains(&"crates/ebs-workload/src/import.rs"));
         assert!(!TOTAL_MODULES.contains(&"crates/ebs-store/src/writer.rs"));
     }

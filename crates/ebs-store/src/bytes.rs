@@ -159,6 +159,23 @@ impl<'a> ByteReader<'a> {
         })
     }
 
+    /// Borrow everything left to read without consuming it. Batch decoders
+    /// use this to run masked wide loads against one bounds-checked window,
+    /// then account for what they consumed with [`ByteReader::skip`].
+    pub fn rest(&self) -> &'a [u8] {
+        self.buf.get(self.pos..).unwrap_or(&[])
+    }
+
+    /// Consume `len` bytes previously inspected through [`ByteReader::rest`].
+    pub fn skip(&mut self, len: usize) -> Result<(), EbsError> {
+        let end = self.pos.checked_add(len).ok_or_else(|| self.short(len))?;
+        if end > self.buf.len() {
+            return Err(self.short(len));
+        }
+        self.pos = end;
+        Ok(())
+    }
+
     /// Borrow the next `len` raw bytes without copying.
     pub fn get_bytes(&mut self, len: usize) -> Result<&'a [u8], EbsError> {
         let end = self.pos.checked_add(len).ok_or_else(|| self.short(len))?;

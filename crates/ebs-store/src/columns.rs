@@ -1,12 +1,27 @@
 //! Column codecs for the three paper datasets.
 //!
 //! Each payload is column-major: all timestamps, then all VD ids, then all
-//! QP ids, … — so same-typed values sit adjacent and the varint encoder
-//! sees short, similar integers (timestamps become small deltas, ids and
-//! sizes repeat). Floats always travel as raw IEEE-754 bits; a
-//! save→load→save cycle is byte-identical.
+//! QP ids, … — so same-typed values sit adjacent and the encoders see
+//! short, similar integers. Two generations coexist:
+//!
+//! * **v1** (`*_v1`): per-value LEB128 varints. Kept verbatim so v1
+//!   containers keep loading bit-for-bit.
+//! * **v2**: the batched [`crate::codec`] columns. Events carry a
+//!   per-chunk VD dictionary, a per-VD zigzag offset-delta column, and
+//!   five tagged group-varint / frame-of-reference columns; metric series
+//!   store integral-valued `f64` columns as packed integers instead of raw
+//!   bits. Decode lands in a reusable [`EventScratch`] so the steady-state
+//!   streaming path allocates nothing per chunk.
+//!
+//! Floats always travel bit-exactly (raw IEEE-754 bits, or integers whose
+//! `f64` round-trip is exact); a save→load→save cycle is byte-identical.
+//! The version dispatchers ([`decode_events`], [`decode_series_set`])
+//! accept v1 and v2 and return [`EbsError::VersionSkew`] for anything
+//! newer.
 
 use crate::bytes::{ByteReader, ByteWriter};
+use crate::codec::{decode_column_into, encode_column, encoded_column_size, unzigzag, zigzag};
+use crate::format::MAX_CHUNK_EVENTS;
 use ebs_core::apps::AppClass;
 use ebs_core::error::EbsError;
 use ebs_core::ids::{QpId, VdId};
@@ -33,10 +48,10 @@ pub struct SpecRow {
     pub iops_cap: f64,
 }
 
-/// Encode a time-sorted batch of events, column-major with delta-encoded
-/// timestamps. Returns [`EbsError::InvalidSpec`] if the batch is not sorted
-/// by `t_us` (the invariant every dataset in the workspace maintains).
-pub fn encode_events(events: &[IoEvent]) -> Result<Vec<u8>, EbsError> {
+/// Encode a time-sorted batch of events in the legacy v1 layout
+/// (per-value varint columns). Returns [`EbsError::InvalidSpec`] if the
+/// batch is not sorted by `t_us`.
+pub fn encode_events_v1(events: &[IoEvent]) -> Result<Vec<u8>, EbsError> {
     let mut w = ByteWriter::new();
     w.put_varint(events.len() as u64);
     let mut prev = 0u64;
@@ -78,17 +93,16 @@ pub fn encode_events(events: &[IoEvent]) -> Result<Vec<u8>, EbsError> {
     Ok(w.into_bytes())
 }
 
-/// Decode one event batch. Timestamps come back non-decreasing by
+/// Decode one v1 event batch. Timestamps come back non-decreasing by
 /// construction (deltas are unsigned); ids and sizes are range-checked
 /// against their column types, not against any fleet — the loader layers
 /// fleet validation on top.
-pub fn decode_events(payload: &[u8]) -> Result<Vec<IoEvent>, EbsError> {
+pub fn decode_events_v1(payload: &[u8]) -> Result<Vec<IoEvent>, EbsError> {
     let mut r = ByteReader::new(payload, "events chunk");
-    let declared = r_count(&mut r)?;
+    let declared = r.get_varint()?;
     let count = r.check_count(declared, 5)?;
     // Build the event vector once and fill the remaining columns in place:
-    // one allocation total, no per-column temporaries (this decode is the
-    // replay hot path the `bench --mode store` baseline measures).
+    // one allocation total, no per-column temporaries.
     let mut events = Vec::with_capacity(count);
     let mut prev = 0u64;
     for _ in 0..count {
@@ -131,12 +145,463 @@ pub fn decode_events(payload: &[u8]) -> Result<Vec<IoEvent>, EbsError> {
     Ok(events)
 }
 
-/// Read the leading element count of a payload.
-fn r_count(r: &mut ByteReader<'_>) -> Result<u64, EbsError> {
-    r.get_varint()
+/// Bytes of a v2 EVENTS payload broken down by column — the accounting
+/// `bench --mode store` and `bin/all --trace` report so a compression
+/// regression points at a column instead of an opaque ratio.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventColumnBytes {
+    /// Count varint + VD dictionary + op bitset.
+    pub header: u64,
+    /// Timestamp-delta column.
+    pub timestamps: u64,
+    /// VD dictionary-index column.
+    pub vd: u64,
+    /// QP id column.
+    pub qp: u64,
+    /// Request-size column.
+    pub size: u64,
+    /// Per-VD zigzag offset-delta column (the LBA column).
+    pub offset: u64,
+}
+
+impl EventColumnBytes {
+    /// Sum of all per-column byte counts.
+    pub fn total(&self) -> u64 {
+        self.header + self.timestamps + self.vd + self.qp + self.size + self.offset
+    }
+
+    /// Accumulate another chunk's accounting into this one.
+    pub fn merge(&mut self, other: &EventColumnBytes) {
+        self.header += other.header;
+        self.timestamps += other.timestamps;
+        self.vd += other.vd;
+        self.qp += other.qp;
+        self.size += other.size;
+        self.offset += other.offset;
+    }
+}
+
+/// Reusable decode target for v2 event chunks. Holding one of these
+/// across a streaming pass means steady-state decode does zero allocation
+/// per chunk — every column vector is cleared and refilled in place.
+#[derive(Debug, Default)]
+pub struct EventScratch {
+    dict: Vec<u32>,
+    t_us: Vec<u64>,
+    vd_idx: Vec<u64>,
+    qp: Vec<u64>,
+    write_bits: Vec<u8>,
+    size: Vec<u64>,
+    offset: Vec<u64>,
+    last_offset: Vec<u64>,
+}
+
+impl EventScratch {
+    /// Fresh scratch with no reserved capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrow the decoded columns of the most recent chunk.
+    pub fn columns(&self) -> EventColumns<'_> {
+        EventColumns {
+            dict: &self.dict,
+            t_us: &self.t_us,
+            vd_idx: &self.vd_idx,
+            qp: &self.qp,
+            write_bits: &self.write_bits,
+            size: &self.size,
+            offset: &self.offset,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.dict.clear();
+        self.t_us.clear();
+        self.vd_idx.clear();
+        self.qp.clear();
+        self.write_bits.clear();
+        self.size.clear();
+        self.offset.clear();
+    }
+}
+
+/// Borrowed view of one decoded chunk's event columns — the unit the
+/// column-at-a-time kernels in [`crate::stream`] and `ebs-analysis`
+/// operate on.
+///
+/// Invariants established by [`decode_events_v2_into`] (and required of
+/// hand-built views): all five value columns have equal length,
+/// `write_bits` holds at least one bit per event, `t_us` is
+/// non-decreasing, every `vd_idx` entry indexes `dict`, and `qp`/`size`
+/// values fit in `u32`.
+#[derive(Clone, Copy, Debug)]
+pub struct EventColumns<'a> {
+    /// Sorted, distinct VD ids present in the chunk; `vd_idx` points here.
+    pub dict: &'a [u32],
+    /// Absolute timestamps (µs), non-decreasing.
+    pub t_us: &'a [u64],
+    /// Per-event index into `dict`.
+    pub vd_idx: &'a [u64],
+    /// Per-event QP id.
+    pub qp: &'a [u64],
+    /// One bit per event, LSB-first per byte; 1 = write.
+    pub write_bits: &'a [u8],
+    /// Per-event request size in bytes.
+    pub size: &'a [u64],
+    /// Per-event absolute byte offset.
+    pub offset: &'a [u64],
+}
+
+impl EventColumns<'_> {
+    /// Events in the chunk.
+    pub fn len(&self) -> usize {
+        self.t_us.len()
+    }
+
+    /// Whether the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.t_us.is_empty()
+    }
+}
+
+/// Encode a time-sorted batch of events in the v2 layout:
+///
+/// ```text
+/// count | dict_len dict-deltas… | op-bitset | offset-shift
+///       | t-delta col | vd-idx col | qp col | size col | offset-delta col
+/// ```
+///
+/// The VD dictionary is the sorted distinct VD ids of the chunk; the
+/// offset column stores zigzagged deltas against the previous offset *of
+/// the same VD* (hot-spot locality makes those small where raw LBAs are
+/// ~30-bit). Offsets are block-aligned, so the trailing zero bits every
+/// offset shares (the shift byte) are stripped *before* the delta —
+/// zigzag makes negative deltas odd, which would otherwise hide the
+/// alignment from the column codec's own shift. Each value column is a
+/// tagged [`crate::codec`] column. Returns the payload plus its
+/// per-column byte accounting.
+pub fn encode_events_v2(
+    events: &[IoEvent],
+    scratch: &mut EventScratch,
+) -> Result<(Vec<u8>, EventColumnBytes), EbsError> {
+    if events.len() > MAX_CHUNK_EVENTS {
+        return Err(EbsError::invalid_spec(format!(
+            "event chunk of {} events exceeds the {MAX_CHUNK_EVENTS}-event limit",
+            events.len()
+        )));
+    }
+    let mut w = ByteWriter::new();
+    w.put_varint(events.len() as u64);
+    let mut bytes = EventColumnBytes::default();
+    if events.is_empty() {
+        bytes.header = w.len() as u64;
+        return Ok((w.into_bytes(), bytes));
+    }
+    scratch.clear();
+    // VD dictionary: sorted distinct ids, stored as first + deltas (≥1).
+    scratch.dict.extend(events.iter().map(|e| e.vd.0));
+    scratch.dict.sort_unstable();
+    scratch.dict.dedup();
+    w.put_varint(scratch.dict.len() as u64);
+    let mut prev_id = 0u32;
+    for (k, &id) in scratch.dict.iter().enumerate() {
+        let delta = if k == 0 { id } else { id - prev_id };
+        w.put_varint(u64::from(delta));
+        prev_id = id;
+    }
+    // Column scratch fill. The dictionary lookup is a partition point over
+    // a sorted vec — the id is guaranteed present, so the index is exact.
+    let mut prev_t = 0u64;
+    scratch.last_offset.clear();
+    scratch.last_offset.resize(scratch.dict.len(), 0);
+    let off_or = events.iter().fold(0u64, |acc, e| acc | e.offset);
+    let off_shift = if off_or == 0 {
+        0
+    } else {
+        off_or.trailing_zeros()
+    };
+    for e in events {
+        if e.t_us < prev_t {
+            return Err(EbsError::invalid_spec(format!(
+                "event batch not time-sorted: {} after {prev_t}",
+                e.t_us
+            )));
+        }
+        scratch.t_us.push(e.t_us - prev_t);
+        prev_t = e.t_us;
+        let idx = scratch.dict.partition_point(|&d| d < e.vd.0);
+        scratch.vd_idx.push(idx as u64);
+        scratch.qp.push(u64::from(e.qp.0));
+        scratch.size.push(u64::from(e.size));
+        // Wrapping delta arithmetic round-trips every u64 bit pattern; the
+        // decoder mirrors it with a wrapping add.
+        let slot = scratch.last_offset.get_mut(idx).ok_or_else(|| {
+            EbsError::invalid_spec("event VD missing from its own dictionary".to_string())
+        })?;
+        let off = e.offset >> off_shift;
+        scratch.offset.push(zigzag(off.wrapping_sub(*slot) as i64));
+        *slot = off;
+    }
+    for group in events.chunks(8) {
+        let mut byte = 0u8;
+        for (bit, e) in group.iter().enumerate() {
+            if e.op.is_write() {
+                byte |= 1 << bit;
+            }
+        }
+        w.put_u8(byte);
+    }
+    w.put_u8(off_shift as u8);
+    bytes.header = w.len() as u64;
+    bytes.timestamps = encode_column(&mut w, &scratch.t_us);
+    bytes.vd = encode_column(&mut w, &scratch.vd_idx);
+    bytes.qp = encode_column(&mut w, &scratch.qp);
+    bytes.size = encode_column(&mut w, &scratch.size);
+    bytes.offset = encode_column(&mut w, &scratch.offset);
+    Ok((w.into_bytes(), bytes))
+}
+
+/// Decode one v2 event chunk into `scratch`, returning the per-column
+/// byte accounting. On success the scratch columns satisfy every
+/// [`EventColumns`] invariant: timestamps are prefix-summed (overflow is
+/// corruption), offsets are reconstructed per VD, `vd_idx` is
+/// dictionary-checked, and `qp`/`size` fit in `u32`.
+pub fn decode_events_v2_into(
+    payload: &[u8],
+    scratch: &mut EventScratch,
+) -> Result<EventColumnBytes, EbsError> {
+    let mut r = ByteReader::new(payload, "events chunk");
+    let declared = r.get_varint()?;
+    let count = usize::try_from(declared)
+        .ok()
+        .filter(|&c| c <= MAX_CHUNK_EVENTS)
+        .ok_or_else(|| {
+            EbsError::corrupt_store(format!(
+                "events chunk declares {declared} events, over the {MAX_CHUNK_EVENTS} limit"
+            ))
+        })?;
+    scratch.clear();
+    let mut bytes = EventColumnBytes::default();
+    if count == 0 {
+        r.expect_end()?;
+        bytes.header = payload.len() as u64;
+        return Ok(bytes);
+    }
+    let declared_dict = r.get_varint()?;
+    let dict_len = r.check_count(declared_dict, 1)?;
+    if dict_len == 0 || dict_len > count {
+        return Err(EbsError::corrupt_store(format!(
+            "events chunk: dictionary of {dict_len} VDs for {count} events"
+        )));
+    }
+    scratch.dict.reserve(dict_len);
+    let mut prev_id = 0u64;
+    for k in 0..dict_len {
+        let delta = r.get_varint()?;
+        if k > 0 && delta == 0 {
+            return Err(EbsError::corrupt_store(
+                "events chunk: VD dictionary not strictly increasing".to_string(),
+            ));
+        }
+        let id = prev_id
+            .checked_add(delta)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| {
+                EbsError::corrupt_store("events chunk: VD dictionary id overflows u32".to_string())
+            })?;
+        prev_id = u64::from(id);
+        scratch.dict.push(id);
+    }
+    scratch
+        .write_bits
+        .extend_from_slice(r.get_bytes(count.div_ceil(8))?);
+    let off_shift = u32::from(r.get_u8()?);
+    if off_shift >= 64 {
+        return Err(EbsError::corrupt_store(format!(
+            "events chunk: offset alignment shift {off_shift} is out of range"
+        )));
+    }
+    let header_end = payload.len() - r.remaining();
+    bytes.header = header_end as u64;
+    bytes.timestamps = decode_column_into(&mut r, count, &mut scratch.t_us)?;
+    bytes.vd = decode_column_into(&mut r, count, &mut scratch.vd_idx)?;
+    bytes.qp = decode_column_into(&mut r, count, &mut scratch.qp)?;
+    bytes.size = decode_column_into(&mut r, count, &mut scratch.size)?;
+    bytes.offset = decode_column_into(&mut r, count, &mut scratch.offset)?;
+    r.expect_end()?;
+    // Timestamps: delta → absolute, overflow is corruption. One
+    // vectorizable max-fold proves most chunks can never overflow, which
+    // strips the per-value branch from the serial prefix sum; hostile
+    // wide deltas take the checked loop instead.
+    let max_delta = column_max(&scratch.t_us);
+    if max_delta.checked_mul(count as u64).is_some() {
+        let mut prev_t = 0u64;
+        for t in scratch.t_us.iter_mut() {
+            prev_t = prev_t.wrapping_add(*t);
+            *t = prev_t;
+        }
+    } else {
+        let mut prev_t = 0u64;
+        for t in scratch.t_us.iter_mut() {
+            prev_t = prev_t.checked_add(*t).ok_or_else(|| {
+                EbsError::corrupt_store("events chunk: timestamp overflows u64".to_string())
+            })?;
+            *t = prev_t;
+        }
+    }
+    // Offsets: per-VD zigzag delta → absolute, running in the shifted
+    // domain and shifting the alignment back in as each value lands. The
+    // vd_idx range check happens once, on the column max, so the loop body
+    // carries no Result plumbing — its `else` arm is unreachable after the
+    // check and exists only to stay panic-free. The OR accumulator
+    // enforces shift canonicality: when the shift is nonzero, some
+    // shifted-domain offset must be odd, or the encoder would have
+    // stripped more bits.
+    let max_vx = column_max(&scratch.vd_idx);
+    if usize::try_from(max_vx)
+        .ok()
+        .filter(|&i| i < dict_len)
+        .is_none()
+    {
+        return Err(EbsError::corrupt_store(format!(
+            "events chunk: vd index {max_vx} outside the {dict_len}-entry dictionary"
+        )));
+    }
+    scratch.last_offset.clear();
+    scratch.last_offset.resize(dict_len, 0);
+    let mut off_or = 0u64;
+    for (o, &vx) in scratch.offset.iter_mut().zip(scratch.vd_idx.iter()) {
+        let Some(slot) = scratch.last_offset.get_mut(vx as usize) else {
+            continue;
+        };
+        let v = slot.wrapping_add(unzigzag(*o) as u64);
+        off_or |= v;
+        *o = v.wrapping_shl(off_shift);
+        *slot = v;
+    }
+    if off_shift > 0 && off_or & 1 == 0 {
+        return Err(EbsError::corrupt_store(format!(
+            "events chunk: offset alignment shift {off_shift} is not canonical"
+        )));
+    }
+    // Max-folds instead of `any`: no early exit means the scans vectorize,
+    // and honest columns run to the end anyway.
+    for (name, col) in [("qp", &scratch.qp), ("size", &scratch.size)] {
+        if column_max(col) > u64::from(u32::MAX) {
+            return Err(EbsError::corrupt_store(format!(
+                "events chunk: {name} column value does not fit in u32"
+            )));
+        }
+    }
+    Ok(bytes)
+}
+
+/// Column max via eight independent accumulator lanes. A plain
+/// `fold(0, max)` carries one serial dependency per value and does not
+/// vectorize; the lanes turn it into wide `umax` on the ~1M-value columns
+/// the range checks scan.
+#[inline]
+fn column_max(col: &[u64]) -> u64 {
+    let (chunks, rem) = col.as_chunks::<8>();
+    let mut acc = [0u64; 8];
+    for c in chunks {
+        for (a, &v) in acc.iter_mut().zip(c) {
+            *a = (*a).max(v);
+        }
+    }
+    let wide = acc.iter().fold(0u64, |a, &v| a.max(v));
+    rem.iter().fold(wide, |a, &v| a.max(v))
+}
+
+/// Fuse decoded columns back into row-major [`IoEvent`]s, appending to
+/// `out`. All lookups are fallible so a hand-built view that violates the
+/// [`EventColumns`] invariants yields [`EbsError::CorruptStore`], never a
+/// panic.
+pub fn events_from_columns(
+    cols: &EventColumns<'_>,
+    out: &mut Vec<IoEvent>,
+) -> Result<(), EbsError> {
+    let n = cols.len();
+    if cols.vd_idx.len() != n
+        || cols.qp.len() != n
+        || cols.size.len() != n
+        || cols.offset.len() != n
+        || cols.write_bits.len() < n.div_ceil(8)
+    {
+        return Err(EbsError::corrupt_store(
+            "event columns have mismatched lengths".to_string(),
+        ));
+    }
+    // Range-check the dictionary indices once up front so the fuse loop
+    // below is infallible: its per-row `dict.get` fallback can then never
+    // fire, and the whole zip lowers to straight-line extends with no
+    // per-row branch to an error path.
+    let max_vx = column_max(cols.vd_idx);
+    if n > 0
+        && usize::try_from(max_vx)
+            .ok()
+            .filter(|&x| x < cols.dict.len())
+            .is_none()
+    {
+        return Err(EbsError::corrupt_store(format!(
+            "vd index {max_vx} outside the chunk dictionary"
+        )));
+    }
+    let rows = cols
+        .t_us
+        .iter()
+        .zip(cols.vd_idx)
+        .zip(cols.qp)
+        .zip(cols.size)
+        .zip(cols.offset);
+    out.extend(
+        rows.enumerate()
+            .map(|(i, ((((&t_us, &vx), &qp), &size), &offset))| {
+                let vd = cols.dict.get(vx as usize).copied().unwrap_or(0);
+                let bit = cols.write_bits.get(i / 8).map_or(0, |b| b >> (i % 8) & 1);
+                IoEvent {
+                    t_us,
+                    vd: VdId(vd),
+                    qp: QpId(qp as u32),
+                    op: if bit == 1 { Op::Write } else { Op::Read },
+                    size: size as u32,
+                    offset,
+                }
+            }),
+    );
+    Ok(())
+}
+
+/// Encode events in the current format version (v2), with throwaway
+/// scratch. Writers on the hot path hold an [`EventScratch`] and call
+/// [`encode_events_v2`] directly.
+pub fn encode_events(events: &[IoEvent]) -> Result<Vec<u8>, EbsError> {
+    let mut scratch = EventScratch::new();
+    Ok(encode_events_v2(events, &mut scratch)?.0)
+}
+
+/// Decode one event batch of the given container version into row-major
+/// events. v1 decodes through the legacy per-value path; v2 through the
+/// batched columns; anything newer is [`EbsError::VersionSkew`].
+pub fn decode_events(version: u32, payload: &[u8]) -> Result<Vec<IoEvent>, EbsError> {
+    match version {
+        1 => decode_events_v1(payload),
+        2 => {
+            let mut scratch = EventScratch::new();
+            decode_events_v2_into(payload, &mut scratch)?;
+            let mut out = Vec::new();
+            events_from_columns(&scratch.columns(), &mut out)?;
+            Ok(out)
+        }
+        other => Err(EbsError::version_skew(format!(
+            "no event decoder for container version {other}"
+        ))),
+    }
 }
 
 /// Encode the specification dataset (one row per VD, VD-id order).
+/// The layout is identical in v1 and v2.
 pub fn encode_specs(rows: &[SpecRow]) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_varint(rows.len() as u64);
@@ -154,7 +619,7 @@ pub fn encode_specs(rows: &[SpecRow]) -> Vec<u8> {
 /// Decode the specification dataset.
 pub fn decode_specs(payload: &[u8]) -> Result<Vec<SpecRow>, EbsError> {
     let mut r = ByteReader::new(payload, "specs chunk");
-    let declared = r_count(&mut r)?;
+    let declared = r.get_varint()?;
     let count = r.check_count(declared, 20)?;
     let mut rows = Vec::with_capacity(count);
     for i in 0..count {
@@ -178,9 +643,9 @@ pub fn decode_specs(payload: &[u8]) -> Result<Vec<SpecRow>, EbsError> {
     Ok(rows)
 }
 
-/// Encode one metric domain: the tick grid plus one sparse series per
-/// entity (QP or segment), entity-id order.
-pub fn encode_series_set(ticks: TickSpec, series: &[Series]) -> Vec<u8> {
+/// Encode one metric domain in the legacy v1 layout: tick grid, then per
+/// series the tick deltas and four raw-bit `f64`s per sample.
+pub fn encode_series_set_v1(ticks: TickSpec, series: &[Series]) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_f64_bits(ticks.tick_secs);
     w.put_varint(ticks.ticks as u64);
@@ -200,22 +665,13 @@ pub fn encode_series_set(ticks: TickSpec, series: &[Series]) -> Vec<u8> {
     w.into_bytes()
 }
 
-/// Decode one metric domain back into a tick grid and per-entity series.
-pub fn decode_series_set(
+/// Decode one v1 metric domain back into a tick grid and per-entity series.
+pub fn decode_series_set_v1(
     payload: &[u8],
     domain: &str,
 ) -> Result<(TickSpec, Vec<Series>), EbsError> {
     let mut r = ByteReader::new(payload, "metric chunk");
-    let tick_secs = r.get_f64_bits()?;
-    let ticks = r.get_varint_u32()?;
-    if !(tick_secs.is_finite() && tick_secs > 0.0) || ticks == 0 {
-        return Err(EbsError::corrupt_store(format!(
-            "{domain} metrics: invalid tick grid ({tick_secs} s x {ticks})"
-        )));
-    }
-    let spec = TickSpec::new(tick_secs, ticks);
-    let declared_entities = r.get_varint()?;
-    let entities = r.check_count(declared_entities, 1)?;
+    let (spec, entities) = decode_series_header(&mut r, domain)?;
     let mut out = Vec::with_capacity(entities);
     for entity in 0..entities {
         let declared_samples = r.get_varint()?;
@@ -224,16 +680,7 @@ pub fn decode_series_set(
         let mut tick = 0u32;
         for k in 0..samples {
             let delta = r.get_varint_u32()?;
-            if k > 0 && delta == 0 {
-                return Err(EbsError::corrupt_store(format!(
-                    "{domain} metrics: entity {entity} repeats tick {tick}"
-                )));
-            }
-            tick = tick.checked_add(delta).ok_or_else(|| {
-                EbsError::corrupt_store(format!(
-                    "{domain} metrics: entity {entity} tick overflows u32"
-                ))
-            })?;
+            tick = next_tick(tick, delta, k, entity, domain)?;
             let rw = RwFlow {
                 read: Flow {
                     bytes: r.get_f64_bits()?,
@@ -255,6 +702,271 @@ pub fn decode_series_set(
     Ok((spec, out))
 }
 
+/// Value-column mode tags of the v2 series layout.
+mod series_mode {
+    /// Raw IEEE-754 bits, 8 bytes per sample (the v1 representation).
+    pub const RAW_BITS: u8 = 0;
+    /// Integer-valued samples as a packed [`crate::codec`] column.
+    pub const INTEGRAL: u8 = 1;
+    /// Zero-dominant samples: an LSB-first presence bitset, then raw
+    /// IEEE-754 bits for the nonzero samples only. Roughly half of all
+    /// metric samples are exactly `+0.0` (an entity idle on one side of
+    /// the read/write split for a whole tick), and the nonzero rates are
+    /// full-entropy fractions no integer codec touches — so one bit per
+    /// zero is the right spend. `-0.0` has nonzero bits and stays raw.
+    pub const SPARSE_BITS: u8 = 2;
+}
+
+/// Whether `v` survives an exact `f64 → u64 → f64` round trip. True for
+/// every byte/op total the simulator produces (integer-valued, < 2^53);
+/// false for fractions, negatives, `-0.0`, NaN, and integers too large to
+/// represent — those fall back to raw bits.
+#[inline]
+fn is_integral(v: f64) -> bool {
+    v.to_bits() == ((v as u64) as f64).to_bits()
+}
+
+/// Encode one metric domain in the v2 layout. Tick deltas are a packed
+/// [`crate::codec`] column; each of the four value columns (read
+/// bytes/ops, write bytes/ops) takes whichever of three modes is smallest
+/// by exact byte count — integral codec column, zero-bitset sparse, or
+/// raw bits (ties prefer that order). The choice is a pure function of
+/// the sample values, so a save→load→save cycle is byte-identical. At
+/// full scale this roughly halves the metric chunks, which dominate the
+/// container (~92% of its bytes).
+pub fn encode_series_set_v2(ticks: TickSpec, series: &[Series]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_f64_bits(ticks.tick_secs);
+    w.put_varint(ticks.ticks as u64);
+    w.put_varint(series.len() as u64);
+    let mut col = Vec::new();
+    for s in series {
+        let samples = s.samples();
+        w.put_varint(samples.len() as u64);
+        col.clear();
+        let mut prev = 0u32;
+        for sample in samples {
+            col.push(u64::from(sample.tick - prev));
+            prev = sample.tick;
+        }
+        encode_column(&mut w, &col);
+        let fields: [fn(&RwFlow) -> f64; 4] = [
+            |rw| rw.read.bytes,
+            |rw| rw.read.ops,
+            |rw| rw.write.bytes,
+            |rw| rw.write.ops,
+        ];
+        for field in fields {
+            let nonzero = samples
+                .iter()
+                .filter(|sm| field(&sm.rw).to_bits() != 0)
+                .count();
+            let raw_body = 8 * samples.len();
+            let sparse_body = samples.len().div_ceil(8) + 8 * nonzero;
+            let integral_body = if samples.iter().all(|sm| is_integral(field(&sm.rw))) {
+                col.clear();
+                col.extend(samples.iter().map(|sm| field(&sm.rw) as u64));
+                encoded_column_size(&col)
+            } else {
+                usize::MAX
+            };
+            if integral_body <= sparse_body.min(raw_body) {
+                w.put_u8(series_mode::INTEGRAL);
+                encode_column(&mut w, &col);
+            } else if sparse_body < raw_body {
+                w.put_u8(series_mode::SPARSE_BITS);
+                let mut bits = 0u8;
+                for (i, sm) in samples.iter().enumerate() {
+                    if field(&sm.rw).to_bits() != 0 {
+                        bits |= 1 << (i % 8);
+                    }
+                    if i % 8 == 7 {
+                        w.put_u8(bits);
+                        bits = 0;
+                    }
+                }
+                if samples.len() % 8 != 0 {
+                    w.put_u8(bits);
+                }
+                for sm in samples {
+                    let v = field(&sm.rw);
+                    if v.to_bits() != 0 {
+                        w.put_f64_bits(v);
+                    }
+                }
+            } else {
+                w.put_u8(series_mode::RAW_BITS);
+                for sm in samples {
+                    w.put_f64_bits(field(&sm.rw));
+                }
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode one v2 metric domain back into a tick grid and per-entity
+/// series.
+pub fn decode_series_set_v2(
+    payload: &[u8],
+    domain: &str,
+) -> Result<(TickSpec, Vec<Series>), EbsError> {
+    let mut r = ByteReader::new(payload, "metric chunk");
+    let (spec, entities) = decode_series_header(&mut r, domain)?;
+    let mut out = Vec::with_capacity(entities);
+    let mut ticks_col = Vec::new();
+    let mut values = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for entity in 0..entities {
+        let declared_samples = r.get_varint()?;
+        let samples = usize::try_from(declared_samples)
+            .ok()
+            .filter(|&c| c <= MAX_CHUNK_EVENTS)
+            .ok_or_else(|| {
+                EbsError::corrupt_store(format!(
+                    "{domain} metrics: entity {entity} declares {declared_samples} samples"
+                ))
+            })?;
+        decode_column_into(&mut r, samples, &mut ticks_col)?;
+        for col in values.iter_mut() {
+            col.clear();
+            match r.get_u8()? {
+                series_mode::RAW_BITS => {
+                    col.reserve(samples);
+                    for _ in 0..samples {
+                        col.push(r.get_f64_bits()?);
+                    }
+                }
+                series_mode::INTEGRAL => {
+                    let mut ints = Vec::with_capacity(samples);
+                    decode_column_into(&mut r, samples, &mut ints)?;
+                    col.extend(ints.iter().map(|&u| u as f64));
+                }
+                series_mode::SPARSE_BITS => {
+                    let bitset = r.get_bytes(samples.div_ceil(8))?;
+                    if samples % 8 != 0 {
+                        if let Some(&last) = bitset.last() {
+                            if last >> (samples % 8) != 0 {
+                                return Err(EbsError::corrupt_store(format!(
+                                    "{domain} metrics: sparse bitset sets bits past the sample count"
+                                )));
+                            }
+                        }
+                    }
+                    col.reserve(samples);
+                    for i in 0..samples {
+                        if bitset.get(i / 8).is_some_and(|&b| b >> (i % 8) & 1 == 1) {
+                            let v = r.get_f64_bits()?;
+                            if v.to_bits() == 0 {
+                                return Err(EbsError::corrupt_store(format!(
+                                    "{domain} metrics: sparse column stores an explicit zero"
+                                )));
+                            }
+                            col.push(v);
+                        } else {
+                            col.push(0.0);
+                        }
+                    }
+                }
+                other => {
+                    return Err(EbsError::corrupt_store(format!(
+                        "{domain} metrics: unknown value-column mode {other}"
+                    )))
+                }
+            }
+        }
+        let mut series = Series::new();
+        let mut tick = 0u32;
+        let [rb, ro, wb, wo] = &values;
+        let cols = ticks_col.iter().zip(rb).zip(ro).zip(wb).zip(wo);
+        for (k, ((((&delta, &read_bytes), &read_ops), &write_bytes), &write_ops)) in
+            cols.enumerate()
+        {
+            let delta = u32::try_from(delta).map_err(|_| {
+                EbsError::corrupt_store(format!(
+                    "{domain} metrics: entity {entity} tick delta overflows u32"
+                ))
+            })?;
+            tick = next_tick(tick, delta, k, entity, domain)?;
+            series.push(
+                tick,
+                RwFlow {
+                    read: Flow {
+                        bytes: read_bytes,
+                        ops: read_ops,
+                    },
+                    write: Flow {
+                        bytes: write_bytes,
+                        ops: write_ops,
+                    },
+                },
+            );
+        }
+        out.push(series);
+    }
+    r.expect_end()?;
+    Ok((spec, out))
+}
+
+/// Shared series-payload header: tick grid plus entity count, validated.
+fn decode_series_header(
+    r: &mut ByteReader<'_>,
+    domain: &str,
+) -> Result<(TickSpec, usize), EbsError> {
+    let tick_secs = r.get_f64_bits()?;
+    let ticks = r.get_varint_u32()?;
+    if !(tick_secs.is_finite() && tick_secs > 0.0) || ticks == 0 {
+        return Err(EbsError::corrupt_store(format!(
+            "{domain} metrics: invalid tick grid ({tick_secs} s x {ticks})"
+        )));
+    }
+    let spec = TickSpec::new(tick_secs, ticks);
+    let declared_entities = r.get_varint()?;
+    let entities = r.check_count(declared_entities, 1)?;
+    Ok((spec, entities))
+}
+
+/// Advance the running tick by a decoded delta, rejecting repeats and
+/// overflow (shared between the v1 and v2 series decoders).
+#[inline]
+fn next_tick(
+    tick: u32,
+    delta: u32,
+    k: usize,
+    entity: usize,
+    domain: &str,
+) -> Result<u32, EbsError> {
+    if k > 0 && delta == 0 {
+        return Err(EbsError::corrupt_store(format!(
+            "{domain} metrics: entity {entity} repeats tick {tick}"
+        )));
+    }
+    tick.checked_add(delta).ok_or_else(|| {
+        EbsError::corrupt_store(format!(
+            "{domain} metrics: entity {entity} tick overflows u32"
+        ))
+    })
+}
+
+/// Encode a metric domain in the current format version (v2).
+pub fn encode_series_set(ticks: TickSpec, series: &[Series]) -> Vec<u8> {
+    encode_series_set_v2(ticks, series)
+}
+
+/// Decode a metric domain of the given container version.
+pub fn decode_series_set(
+    version: u32,
+    payload: &[u8],
+    domain: &str,
+) -> Result<(TickSpec, Vec<Series>), EbsError> {
+    match version {
+        1 => decode_series_set_v1(payload, domain),
+        2 => decode_series_set_v2(payload, domain),
+        other => Err(EbsError::version_skew(format!(
+            "no metric decoder for container version {other}"
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,16 +985,70 @@ mod tests {
     }
 
     #[test]
-    fn events_round_trip() {
+    fn events_round_trip_in_both_versions() {
         let events = sample_events();
-        let payload = encode_events(&events).unwrap();
-        assert_eq!(decode_events(&payload).unwrap(), events);
+        let v1 = encode_events_v1(&events).unwrap();
+        assert_eq!(decode_events(1, &v1).unwrap(), events);
+        let v2 = encode_events(&events).unwrap();
+        assert_eq!(decode_events(2, &v2).unwrap(), events);
+        assert!(matches!(
+            decode_events(3, &v2),
+            Err(EbsError::VersionSkew(_))
+        ));
+    }
+
+    #[test]
+    fn v2_events_encode_smaller_than_v1() {
+        let events = sample_events();
+        let v1 = encode_events_v1(&events).unwrap();
+        let v2 = encode_events(&events).unwrap();
+        assert!(
+            v2.len() < v1.len(),
+            "v2 {} bytes vs v1 {} bytes",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn v2_column_accounting_sums_to_the_payload() {
+        let events = sample_events();
+        let mut scratch = EventScratch::new();
+        let (payload, enc_bytes) = encode_events_v2(&events, &mut scratch).unwrap();
+        assert_eq!(enc_bytes.total(), payload.len() as u64);
+        let mut dec = EventScratch::new();
+        let dec_bytes = decode_events_v2_into(&payload, &mut dec).unwrap();
+        assert_eq!(dec_bytes, enc_bytes);
+    }
+
+    #[test]
+    fn v2_scratch_reuse_is_equivalent_to_fresh_scratch() {
+        let events = sample_events();
+        let mut scratch = EventScratch::new();
+        for chunk in events.chunks(300) {
+            let (payload, _) = encode_events_v2(chunk, &mut scratch).unwrap();
+            let mut dec = EventScratch::new();
+            decode_events_v2_into(&payload, &mut dec).unwrap();
+            let mut out = Vec::new();
+            events_from_columns(&dec.columns(), &mut out).unwrap();
+            assert_eq!(out, chunk);
+        }
+        // Re-decode the full batch through one reused scratch as well.
+        let mut reused = EventScratch::new();
+        let (payload, _) = encode_events_v2(&events, &mut scratch).unwrap();
+        decode_events_v2_into(&payload, &mut reused).unwrap();
+        decode_events_v2_into(&payload, &mut reused).unwrap();
+        let mut out = Vec::new();
+        events_from_columns(&reused.columns(), &mut out).unwrap();
+        assert_eq!(out, events);
     }
 
     #[test]
     fn empty_event_batch_round_trips() {
         let payload = encode_events(&[]).unwrap();
-        assert!(decode_events(&payload).unwrap().is_empty());
+        assert!(decode_events(2, &payload).unwrap().is_empty());
+        let v1 = encode_events_v1(&[]).unwrap();
+        assert!(decode_events(1, &v1).unwrap().is_empty());
     }
 
     #[test]
@@ -291,6 +1057,10 @@ mod tests {
         events.swap(0, 500);
         assert!(matches!(
             encode_events(&events),
+            Err(EbsError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            encode_events_v1(&events),
             Err(EbsError::InvalidSpec(_))
         ));
     }
@@ -312,14 +1082,100 @@ mod tests {
     #[test]
     fn truncated_event_payload_is_typed_not_panic() {
         let events = sample_events();
-        let payload = encode_events(&events).unwrap();
-        for cut in [0, 1, 2, payload.len() / 2, payload.len() - 1] {
-            let err = decode_events(&payload[..cut]).unwrap_err();
-            assert!(
-                matches!(err, EbsError::Truncated(_) | EbsError::CorruptStore(_)),
-                "cut at {cut}: {err}"
-            );
+        for version in [1u32, 2] {
+            let payload = match version {
+                1 => encode_events_v1(&events).unwrap(),
+                _ => encode_events(&events).unwrap(),
+            };
+            for cut in [0, 1, 2, payload.len() / 2, payload.len() - 1] {
+                let err = decode_events(version, &payload[..cut]).unwrap_err();
+                assert!(
+                    matches!(err, EbsError::Truncated(_) | EbsError::CorruptStore(_)),
+                    "v{version} cut at {cut}: {err}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn v2_reencoding_decoded_events_is_byte_identical() {
+        let events = sample_events();
+        let first = encode_events(&events).unwrap();
+        let decoded = decode_events(2, &first).unwrap();
+        let second = encode_events(&decoded).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn hostile_v2_headers_are_corruption() {
+        let events = sample_events();
+        let payload = encode_events(&events).unwrap();
+        // Absurd event count.
+        let mut w = ByteWriter::new();
+        w.put_varint((MAX_CHUNK_EVENTS as u64) + 1);
+        let mut scratch = EventScratch::new();
+        assert!(matches!(
+            decode_events_v2_into(&w.into_bytes(), &mut scratch),
+            Err(EbsError::CorruptStore(_))
+        ));
+        // Dictionary bigger than the event count.
+        let mut w = ByteWriter::new();
+        w.put_varint(2); // count
+        w.put_varint(3); // dict_len > count
+        w.put_bytes(&[0; 16]);
+        assert!(matches!(
+            decode_events_v2_into(&w.into_bytes(), &mut scratch),
+            Err(EbsError::CorruptStore(_))
+        ));
+        // Non-increasing dictionary: flip the second dict delta to zero.
+        // (Header layout: count varint, dict_len varint, then deltas.)
+        let mut broken = payload;
+        // count=1000 is a 2-byte varint; dict_len=7 is 1 byte; first dict
+        // delta (id 0) is 1 byte; second delta starts at offset 4.
+        broken[4] = 0;
+        assert!(matches!(
+            decode_events_v2_into(&broken, &mut scratch),
+            Err(EbsError::CorruptStore(_))
+        ));
+    }
+
+    #[test]
+    fn hand_built_columns_with_bad_indices_are_rejected() {
+        let dict = [3u32];
+        let t_us = [0u64, 1];
+        let vd_idx = [0u64, 9]; // second entry points past the dictionary
+        let qp = [0u64, 0];
+        let size = [4096u64, 4096];
+        let offset = [0u64, 0];
+        let bits = [0u8];
+        let cols = EventColumns {
+            dict: &dict,
+            t_us: &t_us,
+            vd_idx: &vd_idx,
+            qp: &qp,
+            write_bits: &bits,
+            size: &size,
+            offset: &offset,
+        };
+        let mut out = Vec::new();
+        assert!(matches!(
+            events_from_columns(&cols, &mut out),
+            Err(EbsError::CorruptStore(_))
+        ));
+        // Mismatched column lengths are rejected up front.
+        let cols = EventColumns {
+            dict: &dict,
+            t_us: &t_us,
+            vd_idx: &vd_idx[..1],
+            qp: &qp,
+            write_bits: &bits,
+            size: &size,
+            offset: &offset,
+        };
+        assert!(matches!(
+            events_from_columns(&cols, &mut out),
+            Err(EbsError::CorruptStore(_))
+        ));
     }
 
     #[test]
@@ -364,15 +1220,14 @@ mod tests {
         ));
     }
 
-    #[test]
-    fn series_sets_round_trip_bit_exactly() {
+    fn sample_series() -> (TickSpec, Vec<Series>) {
         let mut a = Series::new();
         a.push(
             3,
             RwFlow {
                 read: Flow {
                     bytes: 1.5e9,
-                    ops: 366.2,
+                    ops: 366.0,
                 },
                 write: Flow::ZERO,
             },
@@ -387,12 +1242,82 @@ mod tests {
                 },
             },
         );
-        let b = Series::new();
-        let ticks = TickSpec::new(10.0, 360);
-        let payload = encode_series_set(ticks, &[a.clone(), b.clone()]);
-        let (spec, decoded) = decode_series_set(&payload, "compute").unwrap();
+        (TickSpec::new(10.0, 360), vec![a, Series::new()])
+    }
+
+    #[test]
+    fn series_sets_round_trip_bit_exactly_in_both_versions() {
+        let (ticks, series) = sample_series();
+        let v1 = encode_series_set_v1(ticks, &series);
+        let (spec, decoded) = decode_series_set(1, &v1, "compute").unwrap();
         assert_eq!(spec, ticks);
-        assert_eq!(decoded, vec![a, b]);
+        assert_eq!(decoded, series);
+        let v2 = encode_series_set(ticks, &series);
+        let (spec, decoded) = decode_series_set(2, &v2, "compute").unwrap();
+        assert_eq!(spec, ticks);
+        assert_eq!(decoded, series);
+        assert!(matches!(
+            decode_series_set(7, &v2, "compute"),
+            Err(EbsError::VersionSkew(_))
+        ));
+    }
+
+    #[test]
+    fn fractional_and_pathological_floats_fall_back_to_raw_bits() {
+        let mut s = Series::new();
+        s.push(
+            1,
+            RwFlow {
+                read: Flow {
+                    bytes: 0.5, // fractional: not integral
+                    ops: -0.0,  // sign bit must survive
+                },
+                write: Flow {
+                    bytes: 1e300, // far past 2^53
+                    ops: f64::INFINITY,
+                },
+            },
+        );
+        let ticks = TickSpec::new(1.0, 4);
+        let payload = encode_series_set(ticks, &[s.clone()]);
+        let (_, decoded) = decode_series_set(2, &payload, "compute").unwrap();
+        let got = decoded.first().and_then(|d| d.samples().first()).unwrap();
+        let want = s.samples().first().unwrap();
+        assert_eq!(got.rw.read.bytes.to_bits(), want.rw.read.bytes.to_bits());
+        assert_eq!(got.rw.read.ops.to_bits(), want.rw.read.ops.to_bits());
+        assert_eq!(got.rw.write.bytes.to_bits(), want.rw.write.bytes.to_bits());
+        assert_eq!(got.rw.write.ops.to_bits(), want.rw.write.ops.to_bits());
+    }
+
+    #[test]
+    fn v2_series_encode_integral_values_compactly() {
+        // 500 samples of integer-valued flows: v2 should be far smaller
+        // than v1's 32 raw bytes per sample.
+        let mut s = Series::new();
+        for k in 0..500u32 {
+            s.push(
+                k,
+                RwFlow {
+                    read: Flow {
+                        bytes: f64::from(k) * 4096.0,
+                        ops: f64::from(k % 50),
+                    },
+                    write: Flow {
+                        bytes: 4096.0,
+                        ops: 1.0,
+                    },
+                },
+            );
+        }
+        let ticks = TickSpec::new(1.0, 500);
+        let v1 = encode_series_set_v1(ticks, &[s.clone()]);
+        let v2 = encode_series_set(ticks, &[s]);
+        assert!(
+            v2.len() * 2 < v1.len(),
+            "v2 {} bytes vs v1 {} bytes",
+            v2.len(),
+            v1.len()
+        );
     }
 
     #[test]
@@ -402,14 +1327,27 @@ mod tests {
         let mut bad = payload.clone();
         bad[..8].copy_from_slice(&(-1.0f64).to_bits().to_le_bytes());
         assert!(matches!(
-            decode_series_set(&bad, "compute"),
+            decode_series_set(2, &bad, "compute"),
             Err(EbsError::CorruptStore(_))
         ));
         let mut bad = payload;
         bad[8] = 0; // ticks varint -> 0
         assert!(matches!(
-            decode_series_set(&bad, "storage"),
+            decode_series_set(2, &bad, "storage"),
             Err(EbsError::CorruptStore(_))
         ));
+    }
+
+    #[test]
+    fn truncated_series_payloads_are_typed_errors() {
+        let (ticks, series) = sample_series();
+        let payload = encode_series_set(ticks, &series);
+        for cut in [0, 4, 8, 9, payload.len() / 2, payload.len() - 1] {
+            let err = decode_series_set(2, &payload[..cut], "compute").unwrap_err();
+            assert!(
+                matches!(err, EbsError::Truncated(_) | EbsError::CorruptStore(_)),
+                "cut at {cut}: {err}"
+            );
+        }
     }
 }

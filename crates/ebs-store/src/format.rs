@@ -1,11 +1,13 @@
-//! On-disk layout constants of the `ebs-store` container (DESIGN.md §12).
+//! On-disk layout constants of the `ebs-store` container (DESIGN.md §12,
+//! §14).
 //!
 //! ```text
 //! file   := magic(8) version(u32 LE) chunk* end-chunk
-//! chunk  := kind(u8) payload_len(u32 LE) crc32(u32 LE) payload
+//! chunk  := kind(u8) payload_len(u32 LE) seal(u32 LE) payload
 //! ```
 //!
-//! The CRC covers exactly the payload bytes. The end chunk carries the
+//! The frame seal — CRC32 in v1 files, [`crate::seal::seal32`] in v2 —
+//! covers exactly the payload bytes. The end chunk carries the
 //! number of preceding chunks and the total event count, so a file cut at
 //! a chunk boundary — which would otherwise parse cleanly — is still
 //! detected as truncated.
@@ -13,11 +15,20 @@
 /// File magic: identifies an ebs-store container independent of version.
 pub const MAGIC: [u8; 8] = *b"EBSSTORE";
 
-/// Current format version. Readers reject anything newer ([version skew]);
-/// older versions would be migrated here once version 2 exists.
+/// Current format version. Readers reject anything newer ([version skew])
+/// and keep decoding every older version bit-for-bit: v1 payloads are
+/// per-value LEB128 columns, v2 payloads are the batched group-varint /
+/// frame-of-reference columns of [`crate::codec`] (DESIGN.md §14).
 ///
 /// [version skew]: ebs_core::error::EbsError::VersionSkew
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
+
+/// Hard ceiling on the event count a single v2 EVENTS chunk may declare.
+/// Writers chunk far below this ([`EVENTS_PER_CHUNK`]); readers treat a
+/// bigger declared count as corruption before sizing any scratch column —
+/// a v2 chunk of all-constant columns is a few hundred bytes regardless of
+/// its count, so the byte-budget check alone cannot bound allocations.
+pub const MAX_CHUNK_EVENTS: usize = 1 << 22;
 
 /// Upper bound on a single chunk's payload (writers stay far below; a
 /// declared length past this is corruption, not an allocation request).
@@ -25,8 +36,11 @@ pub const MAX_CHUNK_LEN: u32 = 256 << 20;
 
 /// Default number of events per chunk written by
 /// [`crate::writer::StoreWriter::write_events_chunked`]: large enough to
-/// amortize framing, small enough that streaming readers hold ~2 MB live.
-pub const EVENTS_PER_CHUNK: usize = 65_536;
+/// amortize framing and keep the per-chunk dictionary small, small enough
+/// that a chunk's five decoded u64 columns (~320 KB) stay L2-resident —
+/// the post-decode passes and row fuse re-scan them, and at 64 Ki events
+/// per chunk that rescan spills to L3 and costs ~15% of decode throughput.
+pub const EVENTS_PER_CHUNK: usize = 8_192;
 
 /// Chunk kind tags. Unknown kinds are skipped by readers (forward-compatible
 /// within one version: a v1 reader ignores optional chunks it predates).
@@ -48,5 +62,5 @@ pub mod kind {
 /// Bytes of the fixed file header (magic + version).
 pub const HEADER_LEN: usize = MAGIC.len() + 4;
 
-/// Bytes of a chunk frame header (kind + length + crc).
+/// Bytes of a chunk frame header (kind + length + seal).
 pub const FRAME_LEN: usize = 1 + 4 + 4;

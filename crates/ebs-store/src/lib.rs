@@ -4,23 +4,32 @@
 //! specifications; §2.3) are expensive to regenerate and much too large to
 //! re-derive per experiment. This crate gives them a durable on-disk form:
 //! a versioned, chunked, column-major binary container in which each chunk
-//! is sealed by a length header and a CRC32 checksum.
+//! is sealed by a length header and a frame seal — CRC32 for v1 files,
+//! the multiply-rotate [`seal::seal32`] for v2, dispatched on the header
+//! version.
 //!
-//! Layout (DESIGN.md §12):
+//! Layout (DESIGN.md §12, §14):
 //!
 //! ```text
 //! file   := magic "EBSSTORE" version(u32 LE) chunk* end-chunk
-//! chunk  := kind(u8) payload_len(u32 LE) crc32(u32 LE) payload
+//! chunk  := kind(u8) payload_len(u32 LE) seal(u32 LE) payload
 //! ```
 //!
-//! Payloads are column-major: timestamps are delta-encoded varints (events
-//! are globally time-sorted, so deltas are small), ids and sizes are LEB128
-//! varints, floats travel as raw IEEE-754 bits so a save→load→save cycle is
-//! byte-identical. The [`writer::StoreWriter`] produces containers; the
-//! [`reader::ChunkReader`] either materializes them fully or streams event
-//! chunks one at a time into a [`stream::StreamSummary`], which computes
-//! the paper's CCR / P2A / size-quantile statistics without ever holding
-//! the whole trace in memory.
+//! Payloads are column-major. Format v2 (DESIGN.md §14) batch-encodes each
+//! column through the [`codec`] kernels: group-varint for spiky columns,
+//! zigzag + frame-of-reference byte-packing for narrow-range ones, with
+//! the encoder picking the smaller representation per column. Timestamps
+//! are delta-encoded (events are globally time-sorted, so deltas are
+//! small), VD ids are dictionary-compressed per chunk, offsets are per-VD
+//! wrapping deltas, and integral metric samples pack as integer columns;
+//! floats that are not integral travel as raw IEEE-754 bits, so a
+//! save→load→save cycle is byte-identical. The [`writer::StoreWriter`]
+//! produces v2 containers; the [`reader::ChunkReader`] reads v1 and v2
+//! (v1 decodes bit-for-bit through the legacy per-value path) and either
+//! materializes chunks fully or streams them one at a time into a
+//! [`stream::StreamSummary`], whose column-at-a-time fold computes the
+//! paper's CCR / P2A / size-quantile statistics without ever holding the
+//! whole trace in memory — or allocating per chunk in steady state.
 //!
 //! Failure model: every decode path returns a typed
 //! [`ebs_core::error::EbsError`] — [`Truncated`], [`ChecksumMismatch`],
@@ -45,20 +54,26 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bytes;
+pub mod codec;
 pub mod columns;
 pub mod crc32;
 pub mod format;
 pub mod reader;
+pub mod seal;
+pub mod stats;
 pub mod stream;
 pub mod writer;
 
 pub use bytes::{ByteReader, ByteWriter};
 pub use columns::{
     decode_events, decode_series_set, decode_specs, encode_events, encode_series_set, encode_specs,
-    SpecRow,
+    events_from_columns, EventColumnBytes, EventColumns, EventScratch, SpecRow,
 };
 pub use crc32::{crc32, Crc32};
-pub use format::{EVENTS_PER_CHUNK, FRAME_LEN, HEADER_LEN, MAGIC, MAX_CHUNK_LEN, VERSION};
-pub use reader::{Chunk, ChunkReader, EndSummary, EventChunks};
-pub use stream::StreamSummary;
+pub use format::{
+    EVENTS_PER_CHUNK, FRAME_LEN, HEADER_LEN, MAGIC, MAX_CHUNK_EVENTS, MAX_CHUNK_LEN, VERSION,
+};
+pub use reader::{Chunk, ChunkReader, EndSummary, EventChunks, SliceChunkReader};
+pub use stats::StoreStats;
+pub use stream::{fold_store, StreamSummary};
 pub use writer::StoreWriter;

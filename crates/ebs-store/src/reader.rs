@@ -9,9 +9,22 @@ use ebs_core::error::EbsError;
 use ebs_core::io::IoEvent;
 
 use crate::bytes::ByteReader;
-use crate::columns::decode_events;
+use crate::columns::{
+    decode_events_v1, decode_events_v2_into, events_from_columns, EventColumnBytes, EventScratch,
+};
 use crate::crc32::crc32;
-use crate::format::{kind, MAGIC, MAX_CHUNK_LEN, VERSION};
+use crate::format::{kind, FRAME_LEN, MAGIC, MAX_CHUNK_LEN, VERSION};
+use crate::seal::seal32;
+
+/// Frame seal for `version`: CRC32 sealed v1 frames; v2 frames use the
+/// multiply-rotate seal that verifies at decode speed.
+fn frame_seal(version: u32, payload: &[u8]) -> u32 {
+    if version >= 2 {
+        seal32(payload)
+    } else {
+        crc32(payload)
+    }
+}
 
 /// One decoded chunk frame: the kind tag plus its checksum-verified payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -96,6 +109,19 @@ impl<R: Read> ChunkReader<R> {
     /// payload that does not match its frame CRC is
     /// [`EbsError::ChecksumMismatch`].
     pub fn next_chunk(&mut self) -> Result<Option<Chunk>, EbsError> {
+        let mut payload = Vec::new();
+        Ok(self.next_chunk_into(&mut payload)?.map(|chunk_kind| Chunk {
+            kind: chunk_kind,
+            payload,
+        }))
+    }
+
+    /// [`next_chunk`](Self::next_chunk) into a caller-provided buffer:
+    /// returns the chunk kind, or `None` after the END chunk. Streaming
+    /// passes reuse one buffer across every chunk, so steady-state reads
+    /// allocate nothing.
+    pub fn next_chunk_into(&mut self, payload: &mut Vec<u8>) -> Result<Option<u8>, EbsError> {
+        payload.clear();
         if self.done {
             return Ok(None);
         }
@@ -115,10 +141,10 @@ impl<R: Read> ChunkReader<R> {
         // over-allocated buffer half-filled with zeros. Pre-size up to 1 MiB
         // so honest chunks avoid regrow copies without letting a forged
         // length reserve MAX_CHUNK_LEN up front.
-        let mut payload = Vec::with_capacity(len.min(1 << 20) as usize);
+        payload.reserve(len.min(1 << 20) as usize);
         let got = (&mut self.input)
             .take(u64::from(len))
-            .read_to_end(&mut payload)
+            .read_to_end(payload)
             .map_err(EbsError::from)?;
         if got != len as usize {
             return Err(EbsError::truncated(format!(
@@ -126,7 +152,7 @@ impl<R: Read> ChunkReader<R> {
                 self.chunks_read
             )));
         }
-        let have_crc = crc32(&payload);
+        let have_crc = frame_seal(self.version, payload);
         if have_crc != want_crc {
             ebs_obs::counter_add("store.checksum_failures", 1);
             return Err(EbsError::checksum_mismatch(format!(
@@ -136,7 +162,7 @@ impl<R: Read> ChunkReader<R> {
         }
         self.bytes_read += (frame.len() + payload.len()) as u64;
         if chunk_kind == kind::END {
-            let mut r = ByteReader::new(&payload, "end chunk");
+            let mut r = ByteReader::new(payload, "end chunk");
             let chunks = r.get_varint()?;
             let events = r.get_varint()?;
             r.expect_end()?;
@@ -153,10 +179,7 @@ impl<R: Read> ChunkReader<R> {
             return Ok(None);
         }
         self.chunks_read += 1;
-        Ok(Some(Chunk {
-            kind: chunk_kind,
-            payload,
-        }))
+        Ok(Some(chunk_kind))
     }
 
     /// Collect every chunk up to END. Convenience for full materialization.
@@ -174,20 +197,141 @@ impl<R: Read> ChunkReader<R> {
     pub fn into_event_chunks(self) -> EventChunks<R> {
         EventChunks {
             reader: self,
+            payload: Vec::new(),
+            scratch: EventScratch::new(),
+            column_bytes: EventColumnBytes::default(),
             events_seen: 0,
             failed: false,
         }
     }
 }
 
+/// Zero-copy chunk walker over a store image held fully in memory.
+///
+/// Behaves exactly like [`ChunkReader`] reading from a byte slice — same
+/// header validation, CRC verification, and END-chunk accounting — but
+/// borrows each payload out of the image instead of copying it into a
+/// buffer. Decode paths that already hold the whole container (benchmarks,
+/// mapped replays) skip one full memcpy of the trace this way.
+#[derive(Clone, Copy, Debug)]
+pub struct SliceChunkReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    version: u32,
+    chunks_read: u64,
+    end: Option<EndSummary>,
+    done: bool,
+}
+
+impl<'a> SliceChunkReader<'a> {
+    /// Open a store image: validates the magic and version header with the
+    /// same rules as [`ChunkReader::new`].
+    pub fn new(buf: &'a [u8]) -> Result<Self, EbsError> {
+        let mut r = ByteReader::new(buf, "file header");
+        let magic = r.get_bytes(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(EbsError::corrupt_store(format!(
+                "bad magic {magic:02x?}: not an ebs-store file"
+            )));
+        }
+        let version = r.get_u32()?;
+        if version > VERSION {
+            return Err(EbsError::version_skew(format!(
+                "store is format v{version} but this reader understands up to v{VERSION}"
+            )));
+        }
+        if version == 0 {
+            return Err(EbsError::corrupt_store(
+                "store claims format v0".to_string(),
+            ));
+        }
+        Ok(Self {
+            buf,
+            pos: buf.len() - r.remaining(),
+            version,
+            chunks_read: 0,
+            end: None,
+            done: false,
+        })
+    }
+
+    /// Format version declared by the file header.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The END summary, available once the END chunk has been consumed.
+    pub fn end_summary(&self) -> Option<EndSummary> {
+        self.end
+    }
+
+    /// Borrow the next chunk as `(kind, payload)`, or `Ok(None)` after the
+    /// END chunk. Error taxonomy matches [`ChunkReader::next_chunk_into`]:
+    /// a short image is [`EbsError::Truncated`], a payload that fails its
+    /// frame CRC is [`EbsError::ChecksumMismatch`].
+    pub fn next_chunk(&mut self) -> Result<Option<(u8, &'a [u8])>, EbsError> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut r = ByteReader::new(self.buf.get(self.pos..).unwrap_or(&[]), "chunk frame");
+        let chunk_kind = r.get_u8()?;
+        let len = r.get_u32()?;
+        let want_crc = r.get_u32()?;
+        if len > MAX_CHUNK_LEN {
+            return Err(EbsError::corrupt_store(format!(
+                "chunk {} declares a {len}-byte payload, over the {MAX_CHUNK_LEN}-byte limit",
+                self.chunks_read
+            )));
+        }
+        let payload = r.get_bytes(len as usize).map_err(|_| {
+            EbsError::truncated(format!(
+                "chunk {}: payload cut short of {len} bytes",
+                self.chunks_read
+            ))
+        })?;
+        let have_crc = frame_seal(self.version, payload);
+        if have_crc != want_crc {
+            ebs_obs::counter_add("store.checksum_failures", 1);
+            return Err(EbsError::checksum_mismatch(format!(
+                "chunk {} (kind {chunk_kind}): crc {have_crc:08x} != stored {want_crc:08x}",
+                self.chunks_read
+            )));
+        }
+        self.pos += FRAME_LEN + len as usize;
+        if chunk_kind == kind::END {
+            let mut er = ByteReader::new(payload, "end chunk");
+            let chunks = er.get_varint()?;
+            let events = er.get_varint()?;
+            er.expect_end()?;
+            if chunks != self.chunks_read {
+                return Err(EbsError::truncated(format!(
+                    "end chunk pins {chunks} chunks but only {} were present",
+                    self.chunks_read
+                )));
+            }
+            self.end = Some(EndSummary { chunks, events });
+            self.done = true;
+            return Ok(None);
+        }
+        self.chunks_read += 1;
+        Ok(Some((chunk_kind, payload)))
+    }
+}
+
 /// Streaming iterator over the EVENTS chunks of a store.
 ///
-/// Yields `Result<Vec<IoEvent>, EbsError>` batches. After the END chunk it
-/// cross-checks the pinned event total; a mismatch surfaces as a final
-/// `Err`. After the first error the iterator fuses to `None`.
+/// Yields `Result<Vec<IoEvent>, EbsError>` batches, decoding v1 chunks
+/// through the legacy per-value path and v2 chunks through the batched
+/// column kernels (one payload buffer and one column scratch are reused
+/// across every chunk). After the END chunk it cross-checks the pinned
+/// event total; a mismatch surfaces as a final `Err`. After the first
+/// error the iterator fuses to `None`.
 #[derive(Debug)]
 pub struct EventChunks<R: Read> {
     reader: ChunkReader<R>,
+    payload: Vec<u8>,
+    scratch: EventScratch,
+    column_bytes: EventColumnBytes,
     events_seen: u64,
     failed: bool,
 }
@@ -202,6 +346,24 @@ impl<R: Read> EventChunks<R> {
     pub fn end_summary(&self) -> Option<EndSummary> {
         self.reader.end_summary()
     }
+
+    /// Per-column byte accounting of the v2 EVENTS chunks decoded so far
+    /// (all-zero while reading a v1 store, whose payloads have no
+    /// column-addressable layout).
+    pub fn column_bytes(&self) -> EventColumnBytes {
+        self.column_bytes
+    }
+
+    fn decode_payload(&mut self) -> Result<Vec<IoEvent>, EbsError> {
+        if self.reader.version() == 1 {
+            return decode_events_v1(&self.payload);
+        }
+        let acct = decode_events_v2_into(&self.payload, &mut self.scratch)?;
+        let mut events = Vec::new();
+        events_from_columns(&self.scratch.columns(), &mut events)?;
+        self.column_bytes.merge(&acct);
+        Ok(events)
+    }
 }
 
 impl<R: Read> Iterator for EventChunks<R> {
@@ -212,19 +374,19 @@ impl<R: Read> Iterator for EventChunks<R> {
             return None;
         }
         loop {
-            match self.reader.next_chunk() {
-                Ok(Some(chunk)) => {
-                    if chunk.kind != kind::EVENTS {
+            let mut payload = std::mem::take(&mut self.payload);
+            let next = self.reader.next_chunk_into(&mut payload);
+            self.payload = payload;
+            match next {
+                Ok(Some(chunk_kind)) => {
+                    if chunk_kind != kind::EVENTS {
                         continue;
                     }
-                    match decode_events(&chunk.payload) {
+                    match self.decode_payload() {
                         Ok(events) => {
                             self.events_seen += events.len() as u64;
                             ebs_obs::counter_add("store.events_streamed", events.len() as u64);
-                            ebs_obs::counter_add(
-                                "store.bytes_streamed",
-                                chunk.payload.len() as u64,
-                            );
+                            ebs_obs::counter_add("store.bytes_streamed", self.payload.len() as u64);
                             return Some(Ok(events));
                         }
                         Err(e) => {
@@ -369,7 +531,7 @@ mod tests {
         bytes.extend_from_slice(&VERSION.to_le_bytes());
         bytes.push(kind::EVENTS);
         bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&seal32(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
         let mut r = ChunkReader::new(bytes.as_slice()).unwrap();
         r.next_chunk().unwrap().unwrap();
@@ -393,7 +555,7 @@ mod tests {
         for chunk in &chunks[..chunks.len() - 1] {
             forged.push(chunk.kind);
             forged.extend_from_slice(&(chunk.payload.len() as u32).to_le_bytes());
-            forged.extend_from_slice(&crc32(&chunk.payload).to_le_bytes());
+            forged.extend_from_slice(&seal32(&chunk.payload).to_le_bytes());
             forged.extend_from_slice(&chunk.payload);
         }
         let mut endw = crate::bytes::ByteWriter::new();
@@ -402,7 +564,7 @@ mod tests {
         let end_payload = endw.into_bytes();
         forged.push(kind::END);
         forged.extend_from_slice(&(end_payload.len() as u32).to_le_bytes());
-        forged.extend_from_slice(&crc32(&end_payload).to_le_bytes());
+        forged.extend_from_slice(&seal32(&end_payload).to_le_bytes());
         forged.extend_from_slice(&end_payload);
         let stream = ChunkReader::new(forged.as_slice())
             .unwrap()

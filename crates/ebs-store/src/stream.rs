@@ -7,23 +7,44 @@
 //! byte totals feed [`ebs_analysis::ccr`], per-tick byte totals feed
 //! [`ebs_analysis::p2a`], and a size histogram answers quantiles with the
 //! same linear-interpolation convention as [`ebs_analysis::quantile`].
+//!
+//! Two ingestion paths produce bit-identical summaries: the row-major
+//! [`fold_chunk`](StreamSummary::fold_chunk) reference loop, and the
+//! column-at-a-time [`fold_columns`](StreamSummary::fold_columns) hot
+//! path, which runs the [`ebs_analysis::batch`] kernels directly on a v2
+//! chunk's decoded columns (per-VD partials over the chunk dictionary,
+//! run-batched tick accumulation over the sorted timestamp column). The
+//! two agree exactly because every weight is an integer-valued `f64`
+//! below 2^53, where addition is exact and therefore associative.
+//! [`fold_store`] drives either path over a whole container, reusing one
+//! payload buffer and one column scratch — steady-state replay does zero
+//! allocation per chunk.
 
-use std::collections::BTreeMap;
+use std::io::Read;
 
+use ebs_analysis::batch;
 use ebs_analysis::{ccr, p2a};
 use ebs_core::error::EbsError;
+use ebs_core::hash::FxHashMap;
 use ebs_core::io::IoEvent;
 use ebs_core::time::TickSpec;
 
-/// Incremental trace summary, fed by [`fold_chunk`](Self::fold_chunk).
+use crate::columns::{decode_events_v1, decode_events_v2_into, EventColumns, EventScratch};
+use crate::format::kind;
+use crate::reader::{ChunkReader, EndSummary};
+
+/// Incremental trace summary, fed by [`fold_chunk`](Self::fold_chunk) or
+/// [`fold_columns`](Self::fold_columns).
 #[derive(Clone, Debug)]
 pub struct StreamSummary {
     ticks: TickSpec,
     vd_bytes: Vec<f64>,
     tick_bytes: Vec<f64>,
-    size_counts: BTreeMap<u32, u64>,
+    size_counts: FxHashMap<u32, u64>,
     events: u64,
     bytes: u64,
+    /// Per-dictionary-slot partial sums, reused across chunks.
+    dict_partials: Vec<f64>,
 }
 
 impl StreamSummary {
@@ -33,13 +54,15 @@ impl StreamSummary {
             ticks,
             vd_bytes: vec![0.0; vd_count],
             tick_bytes: vec![0.0; ticks.ticks as usize],
-            size_counts: BTreeMap::new(),
+            size_counts: FxHashMap::default(),
             events: 0,
             bytes: 0,
+            dict_partials: Vec::new(),
         }
     }
 
-    /// Absorb one decoded chunk of events.
+    /// Absorb one decoded chunk of row-major events (the reference path;
+    /// v1 stores and materialized traces come through here).
     ///
     /// A `vd` index outside the fleet is [`EbsError::CorruptStore`] — the
     /// summary is fed from disk, so out-of-range ids mean a damaged or
@@ -64,6 +87,50 @@ impl StreamSummary {
             self.events += 1;
             self.bytes += u64::from(ev.size);
         }
+        Ok(())
+    }
+
+    /// Absorb one decoded v2 chunk column-at-a-time: per-VD byte sums go
+    /// through chunk-local dictionary partials
+    /// ([`ebs_analysis::batch::keyed_sums`] + `scatter_add`), per-tick
+    /// sums through the run-batched [`ebs_analysis::batch::tick_sums`],
+    /// and the size histogram through run-coalesced
+    /// [`ebs_analysis::batch::count_values`]. Produces results
+    /// bit-identical to [`fold_chunk`](Self::fold_chunk) on the same
+    /// events, with no per-event map lookups and no allocation once the
+    /// partial buffer has grown to the largest chunk dictionary.
+    pub fn fold_columns(&mut self, cols: &EventColumns<'_>) -> Result<(), EbsError> {
+        let n = cols.len();
+        if cols.vd_idx.len() != n || cols.size.len() != n {
+            return Err(EbsError::corrupt_store(
+                "event columns have mismatched lengths".to_string(),
+            ));
+        }
+        self.dict_partials.clear();
+        self.dict_partials.resize(cols.dict.len(), 0.0);
+        if !batch::keyed_sums(cols.vd_idx, cols.size, &mut self.dict_partials) {
+            return Err(EbsError::corrupt_store(
+                "vd index column points outside the chunk dictionary".to_string(),
+            ));
+        }
+        if !batch::scatter_add(&mut self.vd_bytes, cols.dict, &self.dict_partials) {
+            let fleet_size = self.vd_bytes.len();
+            return Err(EbsError::corrupt_store(format!(
+                "chunk dictionary names a vd outside the {fleet_size}-disk fleet"
+            )));
+        }
+        if !batch::tick_sums(self.ticks, cols.t_us, cols.size, &mut self.tick_bytes) {
+            return Err(EbsError::corrupt_store(
+                "tick column outside the summary grid".to_string(),
+            ));
+        }
+        if !batch::count_values(cols.size, &mut self.size_counts) {
+            return Err(EbsError::corrupt_store(
+                "size column value does not fit in u32".to_string(),
+            ));
+        }
+        self.events += n as u64;
+        self.bytes += cols.size.iter().sum::<u64>();
         Ok(())
     }
 
@@ -102,51 +169,69 @@ impl StreamSummary {
     /// statistics exactly like [`ebs_analysis::quantile`] — but computed
     /// from the weighted histogram, without expanding one value per event.
     pub fn size_quantile(&self, q: f64) -> Option<f64> {
-        if self.events == 0 {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let pos = q * (self.events - 1) as f64;
-        let lo_rank = pos.floor() as u64;
-        let hi_rank = pos.ceil() as u64;
-        let lo = self.value_at_rank(lo_rank)?;
-        if lo_rank == hi_rank {
-            return Some(lo);
-        }
-        let hi = self.value_at_rank(hi_rank)?;
-        let frac = pos - lo_rank as f64;
-        Some(lo * (1.0 - frac) + hi * frac)
+        batch::weighted_quantile(&self.sorted_sizes(), self.events, q)
     }
 
     /// Fraction of events with size ≤ `x` (the empirical CDF at `x`).
     pub fn size_cdf_at(&self, x: f64) -> Option<f64> {
-        if self.events == 0 {
-            return None;
-        }
-        let below: u64 = self
-            .size_counts
-            .iter()
-            .take_while(|(&size, _)| f64::from(size) <= x)
-            .map(|(_, &n)| n)
-            .sum();
-        Some(below as f64 / self.events as f64)
+        batch::weighted_cdf_at(&self.sorted_sizes(), self.events, x)
     }
 
-    fn value_at_rank(&self, rank: u64) -> Option<f64> {
-        let mut seen = 0u64;
-        for (&size, &count) in &self.size_counts {
-            seen += count;
-            if rank < seen {
-                return Some(f64::from(size));
-            }
-        }
-        None
+    /// The histogram as sorted pairs. The map iterates in hash order, so
+    /// queries sort explicitly — results stay independent of insertion
+    /// history.
+    fn sorted_sizes(&self) -> Vec<(u32, u64)> {
+        let mut pairs: Vec<(u32, u64)> = self.size_counts.iter().map(|(&s, &c)| (s, c)).collect();
+        pairs.sort_unstable();
+        pairs
     }
+}
+
+/// Stream every EVENTS chunk of `reader` into `summary`, dispatching on
+/// the container version: v1 chunks decode through the legacy row path
+/// into [`StreamSummary::fold_chunk`], v2 chunks through the batched
+/// column kernels into [`StreamSummary::fold_columns`] — one payload
+/// buffer and one [`EventScratch`] reused throughout, so the v2
+/// steady state allocates nothing per chunk. Cross-checks the END-chunk
+/// event total and returns it.
+pub fn fold_store<R: Read>(
+    mut reader: ChunkReader<R>,
+    summary: &mut StreamSummary,
+) -> Result<EndSummary, EbsError> {
+    let version = reader.version();
+    let mut payload = Vec::new();
+    let mut scratch = EventScratch::new();
+    let mut seen = 0u64;
+    while let Some(chunk_kind) = reader.next_chunk_into(&mut payload)? {
+        if chunk_kind != kind::EVENTS {
+            continue;
+        }
+        if version == 1 {
+            let events = decode_events_v1(&payload)?;
+            summary.fold_chunk(&events)?;
+            seen += events.len() as u64;
+        } else {
+            decode_events_v2_into(&payload, &mut scratch)?;
+            let cols = scratch.columns();
+            summary.fold_columns(&cols)?;
+            seen += cols.len() as u64;
+        }
+    }
+    let end = reader.end_summary().unwrap_or_default();
+    if end.events != seen {
+        return Err(EbsError::truncated(format!(
+            "end chunk pins {} events but the stream held {seen}",
+            end.events
+        )));
+    }
+    Ok(end)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::columns::encode_events_v2;
+    use crate::writer::StoreWriter;
     use ebs_analysis::{quantile, Cdf};
     use ebs_core::ids::{QpId, VdId};
     use ebs_core::io::Op;
@@ -189,6 +274,45 @@ mod tests {
     }
 
     #[test]
+    fn column_fold_is_bit_identical_to_row_fold() {
+        let evs = events();
+        let mut rows = StreamSummary::new(2, grid());
+        let mut cols_summary = StreamSummary::new(2, grid());
+        let mut scratch = EventScratch::new();
+        let mut dec = EventScratch::new();
+        for chunk in evs.chunks(3) {
+            rows.fold_chunk(chunk).unwrap();
+            let (payload, _) = encode_events_v2(chunk, &mut scratch).unwrap();
+            decode_events_v2_into(&payload, &mut dec).unwrap();
+            cols_summary.fold_columns(&dec.columns()).unwrap();
+        }
+        assert_eq!(rows.vd_bytes(), cols_summary.vd_bytes());
+        assert_eq!(rows.tick_bytes(), cols_summary.tick_bytes());
+        assert_eq!(rows.events(), cols_summary.events());
+        assert_eq!(rows.bytes(), cols_summary.bytes());
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(rows.size_quantile(q), cols_summary.size_quantile(q));
+        }
+        assert_eq!(rows.size_cdf_at(8192.0), cols_summary.size_cdf_at(8192.0));
+    }
+
+    #[test]
+    fn fold_store_streams_a_container_end_to_end() {
+        let evs = events();
+        let mut w = StoreWriter::new(Vec::new()).unwrap();
+        w.write_events_chunked(&evs, 3).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut streamed = StreamSummary::new(2, grid());
+        let end = fold_store(ChunkReader::new(bytes.as_slice()).unwrap(), &mut streamed).unwrap();
+        assert_eq!(end.events, evs.len() as u64);
+        let mut direct = StreamSummary::new(2, grid());
+        direct.fold_chunk(&evs).unwrap();
+        assert_eq!(streamed.vd_bytes(), direct.vd_bytes());
+        assert_eq!(streamed.tick_bytes(), direct.tick_bytes());
+        assert_eq!(streamed.size_quantile(0.5), direct.size_quantile(0.5));
+    }
+
+    #[test]
     fn matches_batch_analysis_on_materialized_events() {
         let evs = events();
         let mut s = StreamSummary::new(2, grid());
@@ -218,6 +342,16 @@ mod tests {
         let mut evs = events();
         evs[0].vd = VdId(7);
         assert!(matches!(s.fold_chunk(&evs), Err(EbsError::CorruptStore(_))));
+        // The column path rejects the same fleet mismatch at scatter time.
+        let mut scratch = EventScratch::new();
+        let mut dec = EventScratch::new();
+        let (payload, _) = encode_events_v2(&evs, &mut scratch).unwrap();
+        decode_events_v2_into(&payload, &mut dec).unwrap();
+        let mut s = StreamSummary::new(1, grid());
+        assert!(matches!(
+            s.fold_columns(&dec.columns()),
+            Err(EbsError::CorruptStore(_))
+        ));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Chunked store writer: frames column-encoded payloads with a kind tag,
-//! a length, and a CRC32 seal, and terminates the file with an END chunk
-//! that pins the chunk count and event total.
+//! a length, and a frame seal ([`crate::seal::seal32`] in format v2), and
+//! terminates the file with an END chunk that pins the chunk count and
+//! event total.
 //!
 //! The writer is generic over [`std::io::Write`] so callers pick the
 //! buffering policy; `Dataset::save` wraps a `BufWriter` around the file.
@@ -13,9 +14,11 @@ use ebs_core::metric::Series;
 use ebs_core::time::TickSpec;
 
 use crate::bytes::ByteWriter;
-use crate::columns::{encode_events, encode_series_set, encode_specs, SpecRow};
-use crate::crc32::crc32;
-use crate::format::{kind, MAGIC, MAX_CHUNK_LEN, VERSION};
+use crate::columns::{
+    encode_events_v2, encode_series_set, encode_specs, EventColumnBytes, EventScratch, SpecRow,
+};
+use crate::format::{kind, MAGIC, MAX_CHUNK_EVENTS, MAX_CHUNK_LEN, VERSION};
+use crate::seal::seal32;
 
 /// Writes an ebs-store container to any [`Write`] sink.
 ///
@@ -28,6 +31,8 @@ pub struct StoreWriter<W: Write> {
     chunks_written: u64,
     events_written: u64,
     bytes_written: u64,
+    scratch: EventScratch,
+    column_bytes: EventColumnBytes,
 }
 
 impl<W: Write> StoreWriter<W> {
@@ -40,6 +45,8 @@ impl<W: Write> StoreWriter<W> {
             chunks_written: 0,
             events_written: 0,
             bytes_written: (MAGIC.len() + 4) as u64,
+            scratch: EventScratch::new(),
+            column_bytes: EventColumnBytes::default(),
         })
     }
 
@@ -53,8 +60,14 @@ impl<W: Write> StoreWriter<W> {
         self.events_written
     }
 
-    /// Frame `payload` as a chunk of `chunk_kind`: tag, length, CRC32 of
-    /// the payload, then the payload itself.
+    /// Per-column byte accounting summed across every EVENTS chunk written
+    /// so far (payload bytes only; frames are 9 bytes per chunk).
+    pub fn column_bytes(&self) -> EventColumnBytes {
+        self.column_bytes
+    }
+
+    /// Frame `payload` as a chunk of `chunk_kind`: tag, length, the v2
+    /// frame seal of the payload, then the payload itself.
     pub fn write_chunk(&mut self, chunk_kind: u8, payload: &[u8]) -> Result<(), EbsError> {
         let len = u32::try_from(payload.len())
             .ok()
@@ -67,17 +80,20 @@ impl<W: Write> StoreWriter<W> {
             })?;
         self.out.write_all(&[chunk_kind])?;
         self.out.write_all(&len.to_le_bytes())?;
-        self.out.write_all(&crc32(payload).to_le_bytes())?;
+        self.out.write_all(&seal32(payload).to_le_bytes())?;
         self.out.write_all(payload)?;
         self.chunks_written += 1;
         self.bytes_written += (crate::format::FRAME_LEN + payload.len()) as u64;
         Ok(())
     }
 
-    /// Write one EVENTS chunk holding all of `events`.
+    /// Write one EVENTS chunk holding all of `events` (at most
+    /// [`MAX_CHUNK_EVENTS`]; callers with more use
+    /// [`write_events_chunked`](Self::write_events_chunked)).
     pub fn write_events(&mut self, events: &[IoEvent]) -> Result<(), EbsError> {
-        let payload = encode_events(events)?;
+        let (payload, acct) = encode_events_v2(events, &mut self.scratch)?;
         self.write_chunk(kind::EVENTS, &payload)?;
+        self.column_bytes.merge(&acct);
         self.events_written += events.len() as u64;
         Ok(())
     }
@@ -91,7 +107,7 @@ impl<W: Write> StoreWriter<W> {
         events: &[IoEvent],
         per_chunk: usize,
     ) -> Result<(), EbsError> {
-        let per_chunk = per_chunk.max(1);
+        let per_chunk = per_chunk.clamp(1, MAX_CHUNK_EVENTS);
         if events.is_empty() {
             return self.write_events(events);
         }
@@ -154,7 +170,7 @@ mod tests {
         let len = u32::from_le_bytes(bytes[HEADER_LEN + 1..HEADER_LEN + 5].try_into().unwrap());
         assert_eq!(len, 3);
         let crc = u32::from_le_bytes(bytes[HEADER_LEN + 5..HEADER_LEN + 9].try_into().unwrap());
-        assert_eq!(crc, crc32(b"cfg"));
+        assert_eq!(crc, seal32(b"cfg"));
         // END chunk follows directly.
         let end_at = HEADER_LEN + FRAME_LEN + 3;
         assert_eq!(bytes[end_at], kind::END);

@@ -172,6 +172,7 @@ impl Dataset {
     pub fn load(path: impl AsRef<Path>) -> Result<Self, EbsError> {
         let file = File::open(path.as_ref())?;
         let mut reader = ChunkReader::new(BufReader::new(file))?;
+        let version = reader.version();
         let chunks = reader.read_all()?;
         let end = reader
             .end_summary()
@@ -193,11 +194,13 @@ impl Dataset {
         }
 
         let (cticks, per_qp) = decode_series_set(
+            version,
             require_unique(&chunks, kind::COMPUTE_METRICS, "compute metrics")?,
             "compute",
         )?;
         check_entity_count("compute", per_qp.len(), fleet.qps.len())?;
         let (sticks, per_seg) = decode_series_set(
+            version,
             require_unique(&chunks, kind::STORAGE_METRICS, "storage metrics")?,
             "storage",
         )?;
@@ -205,7 +208,7 @@ impl Dataset {
 
         let mut events: Vec<IoEvent> = Vec::new();
         for chunk in chunks.iter().filter(|c| c.kind == kind::EVENTS) {
-            events.extend(ebs_store::decode_events(&chunk.payload)?);
+            events.extend(ebs_store::decode_events(version, &chunk.payload)?);
         }
         if events.len() as u64 != end.events {
             return Err(EbsError::truncated(format!(
@@ -342,7 +345,7 @@ mod tests {
     fn spec_rows_reject_vd_naming_a_missing_vm() {
         let ds = generate(&WorkloadConfig::quick(3)).unwrap();
         assert!(spec_rows(&ds.fleet).is_ok());
-        let mut fleet = ds.fleet.clone();
+        let mut fleet = ds.fleet;
         fleet.vms = ebs_core::ids::IdVec::new(); // every VD now dangles
         assert!(matches!(spec_rows(&fleet), Err(EbsError::InvalidSpec(_))));
     }

@@ -189,6 +189,124 @@ fn store_future_version_is_version_skew() {
     assert!(matches!(err, EbsError::VersionSkew(_)), "{err}");
 }
 
+/// One real v2 EVENTS payload (a few hundred events), for decoder fuzzing
+/// below the frame-seal layer — the corruption the seal cannot catch.
+fn v2_events_payload() -> Vec<u8> {
+    use ebs::store::EventScratch;
+    let ds = generate(&WorkloadConfig::quick(504)).unwrap();
+    let slice = &ds.events[..ds.events.len().min(700)];
+    let mut scratch = EventScratch::new();
+    let (payload, _) = ebs::store::columns::encode_events_v2(slice, &mut scratch).unwrap();
+    payload
+}
+
+#[test]
+fn v2_event_decoder_rejects_truncation_at_every_length() {
+    use ebs::store::decode_events;
+    let payload = v2_events_payload();
+    assert!(!decode_events(2, &payload)
+        .expect("intact payload decodes")
+        .is_empty());
+    for cut in 0..payload.len() {
+        // Every strict prefix starves some column of bytes: a typed error,
+        // never a panic, never a silently shortened batch.
+        assert!(
+            decode_events(2, &payload[..cut]).is_err(),
+            "prefix of {cut} bytes decoded"
+        );
+    }
+}
+
+#[test]
+fn v2_event_decoder_survives_every_single_byte_flip() {
+    use ebs::store::{decode_events, MAX_CHUNK_EVENTS};
+    let payload = v2_events_payload();
+    for at in 0..payload.len() {
+        for flip in [0x01u8, 0x80] {
+            let mut corrupt = payload.clone();
+            corrupt[at] ^= flip;
+            // The frame seal catches these in a real container; fed straight
+            // to the decoder they must still produce a typed error or a
+            // well-formed batch — never a panic or an unbounded allocation.
+            if let Ok(events) = decode_events(2, &corrupt) {
+                assert!(
+                    events.len() <= MAX_CHUNK_EVENTS,
+                    "flip at {at} over-allocated"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn v2_column_shift_corruptions_are_typed_errors() {
+    use ebs::core::error::EbsError;
+    use ebs::store::codec::{column_tag, decode_column_into, encode_column, encode_group_varint};
+    use ebs::store::{ByteReader, ByteWriter};
+
+    // A 12-bit-aligned column carries its alignment in the shift byte.
+    let vals: Vec<u64> = (1..200u64).map(|v| v << 12).collect();
+    let mut w = ByteWriter::new();
+    encode_column(&mut w, &vals);
+    let bytes = w.into_bytes();
+    assert_eq!(bytes[1], 12, "encoder should detect the 12-bit alignment");
+
+    // Shift byte pushed out of range → CorruptStore.
+    let mut wide = bytes;
+    wide[1] = 64;
+    let mut out = Vec::new();
+    let err = decode_column_into(&mut ByteReader::new(&wide, "shift"), vals.len(), &mut out)
+        .expect_err("shift 64 must not decode");
+    assert!(matches!(err, EbsError::CorruptStore(_)), "{err}");
+
+    // A nonzero shift over an all-even body is non-canonical → CorruptStore.
+    let packed: Vec<u64> = (1..100u64).map(|v| v * 2).collect();
+    let mut w = ByteWriter::new();
+    w.put_u8(column_tag::GROUP_VARINT);
+    w.put_u8(4);
+    encode_group_varint(&mut w, &packed);
+    let noncanon = w.into_bytes();
+    let err = decode_column_into(
+        &mut ByteReader::new(&noncanon, "canon"),
+        packed.len(),
+        &mut out,
+    )
+    .expect_err("non-canonical shift must not decode");
+    assert!(matches!(err, EbsError::CorruptStore(_)), "{err}");
+
+    // An unknown codec tag → CorruptStore.
+    let unknown = [9u8, 0, 1, 2, 3];
+    let err = decode_column_into(&mut ByteReader::new(&unknown, "tag"), 1, &mut out)
+        .expect_err("unknown tag must not decode");
+    assert!(matches!(err, EbsError::CorruptStore(_)), "{err}");
+}
+
+#[test]
+fn v2_series_decoder_survives_truncation_and_flips() {
+    use ebs::store::{decode_series_set, encode_series_set};
+    let ds = generate(&WorkloadConfig::quick(505)).unwrap();
+    let payload = encode_series_set(ds.compute.ticks, ds.compute.per_qp.as_slice());
+    let (ticks, series) =
+        decode_series_set(2, &payload, "compute").expect("intact payload decodes");
+    assert_eq!(ticks, ds.compute.ticks);
+    assert_eq!(series.as_slice(), ds.compute.per_qp.as_slice());
+    // Sampled strict prefixes must fail typed; sampled bit flips must fail
+    // typed or decode to a well-formed set — never panic. The sparse/raw/
+    // integral mode bytes all fall inside the sampled window.
+    let stride = (payload.len() / 512).max(1);
+    for cut in (0..payload.len()).step_by(stride) {
+        assert!(
+            decode_series_set(2, &payload[..cut], "compute").is_err(),
+            "prefix of {cut} bytes decoded"
+        );
+    }
+    for at in (0..payload.len()).step_by(stride) {
+        let mut corrupt = payload.clone();
+        corrupt[at] ^= 0x01;
+        let _ = decode_series_set(2, &corrupt, "compute");
+    }
+}
+
 #[test]
 fn cache_simulation_of_idle_vd_reports_no_ratio() {
     use ebs::cache::simulate::{simulate, HitStats};

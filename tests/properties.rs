@@ -217,6 +217,216 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Store codec properties (DESIGN.md §14): the v2 column kernels must
+// round-trip any column, price themselves exactly, and re-encode decoded
+// data byte-identically (the canonicality contract).
+// ---------------------------------------------------------------------------
+
+/// Encode → decode → re-encode one tagged column, checking value equality,
+/// both size oracles, and byte-identical re-encoding.
+fn assert_column_roundtrip(vals: &[u64]) {
+    use ebs::store::codec::{decode_column_into, encode_column, encoded_column_size};
+    use ebs::store::{ByteReader, ByteWriter};
+    let mut w = ByteWriter::new();
+    let written = encode_column(&mut w, vals);
+    let bytes = w.into_bytes();
+    assert_eq!(written as usize, bytes.len());
+    assert_eq!(
+        encoded_column_size(vals),
+        bytes.len(),
+        "size oracle diverged"
+    );
+    let mut r = ByteReader::new(&bytes, "prop column");
+    let mut out = Vec::new();
+    let consumed = decode_column_into(&mut r, vals.len(), &mut out).expect("round-trip decode");
+    assert_eq!(
+        consumed as usize,
+        bytes.len(),
+        "decoder left trailing bytes"
+    );
+    assert_eq!(out, vals);
+    let mut w2 = ByteWriter::new();
+    encode_column(&mut w2, &out);
+    assert_eq!(w2.into_bytes(), bytes, "re-encode not byte-identical");
+}
+
+/// Mask `raw` down to `width` significant bits (1..=64).
+fn masked(raw: &[u64], width: u32) -> Vec<u64> {
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    raw.iter().map(|&v| v & mask).collect()
+}
+
+proptest! {
+    #[test]
+    fn zigzag_is_a_bijection(u in any::<u64>()) {
+        use ebs::store::codec::{unzigzag, zigzag};
+        prop_assert_eq!(zigzag(unzigzag(u)), u);
+        let v = u as i64;
+        prop_assert_eq!(unzigzag(zigzag(v)), v);
+    }
+
+    #[test]
+    fn group_varint_roundtrips_any_width_mix(
+        raw in prop::collection::vec(any::<u64>(), 0..260),
+        width in 1u32..65,
+    ) {
+        use ebs::store::codec::{decode_group_varint_into, encode_group_varint, group_varint_size};
+        use ebs::store::{ByteReader, ByteWriter};
+        let vals = masked(&raw, width);
+        let mut w = ByteWriter::new();
+        encode_group_varint(&mut w, &vals);
+        let bytes = w.into_bytes();
+        prop_assert_eq!(bytes.len(), group_varint_size(&vals), "size oracle diverged");
+        let mut r = ByteReader::new(&bytes, "gv prop");
+        let mut out = Vec::new();
+        decode_group_varint_into(&mut r, vals.len(), &mut out).expect("gv decode");
+        prop_assert_eq!(out, vals);
+    }
+
+    #[test]
+    fn frame_of_reference_roundtrips_any_width_mix(
+        raw in prop::collection::vec(any::<u64>(), 0..260),
+        width in 1u32..65,
+    ) {
+        use ebs::store::codec::{decode_for_into, encode_for, for_size};
+        use ebs::store::{ByteReader, ByteWriter};
+        let vals = masked(&raw, width);
+        let mut w = ByteWriter::new();
+        encode_for(&mut w, &vals);
+        let bytes = w.into_bytes();
+        prop_assert_eq!(bytes.len(), for_size(&vals), "size oracle diverged");
+        let mut r = ByteReader::new(&bytes, "for prop");
+        let mut out = Vec::new();
+        decode_for_into(&mut r, vals.len(), &mut out).expect("for decode");
+        prop_assert_eq!(out, vals);
+    }
+
+    #[test]
+    fn tagged_column_roundtrips_with_any_alignment(
+        raw in prop::collection::vec(any::<u64>(), 0..260),
+        width in 1u32..65,
+        shift in 0u32..16,
+    ) {
+        // Shifting left after masking plants the alignment the encoder's
+        // shift byte is meant to recover.
+        let vals: Vec<u64> = masked(&raw, width)
+            .iter()
+            .map(|&v| v.wrapping_shl(shift))
+            .collect();
+        assert_column_roundtrip(&vals);
+    }
+
+    #[test]
+    fn v2_event_batches_roundtrip_and_agree_with_v1(
+        raw in prop::collection::vec(any::<u64>(), 0..300),
+    ) {
+        use ebs::core::ids::{QpId, VdId};
+        use ebs::core::io::{IoEvent, Op};
+        use ebs::store::columns::{encode_events_v1, encode_events_v2};
+        use ebs::store::{decode_events, EventScratch};
+        // Derive every field from one u64 so timestamps stay sorted while
+        // offsets mix alignments (0/9/18/27-bit) across VDs.
+        let mut t = 0u64;
+        let events: Vec<IoEvent> = raw
+            .iter()
+            .map(|&bits| {
+                t += bits & 0xFFFF;
+                IoEvent {
+                    t_us: t,
+                    vd: VdId((bits >> 16) as u32 & 0x3F),
+                    qp: QpId((bits >> 22) as u32 & 0xFF),
+                    op: if (bits >> 30) & 1 == 1 { Op::Write } else { Op::Read },
+                    size: ((bits >> 31) & 0xF_FFFF) as u32,
+                    offset: (bits >> 40) << ((bits & 3) * 9),
+                }
+            })
+            .collect();
+        let mut scratch = EventScratch::new();
+        let (v2, _) = encode_events_v2(&events, &mut scratch).expect("v2 encode");
+        prop_assert_eq!(decode_events(2, &v2).expect("v2 decode"), events.clone());
+        let v1 = encode_events_v1(&events).expect("v1 encode");
+        prop_assert_eq!(decode_events(1, &v1).expect("v1 decode"), events);
+    }
+}
+
+#[test]
+fn adversarial_columns_roundtrip_exactly() {
+    let mut columns: Vec<Vec<u64>> = vec![
+        vec![],
+        vec![0],
+        vec![u64::MAX],
+        vec![42; 513],
+        (0..400).collect(),
+        (0..400).rev().collect(),
+        (0..300)
+            .map(|i| if i % 2 == 0 { 0 } else { u64::MAX })
+            .collect(),
+        (0..130).map(|i| 1u64 << (i % 64)).collect(),
+        vec![1u64 << 63; 129],
+        (0..257).map(|i| (i as u64) << 20).collect(),
+    ];
+    // Lengths straddling the FOR miniblock and group-varint group sizes
+    // catch tail-masking bugs the round-number cases miss.
+    for n in [3usize, 4, 5, 127, 128, 129, 255, 256] {
+        columns.push((0..n as u64).map(|i| i.wrapping_mul(0x9E37)).collect());
+    }
+    for vals in &columns {
+        assert_column_roundtrip(vals);
+    }
+}
+
+/// A hand-framed v1 container must decode to the same events a v2
+/// save→load round-trip produces: readers of either version agree.
+#[test]
+fn v1_containers_load_identically_to_v2_roundtrip() {
+    use ebs::store::format::kind;
+    use ebs::store::{crc32, ByteWriter, ChunkReader, StoreWriter, MAGIC};
+    let ds = ebs::workload::generate(&ebs::workload::WorkloadConfig::quick(904)).unwrap();
+
+    // v1: the exact pre-v2 layout — CRC32-sealed frames, per-value payloads.
+    let mut v1 = Vec::new();
+    let frame = |bytes: &mut Vec<u8>, chunk_kind: u8, payload: &[u8]| {
+        bytes.push(chunk_kind);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+    };
+    v1.extend_from_slice(&MAGIC);
+    v1.extend_from_slice(&1u32.to_le_bytes());
+    let mut chunks = 0u64;
+    for chunk in ds.events.chunks(4096) {
+        let payload = ebs::store::columns::encode_events_v1(chunk).unwrap();
+        frame(&mut v1, kind::EVENTS, &payload);
+        chunks += 1;
+    }
+    let mut end = ByteWriter::new();
+    end.put_varint(chunks);
+    end.put_varint(ds.events.len() as u64);
+    frame(&mut v1, kind::END, &end.into_bytes());
+
+    // v2: the current writer.
+    let mut w = StoreWriter::new(Vec::new()).unwrap();
+    w.write_events_chunked(&ds.events, 4096).unwrap();
+    let v2 = w.finish().unwrap();
+
+    let read_all = |bytes: &[u8]| -> Vec<ebs::core::io::IoEvent> {
+        let mut out = Vec::new();
+        for batch in ChunkReader::new(bytes).unwrap().into_event_chunks() {
+            out.extend(batch.unwrap());
+        }
+        out
+    };
+    let from_v1 = read_all(&v1);
+    let from_v2 = read_all(&v2);
+    assert_eq!(from_v1, ds.events, "v1 container diverged from the source");
+    assert_eq!(from_v2, ds.events, "v2 round-trip diverged from the source");
+}
+
 #[test]
 fn balancer_conserves_segments_under_random_strategies() {
     use ebs::balance::bs_balancer::{run_balancer, BalancerConfig};
