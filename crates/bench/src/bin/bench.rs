@@ -1,13 +1,18 @@
 //! Wall-clock baselines for the performance-critical layers, in two modes.
 //!
-//! **`--mode parallel`** (default) times the three parallelized hot paths —
-//! dataset generation, the full `bin/all` experiment driver, and the
-//! cache/balance sweeps — once with the pool pinned to one thread (the
-//! pure serial path) and once pinned to an **explicit** multi-thread
-//! count, then writes the timings, speedups, and both thread counts to
-//! `BENCH_parallel.json`. (An earlier version ran the "parallel" leg at
+//! **`--mode parallel`** (default) times the parallelized hot paths —
+//! dataset generation, the full `bin/all` experiment driver, the
+//! cache/balance sweeps, and the sharded generate/replay pipeline — once
+//! with the pool pinned to one thread (the pure serial path) and once
+//! pinned to an **explicit** multi-thread count, then writes the timings,
+//! speedups, both thread counts, and the host's physical cpu count to
+//! `BENCH_parallel.json`. Every leg takes one untimed warmup pass before
+//! the best-of-N timing. (An earlier version ran the "parallel" leg at
 //! the ambient thread count, which on a 1-CPU container is also 1 — every
-//! recorded speedup was a vacuous ≈1.0 and the JSON did not say so.)
+//! recorded speedup was a vacuous ≈1.0 and the JSON did not say so;
+//! `host_cpus` now makes that visible.) `--assert-scaling` fails the run
+//! if any parallel leg is slower than serial — for CI on multi-core
+//! runners; it degrades to a warning on single-cpu hosts.
 //!
 //! **`--mode hotpath`** times the zero-copy event index and the O(1) cache
 //! kernels against the pre-optimization implementations, which are kept
@@ -44,10 +49,14 @@ use ebs_experiments::{dataset, driver, fig7, Scale, EXPERIMENT_SEED};
 use ebs_workload::{generate, Dataset};
 use std::time::Instant;
 
-/// Best-of-`iters` wall time of `f`, in seconds, plus the last result.
+/// Best-of-`iters` wall time of `f` after one untimed warmup pass, in
+/// seconds, plus the last result. The warmup absorbs one-time costs —
+/// page faults, lazy allocations, file-cache population — that would
+/// otherwise land in the first timed iteration and, with few iters,
+/// survive the min.
 fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut best = f64::INFINITY;
-    let mut out = None;
+    let mut out = Some(f());
     for _ in 0..iters.max(1) {
         let t0 = Instant::now();
         let value = f();
@@ -147,11 +156,26 @@ fn write_report(out_path: &str, header: &str, labels: (&str, &str), entries: &[E
     eprintln!("wrote {out_path}");
 }
 
+/// Physical parallelism of this host, recorded next to every speedup so
+/// a ≈1.0x figure from a 1-CPU container is never mistaken for a
+/// regression (threads > cores can only timeslice, never speed up).
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// The serial-vs-parallel baseline (BENCH_parallel.json).
-fn run_parallel_mode(scale: Scale, iters: usize, par_threads: usize, out_path: &str) {
+fn run_parallel_mode(
+    scale: Scale,
+    iters: usize,
+    par_threads: usize,
+    assert_scaling: bool,
+    out_path: &str,
+) {
     let scale_name = format!("{scale:?}").to_lowercase();
+    let cpus = host_cpus();
     eprintln!(
-        "benchmarking at scale {scale_name}, serial (1 thread) vs parallel ({par_threads} threads), best of {iters}"
+        "benchmarking at scale {scale_name}, serial (1 thread) vs parallel ({par_threads} threads), \
+         best of {iters} after warmup, host has {cpus} cpu(s)"
     );
 
     let cfg = scale.config(EXPERIMENT_SEED);
@@ -179,10 +203,49 @@ fn run_parallel_mode(scale: Scale, iters: usize, par_threads: usize, out_path: &
         simulate_fleet(&ds.fleet, &ds.events, &RebindConfig::default())
     }));
 
+    // The sharded fleet path: per-shard generation and streaming replay.
+    // The shard count is fixed at `par_threads` for both legs, so the
+    // measured difference is pure thread fan-out, not work partitioning;
+    // the store bytes are identical either way.
+    let shard_dir = std::env::temp_dir().join(format!("ebs-bench-shards-{}", std::process::id()));
+    entries.push(measure("sharded_generate", iters, par_threads, || {
+        std::fs::remove_dir_all(&shard_dir).ok();
+        let m = ebs_workload::generate_sharded(&cfg, &shard_dir, par_threads, false)
+            .expect("sharded generate");
+        (m.total_events(), m.total_bytes())
+    }));
+    entries.push(measure("sharded_replay", iters, par_threads, || {
+        let (m, s) = ebs_workload::replay_summary(&shard_dir).expect("sharded replay");
+        (
+            m.total_events(),
+            s.ccr(0.2).map(f64::to_bits),
+            s.p2a().map(f64::to_bits),
+        )
+    }));
+    std::fs::remove_dir_all(&shard_dir).ok();
+
     let header = format!(
-        "  \"scale\": \"{scale_name}\",\n  \"serial_threads\": 1,\n  \"parallel_threads\": {par_threads},\n  \"iters\": {iters},\n"
+        "  \"scale\": \"{scale_name}\",\n  \"host_cpus\": {cpus},\n  \"serial_threads\": 1,\n  \"parallel_threads\": {par_threads},\n  \"iters\": {iters},\n"
     );
     write_report(out_path, &header, ("serial", "parallel"), &entries);
+
+    if assert_scaling {
+        // Meaningful only when the parallel leg had real cores to use;
+        // on a smaller host the flag degrades to a warning so one CI
+        // recipe works everywhere.
+        if cpus >= 2 {
+            for e in &entries {
+                assert!(
+                    e.speedup() >= 1.0,
+                    "{}: parallel leg slower than serial ({:.2}x) on a {cpus}-cpu host",
+                    e.name,
+                    e.speedup()
+                );
+            }
+        } else {
+            eprintln!("--assert-scaling skipped: host has a single cpu, speedups are vacuous");
+        }
+    }
 }
 
 /// A deterministic skewed page stream for the cache-kernel micros:
@@ -772,7 +835,8 @@ fn main() {
                 .filter(|&n| n > 1)
                 .unwrap_or_else(|| current_threads().max(4));
             let out_path = flag("--out").unwrap_or_else(|| "BENCH_parallel.json".to_string());
-            run_parallel_mode(scale, iters, par_threads, &out_path);
+            let assert_scaling = args.iter().any(|a| a == "--assert-scaling");
+            run_parallel_mode(scale, iters, par_threads, assert_scaling, &out_path);
         }
         "hotpath" => {
             let out_path = flag("--out").unwrap_or_else(|| "BENCH_hotpath.json".to_string());

@@ -12,10 +12,22 @@
 //!
 //! The external `rayon` crate is not available in the offline build
 //! environment, so the implementation uses `std::thread::scope` with a
-//! work-stealing cursor instead of a persistent pool. Scoped spawns cost a
+//! shared block cursor instead of a persistent pool. Scoped spawns cost a
 //! few tens of microseconds — noise next to the millisecond-scale units the
 //! workspace parallelises — and let workers borrow the input slice without
 //! `Arc` plumbing.
+//!
+//! Scheduling is **block self-scheduling**: the input is cut into
+//! contiguous blocks (a few per worker) and workers claim whole blocks
+//! from one atomic cursor. Compared to the per-item claim/slot scheme this
+//! replaced, a worker touches shared state once per block instead of twice
+//! per item, each block's results land in a worker-local `Vec` (no per-item
+//! `Mutex` slots, no interleaved writes into one shared results array —
+//! the false-sharing pattern behind the recorded cache_sweep regression),
+//! and adjacent items go to the *same* worker, so sweeps that walk
+//! contiguous arena slices keep their spatial locality. Results are
+//! reassembled in block order after the scope joins, which is what keeps
+//! output identical to the serial map.
 //!
 //! Thread count resolution, highest priority first:
 //!
@@ -35,6 +47,11 @@ static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
 
 /// Environment variable selecting the worker-thread count.
 pub const THREADS_ENV: &str = "EBS_THREADS";
+
+/// Blocks handed out per worker thread. Small enough that the per-block
+/// cursor traffic is negligible, large enough that a straggler block
+/// cannot idle the other workers for long.
+const BLOCKS_PER_THREAD: usize = 8;
 
 /// Override the thread count for this process (tests, bench harness).
 /// `None` restores the `EBS_THREADS` / hardware default.
@@ -64,49 +81,76 @@ pub fn current_threads() -> usize {
 /// Map `f` over `items` on up to [`current_threads`] workers, returning the
 /// results **in input order**. `f` receives `(index, &item)`.
 ///
-/// Scheduling cannot influence the output: each index is claimed exactly
-/// once from a shared cursor, computed independently, and written back to
-/// its own slot. With one thread (or one item) this degenerates to a plain
-/// serial map with no thread spawn at all.
+/// Scheduling cannot influence the output: workers claim contiguous blocks
+/// of indexes from a shared cursor, compute each block into a worker-local
+/// buffer, and the blocks are concatenated in block order after the joins.
+/// With one thread (or one item) this degenerates to a plain serial map
+/// with no thread spawn at all.
 pub fn par_map_deterministic<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    let threads = current_threads().min(items.len());
+    let len = items.len();
+    let threads = current_threads().min(len);
     if threads <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    // Cut the input into contiguous blocks, a few per worker, so claiming
+    // costs one atomic op per block and adjacent items stay on one worker.
+    let block_size = len.div_ceil(threads * BLOCKS_PER_THREAD).max(1);
+    let block_count = len.div_ceil(block_size);
     let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
-    slots.resize_with(items.len(), || None);
-    let slot_ptrs: Vec<std::sync::Mutex<&mut Option<U>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let value = f(i, &items[i]);
-                // Each index is claimed exactly once, so the lock is
-                // uncontended; it only exists to satisfy aliasing rules.
-                **slot_ptrs[i].lock().expect("slot lock poisoned") = Some(value);
-            });
-        }
+    let f = &f;
+    let done: Vec<Vec<(usize, Vec<U>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine: Vec<(usize, Vec<U>)> = Vec::new();
+                    loop {
+                        let b = cursor.fetch_add(1, Ordering::Relaxed);
+                        if b >= block_count {
+                            break;
+                        }
+                        let lo = b * block_size;
+                        let hi = (lo + block_size).min(len);
+                        let mut out = Vec::with_capacity(hi - lo);
+                        for (i, item) in items[lo..hi].iter().enumerate() {
+                            out.push(f(lo + i, item));
+                        }
+                        mine.push((b, out));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
     });
-    drop(slot_ptrs);
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index was claimed and computed"))
-        .collect()
+    let mut blocks: Vec<Option<Vec<U>>> = Vec::with_capacity(block_count);
+    blocks.resize_with(block_count, || None);
+    for (b, out) in done.into_iter().flatten() {
+        if let Some(slot) = blocks.get_mut(b) {
+            *slot = Some(out);
+        }
+    }
+    let mut results = Vec::with_capacity(len);
+    for block in blocks {
+        results.extend(block.expect("every block was claimed exactly once"));
+    }
+    results
 }
 
 /// Run a batch of heterogeneous jobs in parallel, returning their results
 /// in job order. The driver uses this to run independent figures/tables of
 /// an experiment suite concurrently.
+///
+/// Jobs are claimed one at a time (the block scheduler degenerates to
+/// per-item claiming when there are fewer items than blocks), which is the
+/// right granularity for a handful of unequal-sized jobs.
 pub fn par_jobs<R, F>(jobs: Vec<F>) -> Vec<R>
 where
     R: Send,
@@ -168,6 +212,24 @@ mod tests {
         for pair in outputs.windows(2) {
             assert_eq!(pair[0], pair[1]);
         }
+    }
+
+    #[test]
+    fn block_boundaries_cover_every_length() {
+        let _guard = OVERRIDE_GUARD.lock().unwrap();
+        set_thread_override(Some(3));
+        // Exercise lengths around block-size boundaries (3 threads × 8
+        // blocks = 24-way cuts) so off-by-one in the block math shows up.
+        for len in [2usize, 3, 23, 24, 25, 47, 48, 49, 100, 257] {
+            let items: Vec<usize> = (0..len).collect();
+            let out = par_map_deterministic(&items, |i, &x| i * 1000 + x);
+            assert_eq!(
+                out,
+                (0..len).map(|i| i * 1000 + i).collect::<Vec<_>>(),
+                "len={len}"
+            );
+        }
+        set_thread_override(None);
     }
 
     #[test]

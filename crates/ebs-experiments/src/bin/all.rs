@@ -9,17 +9,33 @@
 //!
 //! `--trace <path>` persists the dataset: the first run generates and
 //! saves it to `path`, later runs replay from the store instead of
-//! regenerating. Output is byte-identical either way (the store round
-//! trip is exact); replay status goes to stderr only.
+//! regenerating. With `--shards <n>` (or `EBS_SHARDS`, or when `path` is
+//! an existing sharded-store directory) the trace lives as a sharded
+//! store: generation and replay both stream shard-by-shard with bounded
+//! memory instead of materializing whole-store buffers. Output is
+//! byte-identical across all of these paths (the store round trips are
+//! exact, and sharding is shard-count-invariant); status goes to stderr
+//! only.
 use ebs_experiments::*;
 
 fn main() {
     let scale = Scale::from_args();
     let ds = match Scale::trace_path_from_args() {
-        Some(path) => dataset_or_replay(scale, &path).unwrap_or_else(|e| {
-            eprintln!("cannot use trace store {}: {e}", path.display());
-            std::process::exit(2);
-        }),
+        Some(path) => {
+            let shards = Scale::shards_from_args();
+            let sharded = shards.is_some()
+                || std::env::var_os(ebs_workload::SHARDS_ENV).is_some()
+                || path.join(ebs_store::MANIFEST_FILE).exists();
+            let loaded = if sharded {
+                dataset_or_replay_sharded(scale, &path, shards)
+            } else {
+                dataset_or_replay(scale, &path)
+            };
+            loaded.unwrap_or_else(|e| {
+                eprintln!("cannot use trace store {}: {e}", path.display());
+                std::process::exit(2);
+            })
+        }
         None => dataset(scale),
     };
     println!("{}", driver::run_all(&ds).join("\n\n"));

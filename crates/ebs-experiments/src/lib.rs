@@ -18,6 +18,7 @@
 //! | `ablations` | design-choice sweeps DESIGN.md calls out |
 //! | `extensions` | the fixes the paper proposes: S6 ARIMA importer, prediction-guided lending, hybrid CN+BS cache |
 //! | `gendata` | export the synthetic dataset as CSV |
+//! | `fleetscale` | bounded-memory million-VD sharded run + skew report |
 //! | `all` | everything above in one run |
 //!
 //! Pass `--quick` or `--medium` to any binary for smaller fleets.
@@ -34,9 +35,12 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod fleetscale;
 pub mod scenario;
 pub mod table2;
 pub mod table3;
 pub mod table4;
 
-pub use scenario::{dataset, dataset_or_replay, stack_traces, Scale, EXPERIMENT_SEED};
+pub use scenario::{
+    dataset, dataset_or_replay, dataset_or_replay_sharded, stack_traces, Scale, EXPERIMENT_SEED,
+};

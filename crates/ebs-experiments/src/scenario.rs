@@ -7,7 +7,7 @@
 use ebs_core::error::EbsError;
 use ebs_stack::sim::{StackConfig, StackSim};
 use ebs_stack::SimOutput;
-use ebs_workload::{generate, Dataset, WorkloadConfig};
+use ebs_workload::{generate, resolve_shards, Dataset, WorkloadConfig};
 
 /// Scenario scale.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,6 +44,23 @@ impl Scale {
             _ => {
                 // ebs-lint: allow(D4) -- CLI usage error on behalf of the bins that share this helper
                 eprintln!("--trace requires a path argument");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse a `--shards <n>` argument: an explicit shard count for the
+    /// sharded trace path. `None` when the flag is absent (callers fall
+    /// back to [`ebs_workload::resolve_shards`], which consults
+    /// `EBS_SHARDS` and then the thread count).
+    pub fn shards_from_args() -> Option<usize> {
+        let args: Vec<String> = std::env::args().collect();
+        let at = args.iter().position(|a| a == "--shards")?;
+        match args.get(at + 1).and_then(|p| p.parse::<usize>().ok()) {
+            Some(n) if n > 0 => Some(n),
+            _ => {
+                // ebs-lint: allow(D4) -- CLI usage error on behalf of the bins that share this helper
+                eprintln!("--shards requires a positive integer argument");
                 std::process::exit(2);
             }
         }
@@ -102,6 +119,43 @@ pub fn dataset_or_replay(scale: Scale, path: &std::path::Path) -> Result<Dataset
         path.display()
     );
     emit_store_stats(path);
+    Ok(ds)
+}
+
+/// The canonical dataset at `scale`, persisted as a *sharded* store in
+/// the directory `dir` (see DESIGN.md §15).
+///
+/// The sharded analogue of [`dataset_or_replay`]: if `dir` holds a
+/// manifest the shards are replayed (streamed shard-parallel, never
+/// materializing more than one decode buffer per worker); otherwise the
+/// dataset is generated shard-by-shard into `dir` with bounded memory
+/// and then loaded back. Both paths return a dataset byte-identical to
+/// [`dataset`]`(scale)` regardless of the shard count.
+pub fn dataset_or_replay_sharded(
+    scale: Scale,
+    dir: &std::path::Path,
+    shards: Option<usize>,
+) -> Result<Dataset, EbsError> {
+    if dir.join(ebs_store::MANIFEST_FILE).exists() {
+        let ds = Dataset::load_sharded(dir)?;
+        // ebs-lint: allow(D4) -- replay status for the bins; stdout stays reserved for experiment output
+        eprintln!(
+            "replayed {} events from sharded store {}",
+            ds.trace_count(),
+            dir.display()
+        );
+        return Ok(ds);
+    }
+    let config = scale.config(EXPERIMENT_SEED);
+    let manifest = ebs_workload::generate_sharded(&config, dir, resolve_shards(shards), true)?;
+    let ds = Dataset::load_sharded(dir)?;
+    // ebs-lint: allow(D4) -- first-run status for the bins; stdout stays reserved for experiment output
+    eprintln!(
+        "generated {} events into {} shard(s) at {}",
+        manifest.total_events(),
+        manifest.shards.len(),
+        dir.display()
+    );
     Ok(ds)
 }
 

@@ -16,6 +16,7 @@ pub const TOTAL_MODULES: &[&str] = &[
     "crates/ebs-store/src/bytes.rs",
     "crates/ebs-store/src/codec.rs",
     "crates/ebs-store/src/columns.rs",
+    "crates/ebs-store/src/manifest.rs",
     "crates/ebs-store/src/seal.rs",
     "crates/ebs-store/src/stream.rs",
     "crates/ebs-workload/src/import.rs",

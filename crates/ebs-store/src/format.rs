@@ -55,6 +55,12 @@ pub mod kind {
     pub const COMPUTE_METRICS: u8 = 4;
     /// Storage-domain metric series (per segment).
     pub const STORAGE_METRICS: u8 = 5;
+    /// Shard self-description: which contiguous VD range this shard file
+    /// owns, and its position in the shard set (DESIGN.md §15).
+    pub const SHARD_META: u8 = 6;
+    /// Shard-set manifest: fleet dimensions plus one entry per shard file,
+    /// stored in its own container alongside the shards (DESIGN.md §15).
+    pub const MANIFEST: u8 = 7;
     /// Terminal chunk: chunk count + event total for truncation detection.
     pub const END: u8 = 0xFF;
 }

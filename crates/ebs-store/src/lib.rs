@@ -58,6 +58,7 @@ pub mod codec;
 pub mod columns;
 pub mod crc32;
 pub mod format;
+pub mod manifest;
 pub mod reader;
 pub mod seal;
 pub mod stats;
@@ -73,6 +74,7 @@ pub use crc32::{crc32, Crc32};
 pub use format::{
     EVENTS_PER_CHUNK, FRAME_LEN, HEADER_LEN, MAGIC, MAX_CHUNK_EVENTS, MAX_CHUNK_LEN, VERSION,
 };
+pub use manifest::{shard_file_name, ShardEntry, ShardManifest, ShardMeta, MANIFEST_FILE};
 pub use reader::{Chunk, ChunkReader, EndSummary, EventChunks, SliceChunkReader};
 pub use stats::StoreStats;
 pub use stream::{fold_store, StreamSummary};

@@ -134,6 +134,41 @@ impl StreamSummary {
         Ok(())
     }
 
+    /// Merge another summary into this one (per-shard partials folding
+    /// into a fleet total). Exact and order-independent: every
+    /// accumulator is an integer-valued `f64` far below 2^53, so the
+    /// elementwise adds are associative and the merged summary is
+    /// bit-identical to folding all the events into one summary in any
+    /// order — which is what makes replayed analyses invariant to the
+    /// shard count. Mismatched grids are [`EbsError::CorruptStore`]:
+    /// shard summaries come from disk, so a shape clash means a damaged
+    /// or mismatched shard set.
+    pub fn merge(&mut self, other: &StreamSummary) -> Result<(), EbsError> {
+        if self.vd_bytes.len() != other.vd_bytes.len()
+            || self.tick_bytes.len() != other.tick_bytes.len()
+        {
+            return Err(EbsError::corrupt_store(format!(
+                "cannot merge a {}-disk/{}-tick summary into a {}-disk/{}-tick one",
+                other.vd_bytes.len(),
+                other.tick_bytes.len(),
+                self.vd_bytes.len(),
+                self.tick_bytes.len(),
+            )));
+        }
+        for (dst, src) in self.vd_bytes.iter_mut().zip(&other.vd_bytes) {
+            *dst += src;
+        }
+        for (dst, src) in self.tick_bytes.iter_mut().zip(&other.tick_bytes) {
+            *dst += src;
+        }
+        for (&size, &count) in &other.size_counts {
+            *self.size_counts.entry(size).or_insert(0) += count;
+        }
+        self.events += other.events;
+        self.bytes += other.bytes;
+        Ok(())
+    }
+
     /// Events absorbed so far.
     pub fn events(&self) -> u64 {
         self.events
@@ -154,8 +189,8 @@ impl StreamSummary {
         &self.tick_bytes
     }
 
-    /// Capacity contribution ratio: smallest fraction of disks carrying
-    /// `frac` of the traffic (paper §3.1). `None` while no bytes absorbed.
+    /// Capacity contribution ratio: the share of traffic carried by the
+    /// top `frac` of disks (paper §3.1). `None` while no bytes absorbed.
     pub fn ccr(&self, frac: f64) -> Option<f64> {
         ccr(&self.vd_bytes, frac)
     }
@@ -334,6 +369,38 @@ mod tests {
         for x in [0.0, 4096.0, 8192.0, 9000.0, 65536.0, 1e9] {
             assert_eq!(s.size_cdf_at(x), cdf.at(x), "x={x}");
         }
+    }
+
+    #[test]
+    fn merging_shard_partials_equals_folding_everything_into_one() {
+        let evs = events();
+        let mut whole = StreamSummary::new(2, grid());
+        whole.fold_chunk(&evs).unwrap();
+        // Split the events across "shards", fold each independently, merge.
+        let mut merged = StreamSummary::new(2, grid());
+        for shard in evs.chunks(3) {
+            let mut partial = StreamSummary::new(2, grid());
+            partial.fold_chunk(shard).unwrap();
+            merged.merge(&partial).unwrap();
+        }
+        assert_eq!(whole.vd_bytes(), merged.vd_bytes());
+        assert_eq!(whole.tick_bytes(), merged.tick_bytes());
+        assert_eq!(whole.events(), merged.events());
+        assert_eq!(whole.bytes(), merged.bytes());
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(whole.size_quantile(q), merged.size_quantile(q));
+        }
+        assert_eq!(whole.ccr(0.8), merged.ccr(0.8));
+        assert_eq!(whole.p2a(), merged.p2a());
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_grids() {
+        let mut a = StreamSummary::new(2, grid());
+        let b = StreamSummary::new(3, grid());
+        assert!(matches!(a.merge(&b), Err(EbsError::CorruptStore(_))));
+        let c = StreamSummary::new(2, TickSpec::new(1.0, 9));
+        assert!(matches!(a.merge(&c), Err(EbsError::CorruptStore(_))));
     }
 
     #[test]

@@ -100,21 +100,23 @@ pub fn generate_for_fleet(config: &WorkloadConfig, fleet: Fleet) -> Result<Datas
 }
 
 /// One VD's generated traffic, indexed by the VD-local QP/segment position.
-struct VdPartial {
+pub(crate) struct VdPartial {
     /// The VD this partial belongs to.
     vd: ebs_core::ids::VdId,
     /// Compute-domain series, one per VD QP (local order).
-    qp_series: Vec<Series>,
+    pub(crate) qp_series: Vec<Series>,
     /// Storage-domain series, one per VD segment (local order).
-    seg_series: Vec<Series>,
+    pub(crate) seg_series: Vec<Series>,
     /// Sampled IO events in tick order.
-    events: Vec<IoEvent>,
+    pub(crate) events: Vec<IoEvent>,
 }
 
 /// Generate one VD's envelopes, bookings, and sampled events from its own
 /// RNG stream. Pure function of `(config, fleet, plan, master seed, vd)` —
-/// the parallel fan-out relies on that.
-fn generate_vd(
+/// the parallel fan-out relies on that, and the sharded generator
+/// ([`crate::shard`]) reuses it so sharded and in-memory generation emit
+/// identical per-VD event streams.
+pub(crate) fn generate_vd(
     config: &WorkloadConfig,
     fleet: &Fleet,
     plan: &TrafficPlan,

@@ -51,6 +51,10 @@ pub mod import;
 pub mod lba;
 pub mod profile;
 pub mod sampler;
+// `shard` writes and re-reads external bytes like `store` does, so it
+// holds to the same no-panic discipline.
+#[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+pub mod shard;
 pub mod spatial;
 #[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod store;
@@ -62,5 +66,9 @@ pub use generator::{generate, generate_for_fleet};
 pub use import::{dataset_from_csv, import_dir, read_specs_csv, SpecCsvRow};
 pub use lba::LbaModel;
 pub use profile::AppProfile;
+pub use shard::{
+    generate_sharded, generate_sharded_plan, load_manifest, replay_summary, resolve_shards,
+    ShardPlan, SHARDS_ENV,
+};
 pub use spatial::{build_plan, TrafficPlan};
 pub use store::{spec_rows, stream_events};

@@ -18,11 +18,12 @@ use std::path::Path;
 use ebs_core::error::EbsError;
 use ebs_core::ids::IdVec;
 use ebs_core::io::IoEvent;
-use ebs_core::metric::{ComputeMetrics, StorageMetrics};
+use ebs_core::metric::{ComputeMetrics, Series, StorageMetrics};
+use ebs_core::time::TickSpec;
 use ebs_core::topology::Fleet;
 use ebs_store::columns::{decode_series_set, decode_specs, SpecRow};
 use ebs_store::format::{kind, EVENTS_PER_CHUNK};
-use ebs_store::{ByteReader, ByteWriter, Chunk, ChunkReader, EventChunks, StoreWriter};
+use ebs_store::{ByteReader, ByteWriter, ChunkReader, EventChunks, StoreWriter};
 
 use crate::config::WorkloadConfig;
 use crate::dataset::Dataset;
@@ -169,20 +170,51 @@ impl Dataset {
     /// rebuilt fleet and every event is range-checked against it, so a
     /// corrupt or mismatched store surfaces as a typed error — never as a
     /// panic in a downstream consumer like `EventIndex::build`.
+    ///
+    /// The file is consumed in one streaming pass with a single reused
+    /// payload buffer: each chunk is decoded as it arrives and its sealed
+    /// bytes are dropped before the next chunk is read, so peak memory is
+    /// the decoded dataset plus one chunk — not, as with a materialize-
+    /// then-decode load, every compressed payload *and* the decoded data
+    /// at once.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, EbsError> {
         let file = File::open(path.as_ref())?;
         let mut reader = ChunkReader::new(BufReader::new(file))?;
         let version = reader.version();
-        let chunks = reader.read_all()?;
+
+        let mut config_chunk: Option<WorkloadConfig> = None;
+        let mut specs_chunk: Option<Vec<SpecRow>> = None;
+        let mut compute_chunk: Option<(TickSpec, Vec<Series>)> = None;
+        let mut storage_chunk: Option<(TickSpec, Vec<Series>)> = None;
+        let mut events: Vec<IoEvent> = Vec::new();
+        let mut payload = Vec::new();
+        while let Some(chunk_kind) = reader.next_chunk_into(&mut payload)? {
+            match chunk_kind {
+                kind::CONFIG => set_unique(&mut config_chunk, decode_config(&payload)?, "config")?,
+                kind::SPECS => set_unique(&mut specs_chunk, decode_specs(&payload)?, "specs")?,
+                kind::COMPUTE_METRICS => set_unique(
+                    &mut compute_chunk,
+                    decode_series_set(version, &payload, "compute")?,
+                    "compute metrics",
+                )?,
+                kind::STORAGE_METRICS => set_unique(
+                    &mut storage_chunk,
+                    decode_series_set(version, &payload, "storage")?,
+                    "storage metrics",
+                )?,
+                kind::EVENTS => events.extend(ebs_store::decode_events(version, &payload)?),
+                _ => {}
+            }
+        }
         let end = reader
             .end_summary()
             .ok_or_else(|| EbsError::truncated("store has no end chunk".to_string()))?;
 
-        let config = decode_config(require_unique(&chunks, kind::CONFIG, "config")?)?;
+        let config = require_chunk(config_chunk, "config")?;
         let fleet = build_fleet(&config)?;
         let plan = build_plan(&config, &fleet);
 
-        let stored_specs = decode_specs(require_unique(&chunks, kind::SPECS, "specs")?)?;
+        let stored_specs = require_chunk(specs_chunk, "specs")?;
         let rebuilt_specs = spec_rows(&fleet)?;
         if stored_specs != rebuilt_specs {
             return Err(EbsError::corrupt_store(format!(
@@ -193,23 +225,11 @@ impl Dataset {
             )));
         }
 
-        let (cticks, per_qp) = decode_series_set(
-            version,
-            require_unique(&chunks, kind::COMPUTE_METRICS, "compute metrics")?,
-            "compute",
-        )?;
+        let (cticks, per_qp) = require_chunk(compute_chunk, "compute metrics")?;
         check_entity_count("compute", per_qp.len(), fleet.qps.len())?;
-        let (sticks, per_seg) = decode_series_set(
-            version,
-            require_unique(&chunks, kind::STORAGE_METRICS, "storage metrics")?,
-            "storage",
-        )?;
+        let (sticks, per_seg) = require_chunk(storage_chunk, "storage metrics")?;
         check_entity_count("storage", per_seg.len(), fleet.segments.len())?;
 
-        let mut events: Vec<IoEvent> = Vec::new();
-        for chunk in chunks.iter().filter(|c| c.kind == kind::EVENTS) {
-            events.extend(ebs_store::decode_events(version, &chunk.payload)?);
-        }
         if events.len() as u64 != end.events {
             return Err(EbsError::truncated(format!(
                 "end chunk pins {} events but chunks held {}",
@@ -246,22 +266,20 @@ pub fn stream_events(path: impl AsRef<Path>) -> Result<EventChunks<BufReader<Fil
     Ok(ChunkReader::new(BufReader::new(file))?.into_event_chunks())
 }
 
-/// Find the single chunk of `chunk_kind`; zero or duplicates are corruption.
-fn require_unique<'c>(
-    chunks: &'c [Chunk],
-    chunk_kind: u8,
-    what: &str,
-) -> Result<&'c [u8], EbsError> {
-    let mut found = None;
-    for c in chunks.iter().filter(|c| c.kind == chunk_kind) {
-        if found.is_some() {
-            return Err(EbsError::corrupt_store(format!(
-                "store has more than one {what} chunk"
-            )));
-        }
-        found = Some(c.payload.as_slice());
+/// Record a decoded singleton chunk; a second sighting is corruption.
+fn set_unique<T>(slot: &mut Option<T>, value: T, what: &str) -> Result<(), EbsError> {
+    if slot.is_some() {
+        return Err(EbsError::corrupt_store(format!(
+            "store has more than one {what} chunk"
+        )));
     }
-    found.ok_or_else(|| EbsError::corrupt_store(format!("store has no {what} chunk")))
+    *slot = Some(value);
+    Ok(())
+}
+
+/// Unwrap a singleton chunk slot; absence is corruption.
+fn require_chunk<T>(slot: Option<T>, what: &str) -> Result<T, EbsError> {
+    slot.ok_or_else(|| EbsError::corrupt_store(format!("store has no {what} chunk")))
 }
 
 /// A metric chunk must carry exactly one series per fleet entity.
@@ -277,7 +295,7 @@ fn check_entity_count(domain: &str, got: usize, want: usize) -> Result<(), EbsEr
 /// Range-check loaded events against the rebuilt fleet: timestamps sorted
 /// across chunks, VD ids in range, QPs owned by the event's VD. Everything
 /// `EventIndex::build` asserts is verified here first with typed errors.
-fn validate_events(events: &[IoEvent], fleet: &Fleet) -> Result<(), EbsError> {
+pub(crate) fn validate_events(events: &[IoEvent], fleet: &Fleet) -> Result<(), EbsError> {
     let mut prev = 0u64;
     for (i, ev) in events.iter().enumerate() {
         if ev.t_us < prev {

@@ -1,0 +1,169 @@
+//! Sharded-store determinism: generating through per-shard ownership must
+//! be indistinguishable from the in-memory generator — byte-identical
+//! datasets at every shard count and every thread count, with
+//! observability on or off — and the streaming replay must merge
+//! per-shard partials into exactly the statistics a single pass over an
+//! unsharded store produces. These are the contracts that make
+//! `bin/all --trace <dir> --shards N` and the fleet-scale pipeline safe
+//! substitutes for `generate()`.
+
+use ebs::core::parallel::set_thread_override;
+use ebs::workload::{generate, generate_sharded, replay_summary, Dataset, WorkloadConfig};
+use std::sync::{Mutex, OnceLock};
+
+/// Serializes the tests that flip process-wide overrides (threads, obs).
+fn override_guard() -> &'static Mutex<()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD.get_or_init(|| Mutex::new(()))
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ebs-sharding-{tag}-{}", std::process::id()))
+}
+
+/// Datasets compared on every generated artifact: trace events plus both
+/// metric-series domains (fleet topology is seed-determined before any
+/// fan-out, so these are the parts sharding could plausibly perturb).
+fn assert_same_dataset(a: &Dataset, b: &Dataset, what: &str) {
+    assert_eq!(a.events, b.events, "{what}: trace events diverged");
+    for (x, y) in a.compute.per_qp.iter().zip(b.compute.per_qp.iter()) {
+        assert_eq!(x, y, "{what}: per-QP series diverged");
+    }
+    for (x, y) in a.storage.per_seg.iter().zip(b.storage.per_seg.iter()) {
+        assert_eq!(x, y, "{what}: per-segment series diverged");
+    }
+}
+
+/// The seeds the sharding contract is pinned for: the default workload
+/// seed, the experiment harness seed, and an arbitrary third.
+const SEEDS: [u64; 3] = [0xEB5_5EED, ebs::experiments::EXPERIMENT_SEED, 424_242];
+
+/// The tentpole contract: for every seed, every shard count, and every
+/// thread count, the sharded store reloads to the exact dataset the
+/// in-memory generator produces.
+#[test]
+fn sharded_generation_is_shard_and_thread_count_invariant() {
+    let _guard = override_guard().lock().unwrap();
+    for seed in SEEDS {
+        let cfg = WorkloadConfig::quick(seed);
+        set_thread_override(Some(1));
+        let baseline = generate(&cfg).unwrap();
+        for shards in [1usize, 2, 8] {
+            for threads in [1usize, 4] {
+                set_thread_override(Some(threads));
+                let dir = tmp_dir(&format!("gen-{seed:x}-{shards}-{threads}"));
+                std::fs::remove_dir_all(&dir).ok();
+                let manifest = generate_sharded(&cfg, &dir, shards, true).unwrap();
+                assert_eq!(manifest.total_events(), baseline.events.len() as u64);
+                let ds = Dataset::load_sharded(&dir).unwrap();
+                assert_same_dataset(
+                    &baseline,
+                    &ds,
+                    &format!("seed {seed:#x}, {shards} shard(s), {threads} thread(s)"),
+                );
+                std::fs::remove_dir_all(&dir).ok();
+            }
+        }
+        set_thread_override(None);
+    }
+}
+
+/// The streaming replay never materializes the trace, so its statistics
+/// must be bit-equal (f64 bits, not approximately) across shard counts.
+#[test]
+fn streaming_replay_statistics_are_shard_count_invariant() {
+    let _guard = override_guard().lock().unwrap();
+    set_thread_override(None);
+    for seed in SEEDS {
+        let cfg = WorkloadConfig::quick(seed);
+        let mut digests = Vec::new();
+        for shards in [1usize, 2, 8] {
+            let dir = tmp_dir(&format!("replay-{seed:x}-{shards}"));
+            std::fs::remove_dir_all(&dir).ok();
+            generate_sharded(&cfg, &dir, shards, false).unwrap();
+            let (manifest, summary) = replay_summary(&dir).unwrap();
+            digests.push((
+                manifest.vd_count,
+                summary.events(),
+                summary.bytes(),
+                summary.ccr(0.2).map(f64::to_bits),
+                summary.p2a().map(f64::to_bits),
+                summary.size_quantile(0.5).map(f64::to_bits),
+                summary.vd_bytes().iter().fold(0u64, |acc, v| {
+                    acc.wrapping_mul(31).wrapping_add(v.to_bits())
+                }),
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        assert_eq!(digests[0], digests[1], "seed {seed:#x}: 1 vs 2 shards");
+        assert_eq!(digests[0], digests[2], "seed {seed:#x}: 1 vs 8 shards");
+    }
+}
+
+/// Downstream contract: the full experiment driver renders byte-identical
+/// output from a sharded replay — at several thread counts, with
+/// observability both off and on.
+#[test]
+fn driver_output_from_sharded_replay_matches_generation() {
+    use ebs::experiments::{dataset, driver, Scale};
+    let _guard = override_guard().lock().unwrap();
+    set_thread_override(Some(1));
+    ebs::obs::set_obs_override(Some(false));
+    let baseline = driver::run_all(&dataset(Scale::Quick));
+
+    let cfg = Scale::Quick.config(ebs::experiments::EXPERIMENT_SEED);
+    let dir = tmp_dir("driver");
+    std::fs::remove_dir_all(&dir).ok();
+    generate_sharded(&cfg, &dir, 3, true).unwrap();
+
+    for threads in [1usize, 2, 8] {
+        set_thread_override(Some(threads));
+        let ds = Dataset::load_sharded(&dir).unwrap();
+        assert_eq!(
+            baseline,
+            driver::run_all(&ds),
+            "sharded replay diverged at {threads} threads, obs off"
+        );
+        ebs::obs::set_obs_override(Some(true));
+        ebs::obs::reset();
+        assert_eq!(
+            baseline,
+            driver::run_all(&ds),
+            "sharded replay diverged at {threads} threads, obs on"
+        );
+        ebs::obs::set_obs_override(Some(false));
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    set_thread_override(None);
+    ebs::obs::set_obs_override(None);
+}
+
+/// The gold-master pin, through the sharded path: the full-scale dataset,
+/// generated shard-by-shard and reloaded, must reproduce
+/// `full_run_output.txt` byte for byte — the same file the in-memory
+/// generator is pinned to in `tests/determinism.rs`. It is the test that
+/// makes the sharded path a true substitute, but full-scale sharded
+/// generation is far too slow unoptimized (~17 min debug vs ~3 min
+/// release), so it is ignored by default and CI runs it in release:
+/// `cargo test --release --test sharding -- --ignored`.
+#[test]
+#[ignore = "full scale: minutes even in release; CI runs it explicitly"]
+fn full_scale_sharded_replay_matches_gold_master() {
+    use ebs::experiments::{driver, Scale};
+    let _guard = override_guard().lock().unwrap();
+    let gold = std::fs::read_to_string("full_run_output.txt").expect("gold master present");
+    let cfg = Scale::Full.config(ebs::experiments::EXPERIMENT_SEED);
+    let dir = tmp_dir("gold");
+    std::fs::remove_dir_all(&dir).ok();
+    generate_sharded(&cfg, &dir, 4, true).unwrap();
+    let ds = Dataset::load_sharded(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    ebs::obs::set_obs_override(Some(true));
+    let out = format!("{}\n", driver::run_all(&ds).join("\n\n"));
+    ebs::obs::set_obs_override(None);
+    assert_eq!(
+        gold, out,
+        "sharded full-scale output moved off the gold master"
+    );
+}
