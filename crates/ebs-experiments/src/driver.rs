@@ -17,7 +17,7 @@
 //! stack simulation; everything else — including the ablation sweeps and
 //! the simulation itself — runs in the first wave.
 
-use crate::scenario::stack_traces;
+use crate::scenario::stack_traces_with;
 use crate::{ablations, extensions, fig2, fig3, fig4, fig5, fig6, fig7, table2, table3, table4};
 use ebs_core::parallel::par_jobs;
 use ebs_stack::SimOutput;
@@ -41,9 +41,9 @@ pub fn run_all(ds: &Dataset) -> Vec<String> {
     type Job<'a> = Box<dyn FnOnce() -> Option<Section> + Send + 'a>;
 
     /// Run one section under a named stage timer (a no-op when `EBS_OBS`
-    /// is off — no clock is read).
+    /// is off — no clock is read and no label string is built).
     fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
-        let _span = ebs_obs::timer(&format!("driver.section.{name}"));
+        let _span = ebs_obs::enabled().then(|| ebs_obs::timer(&format!("driver.section.{name}")));
         f()
     }
 
@@ -61,7 +61,8 @@ pub fn run_all(ds: &Dataset) -> Vec<String> {
         Box::new(|| Some((7, timed("fig6", || fig6::render(&fig6::run_with(ds, idx)))))),
         Box::new(|| Some((9, timed("ablations", || ablations::render_with(ds, idx))))),
         Box::new(|| {
-            *sim_slot.lock().expect("sim slot") = Some(timed("stack_sim", || stack_traces(ds)));
+            *sim_slot.lock().expect("sim slot") =
+                Some(timed("stack_sim", || stack_traces_with(ds, idx)));
             None
         }),
     ];

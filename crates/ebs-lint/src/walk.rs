@@ -21,6 +21,7 @@ pub const TOTAL_MODULES: &[&str] = &[
     "crates/ebs-store/src/stream.rs",
     "crates/ebs-workload/src/import.rs",
     "crates/ebs-workload/src/store.rs",
+    "crates/ebs-stack/src/route.rs",
 ];
 
 /// One file scheduled for scanning.
@@ -145,13 +146,17 @@ mod tests {
     }
 
     #[test]
-    fn total_modules_are_store_and_workload_io() {
+    fn total_modules_are_store_workload_io_and_routing() {
         assert!(TOTAL_MODULES.contains(&"crates/ebs-store/src/reader.rs"));
         // The v2 decode kernels and the frame seal sit on the hostile-input
         // path, so they are D3-strict like the reader that calls them.
         assert!(TOTAL_MODULES.contains(&"crates/ebs-store/src/codec.rs"));
         assert!(TOTAL_MODULES.contains(&"crates/ebs-store/src/seal.rs"));
         assert!(TOTAL_MODULES.contains(&"crates/ebs-workload/src/import.rs"));
+        // The route plan resolves untrusted (offset, VD) pairs for every
+        // simulated event; it must surface malformed input as errors, not
+        // panics.
+        assert!(TOTAL_MODULES.contains(&"crates/ebs-stack/src/route.rs"));
         assert!(!TOTAL_MODULES.contains(&"crates/ebs-store/src/writer.rs"));
     }
 }

@@ -13,6 +13,7 @@
 
 use crate::eval::Predictor;
 use crate::matrix::{ridge, Mat};
+use ebs_core::hash::FxHashMap;
 
 /// Deterministic pseudo-random matrix entries (SplitMix-style hash).
 fn hashed_gauss(seed: u64, i: usize, j: usize) -> f64 {
@@ -28,6 +29,15 @@ fn hashed_gauss(seed: u64, i: usize, j: usize) -> f64 {
     (u1 + u2 - 1.0) * 1.73 * 2.0_f64.sqrt()
 }
 
+/// Sinusoidal positional-encoding term for token `i`, dimension `j`.
+fn pos_term(i: usize, j: usize, dim: usize) -> f64 {
+    if j.is_multiple_of(2) {
+        (i as f64 / 10f64.powf(j as f64 / dim as f64)).sin()
+    } else {
+        (i as f64 / 10f64.powf((j - 1) as f64 / dim as f64)).cos()
+    }
+}
+
 /// Single-head self-attention feature encoder + ridge readout.
 #[derive(Clone, Debug)]
 pub struct AttentionRegressor {
@@ -37,12 +47,23 @@ pub struct AttentionRegressor {
     pub dim: usize,
     /// Ridge regularisation of the readout.
     pub lambda: f64,
-    seed: u64,
     wq: Mat,
     wk: Mat,
     wv: Mat,
     readout: Option<Vec<f64>>,
     scale: f64,
+    /// Hoisted per-dimension embedding coefficients
+    /// (`hashed_gauss(seed ^ 0x60, 0, j)`, value-independent).
+    emb_col: Vec<f64>,
+    /// Hoisted positional terms `0.3 * pos(i, j)` for the first `window`
+    /// rows (row-major `window × dim`).
+    pos03: Vec<f64>,
+    /// Feature memo for [`Predictor::fit`]: rolling refits re-present all
+    /// but one window of the previous call, and the feature map is a pure
+    /// function of the raw window values and the normalisation scale, so
+    /// cached vectors are bit-identical to recomputation. Keyed by the
+    /// window's `f64` bit patterns plus the scale's.
+    feat_cache: FxHashMap<Box<[u64]>, Vec<f64>>,
 }
 
 impl Default for AttentionRegressor {
@@ -65,32 +86,40 @@ impl AttentionRegressor {
             }
             m
         };
+        let emb_col: Vec<f64> = (0..dim).map(|j| hashed_gauss(seed ^ 0x60, 0, j)).collect();
+        let pos03: Vec<f64> = (0..window)
+            .flat_map(|i| (0..dim).map(move |j| 0.3 * pos_term(i, j, dim)))
+            .collect();
         Self {
             window,
             dim,
             lambda,
-            seed,
             wq: proj(0x51),
             wk: proj(0x52),
             wv: proj(0x53),
             readout: None,
             scale: 1.0,
+            emb_col,
+            pos03,
+            feat_cache: FxHashMap::default(),
         }
     }
 
     /// Embed a (normalized) window into token matrix `L × dim`:
     /// value-scaled random embedding plus sinusoidal positional encoding.
+    /// The value-independent factors are hoisted into `emb_col`/`pos03` at
+    /// construction (identical arithmetic, computed once).
     fn embed(&self, win: &[f64]) -> Mat {
         let mut e = Mat::zeros(win.len(), self.dim);
         for (i, &v) in win.iter().enumerate() {
             for j in 0..self.dim {
-                let emb = hashed_gauss(self.seed ^ 0x60, 0, j) * v;
-                let pos = if j % 2 == 0 {
-                    (i as f64 / 10f64.powf(j as f64 / self.dim as f64)).sin()
+                let emb = self.emb_col[j] * v;
+                let pos03 = if i < self.window {
+                    self.pos03[i * self.dim + j]
                 } else {
-                    (i as f64 / 10f64.powf((j - 1) as f64 / self.dim as f64)).cos()
+                    0.3 * pos_term(i, j, self.dim)
                 };
-                e[(i, j)] = emb + 0.3 * pos;
+                e[(i, j)] = emb + pos03;
             }
         }
         e
@@ -125,17 +154,12 @@ impl AttentionRegressor {
         pooled.push(1.0); // bias feature
         pooled
     }
-
-    fn windows(&self, history: &[f64]) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let mut x = Vec::new();
-        let mut y = Vec::new();
-        for t in self.window..history.len() {
-            x.push(history[t - self.window..t].to_vec());
-            y.push(history[t]);
-        }
-        (x, y)
-    }
 }
+
+/// Bound on memoised feature vectors before the cache resets; rolling
+/// refits present a bounded set of distinct windows, so this is a safety
+/// valve for adversarial callers, not a working-set limit.
+const FEAT_CACHE_MAX: usize = 1 << 16;
 
 impl Predictor for AttentionRegressor {
     fn name(&self) -> String {
@@ -143,21 +167,38 @@ impl Predictor for AttentionRegressor {
     }
 
     fn fit(&mut self, history: &[f64]) {
-        let (wins, ys) = self.windows(history);
-        if wins.is_empty() {
+        if history.len() <= self.window {
             self.readout = None;
             return;
         }
         // Normalize to keep the random features in a sane numeric range.
         self.scale = history.iter().copied().fold(0.0, f64::max).max(1e-12);
+        let n_windows = history.len() - self.window;
         let feat_dim = self.dim + 1;
-        let mut data = Vec::with_capacity(wins.len() * feat_dim);
-        for w in &wins {
+        let mut data = Vec::with_capacity(n_windows * feat_dim);
+        let mut key: Vec<u64> = Vec::with_capacity(self.window + 1);
+        for t in self.window..history.len() {
+            let w = &history[t - self.window..t];
+            key.clear();
+            key.extend(w.iter().map(|v| v.to_bits()));
+            key.push(self.scale.to_bits());
+            if let Some(f) = self.feat_cache.get(key.as_slice()) {
+                data.extend_from_slice(f);
+                continue;
+            }
             let norm: Vec<f64> = w.iter().map(|v| v / self.scale).collect();
-            data.extend(self.features(&norm));
+            let f = self.features(&norm);
+            data.extend_from_slice(&f);
+            if self.feat_cache.len() >= FEAT_CACHE_MAX {
+                self.feat_cache.clear();
+            }
+            self.feat_cache.insert(key.clone().into_boxed_slice(), f);
         }
-        let x = Mat::from_vec(wins.len(), feat_dim, data);
-        let y_norm: Vec<f64> = ys.iter().map(|v| v / self.scale).collect();
+        let x = Mat::from_vec(n_windows, feat_dim, data);
+        let y_norm: Vec<f64> = history[self.window..]
+            .iter()
+            .map(|v| v / self.scale)
+            .collect();
         self.readout = ridge(&x, &y_norm, self.lambda);
     }
 
@@ -254,6 +295,22 @@ mod tests {
         let mut c = AttentionRegressor::new(8, 12, 1e-3, 100);
         c.fit(&series);
         assert_ne!(a.predict_next(&series), c.predict_next(&series));
+    }
+
+    #[test]
+    fn cached_refits_match_a_cold_model_bitwise() {
+        // Rolling refits hit the feature memo; a cold model computes every
+        // feature fresh. The results must be bit-identical.
+        let series = noisy_ar_series(160);
+        let mut warm = AttentionRegressor::default();
+        for t in 40..series.len() {
+            warm.fit(&series[..t]);
+        }
+        let mut cold = AttentionRegressor::default();
+        cold.fit(&series[..series.len() - 1]);
+        let w = warm.predict_next(&series);
+        let c = cold.predict_next(&series);
+        assert_eq!(w.to_bits(), c.to_bits(), "warm {w} vs cold {c}");
     }
 
     #[test]

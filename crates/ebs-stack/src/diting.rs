@@ -38,12 +38,31 @@ impl Diting {
         bs: BsId,
         lat: StageLatency,
     ) -> TraceRecord {
-        let id = TraceId(self.next_id);
-        self.next_id += 1;
-        let vd = &fleet.vds[ev.vd];
         let seg = fleet
             .segment_at(ev.vd, ev.offset)
             .expect("IO offset outside VD capacity");
+        self.record_routed(fleet, ev, wt, seg, bs, fleet.block_servers[bs].sn, lat)
+    }
+
+    /// Assemble the trace record for an IO whose routing (segment,
+    /// BlockServer, storage node) was already resolved — the staged
+    /// simulator's path, which carries a precomputed
+    /// [`crate::route::RoutePlan`] instead of re-deriving `segment_at`
+    /// per record. Produces exactly what [`Self::record`] would.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_routed(
+        &mut self,
+        fleet: &Fleet,
+        ev: &IoEvent,
+        wt: WtId,
+        seg: ebs_core::ids::SegId,
+        bs: BsId,
+        sn: ebs_core::ids::SnId,
+        lat: StageLatency,
+    ) -> TraceRecord {
+        let id = TraceId(self.next_id);
+        self.next_id += 1;
+        let vd = &fleet.vds[ev.vd];
         TraceRecord {
             id,
             t_us: ev.t_us,
@@ -57,7 +76,7 @@ impl Diting {
             wt,
             seg,
             bs,
-            sn: fleet.block_servers[bs].sn,
+            sn,
             lat,
         }
     }

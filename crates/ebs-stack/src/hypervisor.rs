@@ -31,6 +31,12 @@ impl Binding {
         self.map[qp]
     }
 
+    /// Panic-free lookup of the worker thread serving `qp` (used by the
+    /// route planner, which must not panic on malformed input).
+    pub fn try_wt_of(&self, qp: QpId) -> Option<WtId> {
+        self.map.get(qp).copied()
+    }
+
     /// Rebind `qp` to `wt`.
     ///
     /// # Panics

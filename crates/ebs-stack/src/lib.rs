@@ -18,8 +18,14 @@
 //! * **[`chunk_server`]** — the append-only node engine with GC accounting.
 //! * **[`diting`]** — the tracer that assembles the paper's per-IO trace
 //!   records (and exports CSV).
+//! * **[`route`]** — the precomputed per-event routing table
+//!   ([`route::RoutePlan`]) shared across simulation runs and sweeps.
 //! * **[`sim`]** — [`sim::StackSim`], which routes a sampled IO stream
-//!   through all of the above.
+//!   through all of the above as a staged columnar pipeline, and
+//!   [`sim::StackSweep`] for config sweeps that share routing and RNG
+//!   columns.
+//! * **[`reference`]** — the preserved event-at-a-time simulator, the
+//!   differential oracle the staged pipeline is pinned against.
 //!
 //! ```
 //! use ebs_stack::sim::{StackConfig, StackSim};
@@ -40,7 +46,9 @@ pub mod diting;
 pub mod hypervisor;
 pub mod latency;
 pub mod network;
+pub mod reference;
 pub mod replication;
+pub mod route;
 pub mod segment;
 pub mod sim;
 pub mod throttle_gate;
@@ -48,7 +56,9 @@ pub mod throttle_gate;
 pub use hypervisor::Binding;
 pub use latency::LatencyModel;
 pub use network::{FabricModel, Link};
+pub use reference::ReferenceSim;
 pub use replication::ReplicationPolicy;
+pub use route::RoutePlan;
 pub use segment::{Migration, SegmentMap};
-pub use sim::{SimOutput, SimStats, StackConfig, StackSim};
+pub use sim::{SimOutput, SimStats, StackConfig, StackSim, StackSweep};
 pub use throttle_gate::{TokenBucket, VdGate};

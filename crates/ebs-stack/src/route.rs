@@ -1,0 +1,177 @@
+//! Precomputed per-event routing: the staged simulator's pass zero.
+//!
+//! Routing an IO — QP → worker thread, QP → compute node, (VD, offset) →
+//! segment → BlockServer → storage node — depends only on the fleet, the
+//! QP binding, and the segment placement, never on simulator
+//! configuration. [`RoutePlan`] resolves it once for a whole event slice
+//! into structure-of-arrays columns that every simulation run *borrows*:
+//! config sweeps that keep the binding and segment map fixed (latency
+//! ablations, replication studies) share one plan instead of re-running
+//! `segment_at` per event per config point.
+//!
+//! This module is in the ebs-lint D3 *total* set: it must never panic, so
+//! every lookup is `get`-based and malformed input surfaces as
+//! [`EbsError`].
+
+use crate::hypervisor::Binding;
+use crate::segment::SegmentMap;
+use ebs_core::error::EbsError;
+use ebs_core::ids::{BsId, CnId, SegId, SnId, WtId};
+use ebs_core::index::EventIndex;
+use ebs_core::io::IoEvent;
+use ebs_core::topology::Fleet;
+use ebs_core::units::SEGMENT_BYTES;
+
+/// Validate that `events` are in non-decreasing time order.
+///
+/// The simulator's state machines (WT queues, token buckets, link EWMAs)
+/// require it; hoisting the O(n) scan here lets sweep callers validate a
+/// shared slice once instead of once per config point.
+pub fn ensure_time_sorted(events: &[IoEvent]) -> Result<(), EbsError> {
+    let sorted = events
+        .iter()
+        .zip(events.iter().skip(1))
+        .all(|(a, b)| a.t_us <= b.t_us);
+    if sorted {
+        Ok(())
+    } else {
+        Err(EbsError::invalid_config("events must be time-sorted"))
+    }
+}
+
+/// Structure-of-arrays routing table: one entry per event, columns for the
+/// five stack entities an IO traverses. Built once per
+/// (fleet, binding, segment map); borrowed by every run over the slice.
+#[derive(Clone, Debug)]
+pub struct RoutePlan {
+    wt: Vec<WtId>,
+    cn: Vec<CnId>,
+    seg: Vec<SegId>,
+    bs: Vec<BsId>,
+    sn: Vec<SnId>,
+}
+
+impl RoutePlan {
+    /// Resolve routing for `events` (must be time-sorted) under `binding`
+    /// and `seg_map`.
+    pub fn build(
+        fleet: &Fleet,
+        binding: &Binding,
+        seg_map: &SegmentMap,
+        events: &[IoEvent],
+    ) -> Result<Self, EbsError> {
+        let seg_info: Vec<(u32, u64)> = fleet
+            .vds
+            .iter()
+            .map(|d| (d.seg_base, d.spec.capacity_bytes))
+            .collect();
+        Self::build_inner(fleet, binding, seg_map, events, &seg_info)
+    }
+
+    /// Like [`Self::build`], reusing the per-VD segment table the shared
+    /// [`EventIndex`] already computed instead of re-deriving it from the
+    /// fleet.
+    pub fn build_with_index(
+        fleet: &Fleet,
+        binding: &Binding,
+        seg_map: &SegmentMap,
+        events: &[IoEvent],
+        idx: &EventIndex,
+    ) -> Result<Self, EbsError> {
+        Self::build_inner(fleet, binding, seg_map, events, idx.seg_info())
+    }
+
+    fn build_inner(
+        fleet: &Fleet,
+        binding: &Binding,
+        seg_map: &SegmentMap,
+        events: &[IoEvent],
+        seg_info: &[(u32, u64)],
+    ) -> Result<Self, EbsError> {
+        ensure_time_sorted(events)?;
+        let n = events.len();
+        let mut plan = Self {
+            wt: Vec::with_capacity(n),
+            cn: Vec::with_capacity(n),
+            seg: Vec::with_capacity(n),
+            bs: Vec::with_capacity(n),
+            sn: Vec::with_capacity(n),
+        };
+        let homes = seg_map.as_slice();
+        for ev in events {
+            let wt = binding
+                .try_wt_of(ev.qp)
+                .ok_or_else(|| EbsError::unknown_entity(format!("{} has no WT binding", ev.qp)))?;
+            let vm = fleet
+                .qps
+                .get(ev.qp)
+                .and_then(|q| fleet.vds.get(q.vd))
+                .map(|d| d.vm)
+                .ok_or_else(|| EbsError::unknown_entity(format!("{} not in fleet", ev.qp)))?;
+            let cn = fleet
+                .vms
+                .get(vm)
+                .map(|m| m.cn)
+                .ok_or_else(|| EbsError::unknown_entity(format!("{vm} not in fleet")))?;
+            let &(seg_base, capacity) = seg_info
+                .get(ev.vd.index())
+                .ok_or_else(|| EbsError::unknown_entity(format!("{} not in fleet", ev.vd)))?;
+            if ev.offset >= capacity {
+                return Err(EbsError::unknown_entity(format!(
+                    "offset {} in {}",
+                    ev.offset, ev.vd
+                )));
+            }
+            let seg = SegId(seg_base + (ev.offset / SEGMENT_BYTES) as u32);
+            let bs = homes.get(seg.index()).copied().ok_or_else(|| {
+                EbsError::unknown_entity(format!("{seg} has no home BlockServer"))
+            })?;
+            let sn = fleet
+                .block_servers
+                .get(bs)
+                .map(|b| b.sn)
+                .ok_or_else(|| EbsError::unknown_entity(format!("{bs} not in fleet")))?;
+            plan.wt.push(wt);
+            plan.cn.push(cn);
+            plan.seg.push(seg);
+            plan.bs.push(bs);
+            plan.sn.push(sn);
+        }
+        Ok(plan)
+    }
+
+    /// Number of routed events.
+    pub fn len(&self) -> usize {
+        self.wt.len()
+    }
+
+    /// Whether the plan covers no events.
+    pub fn is_empty(&self) -> bool {
+        self.wt.is_empty()
+    }
+
+    /// Per-event worker thread (hypervisor binding).
+    pub fn wt(&self) -> &[WtId] {
+        &self.wt
+    }
+
+    /// Per-event compute node (frontend uplink).
+    pub fn cn(&self) -> &[CnId] {
+        &self.cn
+    }
+
+    /// Per-event segment (BlockServer address translation).
+    pub fn seg(&self) -> &[SegId] {
+        &self.seg
+    }
+
+    /// Per-event BlockServer (current segment placement).
+    pub fn bs(&self) -> &[BsId] {
+        &self.bs
+    }
+
+    /// Per-event storage node (backend link + ChunkServer engine).
+    pub fn sn(&self) -> &[SnId] {
+        &self.sn
+    }
+}

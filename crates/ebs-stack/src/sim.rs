@@ -1,4 +1,4 @@
-//! The end-to-end stack simulator.
+//! The end-to-end stack simulator, as a staged columnar pipeline.
 //!
 //! [`StackSim::run`] routes a time-ordered stream of sampled IO events
 //! through the full path of Figure 1: QP → worker thread (with single-
@@ -7,22 +7,44 @@
 //! ChunkServer (append-only engine with GC pressure) — and hands each IO to
 //! DiTing to produce the paper's trace dataset with the five-stage latency
 //! breakdown.
+//!
+//! Internally the run is three passes over routing columns from a
+//! [`RoutePlan`] (DESIGN.md §16), byte-identical to the preserved
+//! event-at-a-time loop in [`crate::reference`]:
+//!
+//! * **Pass A** (no RNG) replays the throttle gates, prefetchers, GC
+//!   engines, and fabric links in event order, producing per-event
+//!   throttle-delay, congestion, prefetch-hit, and GC-pressure columns.
+//! * **Pass B1** drains the single `stack/latency` RNG stream in exactly
+//!   the per-event order the reference uses (which samples occur is known
+//!   from pass A's prefetch column) into *parameter-independent* columns:
+//!   the standard-normal deviate and tail uniform of every sample.
+//! * **Pass B2** evaluates each latency stage as a tight column kernel
+//!   over those units; because the units don't depend on the latency
+//!   model, a [`StackSweep`] caches evaluated columns per stage-parameter
+//!   value and re-evaluates only the stages a config point changes.
+//! * **Pass C** runs the WT queues, congestion/replication arithmetic,
+//!   and DiTing record assembly over the columns.
 
 use crate::block_server::Prefetcher;
 use crate::chunk_server::ChunkServer;
 use crate::diting::Diting;
 use crate::hypervisor::{Binding, WtQueues};
-use crate::latency::LatencyModel;
+use crate::latency::{LatencyModel, StageParams};
 use crate::network::FabricModel;
 use crate::replication::ReplicationPolicy;
+use crate::route::RoutePlan;
 use crate::segment::SegmentMap;
 use crate::throttle_gate::VdGate;
 use ebs_core::error::EbsError;
+use ebs_core::hash::FxHashMap;
+use ebs_core::index::EventIndex;
 use ebs_core::io::{IoEvent, Op};
 use ebs_core::rng::RngFactory;
 use ebs_core::topology::Fleet;
 use ebs_core::trace::{StageLatency, TraceRecord, TraceSet};
 use ebs_core::units::TRACE_SAMPLE_RATE;
+use std::rc::Rc;
 
 /// Stack-simulation configuration.
 #[derive(Clone, Debug)]
@@ -94,7 +116,7 @@ pub struct SimOutput {
 /// Records into private histograms during the event loop (no shared lock
 /// on the hot path) and merges into the global registry once at the end,
 /// so instrumentation can never reorder or perturb the simulation.
-struct StackObs {
+pub(crate) struct StackObs {
     queue_wait: ebs_obs::Histogram,
     stage_compute: ebs_obs::Histogram,
     stage_frontend: ebs_obs::Histogram,
@@ -105,7 +127,7 @@ struct StackObs {
 }
 
 impl StackObs {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             queue_wait: ebs_obs::Histogram::new(0.0, 10_000.0, 40),
             stage_compute: ebs_obs::Histogram::new(0.0, 20_000.0, 40),
@@ -117,7 +139,7 @@ impl StackObs {
         }
     }
 
-    fn record_io(&mut self, wait_us: f64, lat: &StageLatency) {
+    pub(crate) fn record_io(&mut self, wait_us: f64, lat: &StageLatency) {
         self.queue_wait.add(wait_us);
         self.stage_compute.add(lat.compute_us);
         self.stage_frontend.add(lat.frontend_us);
@@ -128,7 +150,7 @@ impl StackObs {
     }
 
     /// Publish the run's metrics to the global registry in one merge.
-    fn finish(self, stats: &SimStats, engines: &[ChunkServer]) {
+    pub(crate) fn finish(self, stats: &SimStats, engines: &[ChunkServer]) {
         let mut reg = ebs_obs::Registry::new();
         reg.counter_add("stack.sim.ios", stats.ios);
         reg.counter_add("stack.throttle_gate.fires", stats.throttled);
@@ -147,6 +169,366 @@ impl StackObs {
             reg.observe("stack.gc.pressure", 1.0, 2.0, 20, engine.gc_pressure());
         }
         ebs_obs::merge(&reg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage classes: the six latency columns a run draws from, in the order
+// the reference samples them within one event.
+
+const STAGE_COMPUTE: usize = 0;
+const STAGE_FRONTEND: usize = 1;
+const STAGE_BLOCK_SERVER: usize = 2;
+const STAGE_BACKEND: usize = 3;
+const STAGE_CS_READ: usize = 4;
+const STAGE_CS_WRITE: usize = 5;
+const STAGE_COUNT: usize = 6;
+
+fn stage_params(latency: &LatencyModel) -> [&StageParams; STAGE_COUNT] {
+    [
+        &latency.compute,
+        &latency.frontend,
+        &latency.block_server,
+        &latency.backend,
+        &latency.cs_read,
+        &latency.cs_write,
+    ]
+}
+
+/// Pass A output: per-event columns from the RNG-free state machines,
+/// plus their final states and counters.
+struct StateCols {
+    throttle_us: Vec<f64>,
+    congestion_f: Vec<f64>,
+    /// Backend congestion for non-prefetched events (1.0 elsewhere).
+    congestion_b: Vec<f64>,
+    prefetched: Vec<bool>,
+    /// GC-pressure multiplier read before each write's append (1.0 for
+    /// reads, which never consult the engine's pressure).
+    pressure: Vec<f64>,
+    engines: Vec<ChunkServer>,
+    throttled: u64,
+    prefetch_hits: u64,
+    gc_runs: u64,
+}
+
+/// Replay the deterministic (RNG-free) state machines — throttle gates,
+/// prefetchers, GC engines, fabric links — in event order.
+fn pass_a(fleet: &Fleet, config: &StackConfig, plan: &RoutePlan, events: &[IoEvent]) -> StateCols {
+    let n = events.len();
+    let mut gates: Vec<Option<VdGate>> = if config.apply_throttle {
+        fleet
+            .vds
+            .iter()
+            .map(|vd| {
+                let mut spec = vd.spec;
+                spec.tput_cap *= config.throttle_scale;
+                spec.iops_cap *= config.throttle_scale;
+                Some(VdGate::for_spec(&spec))
+            })
+            .collect()
+    } else {
+        vec![None; fleet.vds.len()]
+    };
+    // One prefetcher per BlockServer, one engine per storage node.
+    let mut prefetchers: Vec<Prefetcher> = (0..fleet.block_servers.len())
+        .map(|_| Prefetcher::new())
+        .collect();
+    let mut engines: Vec<ChunkServer> = (0..fleet.storage_nodes.len())
+        .map(|_| ChunkServer::new(config.cs_capacity_bytes, config.gc_threshold))
+        .collect();
+    let mut fabric = FabricModel::new(fleet.compute_nodes.len(), fleet.storage_nodes.len());
+
+    let mut cols = StateCols {
+        throttle_us: Vec::with_capacity(n),
+        congestion_f: Vec::with_capacity(n),
+        congestion_b: Vec::with_capacity(n),
+        prefetched: Vec::with_capacity(n),
+        pressure: Vec::with_capacity(n),
+        engines: Vec::new(),
+        throttled: 0,
+        prefetch_hits: 0,
+        gc_runs: 0,
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let t = ev.t_us as f64;
+        let throttle_us = match &mut gates[ev.vd.index()] {
+            Some(gate) => {
+                let d = gate.admit(t, ev.size);
+                if d > 0.0 {
+                    cols.throttled += 1;
+                }
+                d
+            }
+            None => 0.0,
+        };
+        cols.throttle_us.push(throttle_us);
+        let congestion_f = if config.model_congestion {
+            fabric.frontend_transfer(plan.cn()[i].index(), t, ev.size as f64)
+        } else {
+            1.0
+        };
+        cols.congestion_f.push(congestion_f);
+        let prefetched = prefetchers[plan.bs()[i].index()].observe(plan.seg()[i], ev);
+        if prefetched {
+            cols.prefetch_hits += 1;
+        }
+        cols.prefetched.push(prefetched);
+        let sn = plan.sn()[i].index();
+        // The reference only touches the backend link for events that
+        // reach the ChunkServer, so prefetch hits must not advance it.
+        let congestion_b = if !prefetched && config.model_congestion {
+            fabric.backend_transfer(sn, t, ev.size as f64)
+        } else {
+            1.0
+        };
+        cols.congestion_b.push(congestion_b);
+        let engine = &mut engines[sn];
+        // Writes read the pressure multiplier *before* their own append.
+        cols.pressure.push(if ev.op == Op::Write {
+            engine.gc_pressure()
+        } else {
+            1.0
+        });
+        if ev.op == Op::Write && engine.append(ev.size as f64, config.overwrite_frac) {
+            cols.gc_runs += 1;
+        }
+    }
+    cols.engines = engines;
+    cols
+}
+
+/// Pass B1 output: the raw randomness of every latency sample, grouped by
+/// stage class (within a class, slots appear in event order). These
+/// columns depend on the seed, the draw schedule (op + prefetch column +
+/// replica count), and nothing else — no latency parameter touches them.
+struct DrawCols {
+    g: [Vec<f64>; STAGE_COUNT],
+    u_tail: [Vec<f64>; STAGE_COUNT],
+    size: [Vec<u32>; STAGE_COUNT],
+}
+
+impl DrawCols {
+    fn draw(&mut self, class: usize, rng: &mut ebs_core::rng::SimRng, size: u32) {
+        let (g, u_tail) = StageParams::draw_units(rng);
+        self.g[class].push(g);
+        self.u_tail[class].push(u_tail);
+        self.size[class].push(size);
+    }
+}
+
+/// Drain the `stack/latency` RNG stream in exactly the reference's
+/// per-event order into parameter-independent unit columns.
+fn pass_b1(config: &StackConfig, events: &[IoEvent], a: &StateCols) -> DrawCols {
+    let rngf = RngFactory::new(config.seed).child("stack");
+    let mut rng = rngf.stream("latency");
+    let mut d = DrawCols {
+        g: Default::default(),
+        u_tail: Default::default(),
+        size: Default::default(),
+    };
+    let n = events.len();
+    let replicas = config.replication.replicas as usize;
+    let mut writes_np = 0usize;
+    let mut reads_np = 0usize;
+    for (ev, pf) in events.iter().zip(&a.prefetched) {
+        if !pf {
+            match ev.op {
+                Op::Write => writes_np += 1,
+                Op::Read => reads_np += 1,
+            }
+        }
+    }
+    for (c, cap) in [
+        (STAGE_COMPUTE, n),
+        (STAGE_FRONTEND, n),
+        (STAGE_BLOCK_SERVER, n),
+        (STAGE_BACKEND, writes_np + reads_np),
+        (STAGE_CS_READ, reads_np),
+        (STAGE_CS_WRITE, writes_np * replicas),
+    ] {
+        d.g[c].reserve(cap);
+        d.u_tail[c].reserve(cap);
+        d.size[c].reserve(cap);
+    }
+    for (i, ev) in events.iter().enumerate() {
+        d.draw(STAGE_COMPUTE, &mut rng, ev.size);
+        d.draw(STAGE_FRONTEND, &mut rng, ev.size);
+        d.draw(STAGE_BLOCK_SERVER, &mut rng, ev.size);
+        if !a.prefetched[i] {
+            d.draw(STAGE_BACKEND, &mut rng, ev.size);
+            match ev.op {
+                Op::Write => {
+                    for _ in 0..replicas {
+                        d.draw(STAGE_CS_WRITE, &mut rng, ev.size);
+                    }
+                }
+                Op::Read => d.draw(STAGE_CS_READ, &mut rng, ev.size),
+            }
+        }
+    }
+    d
+}
+
+/// Evaluated stage columns: one latency value per drawn sample, before
+/// congestion / GC-pressure / quorum arithmetic (pass C's job).
+struct StageCols {
+    values: [Rc<Vec<f64>>; STAGE_COUNT],
+}
+
+/// Cache of evaluated stage columns keyed by the stage's parameter bits.
+/// A sweep point that leaves a stage's parameters untouched reuses the
+/// column instead of re-running the `exp`-heavy kernel.
+#[derive(Default)]
+struct StageCache {
+    map: [FxHashMap<[u64; 5], Rc<Vec<f64>>>; STAGE_COUNT],
+}
+
+/// Bound on retained columns per stage before the cache resets; sweeps
+/// vary a handful of parameter points, so this is never hit in practice.
+const STAGE_CACHE_MAX: usize = 64;
+
+fn stage_key(p: &StageParams) -> [u64; 5] {
+    [
+        p.base_us.to_bits(),
+        p.bytes_per_us.to_bits(),
+        p.jitter_sigma.to_bits(),
+        p.tail_prob.to_bits(),
+        p.tail_mult.to_bits(),
+    ]
+}
+
+/// Evaluate all six stage columns from the pre-drawn units, reusing
+/// cached columns for stages whose parameters match a prior evaluation.
+fn pass_b2(
+    latency: &LatencyModel,
+    draws: &DrawCols,
+    mut cache: Option<&mut StageCache>,
+) -> StageCols {
+    let params = stage_params(latency);
+    let values = std::array::from_fn(|c| {
+        let p = params[c];
+        if let Some(cache) = cache.as_deref_mut() {
+            let slot = &mut cache.map[c];
+            if let Some(col) = slot.get(&stage_key(p)) {
+                return Rc::clone(col);
+            }
+            if slot.len() >= STAGE_CACHE_MAX {
+                slot.clear();
+            }
+        }
+        let col = Rc::new(eval_stage(p, draws, c));
+        if let Some(cache) = cache.as_deref_mut() {
+            cache.map[c].insert(stage_key(p), Rc::clone(&col));
+        }
+        col
+    });
+    StageCols { values }
+}
+
+/// The tight column kernel: evaluate one stage's samples from its units.
+fn eval_stage(p: &StageParams, draws: &DrawCols, class: usize) -> Vec<f64> {
+    draws.g[class]
+        .iter()
+        .zip(&draws.u_tail[class])
+        .zip(&draws.size[class])
+        .map(|((&g, &u_tail), &size)| p.eval(g, u_tail, size))
+        .collect()
+}
+
+/// Pass C: WT queueing, congestion/replication/GC arithmetic, and DiTing
+/// record assembly over the columns.
+fn pass_c(
+    fleet: &Fleet,
+    config: &StackConfig,
+    events: &[IoEvent],
+    plan: &RoutePlan,
+    a: &StateCols,
+    cols: &StageCols,
+) -> SimOutput {
+    let mut queues = WtQueues::new(fleet.wt_total);
+    let mut diting = Diting::new();
+    let mut records: Vec<TraceRecord> = Vec::with_capacity(events.len());
+    let mut stats = SimStats {
+        ios: events.len() as u64,
+        throttled: a.throttled,
+        prefetch_hits: a.prefetch_hits,
+        gc_runs: a.gc_runs,
+        mean_latency_us: 0.0,
+    };
+    let mut total_latency = 0.0;
+    let mut obs = ebs_obs::enabled().then(StackObs::new);
+    let replicas = config.replication.replicas as usize;
+    let quorum = config.replication.quorum as usize;
+    // Cursors into the per-class columns (slots are in event order).
+    let (mut j_backend, mut j_cs_read, mut j_cs_write) = (0usize, 0usize, 0usize);
+    let mut write_acks: Vec<f64> = Vec::with_capacity(replicas);
+    for (i, ev) in events.iter().enumerate() {
+        let t = ev.t_us as f64;
+        let throttle_us = a.throttle_us[i];
+        let wt = plan.wt()[i];
+        let service = cols.values[STAGE_COMPUTE][i];
+        let wait = queues.serve(wt, t + throttle_us, service);
+        let compute_us = throttle_us + wait + service;
+        let frontend_us = cols.values[STAGE_FRONTEND][i] * a.congestion_f[i];
+        let block_server_us = cols.values[STAGE_BLOCK_SERVER][i];
+        let (backend_us, chunk_server_us) = if a.prefetched[i] {
+            (0.0, 0.0)
+        } else {
+            let backend = cols.values[STAGE_BACKEND][j_backend] * a.congestion_b[i];
+            j_backend += 1;
+            let cs = match ev.op {
+                Op::Write => {
+                    // Replicated append: slowest required ack, scaled by
+                    // the engine's GC pressure.
+                    write_acks.clear();
+                    write_acks.extend_from_slice(
+                        &cols.values[STAGE_CS_WRITE][j_cs_write..j_cs_write + replicas],
+                    );
+                    j_cs_write += replicas;
+                    write_acks.sort_by(|x, y| x.partial_cmp(y).expect("latencies are finite"));
+                    write_acks[quorum - 1] * a.pressure[i]
+                }
+                Op::Read => {
+                    let v = cols.values[STAGE_CS_READ][j_cs_read];
+                    j_cs_read += 1;
+                    v
+                }
+            };
+            (backend, cs)
+        };
+        let lat = StageLatency {
+            compute_us,
+            frontend_us,
+            block_server_us,
+            backend_us,
+            chunk_server_us,
+        };
+        total_latency += lat.total_us();
+        if let Some(o) = obs.as_mut() {
+            o.record_io(wait, &lat);
+        }
+        records.push(diting.record_routed(
+            fleet,
+            ev,
+            wt,
+            plan.seg()[i],
+            plan.bs()[i],
+            plan.sn()[i],
+            lat,
+        ));
+    }
+    if let Some(o) = obs {
+        o.finish(&stats, &a.engines);
+    }
+    stats.mean_latency_us = if stats.ios > 0 {
+        total_latency / stats.ios as f64
+    } else {
+        0.0
+    };
+    SimOutput {
+        traces: TraceSet::from_records(records),
+        stats,
     }
 }
 
@@ -182,145 +564,121 @@ impl<'a> StackSim<'a> {
         self
     }
 
+    /// Resolve the routing of `events` under this simulator's binding and
+    /// segment map (validates time-sortedness once). The plan can be
+    /// shared by every run over the same slice.
+    pub fn plan(&self, events: &[IoEvent]) -> Result<RoutePlan, EbsError> {
+        RoutePlan::build(self.fleet, &self.binding, &self.seg_map, events)
+    }
+
+    /// Like [`Self::plan`], reusing the shared [`EventIndex`]'s per-VD
+    /// segment table.
+    pub fn plan_with_index(
+        &self,
+        events: &[IoEvent],
+        idx: &EventIndex,
+    ) -> Result<RoutePlan, EbsError> {
+        RoutePlan::build_with_index(self.fleet, &self.binding, &self.seg_map, events, idx)
+    }
+
     /// Route `events` (must be time-sorted) through the stack.
     pub fn run(&mut self, events: &[IoEvent]) -> Result<SimOutput, EbsError> {
-        if events.windows(2).any(|w| w[0].t_us > w[1].t_us) {
-            return Err(EbsError::invalid_config("events must be time-sorted"));
+        let plan = self.plan(events)?;
+        self.run_planned(events, &plan)
+    }
+
+    /// Route `events` through the stack using a prebuilt [`RoutePlan`]
+    /// (already validated as time-sorted at plan construction).
+    pub fn run_planned(&self, events: &[IoEvent], plan: &RoutePlan) -> Result<SimOutput, EbsError> {
+        if plan.len() != events.len() {
+            return Err(EbsError::invalid_config(
+                "route plan does not cover the event slice",
+            ));
         }
-        let rngf = RngFactory::new(self.config.seed).child("stack");
-        let mut rng = rngf.stream("latency");
+        self.config.replication.validate()?;
+        let a = pass_a(self.fleet, &self.config, plan, events);
+        let draws = pass_b1(&self.config, events, &a);
+        let cols = pass_b2(&self.config.latency, &draws, None);
+        Ok(pass_c(self.fleet, &self.config, events, plan, &a, &cols))
+    }
+}
 
-        let mut queues = WtQueues::new(self.fleet.wt_total);
-        let mut gates: Vec<Option<VdGate>> = if self.config.apply_throttle {
-            self.fleet
-                .vds
-                .iter()
-                .map(|vd| {
-                    let mut spec = vd.spec;
-                    spec.tput_cap *= self.config.throttle_scale;
-                    spec.iops_cap *= self.config.throttle_scale;
-                    Some(VdGate::for_spec(&spec))
-                })
-                .collect()
-        } else {
-            vec![None; self.fleet.vds.len()]
-        };
-        // One prefetcher per BlockServer, one engine per storage node.
-        let mut prefetchers: Vec<Prefetcher> = (0..self.fleet.block_servers.len())
-            .map(|_| Prefetcher::new())
-            .collect();
-        let mut engines: Vec<ChunkServer> = (0..self.fleet.storage_nodes.len())
-            .map(|_| ChunkServer::new(self.config.cs_capacity_bytes, self.config.gc_threshold))
-            .collect();
+/// A config sweep over one event slice: pass A and pass B1 run once, and
+/// every [`Self::run_point`] reuses them (plus any stage columns whose
+/// parameters it doesn't change), so a K-point latency sweep costs one
+/// state-machine replay + one RNG drain + K cheap evaluate/assemble
+/// passes instead of K full simulations.
+///
+/// Sweep points may vary the latency model, `prefetch_discount`, and the
+/// replication *quorum*; everything that shapes pass A or the draw
+/// schedule (seed, throttle, engine, congestion, replica count) must
+/// match the base config, enforced by [`Self::run_point`].
+pub struct StackSweep<'a> {
+    fleet: &'a Fleet,
+    events: &'a [IoEvent],
+    plan: &'a RoutePlan,
+    base: StackConfig,
+    a: StateCols,
+    draws: DrawCols,
+    cache: StageCache,
+}
 
-        let mut fabric = FabricModel::new(
-            self.fleet.compute_nodes.len(),
-            self.fleet.storage_nodes.len(),
-        );
-        let mut diting = Diting::new();
-        let mut records: Vec<TraceRecord> = Vec::with_capacity(events.len());
-        let mut stats = SimStats::default();
-        let mut total_latency = 0.0;
-        let mut obs = ebs_obs::enabled().then(StackObs::new);
-
-        for ev in events {
-            let t = ev.t_us as f64;
-            stats.ios += 1;
-
-            // --- hypervisor: throttle, then WT queueing + service.
-            let throttle_us = match &mut gates[ev.vd.index()] {
-                Some(gate) => {
-                    let d = gate.admit(t, ev.size);
-                    if d > 0.0 {
-                        stats.throttled += 1;
-                    }
-                    d
-                }
-                None => 0.0,
-            };
-            let wt = self.binding.wt_of(ev.qp);
-            let service = self.config.latency.compute.sample(&mut rng, ev.size);
-            let wait = queues.serve(wt, t + throttle_us, service);
-            let compute_us = throttle_us + wait + service;
-
-            // --- frontend network (plus uplink congestion).
-            let cn = self.fleet.cn_of_qp(ev.qp);
-            let congestion_f = if self.config.model_congestion {
-                fabric.frontend_transfer(cn.index(), t, ev.size as f64)
-            } else {
-                1.0
-            };
-            let frontend_us = self.config.latency.frontend.sample(&mut rng, ev.size) * congestion_f;
-
-            // --- BlockServer: translate, prefetch, forward.
-            let seg = self.fleet.segment_at(ev.vd, ev.offset).ok_or_else(|| {
-                EbsError::unknown_entity(format!("offset {} in {}", ev.offset, ev.vd))
-            })?;
-            let bs = self.seg_map.home_of(seg);
-            let prefetched = prefetchers[bs.index()].observe(seg, ev);
-            if prefetched {
-                stats.prefetch_hits += 1;
-            }
-            let block_server_us = self.config.latency.block_server.sample(&mut rng, ev.size);
-
-            // --- backend network + ChunkServer (skipped on prefetch hit).
-            let sn = self.fleet.block_servers[bs].sn;
-            let engine = &mut engines[sn.index()];
-            let (backend_us, chunk_server_us) = if prefetched {
-                (0.0, 0.0)
-            } else {
-                let congestion_b = if self.config.model_congestion {
-                    fabric.backend_transfer(sn.index(), t, ev.size as f64)
-                } else {
-                    1.0
-                };
-                let backend = self.config.latency.backend.sample(&mut rng, ev.size) * congestion_b;
-                let cs = match ev.op {
-                    Op::Write => {
-                        // Replicated append: slowest required ack, scaled
-                        // by the engine's GC pressure.
-                        self.config.replication.write_latency_us(
-                            &mut rng,
-                            &self.config.latency.cs_write,
-                            ev.size,
-                        ) * engine.gc_pressure()
-                    }
-                    Op::Read => self
-                        .config
-                        .latency
-                        .chunk_server_us(&mut rng, ev.op, ev.size, false),
-                };
-                (backend, cs)
-            };
-            if ev.op == Op::Write && engine.append(ev.size as f64, self.config.overwrite_frac) {
-                stats.gc_runs += 1;
-            }
-
-            let lat = StageLatency {
-                compute_us,
-                frontend_us,
-                block_server_us,
-                backend_us,
-                chunk_server_us,
-            };
-            total_latency += lat.total_us();
-            if let Some(o) = obs.as_mut() {
-                o.record_io(wait, &lat);
-            }
-            records.push(diting.record(self.fleet, ev, wt, bs, lat));
+impl<'a> StackSweep<'a> {
+    /// Prepare a sweep over `events` with `plan` routing and `base`
+    /// config. Runs pass A and pass B1 once.
+    pub fn new(
+        fleet: &'a Fleet,
+        events: &'a [IoEvent],
+        plan: &'a RoutePlan,
+        base: StackConfig,
+    ) -> Result<Self, EbsError> {
+        if plan.len() != events.len() {
+            return Err(EbsError::invalid_config(
+                "route plan does not cover the event slice",
+            ));
         }
-        if let Some(o) = obs {
-            o.finish(&stats, &engines);
-        }
-        stats.mean_latency_us = if stats.ios > 0 {
-            total_latency / stats.ios as f64
-        } else {
-            0.0
-        };
-        Ok(SimOutput {
-            traces: TraceSet::from_records(records),
-            stats,
+        base.replication.validate()?;
+        let a = pass_a(fleet, &base, plan, events);
+        let draws = pass_b1(&base, events, &a);
+        Ok(Self {
+            fleet,
+            events,
+            plan,
+            base,
+            a,
+            draws,
+            cache: StageCache::default(),
         })
+    }
+
+    /// Simulate one config point, byte-identical to a full
+    /// [`StackSim::run`] with `config`.
+    pub fn run_point(&mut self, config: &StackConfig) -> Result<SimOutput, EbsError> {
+        let b = &self.base;
+        let compatible = config.seed == b.seed
+            && config.apply_throttle == b.apply_throttle
+            && config.throttle_scale == b.throttle_scale
+            && config.cs_capacity_bytes == b.cs_capacity_bytes
+            && config.gc_threshold == b.gc_threshold
+            && config.overwrite_frac == b.overwrite_frac
+            && config.model_congestion == b.model_congestion
+            && config.replication.replicas == b.replication.replicas;
+        if !compatible {
+            return Err(EbsError::invalid_config(
+                "sweep point changes non-sweepable config \
+                 (seed/throttle/engine/congestion/replica count)",
+            ));
+        }
+        config.replication.validate()?;
+        let cols = pass_b2(&config.latency, &self.draws, Some(&mut self.cache));
+        Ok(pass_c(
+            self.fleet,
+            config,
+            self.events,
+            self.plan,
+            &self.a,
+            &cols,
+        ))
     }
 }
 
@@ -449,5 +807,54 @@ mod tests {
             assert_eq!(ds.fleet.cn_of_wt(r.wt), r.cn);
             assert_eq!(ds.fleet.block_servers[r.bs].sn, r.sn);
         }
+    }
+
+    #[test]
+    fn shared_plan_reproduces_per_run_output() {
+        let ds = generate(&WorkloadConfig::quick(40)).unwrap();
+        let mut sim = StackSim::new(&ds.fleet, StackConfig::default());
+        let direct = sim.run(&ds.events).unwrap();
+        let plan = sim.plan(&ds.events).unwrap();
+        let planned = sim.run_planned(&ds.events, &plan).unwrap();
+        assert_eq!(direct.stats, planned.stats);
+        assert_eq!(direct.traces.records(), planned.traces.records());
+    }
+
+    #[test]
+    fn sweep_points_match_standalone_runs() {
+        let ds = generate(&WorkloadConfig::quick(41)).unwrap();
+        let base = StackConfig::default();
+        let sim = StackSim::new(&ds.fleet, base.clone());
+        let plan = sim.plan(&ds.events).unwrap();
+        let mut sweep = StackSweep::new(&ds.fleet, &ds.events, &plan, base.clone()).unwrap();
+        for k in 0..4u32 {
+            let mut cfg = base.clone();
+            cfg.latency.cs_write.base_us *= 1.0 + 0.25 * k as f64;
+            cfg.latency.frontend.jitter_sigma *= 1.0 + 0.1 * k as f64;
+            let swept = sweep.run_point(&cfg).unwrap();
+            let mut standalone = StackSim::new(&ds.fleet, cfg);
+            let full = standalone.run(&ds.events).unwrap();
+            assert_eq!(full.stats, swept.stats);
+            assert_eq!(full.traces.records(), swept.traces.records());
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_non_sweepable_changes() {
+        let ds = generate(&WorkloadConfig::quick(42)).unwrap();
+        let base = StackConfig::default();
+        let sim = StackSim::new(&ds.fleet, base.clone());
+        let plan = sim.plan(&ds.events).unwrap();
+        let mut sweep = StackSweep::new(&ds.fleet, &ds.events, &plan, base.clone()).unwrap();
+        let mut bad_seed = base.clone();
+        bad_seed.seed ^= 1;
+        assert!(sweep.run_point(&bad_seed).is_err());
+        let mut bad_replicas = base.clone();
+        bad_replicas.replication = ReplicationPolicy::NONE;
+        assert!(sweep.run_point(&bad_replicas).is_err());
+        // Quorum-only changes are sweepable.
+        let mut majority = base;
+        majority.replication = ReplicationPolicy::THREE_WAY_MAJORITY;
+        assert!(sweep.run_point(&majority).is_ok());
     }
 }

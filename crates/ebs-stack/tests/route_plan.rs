@@ -1,0 +1,94 @@
+//! Property tests pinning [`ebs_stack::RoutePlan`] to the per-event
+//! resolution it replaces: for every event of a generated fleet, the
+//! plan's columns must equal what `Binding::wt_of`, `Fleet::cn_of_qp`,
+//! `Fleet::segment_at`, the segment map, and `Fleet::sn_of_seg` would
+//! have produced one call at a time.
+
+use ebs_stack::{Binding, RoutePlan, SegmentMap};
+use ebs_workload::{generate, WorkloadConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Column-for-column agreement with the scalar accessors.
+    #[test]
+    fn plan_matches_scalar_resolution(seed in 0u64..1000) {
+        let ds = generate(&WorkloadConfig::quick(seed)).unwrap();
+        let binding = Binding::from_fleet(&ds.fleet);
+        let seg_map = SegmentMap::from_fleet(&ds.fleet);
+        let plan = RoutePlan::build(&ds.fleet, &binding, &seg_map, &ds.events).unwrap();
+        prop_assert_eq!(plan.len(), ds.events.len());
+        for (i, ev) in ds.events.iter().enumerate() {
+            let seg = ds.fleet.segment_at(ev.vd, ev.offset).unwrap();
+            let bs = seg_map.as_slice()[seg.index()];
+            prop_assert_eq!(plan.wt()[i], binding.wt_of(ev.qp));
+            prop_assert_eq!(plan.cn()[i], ds.fleet.cn_of_qp(ev.qp));
+            prop_assert_eq!(plan.seg()[i], seg);
+            prop_assert_eq!(plan.bs()[i], bs);
+            prop_assert_eq!(plan.sn()[i], ds.fleet.sn_of_seg(seg));
+        }
+    }
+
+    /// The shared-index constructor resolves identically to the
+    /// from-scratch one.
+    #[test]
+    fn plan_with_index_matches_plain_build(seed in 0u64..1000) {
+        let ds = generate(&WorkloadConfig::quick(seed)).unwrap();
+        let binding = Binding::from_fleet(&ds.fleet);
+        let seg_map = SegmentMap::from_fleet(&ds.fleet);
+        let plain = RoutePlan::build(&ds.fleet, &binding, &seg_map, &ds.events).unwrap();
+        let idx = ds.index();
+        let via_idx =
+            RoutePlan::build_with_index(&ds.fleet, &binding, &seg_map, &ds.events, idx).unwrap();
+        prop_assert_eq!(plain.wt(), via_idx.wt());
+        prop_assert_eq!(plain.cn(), via_idx.cn());
+        prop_assert_eq!(plain.seg(), via_idx.seg());
+        prop_assert_eq!(plain.bs(), via_idx.bs());
+        prop_assert_eq!(plain.sn(), via_idx.sn());
+    }
+
+    /// Swapping two out-of-order timestamps must be rejected exactly like
+    /// the reference simulator rejects them.
+    #[test]
+    fn unsorted_events_are_rejected(seed in 0u64..1000, pivot in 1usize..64) {
+        let ds = generate(&WorkloadConfig::quick(seed)).unwrap();
+        let mut events = ds.events.clone();
+        let pivot = pivot % (events.len() - 1) + 1;
+        // Force a strict inversion at the pivot.
+        events[pivot - 1].t_us = events[pivot].t_us + 1;
+        let binding = Binding::from_fleet(&ds.fleet);
+        let seg_map = SegmentMap::from_fleet(&ds.fleet);
+        let err = RoutePlan::build(&ds.fleet, &binding, &seg_map, &events).unwrap_err();
+        prop_assert!(err.to_string().contains("time-sorted"));
+    }
+
+    /// An offset past the VD's capacity surfaces as an error, never a
+    /// panic (route is in the lint D3 total set).
+    #[test]
+    fn out_of_capacity_offsets_are_rejected(seed in 0u64..1000) {
+        let ds = generate(&WorkloadConfig::quick(seed)).unwrap();
+        let mut events = ds.events.clone();
+        let last = events.len() - 1;
+        let vd = events[last].vd;
+        let spec = &ds.fleet.vds[vd].spec;
+        events[last].offset = spec.capacity_bytes;
+        let binding = Binding::from_fleet(&ds.fleet);
+        let seg_map = SegmentMap::from_fleet(&ds.fleet);
+        let err = RoutePlan::build(&ds.fleet, &binding, &seg_map, &events).unwrap_err();
+        prop_assert!(err.to_string().contains("offset"));
+    }
+}
+
+/// Deterministic (non-property) pin: one plan serves many simulator runs.
+#[test]
+fn one_plan_serves_many_runs() {
+    use ebs_stack::sim::{StackConfig, StackSim};
+    let ds = generate(&WorkloadConfig::quick(41)).unwrap();
+    let sim = StackSim::new(&ds.fleet, StackConfig::default());
+    let plan = sim.plan(&ds.events).unwrap();
+    let a = sim.run_planned(&ds.events, &plan).unwrap();
+    let b = sim.run_planned(&ds.events, &plan).unwrap();
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.traces.records(), b.traces.records());
+}
