@@ -22,6 +22,8 @@ pub const TOTAL_MODULES: &[&str] = &[
     "crates/ebs-workload/src/import.rs",
     "crates/ebs-workload/src/store.rs",
     "crates/ebs-stack/src/route.rs",
+    "crates/ebs-serve/src/epoch.rs",
+    "crates/ebs-serve/src/window.rs",
 ];
 
 /// One file scheduled for scanning.
@@ -157,6 +159,11 @@ mod tests {
         // simulated event; it must surface malformed input as errors, not
         // panics.
         assert!(TOTAL_MODULES.contains(&"crates/ebs-stack/src/route.rs"));
+        // The serve loop's epoch and window arithmetic steers a long-running
+        // control plane; a malformed epoch spec or an empty window must come
+        // back as a value, never a panic.
+        assert!(TOTAL_MODULES.contains(&"crates/ebs-serve/src/epoch.rs"));
+        assert!(TOTAL_MODULES.contains(&"crates/ebs-serve/src/window.rs"));
         assert!(!TOTAL_MODULES.contains(&"crates/ebs-store/src/writer.rs"));
     }
 }

@@ -137,6 +137,30 @@ pub fn emit_global() -> Option<(String, String)> {
     }
 }
 
+/// If observability is enabled, write an already-rendered JSONL stream to
+/// `<EBS_OBS_OUT (default OBS_report)><suffix>.jsonl`, logging one line to
+/// stderr. Used for rolling streams (one record per serve epoch) that do
+/// not fit the registry's metric-per-line snapshot model. Stdout is never
+/// touched; a no-op (returning `None`) when observability is off or the
+/// stream is empty.
+pub fn emit_stream(suffix: &str, jsonl: &str) -> Option<String> {
+    if !crate::enabled() || jsonl.is_empty() {
+        return None;
+    }
+    let base = std::env::var(crate::OBS_OUT_ENV).unwrap_or_else(|_| "OBS_report".to_string());
+    let path = format!("{base}{suffix}.jsonl");
+    match std::fs::write(&path, jsonl) {
+        Ok(()) => {
+            eprintln!("obs: wrote {path} ({} records)", jsonl.lines().count());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("obs: failed to write {path}: {e}");
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,110 @@
+//! The online-policy abstraction: observe a sliding window, emit actions.
+//!
+//! A [`Policy`] runs at every epoch boundary. It sees a [`WindowView`] —
+//! the most recent epochs' statistics plus the current control state
+//! (QP binding, segment placement, outstanding lending grants) — and
+//! returns [`Action`]s for the controller to validate and apply before
+//! the next epoch is simulated. Policies never touch the simulator
+//! directly: every mutation flows through the controller, which is what
+//! keeps serve runs deterministic and the action log auditable.
+
+use ebs_core::ids::{BsId, SegId, VdId, WtId};
+use ebs_core::topology::Fleet;
+use ebs_stack::hypervisor::Binding;
+use ebs_stack::segment::SegmentMap;
+
+use crate::epoch::EpochSpec;
+use crate::stats::EpochStats;
+
+/// One control-plane decision. Applied at an epoch boundary, in the order
+/// policies emitted them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Action {
+    /// Swap the QP sets of two worker threads on the same compute node
+    /// (the §4.3 rebind).
+    SwapWts {
+        /// One worker thread.
+        a: WtId,
+        /// The other worker thread.
+        b: WtId,
+    },
+    /// Grant a lending multiplier: retarget `vd`'s throttle gate to
+    /// `scale ×` its subscribed caps (`> 1` borrows, `< 1` lends out).
+    LendCap {
+        /// The VD whose caps change.
+        vd: VdId,
+        /// New cap multiplier.
+        scale: f64,
+    },
+    /// Reclaim any outstanding grant: back to the subscribed caps.
+    ReclaimCap {
+        /// The VD whose caps reset.
+        vd: VdId,
+    },
+    /// Migrate a segment to another BlockServer in the same data center
+    /// (the §6 inter-BS balancer's move).
+    MigrateSegment {
+        /// The segment to move.
+        seg: SegId,
+        /// Destination BlockServer.
+        to: BsId,
+    },
+    /// Resize the serve-side cache to `pages` 4 KiB pages (contents
+    /// restart cold, as a real resize would).
+    ResizeCache {
+        /// New capacity in pages.
+        pages: usize,
+    },
+    /// Drop the serve-side cache's contents, keeping its capacity.
+    FlushCache,
+}
+
+/// What a policy observes at an epoch boundary.
+pub struct WindowView<'a> {
+    /// The fleet topology.
+    pub fleet: &'a Fleet,
+    /// The epoch schedule.
+    pub epoch: &'a EpochSpec,
+    /// The retained epochs, oldest first; the last entry is the epoch
+    /// that just finished.
+    pub epochs: &'a [EpochStats],
+    /// Current QP → WT binding.
+    pub binding: &'a Binding,
+    /// Current segment placement.
+    pub placement: &'a SegmentMap,
+    /// Per-VD lending multipliers currently in force (dense, 1.0 = none).
+    pub cap_scales: &'a [f64],
+}
+
+impl<'a> WindowView<'a> {
+    /// The epoch that just finished (`None` before the first epoch).
+    pub fn newest(&self) -> Option<&'a EpochStats> {
+        self.epochs.last()
+    }
+}
+
+/// An online control policy.
+pub trait Policy {
+    /// Short stable name (CLI selector, metrics label).
+    fn name(&self) -> &'static str;
+
+    /// Observe the window after an epoch completes; return the actions to
+    /// apply before the next epoch. Must be deterministic in the view and
+    /// the policy's own state.
+    fn observe(&mut self, view: &WindowView<'_>) -> Vec<Action>;
+}
+
+/// The do-nothing policy: serving with only no-op policies reproduces the
+/// batch simulation bit-for-bit (the serve differential invariant).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopPolicy;
+
+impl Policy for NoopPolicy {
+    fn name(&self) -> &'static str {
+        "noop"
+    }
+
+    fn observe(&mut self, _view: &WindowView<'_>) -> Vec<Action> {
+        Vec::new()
+    }
+}

@@ -60,5 +60,5 @@ pub use reference::ReferenceSim;
 pub use replication::ReplicationPolicy;
 pub use route::RoutePlan;
 pub use segment::{Migration, SegmentMap};
-pub use sim::{SimOutput, SimStats, StackConfig, StackSim, StackSweep};
+pub use sim::{SimOutput, SimSession, SimStats, StackConfig, StackSim, StackSweep};
 pub use throttle_gate::{TokenBucket, VdGate};

@@ -195,8 +195,55 @@ fn stage_params(latency: &LatencyModel) -> [&StageParams; STAGE_COUNT] {
     ]
 }
 
+/// The RNG-free state machines of pass A — per-VD throttle gates, per-BS
+/// prefetchers, per-SN GC engines, and the fabric links. They live
+/// *outside* the per-slice pass so a [`SimSession`] can carry them across
+/// epoch steps: replaying a stream slice-by-slice drives exactly the same
+/// machine trajectory as one batch pass.
+struct Machines {
+    gates: Vec<Option<VdGate>>,
+    /// Per-VD lending multiplier currently applied on top of the
+    /// subscribed caps (1.0 = no grant outstanding).
+    cap_scale: Vec<f64>,
+    prefetchers: Vec<Prefetcher>,
+    engines: Vec<ChunkServer>,
+    fabric: FabricModel,
+}
+
+impl Machines {
+    fn new(fleet: &Fleet, config: &StackConfig) -> Self {
+        let gates: Vec<Option<VdGate>> = if config.apply_throttle {
+            fleet
+                .vds
+                .iter()
+                .map(|vd| {
+                    let mut spec = vd.spec;
+                    spec.tput_cap *= config.throttle_scale;
+                    spec.iops_cap *= config.throttle_scale;
+                    Some(VdGate::for_spec(&spec))
+                })
+                .collect()
+        } else {
+            vec![None; fleet.vds.len()]
+        };
+        Self {
+            gates,
+            cap_scale: vec![1.0; fleet.vds.len()],
+            // One prefetcher per BlockServer, one engine per storage node.
+            prefetchers: (0..fleet.block_servers.len())
+                .map(|_| Prefetcher::new())
+                .collect(),
+            engines: (0..fleet.storage_nodes.len())
+                .map(|_| ChunkServer::new(config.cs_capacity_bytes, config.gc_threshold))
+                .collect(),
+            fabric: FabricModel::new(fleet.compute_nodes.len(), fleet.storage_nodes.len()),
+        }
+    }
+}
+
 /// Pass A output: per-event columns from the RNG-free state machines,
-/// plus their final states and counters.
+/// plus the slice's counters (the machines themselves persist in
+/// [`Machines`]).
 struct StateCols {
     throttle_us: Vec<f64>,
     congestion_f: Vec<f64>,
@@ -206,53 +253,34 @@ struct StateCols {
     /// GC-pressure multiplier read before each write's append (1.0 for
     /// reads, which never consult the engine's pressure).
     pressure: Vec<f64>,
-    engines: Vec<ChunkServer>,
     throttled: u64,
     prefetch_hits: u64,
     gc_runs: u64,
 }
 
 /// Replay the deterministic (RNG-free) state machines — throttle gates,
-/// prefetchers, GC engines, fabric links — in event order.
-fn pass_a(fleet: &Fleet, config: &StackConfig, plan: &RoutePlan, events: &[IoEvent]) -> StateCols {
+/// prefetchers, GC engines, fabric links — in event order, advancing
+/// `machines` in place.
+fn pass_a(
+    machines: &mut Machines,
+    config: &StackConfig,
+    plan: &RoutePlan,
+    events: &[IoEvent],
+) -> StateCols {
     let n = events.len();
-    let mut gates: Vec<Option<VdGate>> = if config.apply_throttle {
-        fleet
-            .vds
-            .iter()
-            .map(|vd| {
-                let mut spec = vd.spec;
-                spec.tput_cap *= config.throttle_scale;
-                spec.iops_cap *= config.throttle_scale;
-                Some(VdGate::for_spec(&spec))
-            })
-            .collect()
-    } else {
-        vec![None; fleet.vds.len()]
-    };
-    // One prefetcher per BlockServer, one engine per storage node.
-    let mut prefetchers: Vec<Prefetcher> = (0..fleet.block_servers.len())
-        .map(|_| Prefetcher::new())
-        .collect();
-    let mut engines: Vec<ChunkServer> = (0..fleet.storage_nodes.len())
-        .map(|_| ChunkServer::new(config.cs_capacity_bytes, config.gc_threshold))
-        .collect();
-    let mut fabric = FabricModel::new(fleet.compute_nodes.len(), fleet.storage_nodes.len());
-
     let mut cols = StateCols {
         throttle_us: Vec::with_capacity(n),
         congestion_f: Vec::with_capacity(n),
         congestion_b: Vec::with_capacity(n),
         prefetched: Vec::with_capacity(n),
         pressure: Vec::with_capacity(n),
-        engines: Vec::new(),
         throttled: 0,
         prefetch_hits: 0,
         gc_runs: 0,
     };
     for (i, ev) in events.iter().enumerate() {
         let t = ev.t_us as f64;
-        let throttle_us = match &mut gates[ev.vd.index()] {
+        let throttle_us = match &mut machines.gates[ev.vd.index()] {
             Some(gate) => {
                 let d = gate.admit(t, ev.size);
                 if d > 0.0 {
@@ -264,12 +292,14 @@ fn pass_a(fleet: &Fleet, config: &StackConfig, plan: &RoutePlan, events: &[IoEve
         };
         cols.throttle_us.push(throttle_us);
         let congestion_f = if config.model_congestion {
-            fabric.frontend_transfer(plan.cn()[i].index(), t, ev.size as f64)
+            machines
+                .fabric
+                .frontend_transfer(plan.cn()[i].index(), t, ev.size as f64)
         } else {
             1.0
         };
         cols.congestion_f.push(congestion_f);
-        let prefetched = prefetchers[plan.bs()[i].index()].observe(plan.seg()[i], ev);
+        let prefetched = machines.prefetchers[plan.bs()[i].index()].observe(plan.seg()[i], ev);
         if prefetched {
             cols.prefetch_hits += 1;
         }
@@ -278,12 +308,12 @@ fn pass_a(fleet: &Fleet, config: &StackConfig, plan: &RoutePlan, events: &[IoEve
         // The reference only touches the backend link for events that
         // reach the ChunkServer, so prefetch hits must not advance it.
         let congestion_b = if !prefetched && config.model_congestion {
-            fabric.backend_transfer(sn, t, ev.size as f64)
+            machines.fabric.backend_transfer(sn, t, ev.size as f64)
         } else {
             1.0
         };
         cols.congestion_b.push(congestion_b);
-        let engine = &mut engines[sn];
+        let engine = &mut machines.engines[sn];
         // Writes read the pressure multiplier *before* their own append.
         cols.pressure.push(if ev.op == Op::Write {
             engine.gc_pressure()
@@ -294,7 +324,6 @@ fn pass_a(fleet: &Fleet, config: &StackConfig, plan: &RoutePlan, events: &[IoEve
             cols.gc_runs += 1;
         }
     }
-    cols.engines = engines;
     cols
 }
 
@@ -318,10 +347,24 @@ impl DrawCols {
 }
 
 /// Drain the `stack/latency` RNG stream in exactly the reference's
-/// per-event order into parameter-independent unit columns.
+/// per-event order into parameter-independent unit columns, starting from
+/// a fresh stream (the batch path).
 fn pass_b1(config: &StackConfig, events: &[IoEvent], a: &StateCols) -> DrawCols {
     let rngf = RngFactory::new(config.seed).child("stack");
     let mut rng = rngf.stream("latency");
+    pass_b1_with(&mut rng, config, events, a)
+}
+
+/// [`pass_b1`] over a caller-owned RNG stream: a [`SimSession`] advances
+/// one persistent stream across epoch steps, so the draws of slice k+1
+/// continue exactly where slice k stopped — the whole point of the
+/// session being bit-identical to a batch run.
+fn pass_b1_with(
+    rng: &mut ebs_core::rng::SimRng,
+    config: &StackConfig,
+    events: &[IoEvent],
+    a: &StateCols,
+) -> DrawCols {
     let mut d = DrawCols {
         g: Default::default(),
         u_tail: Default::default(),
@@ -352,18 +395,18 @@ fn pass_b1(config: &StackConfig, events: &[IoEvent], a: &StateCols) -> DrawCols 
         d.size[c].reserve(cap);
     }
     for (i, ev) in events.iter().enumerate() {
-        d.draw(STAGE_COMPUTE, &mut rng, ev.size);
-        d.draw(STAGE_FRONTEND, &mut rng, ev.size);
-        d.draw(STAGE_BLOCK_SERVER, &mut rng, ev.size);
+        d.draw(STAGE_COMPUTE, rng, ev.size);
+        d.draw(STAGE_FRONTEND, rng, ev.size);
+        d.draw(STAGE_BLOCK_SERVER, rng, ev.size);
         if !a.prefetched[i] {
-            d.draw(STAGE_BACKEND, &mut rng, ev.size);
+            d.draw(STAGE_BACKEND, rng, ev.size);
             match ev.op {
                 Op::Write => {
                     for _ in 0..replicas {
-                        d.draw(STAGE_CS_WRITE, &mut rng, ev.size);
+                        d.draw(STAGE_CS_WRITE, rng, ev.size);
                     }
                 }
-                Op::Read => d.draw(STAGE_CS_READ, &mut rng, ev.size),
+                Op::Read => d.draw(STAGE_CS_READ, rng, ev.size),
             }
         }
     }
@@ -436,8 +479,66 @@ fn eval_stage(p: &StageParams, draws: &DrawCols, class: usize) -> Vec<f64> {
         .collect()
 }
 
+/// The persistent half of pass C: WT busy-until clocks, the DiTing id
+/// counter, the optional obs recorder, and the running aggregates. A batch
+/// run owns one for the duration of the run; a [`SimSession`] carries one
+/// across epoch steps so slice-by-slice serving accumulates *exactly* the
+/// batch totals (same u64 sums, same f64 summation order).
+struct SimCore {
+    queues: WtQueues,
+    diting: Diting,
+    obs: Option<StackObs>,
+    ios: u64,
+    throttled: u64,
+    prefetch_hits: u64,
+    gc_runs: u64,
+    total_latency: f64,
+}
+
+impl SimCore {
+    fn new(fleet: &Fleet) -> Self {
+        Self {
+            queues: WtQueues::new(fleet.wt_total),
+            diting: Diting::new(),
+            obs: ebs_obs::enabled().then(StackObs::new),
+            ios: 0,
+            throttled: 0,
+            prefetch_hits: 0,
+            gc_runs: 0,
+            total_latency: 0.0,
+        }
+    }
+
+    /// Aggregate statistics accumulated so far.
+    fn aggregate(&self) -> SimStats {
+        SimStats {
+            ios: self.ios,
+            throttled: self.throttled,
+            prefetch_hits: self.prefetch_hits,
+            gc_runs: self.gc_runs,
+            mean_latency_us: if self.ios > 0 {
+                self.total_latency / self.ios as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Publish the accumulated obs metrics (if recording) and return the
+    /// aggregate stats. Consumes the core: a run publishes exactly once.
+    fn finish(self, engines: &[ChunkServer]) -> SimStats {
+        let stats = self.aggregate();
+        if let Some(o) = self.obs {
+            o.finish(&stats, engines);
+        }
+        stats
+    }
+}
+
 /// Pass C: WT queueing, congestion/replication/GC arithmetic, and DiTing
-/// record assembly over the columns.
+/// record assembly over the columns. Returns the *slice's* output (for a
+/// batch run the slice is the whole stream) while accumulating aggregates
+/// into `core`.
 fn pass_c(
     fleet: &Fleet,
     config: &StackConfig,
@@ -445,9 +546,8 @@ fn pass_c(
     plan: &RoutePlan,
     a: &StateCols,
     cols: &StageCols,
+    core: &mut SimCore,
 ) -> SimOutput {
-    let mut queues = WtQueues::new(fleet.wt_total);
-    let mut diting = Diting::new();
     let mut records: Vec<TraceRecord> = Vec::with_capacity(events.len());
     let mut stats = SimStats {
         ios: events.len() as u64,
@@ -457,7 +557,6 @@ fn pass_c(
         mean_latency_us: 0.0,
     };
     let mut total_latency = 0.0;
-    let mut obs = ebs_obs::enabled().then(StackObs::new);
     let replicas = config.replication.replicas as usize;
     let quorum = config.replication.quorum as usize;
     // Cursors into the per-class columns (slots are in event order).
@@ -468,7 +567,7 @@ fn pass_c(
         let throttle_us = a.throttle_us[i];
         let wt = plan.wt()[i];
         let service = cols.values[STAGE_COMPUTE][i];
-        let wait = queues.serve(wt, t + throttle_us, service);
+        let wait = core.queues.serve(wt, t + throttle_us, service);
         let compute_us = throttle_us + wait + service;
         let frontend_us = cols.values[STAGE_FRONTEND][i] * a.congestion_f[i];
         let block_server_us = cols.values[STAGE_BLOCK_SERVER][i];
@@ -505,10 +604,13 @@ fn pass_c(
             chunk_server_us,
         };
         total_latency += lat.total_us();
-        if let Some(o) = obs.as_mut() {
+        // Aggregate per event, not per slice: the session's running total
+        // must follow the exact f64 summation order of a batch run.
+        core.total_latency += lat.total_us();
+        if let Some(o) = core.obs.as_mut() {
             o.record_io(wait, &lat);
         }
-        records.push(diting.record_routed(
+        records.push(core.diting.record_routed(
             fleet,
             ev,
             wt,
@@ -518,9 +620,10 @@ fn pass_c(
             lat,
         ));
     }
-    if let Some(o) = obs {
-        o.finish(&stats, &a.engines);
-    }
+    core.ios += stats.ios;
+    core.throttled += stats.throttled;
+    core.prefetch_hits += stats.prefetch_hits;
+    core.gc_runs += stats.gc_runs;
     stats.mean_latency_us = if stats.ios > 0 {
         total_latency / stats.ios as f64
     } else {
@@ -589,17 +692,132 @@ impl<'a> StackSim<'a> {
 
     /// Route `events` through the stack using a prebuilt [`RoutePlan`]
     /// (already validated as time-sorted at plan construction).
+    ///
+    /// Implemented as a one-step [`SimSession`], which is what guarantees
+    /// that serving the same stream epoch-by-epoch reproduces this batch
+    /// run bit-for-bit: both paths are the same code.
     pub fn run_planned(&self, events: &[IoEvent], plan: &RoutePlan) -> Result<SimOutput, EbsError> {
+        let mut session = SimSession::new(self.fleet, self.config.clone())?;
+        let out = session.step(events, plan)?;
+        session.finish();
+        Ok(out)
+    }
+}
+
+/// A *resumable* simulation: the same staged pipeline as
+/// [`StackSim::run_planned`], but with every piece of cross-event state —
+/// throttle-gate buckets, prefetch buffers, GC engines, fabric links, the
+/// `stack/latency` RNG stream, WT busy-until clocks, DiTing trace ids,
+/// and the aggregate accumulators — held in the session between calls to
+/// [`Self::step`].
+///
+/// Stepping a time-sorted stream through a session slice-by-slice (in
+/// order, with each slice's own route plan) produces the identical record
+/// stream and identical [`Self::finish`] aggregate as one batch
+/// `run_planned` over the concatenation: the serve mode's foundational
+/// invariant, pinned by the `ebs-serve` differential tests.
+///
+/// Between steps the caller may change the *routing* (rebuild the next
+/// plan from an updated [`Binding`] or [`SegmentMap`]) and the *caps*
+/// ([`Self::scale_vd_caps`]); both model online control-plane actions and
+/// intentionally diverge from the batch run.
+pub struct SimSession<'a> {
+    fleet: &'a Fleet,
+    config: StackConfig,
+    machines: Machines,
+    rng: ebs_core::rng::SimRng,
+    core: SimCore,
+}
+
+impl<'a> SimSession<'a> {
+    /// Start a session over `fleet` with `config` (validates the
+    /// replication policy once, like a batch run).
+    pub fn new(fleet: &'a Fleet, config: StackConfig) -> Result<Self, EbsError> {
+        config.replication.validate()?;
+        let machines = Machines::new(fleet, &config);
+        let rng = RngFactory::new(config.seed)
+            .child("stack")
+            .stream("latency");
+        Ok(Self {
+            fleet,
+            config,
+            machines,
+            rng,
+            core: SimCore::new(fleet),
+        })
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &StackConfig {
+        &self.config
+    }
+
+    /// Simulate the next slice of the stream under `plan`. Slices must
+    /// arrive in stream order; the returned output carries the *slice's*
+    /// traces and stats (its `mean_latency_us` is the slice mean).
+    pub fn step(&mut self, events: &[IoEvent], plan: &RoutePlan) -> Result<SimOutput, EbsError> {
         if plan.len() != events.len() {
             return Err(EbsError::invalid_config(
                 "route plan does not cover the event slice",
             ));
         }
-        self.config.replication.validate()?;
-        let a = pass_a(self.fleet, &self.config, plan, events);
-        let draws = pass_b1(&self.config, events, &a);
+        let a = pass_a(&mut self.machines, &self.config, plan, events);
+        let draws = pass_b1_with(&mut self.rng, &self.config, events, &a);
         let cols = pass_b2(&self.config.latency, &draws, None);
-        Ok(pass_c(self.fleet, &self.config, events, plan, &a, &cols))
+        Ok(pass_c(
+            self.fleet,
+            &self.config,
+            events,
+            plan,
+            &a,
+            &cols,
+            &mut self.core,
+        ))
+    }
+
+    /// Scale one VD's throttle caps to `scale ×` its subscribed caps (an
+    /// online lending grant when `> 1`, a reclaim at `1.0`). Takes effect
+    /// from the next admitted IO; banked tokens are clamped, never
+    /// refunded. Returns `false` (and does nothing) when throttling is
+    /// off, the VD is unknown, or `scale` is not a positive finite number.
+    pub fn scale_vd_caps(&mut self, vd: ebs_core::ids::VdId, scale: f64) -> bool {
+        if !self.config.apply_throttle || scale <= 0.0 || !scale.is_finite() {
+            return false;
+        }
+        let Some(vd_state) = self.fleet.vds.get(vd) else {
+            return false;
+        };
+        let Some(Some(gate)) = self.machines.gates.get_mut(vd.index()) else {
+            return false;
+        };
+        let mut spec = vd_state.spec;
+        spec.tput_cap *= self.config.throttle_scale * scale;
+        spec.iops_cap *= self.config.throttle_scale * scale;
+        gate.retarget(&spec);
+        if let Some(slot) = self.machines.cap_scale.get_mut(vd.index()) {
+            *slot = scale;
+        }
+        true
+    }
+
+    /// The lending multiplier currently applied to `vd` (1.0 = none).
+    pub fn vd_cap_scale(&self, vd: ebs_core::ids::VdId) -> f64 {
+        self.machines
+            .cap_scale
+            .get(vd.index())
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// Aggregate statistics over every step so far.
+    pub fn aggregate(&self) -> SimStats {
+        self.core.aggregate()
+    }
+
+    /// End the session: publish obs metrics (exactly once, like a batch
+    /// run) and return the aggregate stats.
+    pub fn finish(self) -> SimStats {
+        self.core.finish(&self.machines.engines)
     }
 }
 
@@ -618,6 +836,7 @@ pub struct StackSweep<'a> {
     events: &'a [IoEvent],
     plan: &'a RoutePlan,
     base: StackConfig,
+    machines: Machines,
     a: StateCols,
     draws: DrawCols,
     cache: StageCache,
@@ -638,13 +857,15 @@ impl<'a> StackSweep<'a> {
             ));
         }
         base.replication.validate()?;
-        let a = pass_a(fleet, &base, plan, events);
+        let mut machines = Machines::new(fleet, &base);
+        let a = pass_a(&mut machines, &base, plan, events);
         let draws = pass_b1(&base, events, &a);
         Ok(Self {
             fleet,
             events,
             plan,
             base,
+            machines,
             a,
             draws,
             cache: StageCache::default(),
@@ -671,14 +892,18 @@ impl<'a> StackSweep<'a> {
         }
         config.replication.validate()?;
         let cols = pass_b2(&config.latency, &self.draws, Some(&mut self.cache));
-        Ok(pass_c(
+        let mut core = SimCore::new(self.fleet);
+        let out = pass_c(
             self.fleet,
             config,
             self.events,
             self.plan,
             &self.a,
             &cols,
-        ))
+            &mut core,
+        );
+        core.finish(&self.machines.engines);
+        Ok(out)
     }
 }
 
@@ -837,6 +1062,62 @@ mod tests {
             assert_eq!(full.stats, swept.stats);
             assert_eq!(full.traces.records(), swept.traces.records());
         }
+    }
+
+    #[test]
+    fn session_steps_concatenate_to_batch_run() {
+        let ds = generate(&WorkloadConfig::quick(43)).unwrap();
+        let mut sim = StackSim::new(&ds.fleet, StackConfig::default());
+        let batch = sim.run(&ds.events).unwrap();
+
+        let mut session = SimSession::new(&ds.fleet, StackConfig::default()).unwrap();
+        let mut records = Vec::new();
+        // Uneven slice boundaries, including an empty slice.
+        let n = ds.events.len();
+        let cuts = [0, n / 3, n / 3, n / 2, (3 * n) / 4, n];
+        for pair in cuts.windows(2) {
+            let (lo, hi) = (pair[0], pair[1]);
+            let slice = &ds.events[lo..hi];
+            // Per-slice plans, exactly how the serve loop routes epochs.
+            let sub = sim.plan(slice).unwrap();
+            let out = session.step(slice, &sub).unwrap();
+            records.extend_from_slice(out.traces.records());
+        }
+        let agg = session.finish();
+        assert_eq!(agg, batch.stats);
+        assert_eq!(records.len(), batch.traces.records().len());
+        assert_eq!(records, batch.traces.records());
+    }
+
+    #[test]
+    fn session_cap_scaling_reduces_throttling() {
+        let ds = generate(&WorkloadConfig::quick(44)).unwrap();
+        let base = {
+            let mut s = SimSession::new(&ds.fleet, StackConfig::default()).unwrap();
+            let plan = StackSim::new(&ds.fleet, StackConfig::default())
+                .plan(&ds.events)
+                .unwrap();
+            s.step(&ds.events, &plan).unwrap();
+            s.finish()
+        };
+        assert!(base.throttled > 0, "quick workload must throttle somewhere");
+        let mut s = SimSession::new(&ds.fleet, StackConfig::default()).unwrap();
+        for vd in 0..ds.fleet.vd_count() {
+            let id = ebs_core::ids::VdId(vd as u32);
+            assert!(s.scale_vd_caps(id, 100.0));
+            assert_eq!(s.vd_cap_scale(id), 100.0);
+        }
+        let plan = StackSim::new(&ds.fleet, StackConfig::default())
+            .plan(&ds.events)
+            .unwrap();
+        s.step(&ds.events, &plan).unwrap();
+        let scaled = s.finish();
+        assert!(
+            scaled.throttled < base.throttled,
+            "100x caps should throttle less: {} vs {}",
+            scaled.throttled,
+            base.throttled
+        );
     }
 
     #[test]

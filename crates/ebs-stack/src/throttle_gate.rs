@@ -55,6 +55,19 @@ impl TokenBucket {
         }
     }
 
+    /// Change the refill rate and burst allowance in place, keeping the
+    /// bucket's clock and clamping banked tokens to the new burst. This is
+    /// how online cap changes (lending grants/reclaims) take effect
+    /// without refunding a full burst: a gate that was drained stays
+    /// drained. Non-positive targets are ignored — a bucket never stalls.
+    pub fn retarget(&mut self, rate: f64, burst: f64) {
+        if rate > 0.0 && burst > 0.0 {
+            self.rate = rate;
+            self.burst = burst;
+            self.tokens = self.tokens.min(burst);
+        }
+    }
+
     /// Tokens currently available (after refilling to `now_us`).
     pub fn available(&mut self, now_us: f64) -> f64 {
         let dt = ((now_us - self.last_us) / 1e6).max(0.0);
@@ -106,6 +119,14 @@ impl VdGate {
     /// `(throttled, total)` IO counts seen so far.
     pub fn stats(&self) -> (u64, u64) {
         (self.throttled_ios, self.total_ios)
+    }
+
+    /// Re-aim both buckets at the caps of `spec` (with one second of
+    /// burst), preserving clock, banked tokens (clamped), and counters.
+    /// See [`TokenBucket::retarget`].
+    pub fn retarget(&mut self, spec: &VdSpec) {
+        self.bytes.retarget(spec.tput_cap, spec.tput_cap);
+        self.ops.retarget(spec.iops_cap, spec.iops_cap);
     }
 }
 

@@ -127,6 +127,24 @@ impl Strategy for Any<bool> {
     }
 }
 
+// Tuples of strategies are themselves strategies (as in real proptest),
+// sampling each component left to right.
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
 /// Mirrors proptest's `prop` module tree (`prop::collection::vec`).
 pub mod prop {
     /// Collection strategies.

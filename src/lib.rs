@@ -29,6 +29,7 @@ pub use ebs_core as core;
 pub use ebs_experiments as experiments;
 pub use ebs_obs as obs;
 pub use ebs_predict as predict;
+pub use ebs_serve as serve;
 pub use ebs_stack as stack;
 pub use ebs_store as store;
 pub use ebs_throttle as throttle;

@@ -348,3 +348,38 @@ fn full_driver_with_obs_on_matches_gold_master() {
     ebs::obs::set_obs_override(None);
     assert_eq!(gold, out, "full-scale output moved with EBS_OBS on");
 }
+
+/// The serve gold master pin: the medium-scale control plane with all
+/// four online policies must reproduce `serve_epochs_gold.jsonl` byte
+/// for byte (the file records the per-epoch metrics stream of
+/// `serve --medium --epoch 60 --window 5 --policies
+/// rebind,lend,balance,cache`). Epoch cuts, window folds, and every
+/// policy decision are pinned across versions by this file, on top of
+/// the run-to-run/thread/shard invariance the ebs-serve suite asserts.
+#[test]
+fn serve_metrics_stream_matches_gold_master() {
+    use ebs::serve::{
+        serve, OnlineBalancer, OnlineCacheTuner, OnlineLender, OnlineRebinder, Policy, ServeConfig,
+    };
+    let gold = std::fs::read_to_string("serve_epochs_gold.jsonl").expect("gold master present");
+    let ds = generate(&WorkloadConfig::medium(0xEB5_2025)).unwrap();
+    let stack = StackConfig::default();
+    let mut config = ServeConfig::fast_forward(60.0, 5, stack.clone()).unwrap();
+    config.cache_pages = Some(4096); // bin/serve's default when `cache` is selected
+    let mut policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(OnlineRebinder::default()),
+        Box::new(OnlineLender::new(
+            ebs::throttle::LendingConfig::default(),
+            stack.throttle_scale,
+        )),
+        Box::new(OnlineBalancer::new(
+            ebs::balance::bs_balancer::BalancerConfig::default(),
+        )),
+        Box::new(OnlineCacheTuner::new(4096)),
+    ];
+    let report = serve(&ds.fleet, &config, &ds.events, &mut policies).unwrap();
+    assert_eq!(
+        gold, report.metrics_jsonl,
+        "serve per-epoch metrics moved against the gold master"
+    );
+}

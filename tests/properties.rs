@@ -446,3 +446,100 @@ fn balancer_conserves_segments_under_random_strategies() {
         );
     }
 }
+
+/// `StreamSummary::merge` identity and order-invariance: merging an empty
+/// summary changes nothing, and folding a stream through any shard split,
+/// merged in any order, is bit-identical to folding it whole. (Every
+/// accumulator is an integer-valued f64 far below 2^53, so the elementwise
+/// adds are exact — the property DESIGN.md §15 rests on.)
+mod stream_summary_merge {
+    use ebs::core::ids::{QpId, VdId};
+    use ebs::core::io::{IoEvent, Op};
+    use ebs::core::time::TickSpec;
+    use ebs::store::StreamSummary;
+    use proptest::prelude::*;
+
+    const VD_COUNT: usize = 6;
+
+    fn ticks() -> TickSpec {
+        TickSpec::new(15.0, 8)
+    }
+
+    fn event(t_us: u64, vd: u32, size: u32) -> IoEvent {
+        IoEvent {
+            t_us,
+            vd: VdId(vd),
+            qp: QpId(0),
+            op: Op::Read,
+            size,
+            offset: 0,
+        }
+    }
+
+    /// Compare two summaries through their full accessor surface
+    /// (`StreamSummary` has no `PartialEq`).
+    fn assert_summaries_equal(a: &StreamSummary, b: &StreamSummary, label: &str) {
+        assert_eq!(a.events(), b.events(), "{label}: events");
+        assert_eq!(a.bytes(), b.bytes(), "{label}: bytes");
+        assert_eq!(a.vd_bytes(), b.vd_bytes(), "{label}: vd_bytes");
+        assert_eq!(a.tick_bytes(), b.tick_bytes(), "{label}: tick_bytes");
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(a.size_quantile(q), b.size_quantile(q), "{label}: q{q}");
+        }
+        assert_eq!(a.ccr(0.1), b.ccr(0.1), "{label}: ccr");
+        assert_eq!(a.p2a(), b.p2a(), "{label}: p2a");
+    }
+
+    proptest! {
+        #[test]
+        fn merge_with_empty_is_identity(
+            raw in prop::collection::vec(
+                (0u64..150_000_000u64, 0u32..VD_COUNT as u32, 1u32..2_000_000u32),
+                0..200,
+            ),
+        ) {
+            let events: Vec<IoEvent> =
+                raw.iter().map(|&(t, vd, size)| event(t, vd, size)).collect();
+            let mut folded = StreamSummary::new(VD_COUNT, ticks());
+            folded.fold_chunk(&events).unwrap();
+            let mut merged = StreamSummary::new(VD_COUNT, ticks());
+            merged.fold_chunk(&events).unwrap();
+            merged.merge(&StreamSummary::new(VD_COUNT, ticks())).unwrap();
+            assert_summaries_equal(&merged, &folded, "a ⊕ empty");
+            // empty ⊕ a == a as well (identity on both sides).
+            let mut left = StreamSummary::new(VD_COUNT, ticks());
+            left.merge(&folded).unwrap();
+            assert_summaries_equal(&left, &folded, "empty ⊕ a");
+        }
+
+        #[test]
+        fn merge_is_order_invariant_over_shard_splits(
+            raw in prop::collection::vec(
+                (0u64..150_000_000u64, 0u32..VD_COUNT as u32, 1u32..2_000_000u32, 0usize..3),
+                1..300,
+            ),
+        ) {
+            // Fold the whole stream into one summary…
+            let events: Vec<IoEvent> =
+                raw.iter().map(|&(t, vd, size, _)| event(t, vd, size)).collect();
+            let mut whole = StreamSummary::new(VD_COUNT, ticks());
+            whole.fold_chunk(&events).unwrap();
+            // …and through a random 3-way shard split.
+            let mut shards = [
+                StreamSummary::new(VD_COUNT, ticks()),
+                StreamSummary::new(VD_COUNT, ticks()),
+                StreamSummary::new(VD_COUNT, ticks()),
+            ];
+            for &(t, vd, size, shard) in &raw {
+                shards[shard].fold_chunk(&[event(t, vd, size)]).unwrap();
+            }
+            for order in [[0usize, 1, 2], [2, 0, 1], [1, 2, 0]] {
+                let mut total = StreamSummary::new(VD_COUNT, ticks());
+                for &i in &order {
+                    total.merge(&shards[i]).unwrap();
+                }
+                assert_summaries_equal(&total, &whole, &format!("order {order:?}"));
+            }
+        }
+    }
+}
