@@ -20,8 +20,8 @@
 //! All kernels are total: out-of-range keys report `false` (or `None`)
 //! instead of panicking, because their inputs come from disk.
 
-use ebs_core::hash::FxHashMap;
 use ebs_core::time::TickSpec;
+use std::collections::BTreeMap;
 
 /// Sum `weights[i]` into `partials[keys[i]]` for every `i`. Returns
 /// `false` (leaving `partials` partially updated) if the slices differ in
@@ -90,8 +90,9 @@ pub fn tick_sums(ticks: TickSpec, t_us: &[u64], weights: &[u64], out: &mut [f64]
 
 /// Count each value into a `u32`-keyed histogram, coalescing adjacent
 /// runs of equal values into one map update. Returns `false` if a value
-/// does not fit in `u32`.
-pub fn count_values(values: &[u64], counts: &mut FxHashMap<u32, u64>) -> bool {
+/// does not fit in `u32`. The histogram is a `BTreeMap` so downstream
+/// iteration is canonically ordered (rule D6), not hash-ordered.
+pub fn count_values(values: &[u64], counts: &mut BTreeMap<u32, u64>) -> bool {
     let mut run_value = u64::MAX;
     let mut run_count = 0u64;
     for &v in values {
@@ -223,7 +224,7 @@ mod tests {
     #[test]
     fn count_values_coalesces_runs_correctly() {
         let values = [4096u64, 4096, 4096, 8192, 4096, 8192, 8192];
-        let mut counts = FxHashMap::default();
+        let mut counts = BTreeMap::new();
         assert!(count_values(&values, &mut counts));
         assert_eq!(counts.get(&4096), Some(&4));
         assert_eq!(counts.get(&8192), Some(&3));

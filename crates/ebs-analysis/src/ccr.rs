@@ -25,9 +25,13 @@ pub fn ccr(contributions: &[f64], frac: f64) -> Option<f64> {
         return Some(0.0);
     }
     let mut sorted: Vec<f64> = contributions.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("contributions must not be NaN"));
+    // `total_cmp` gives the same descending order as `partial_cmp` for
+    // NaN-free data while keeping the sort — and thus every caller in the
+    // total set — panic-free (NaNs sink to the end and total > 0 already
+    // rejects NaN-poisoned sums).
+    sorted.sort_by(|a, b| b.total_cmp(a));
     let k = ((frac * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    let top: f64 = sorted[..k].iter().sum();
+    let top: f64 = sorted.iter().take(k).sum();
     Some(top / total)
 }
 
@@ -40,7 +44,7 @@ pub fn ccr_curve(contributions: &[f64]) -> Vec<f64> {
         return Vec::new();
     }
     let mut sorted: Vec<f64> = contributions.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("contributions must not be NaN"));
+    sorted.sort_by(|a, b| b.total_cmp(a));
     let mut acc = 0.0;
     sorted
         .iter()

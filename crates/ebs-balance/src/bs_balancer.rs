@@ -80,7 +80,11 @@ impl PeriodTraffic {
             for s in series.samples() {
                 let v = measure.of(&s.rw);
                 if v > 0.0 {
-                    periods[s.tick as usize].push((seg, v));
+                    // Ticks outside the grid (a malformed series) are
+                    // dropped rather than panicking the balancer.
+                    if let Some(bucket) = periods.get_mut(s.tick as usize) {
+                        bucket.push((seg, v));
+                    }
                 }
             }
         }
@@ -95,8 +99,8 @@ impl PeriodTraffic {
             bss.iter().enumerate().map(|(i, &b)| (b, i)).collect();
         if let Some(entries) = self.periods.get(p) {
             for &(seg, v) in entries {
-                if let Some(&i) = pos.get(&map.home_of(seg)) {
-                    local[i] += v;
+                if let Some(slot) = pos.get(&map.home_of(seg)).and_then(|&i| local.get_mut(i)) {
+                    *slot += v;
                 }
             }
         }
@@ -140,20 +144,33 @@ pub fn balance_period(
     };
     let mut migrated = 0usize;
 
-    // Iterate exporters hottest-first for determinism.
-    let mut order: Vec<usize> = (0..bss.len()).collect();
-    order.sort_by(|&a, &b| current[b].partial_cmp(&current[a]).expect("no NaNs"));
-    for exporter in order {
-        if current[exporter] < config.exporter_ratio * avg {
+    // Iterate exporters hottest-first for determinism. Sorting an
+    // (index, value) snapshot — `total_cmp`, so the pass is total — keeps
+    // the closure free of slice indexing; stale snapshot values are fine
+    // because only the threshold check below reads the live view.
+    let mut order: Vec<(usize, f64)> = current.iter().copied().enumerate().collect();
+    order.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (exporter, _) in order {
+        let Some(&exporter_load) = current.get(exporter) else {
+            continue;
+        };
+        if exporter_load < config.exporter_ratio * avg {
             continue;
         }
+        let Some(&exporter_bs) = bss.get(exporter) else {
+            continue;
+        };
         // This exporter's segments active this period, hottest first.
-        let mut segs: Vec<(SegId, f64)> = traffic.periods[p]
+        let mut segs: Vec<(SegId, f64)> = traffic
+            .periods
+            .get(p)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
             .iter()
-            .filter(|&&(seg, _)| seg_map.home_of(seg) == bss[exporter])
+            .filter(|&&(seg, _)| seg_map.home_of(seg) == exporter_bs)
             .copied()
             .collect();
-        segs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaNs"));
+        segs.sort_by(|a, b| b.1.total_cmp(&a.1));
         let quota = config.move_quota * avg;
         let mut moved = 0.0;
         for (seg, v) in segs {
@@ -171,17 +188,24 @@ pub fn balance_period(
                 break;
             };
             if config.enforce_vd_spread {
-                let vd = fleet.segments[seg].vd;
-                let clash = |bs: BsId| {
-                    fleet.vds[vd]
-                        .segments()
-                        .any(|s| s != seg && seg_map.home_of(s) == bs)
+                let Some(vd) = fleet.segments.get(seg).map(|s| s.vd) else {
+                    continue;
                 };
-                if clash(bss[importer]) {
+                let clash = |bs: BsId| {
+                    fleet
+                        .vds
+                        .get(vd)
+                        .is_some_and(|d| d.segments().any(|s| s != seg && seg_map.home_of(s) == bs))
+                };
+                if bss.get(importer).is_some_and(|&bs| clash(bs)) {
                     // Fall back to the least-loaded non-clashing BS.
-                    let alt = (0..bss.len())
-                        .filter(|&i| i != exporter && !clash(bss[i]))
-                        .min_by(|&a, &b| current[a].partial_cmp(&current[b]).expect("no NaNs"));
+                    let alt = current
+                        .iter()
+                        .zip(bss)
+                        .enumerate()
+                        .filter(|&(i, (_, &bs))| i != exporter && !clash(bs))
+                        .min_by(|(_, (a, _)), (_, (b, _))| a.total_cmp(b))
+                        .map(|(i, _)| i);
                     match alt {
                         Some(a) => importer = a,
                         None => {
@@ -191,13 +215,19 @@ pub fn balance_period(
                     }
                 }
             }
-            seg_map.migrate(fleet, p as u32, seg, bss[importer]);
+            let Some(&importer_bs) = bss.get(importer) else {
+                ebs_obs::counter_add("balance.migrations_aborted", 1);
+                continue;
+            };
+            seg_map.migrate(fleet, p as u32, seg, importer_bs);
             // Per Algorithm 1, only the working view of the balanced
             // measure is updated (line 8); the oracle's `next` snapshot is
             // deliberately left untouched — empirically, "correcting" it
             // spreads hot segments across several about-to-be-cold BSs and
             // doubles the migration churn at fleet scale.
-            current[importer] += v;
+            if let Some(load) = current.get_mut(importer) {
+                *load += v;
+            }
             moved += v;
             migrated += 1;
         }
@@ -225,8 +255,8 @@ pub fn run_balancer(
         if let Some(c) = normalized_cov(&current) {
             cov_series.push(c);
         }
-        for (i, h) in history.iter_mut().enumerate() {
-            h.push(current[i]);
+        for (h, &c) in history.iter_mut().zip(current.iter()) {
+            h.push(c);
         }
         balance_period(
             fleet,

@@ -4,6 +4,7 @@
 use ebs_core::hash::{FxHashMap, FxHashSet};
 use ebs_core::ids::BsId;
 use ebs_stack::segment::Migration;
+use std::collections::BTreeMap;
 
 /// A migration is *frequent* when, within one detection window, its source
 /// or destination BlockServer has **both** incoming and outgoing
@@ -44,7 +45,9 @@ pub fn frequent_migration_proportion(log: &[Migration], window_periods: u32) -> 
 /// stay put longer (Figure 4(b)).
 pub fn migration_intervals(log: &[Migration], total_periods: u32) -> Vec<f64> {
     assert!(total_periods > 0);
-    let mut by_bs: FxHashMap<BsId, Vec<u32>> = FxHashMap::default();
+    // BTreeMap: interval order must not depend on hash layout — the
+    // consumers mean over f64s, where addition order is observable.
+    let mut by_bs: BTreeMap<BsId, Vec<u32>> = BTreeMap::new();
     for m in log {
         by_bs.entry(m.from).or_default().push(m.at);
     }
@@ -67,7 +70,8 @@ pub fn migration_intervals(log: &[Migration], total_periods: u32) -> Vec<f64> {
 /// so strategies that avoid re-migration are rewarded.
 pub fn segment_residency_intervals(log: &[Migration], total_periods: u32) -> Vec<f64> {
     assert!(total_periods > 0);
-    let mut by_seg: FxHashMap<ebs_core::ids::SegId, Vec<u32>> = FxHashMap::default();
+    // BTreeMap for the same D6 reason as `migration_intervals`.
+    let mut by_seg: BTreeMap<ebs_core::ids::SegId, Vec<u32>> = BTreeMap::new();
     for m in log {
         by_seg.entry(m.seg).or_default().push(m.at);
     }

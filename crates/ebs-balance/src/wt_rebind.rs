@@ -64,7 +64,9 @@ pub struct RebindOutcome {
 pub fn events_by_cn(fleet: &Fleet, events: &[IoEvent]) -> Vec<Vec<IoEvent>> {
     let mut out = vec![Vec::new(); fleet.compute_nodes.len()];
     for ev in events {
-        out[fleet.cn_of_qp(ev.qp).index()].push(*ev);
+        if let Some(bucket) = out.get_mut(fleet.cn_of_qp(ev.qp).index()) {
+            bucket.push(*ev);
+        }
     }
     out
 }
@@ -90,9 +92,10 @@ pub fn simulate_node(
     events: &[IoEvent],
     config: &RebindConfig,
 ) -> Option<RebindOutcome> {
-    let node = &fleet.compute_nodes[cn];
+    let node = fleet.compute_nodes.get(cn)?;
     let wt_count = node.wt_count as usize;
-    if wt_count < 2 || events.is_empty() {
+    let first = events.first()?;
+    if wt_count < 2 {
         return None;
     }
     let wt_local = |wt: WtId| wt.index() - node.wt_base as usize;
@@ -101,7 +104,7 @@ pub fn simulate_node(
     let mut cum_static = vec![0.0; wt_count];
     let mut cum_rebound = vec![0.0; wt_count];
     let mut period_traffic = vec![0.0; wt_count];
-    let mut current_period = events[0].t_us / config.period_us;
+    let mut current_period = first.t_us / config.period_us;
     let mut active_periods = 0u64;
     let mut rebinds = 0u64;
 
@@ -120,17 +123,21 @@ pub fn simulate_node(
             return;
         }
         *active += 1;
-        let (hot, hot_v) = period_traffic
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaNs"))
-            .expect("non-empty");
-        let (cold, cold_v) = period_traffic
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaNs"))
-            .expect("non-empty");
-        if hot != cold && *hot_v > config.trigger_ratio * *cold_v {
+        // `total_cmp` keeps the scan total; the tuple never misses because
+        // `wt_count >= 2` sizes the vector, but the `else` stays honest.
+        let (Some((hot, &hot_v)), Some((cold, &cold_v))) = (
+            period_traffic
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1)),
+            period_traffic
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1)),
+        ) else {
+            return;
+        };
+        if hot != cold && hot_v > config.trigger_ratio * cold_v {
             binding.swap_wts(
                 WtId(node.wt_base + hot as u32),
                 WtId(node.wt_base + cold as u32),
@@ -155,10 +162,20 @@ pub fn simulate_node(
             current_period = period;
         }
         let bytes = ev.size as f64;
-        cum_static[wt_local(fleet.qp_binding[ev.qp])] += bytes;
+        if let Some(slot) = fleet
+            .qp_binding
+            .get(ev.qp)
+            .and_then(|&wt| cum_static.get_mut(wt_local(wt)))
+        {
+            *slot += bytes;
+        }
         let rebound_wt = wt_local(binding.wt_of(ev.qp));
-        cum_rebound[rebound_wt] += bytes;
-        period_traffic[rebound_wt] += bytes;
+        if let Some(slot) = cum_rebound.get_mut(rebound_wt) {
+            *slot += bytes;
+        }
+        if let Some(slot) = period_traffic.get_mut(rebound_wt) {
+            *slot += bytes;
+        }
         period_ios += 1;
     }
     close_period(
@@ -223,28 +240,38 @@ pub fn simulate_fleet(
 /// the Figure 2(e)/(f) time-series view. Returns bytes per period for the
 /// WT with the largest cumulative traffic (static binding).
 pub fn hottest_wt_series(fleet: &Fleet, cn: CnId, events: &[IoEvent], period_us: u64) -> Vec<f64> {
-    let node = &fleet.compute_nodes[cn];
-    let wt_count = node.wt_count as usize;
-    if events.is_empty() {
+    let (Some(node), Some(first), Some(last)) =
+        (fleet.compute_nodes.get(cn), events.first(), events.last())
+    else {
         return Vec::new();
-    }
-    let start = events[0].t_us;
-    let end = events.last().expect("non-empty").t_us;
-    let periods = ((end - start) / period_us + 1) as usize;
+    };
+    let wt_count = node.wt_count as usize;
+    let start = first.t_us;
+    let periods = ((last.t_us - start) / period_us + 1) as usize;
+    let wt_local = |qp| {
+        fleet
+            .qp_binding
+            .get(qp)
+            .map(|wt| wt.index() - node.wt_base as usize)
+    };
     let mut totals = vec![0.0; wt_count];
     for ev in events {
-        totals[fleet.qp_binding[ev.qp].index() - node.wt_base as usize] += ev.size as f64;
+        if let Some(slot) = wt_local(ev.qp).and_then(|i| totals.get_mut(i)) {
+            *slot += ev.size as f64;
+        }
     }
     let hottest = totals
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaNs"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0);
     let mut series = vec![0.0; periods];
     for ev in events {
-        if fleet.qp_binding[ev.qp].index() - node.wt_base as usize == hottest {
-            series[((ev.t_us - start) / period_us) as usize] += ev.size as f64;
+        if wt_local(ev.qp) == Some(hottest) {
+            if let Some(slot) = series.get_mut(((ev.t_us - start) / period_us) as usize) {
+                *slot += ev.size as f64;
+            }
         }
     }
     series

@@ -86,6 +86,7 @@ pub fn hottest_block(vd: VdId, events: &[IoEvent], block_size: u64) -> Option<Ho
         }
     }
     let (&block, &(reads, writes)) = counts
+        // ebs-lint: allow(D6) -- the max key embeds the unique block id, so the winner is iteration-order-independent
         .iter()
         .max_by_key(|&(b, &(r, w))| (r + w, std::cmp::Reverse(*b)))?;
     let total = events.len();

@@ -46,6 +46,7 @@ pub fn assign_sites<S: BuildHasher>(
     config: &HybridConfig,
 ) -> FxHashMap<VdId, CacheSite> {
     let mut per_cn: FxHashMap<CnId, Vec<(f64, VdId)>> = FxHashMap::default();
+    // ebs-lint: allow(D6) -- per-CN lists are fully sorted (rate, then vd) below, so fill order cannot leak
     for (&vd, hb) in hot {
         if hb.access_rate < config.threshold {
             continue;
@@ -54,6 +55,7 @@ pub fn assign_sites<S: BuildHasher>(
         per_cn.entry(cn).or_default().push((hb.access_rate, vd));
     }
     let mut sites = FxHashMap::default();
+    // ebs-lint: allow(D6) -- each VD's site depends only on its own node's sorted list; `sites` is a keyed map, so fill order is immaterial
     for (_, mut vds) in per_cn {
         vds.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaNs").then(a.1.cmp(&b.1)));
         for (rank, (_, vd)) in vds.into_iter().enumerate() {
@@ -120,6 +122,7 @@ pub fn cn_slot_usage<S: BuildHasher>(
     sites: &HashMap<VdId, CacheSite, S>,
 ) -> Vec<usize> {
     let mut counts = vec![0usize; fleet.compute_nodes.len()];
+    // ebs-lint: allow(D6) -- commutative integer increments; iteration order cannot affect the counts
     for (&vd, &site) in sites {
         if site == CacheSite::ComputeNode {
             counts[fleet.vms[fleet.vds[vd].vm].cn.index()] += 1;

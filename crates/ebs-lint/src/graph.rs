@@ -1,0 +1,537 @@
+//! The workspace call graph: approximate symbol resolution over the item
+//! trees of every scanned file, plus the D3v2 transitive-totality
+//! reachability analysis.
+//!
+//! Resolution is **name + module-path** based (no type inference):
+//!
+//! * `path::to::f(…)` resolves to workspace functions named `f` whose
+//!   module path / impl owner contains every path segment (after mapping
+//!   `crate`/`self`/`super` to the calling crate). An unmatched qualifier
+//!   (e.g. `Vec::new`) resolves to nothing — it is a `std` call.
+//! * bare `f(…)` resolves through the file's `use` imports first, then by
+//!   name with same-module > same-crate > workspace preference.
+//! * `.m(…)` method calls resolve to every workspace method named `m`,
+//!   **except** names on [`crate::items::STD_SHADOWED_METHODS`] (ubiquitous
+//!   std names like `get`/`iter`/`push`), which resolve to nothing.
+//!
+//! The bias is deliberate: over-resolution would manufacture panic
+//! reachability that no fix can remove; under-resolution is a documented
+//! false-negative mode (`DESIGN.md` §18) backed up by the per-file D3
+//! ratchet, which still counts every local panic site.
+
+use crate::diag::Violation;
+use crate::items::{CallKind, PanicSite, STD_SHADOWED_METHODS};
+use std::collections::BTreeMap;
+
+/// One function node in the workspace graph.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// The function's name.
+    pub name: String,
+    /// Impl/trait self-type owner, if any.
+    pub owner: Option<String>,
+    /// Module path (crate first, dashes kept).
+    pub module: Vec<String>,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based definition line.
+    pub line: u32,
+    /// 1-based definition column.
+    pub col: u32,
+    /// Whether the fn is a method (takes `self`).
+    pub has_self: bool,
+    /// Whether the defining file is a D3-total module.
+    pub total: bool,
+    /// Surviving panic sites (suppressed and test-gated sites removed).
+    pub panics: Vec<PanicSite>,
+}
+
+impl FnNode {
+    /// Canonical display path: `crate::module::Owner::name`.
+    pub fn path(&self) -> String {
+        let mut out = self.module.join("::");
+        if let Some(owner) = &self.owner {
+            out.push_str("::");
+            out.push_str(owner);
+        }
+        out.push_str("::");
+        out.push_str(&self.name);
+        out
+    }
+}
+
+/// The resolved workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All graph nodes, in (file, source) order.
+    pub fns: Vec<FnNode>,
+    /// Resolved callee edges per node (sorted, deduplicated).
+    pub callees: Vec<Vec<usize>>,
+}
+
+/// Input to the graph builder: one file's items plus metadata.
+pub struct FileItems<'a> {
+    /// Workspace-relative path.
+    pub rel: &'a str,
+    /// Whether the file is a D3-total module.
+    pub total: bool,
+    /// The parsed item tree (panic sites already filtered).
+    pub items: &'a crate::items::ItemTree,
+}
+
+fn norm(seg: &str) -> String {
+    seg.replace('-', "_")
+}
+
+/// Build the call graph over `files` (callers must pre-filter to library
+/// classes — bins, examples, tests, and harnesses are not part of the
+/// library call surface).
+pub fn build(files: &[FileItems<'_>]) -> CallGraph {
+    // ---- collect nodes ------------------------------------------------
+    let mut fns: Vec<FnNode> = Vec::new();
+    // (file index, fn index within file) → node id, plus per-node the raw
+    // calls and per-file import maps.
+    let mut raw_calls: Vec<&[crate::items::Call]> = Vec::new();
+    let mut node_file: Vec<usize> = Vec::new();
+    let mut imports: Vec<BTreeMap<&str, &crate::items::UseImport>> = Vec::new();
+    for (fx, f) in files.iter().enumerate() {
+        let mut map = BTreeMap::new();
+        for u in &f.items.uses {
+            map.insert(u.alias.as_str(), u);
+        }
+        imports.push(map);
+        for item in &f.items.fns {
+            if item.in_test {
+                continue;
+            }
+            fns.push(FnNode {
+                name: item.name.clone(),
+                owner: item.owner.clone(),
+                module: item.module.clone(),
+                file: f.rel.to_string(),
+                line: item.line,
+                col: item.col,
+                has_self: item.has_self,
+                total: f.total,
+                panics: item.panics.clone(),
+            });
+            raw_calls.push(&item.calls);
+            node_file.push(fx);
+        }
+    }
+
+    // ---- name index ---------------------------------------------------
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (id, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(id);
+    }
+
+    // ---- resolve edges ------------------------------------------------
+    let mut callees: Vec<Vec<usize>> = Vec::with_capacity(fns.len());
+    for id in 0..fns.len() {
+        let caller = &fns[id];
+        let file_imports = &imports[node_file[id]];
+        let mut edges: Vec<usize> = Vec::new();
+        for call in raw_calls[id] {
+            resolve_call(caller, call, file_imports, &by_name, &fns, &mut edges);
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        callees.push(edges);
+    }
+    CallGraph { fns, callees }
+}
+
+/// Append resolved candidate node ids for one call site to `edges`.
+fn resolve_call(
+    caller: &FnNode,
+    call: &crate::items::Call,
+    file_imports: &BTreeMap<&str, &crate::items::UseImport>,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    fns: &[FnNode],
+    edges: &mut Vec<usize>,
+) {
+    match call.kind {
+        CallKind::Method => {
+            if STD_SHADOWED_METHODS.contains(&call.name.as_str()) {
+                return;
+            }
+            if let Some(cands) = by_name.get(call.name.as_str()) {
+                edges.extend(cands.iter().copied().filter(|&c| fns[c].has_self));
+            }
+        }
+        CallKind::Path => {
+            resolve_qualified(caller, &call.name, &call.qual, by_name, fns, edges);
+        }
+        CallKind::Bare => {
+            // Imports first: `use ebs_analysis::ccr;` makes `ccr(…)` a
+            // qualified call on the imported path.
+            if let Some(imp) = file_imports.get(call.name.as_str()) {
+                if let Some((real, qual)) = imp.path.split_last() {
+                    resolve_qualified(caller, real, qual, by_name, fns, edges);
+                    return;
+                }
+            }
+            let Some(cands) = by_name.get(call.name.as_str()) else {
+                return;
+            };
+            // Same module > same crate > whole workspace.
+            let same_module: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| fns[c].module == caller.module)
+                .collect();
+            if !same_module.is_empty() {
+                edges.extend(same_module);
+                return;
+            }
+            let same_crate: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| fns[c].module.first() == caller.module.first())
+                .collect();
+            if !same_crate.is_empty() {
+                edges.extend(same_crate);
+                return;
+            }
+            edges.extend(cands.iter().copied());
+        }
+    }
+}
+
+/// Resolve `qual::name(…)`: candidates named `name` whose context (module
+/// segments + owner) contains every qualifier segment. `crate`/`self`/
+/// `super` map to the calling crate; `Self` maps to the caller's owner.
+fn resolve_qualified(
+    caller: &FnNode,
+    name: &str,
+    qual: &[String],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    fns: &[FnNode],
+    edges: &mut Vec<usize>,
+) {
+    let Some(cands) = by_name.get(name) else {
+        return;
+    };
+    let caller_crate = caller.module.first().map(|c| norm(c)).unwrap_or_default();
+    let segs: Vec<String> = qual
+        .iter()
+        .map(|s| match s.as_str() {
+            "crate" | "self" | "super" => caller_crate.clone(),
+            "Self" => caller.owner.clone().unwrap_or_default(),
+            other => norm(other),
+        })
+        .collect();
+    for &c in cands {
+        let cand = &fns[c];
+        let ctx: Vec<String> = cand
+            .module
+            .iter()
+            .map(|m| norm(m))
+            .chain(cand.owner.iter().map(|o| norm(o)))
+            .collect();
+        if segs.iter().all(|s| !s.is_empty() && ctx.contains(s)) {
+            edges.push(c);
+        }
+    }
+}
+
+impl CallGraph {
+    /// Direct callers of `id` (computed on demand; sorted).
+    pub fn callers_of(&self, id: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .callees
+            .iter()
+            .enumerate()
+            .filter(|(_, es)| es.contains(&id))
+            .map(|(c, _)| c)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Find nodes whose canonical path ends with `query` (segment-aligned)
+    /// or whose bare name equals `query`.
+    pub fn find(&self, query: &str) -> Vec<usize> {
+        let nq = norm(query);
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                if norm(&f.name) == nq {
+                    return true;
+                }
+                let path = norm(&f.path());
+                path == nq || path.ends_with(&format!("::{nq}"))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// D3v2 transitive totality: no function defined in a total module may
+/// *reach* a panicking construct anywhere in the workspace graph. Returns
+/// one violation per reachable panicking function, anchored at its first
+/// panic site, with the full reachability trace from a total root.
+pub fn transitive_totality(graph: &CallGraph) -> Vec<Violation> {
+    let n = graph.fns.len();
+    // Multi-source BFS from every total fn, tracking a parent edge so each
+    // reached node has one deterministic shortest trace.
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue: std::collections::VecDeque<usize> = (0..n)
+        .filter(|&i| graph.fns[i].total)
+        .inspect(|&i| seen[i] = true)
+        .collect();
+    while let Some(u) = queue.pop_front() {
+        for &v in &graph.callees[u] {
+            if !seen[v] {
+                seen[v] = true;
+                parent[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (v, &reached) in seen.iter().enumerate() {
+        if !reached || graph.fns[v].panics.is_empty() {
+            continue;
+        }
+        let node = &graph.fns[v];
+        // Walk the parent chain back to a total root.
+        let mut chain = vec![v];
+        let mut cur = v;
+        while let Some(p) = parent[cur] {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        let root = &graph.fns[chain[0]];
+        let site = &node.panics[0];
+        let hops: Vec<String> = chain
+            .iter()
+            .map(|&h| {
+                let f = &graph.fns[h];
+                format!("{} ({}:{})", f.path(), f.file, f.line)
+            })
+            .collect();
+        let extra = node.panics.len() - 1;
+        let suffix = if extra > 0 {
+            format!(" (+{extra} more site(s) in this fn)")
+        } else {
+            String::new()
+        };
+        out.push(Violation {
+            rule: "D3v2",
+            path: node.file.clone(),
+            line: site.line,
+            col: site.col,
+            message: format!(
+                "total fn `{}` reaches {} here via {}{suffix}; make the helper total \
+                 (typed error / `.get()`) or suppress with a reason",
+                root.path(),
+                site.what,
+                hops.join(" → "),
+            ),
+            trace: hops,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{scan_file, FileClass, FileScan};
+
+    /// A synthetic workspace: `(rel, total, scan)` triples, graph on demand.
+    struct Ws {
+        files: Vec<(String, bool, FileScan)>,
+    }
+
+    impl Ws {
+        fn new() -> Self {
+            Self { files: Vec::new() }
+        }
+
+        fn file(mut self, rel: &str, total: bool, src: &str) -> Self {
+            let scan = scan_file(rel, FileClass::Lib, total, src);
+            self.files.push((rel.to_string(), total, scan));
+            self
+        }
+
+        fn graph(&self) -> CallGraph {
+            let inputs: Vec<FileItems<'_>> = self
+                .files
+                .iter()
+                .map(|(rel, total, scan)| FileItems {
+                    rel,
+                    total: *total,
+                    items: &scan.items,
+                })
+                .collect();
+            build(&inputs)
+        }
+    }
+
+    #[test]
+    fn bfs_terminates_on_cycles_and_reports_the_reachable_panic() {
+        // enter (total) → ping ↔ pong, and pong panics. The cycle must not
+        // hang the BFS, and exactly one violation (pong's site) comes back.
+        let g = Ws::new()
+            .file(
+                "crates/ebs-a/src/total.rs",
+                true,
+                "pub fn enter(x: u32) -> u32 { crate::loops::ping(x) }\n",
+            )
+            .file(
+                "crates/ebs-a/src/loops.rs",
+                false,
+                "pub fn ping(x: u32) -> u32 { if x > 0 { pong(x - 1) } else { x } }\n\
+                 pub fn pong(x: u32) -> u32 { ping(x.checked_sub(1).unwrap()) }\n",
+            )
+            .graph();
+        let vs = transitive_totality(&g);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "D3v2");
+        assert_eq!(vs[0].path, "crates/ebs-a/src/loops.rs");
+        assert!(
+            vs[0].message.contains("ebs-a::total::enter"),
+            "trace should start at the total root: {}",
+            vs[0].message
+        );
+        assert!(vs[0].trace.len() >= 2, "{:?}", vs[0].trace);
+    }
+
+    #[test]
+    fn std_shadowed_method_names_do_not_resolve() {
+        // `.index(…)` and `.finish(…)` are ubiquitous std names; a workspace
+        // method sharing the name must not manufacture reachability.
+        let g = Ws::new()
+            .file(
+                "crates/ebs-a/src/total.rs",
+                true,
+                "pub fn enter(v: &Table, h: &mut H) -> u32 { v.index(3); h.finish(); 0 }\n",
+            )
+            .file(
+                "crates/ebs-b/src/table.rs",
+                false,
+                "pub struct Table { v: Vec<u32> }\n\
+                 impl Table {\n\
+                     pub fn index(&self, i: usize) -> u32 { self.v[i] }\n\
+                     pub fn finish(&self) -> u32 { self.v[0] }\n\
+                 }\n",
+            )
+            .graph();
+        assert!(
+            transitive_totality(&g).is_empty(),
+            "shadowed names resolved: {:?}",
+            transitive_totality(&g)
+        );
+    }
+
+    #[test]
+    fn custom_method_names_do_resolve_across_crates() {
+        let g = Ws::new()
+            .file(
+                "crates/ebs-a/src/total.rs",
+                true,
+                "pub fn enter(p: &mut Plan) { p.rebuild(); }\n",
+            )
+            .file(
+                "crates/ebs-b/src/plan.rs",
+                false,
+                "pub struct Plan { cache: Vec<u32> }\n\
+                 impl Plan {\n\
+                     pub fn rebuild(&mut self) { self.cache[0] = 1; }\n\
+                 }\n",
+            )
+            .graph();
+        let vs = transitive_totality(&g);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].path, "crates/ebs-b/src/plan.rs");
+    }
+
+    #[test]
+    fn qualified_cross_crate_paths_resolve_and_unmatched_qualifiers_do_not() {
+        let decode = "pub fn decode(x: &[u8]) -> u32 { x[0] as u32 }\n";
+        // Matching qualifier: `ebs_b::codec::decode` reaches the helper.
+        let hit = Ws::new()
+            .file(
+                "crates/ebs-a/src/total.rs",
+                true,
+                "pub fn enter(b: &[u8]) -> u32 { ebs_b::codec::decode(b) }\n",
+            )
+            .file("crates/ebs-b/src/codec.rs", false, decode)
+            .graph();
+        assert_eq!(transitive_totality(&hit).len(), 1);
+
+        // Unmatched qualifier (`other_ns::decode`) is a std/foreign call:
+        // it must resolve to nothing rather than to every `decode`.
+        let miss = Ws::new()
+            .file(
+                "crates/ebs-a/src/total.rs",
+                true,
+                "pub fn enter(b: &[u8]) -> u32 { other_ns::decode(b) }\n",
+            )
+            .file("crates/ebs-b/src/codec.rs", false, decode)
+            .graph();
+        assert!(transitive_totality(&miss).is_empty());
+    }
+
+    #[test]
+    fn suppressed_panic_sites_do_not_propagate_reachability() {
+        let g = Ws::new()
+            .file(
+                "crates/ebs-a/src/total.rs",
+                true,
+                "pub fn enter(x: u32) -> u32 { crate::help::probe(x) }\n",
+            )
+            .file(
+                "crates/ebs-a/src/help.rs",
+                false,
+                "pub fn probe(x: u32) -> u32 {\n\
+                     // ebs-lint: allow(D3) -- bounded by the caller's contract\n\
+                     x.checked_add(1).unwrap()\n\
+                 }\n",
+            )
+            .graph();
+        assert!(transitive_totality(&g).is_empty());
+    }
+
+    #[test]
+    fn test_gated_fns_stay_out_of_the_graph() {
+        let g = Ws::new()
+            .file(
+                "crates/ebs-a/src/lib.rs",
+                true,
+                "pub fn enter() -> u32 { 0 }\n\
+                 #[cfg(test)]\n\
+                 mod tests {\n\
+                     fn helper() { enter(); panic!(\"test-only\") }\n\
+                 }\n",
+            )
+            .graph();
+        assert_eq!(g.fns.len(), 1, "only `enter` is a graph node");
+        assert!(transitive_totality(&g).is_empty());
+    }
+
+    #[test]
+    fn find_and_callers_of_answer_graph_queries() {
+        let g = Ws::new()
+            .file(
+                "crates/ebs-a/src/m.rs",
+                false,
+                "pub fn caller() { helper() }\npub fn helper() {}\n",
+            )
+            .graph();
+        let helper = g.find("helper");
+        assert_eq!(helper.len(), 1);
+        assert_eq!(g.find("ebs_a::m::helper").len(), 1, "path suffix query");
+        assert_eq!(g.find("nonexistent"), Vec::<usize>::new());
+        let callers = g.callers_of(helper[0]);
+        assert_eq!(callers.len(), 1);
+        assert_eq!(g.fns[callers[0]].name, "caller");
+    }
+}

@@ -1,14 +1,20 @@
 //! `ebs-lint`: in-repo static analysis enforcing the workspace's
 //! determinism, no-panic, and hot-path invariants.
 //!
-//! See [`rules`] for the rule catalogue (D1–D5), [`baseline`] for the
-//! ratchet, and `DESIGN.md` §13 for the policy rationale. The crate is
-//! deliberately dependency-free — its own lexer, TOML-subset parser, and
-//! JSON writer — so it keeps working whatever state the rest of the
-//! workspace is in.
+//! See [`rules`] for the rule catalogue (per-file D1–D5 plus the dataflow
+//! rules D6–D8), [`items`]/[`graph`] for the workspace-level item tree,
+//! call graph, and the transitive-totality rule D3v2, [`baseline`] for
+//! the ratchet, and `DESIGN.md` §13/§18 for the policy rationale. The
+//! crate depends only on `ebs-core` (for the deterministic parallel map
+//! it both uses and polices) — its own lexer, TOML-subset parser, and
+//! JSON writer keep it working whatever state the rest of the workspace
+//! is in.
 
 pub mod baseline;
 pub mod diag;
+pub mod flow;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 pub mod walk;
@@ -43,8 +49,21 @@ impl Report {
     }
 }
 
-/// Run every rule over the workspace at `root` and reconcile D3 findings
-/// with the checked-in baseline.
+/// A full workspace analysis: the reconciled report, the live ratchet
+/// counts, and the call graph (for the `graph` CLI subcommand and tests).
+#[derive(Debug)]
+pub struct Analysis {
+    /// The reconciled check report.
+    pub report: Report,
+    /// Live per-(rule, file) ratchet counts — what `ebs-lint baseline`
+    /// writes.
+    pub live: Baseline,
+    /// The resolved workspace call graph.
+    pub graph: graph::CallGraph,
+}
+
+/// Run every rule over the workspace at `root` and reconcile ratcheted
+/// findings with the checked-in baseline.
 pub fn run(root: &Path) -> Result<Report, String> {
     let baseline_path = root.join(BASELINE_FILE);
     let baseline = match std::fs::read_to_string(&baseline_path) {
@@ -57,38 +76,81 @@ pub fn run(root: &Path) -> Result<Report, String> {
 }
 
 /// Like [`run`], but with an explicit baseline; also returns the live
-/// per-file D3 ratchet counts (what `ebs-lint baseline` writes).
+/// per-file ratchet counts (what `ebs-lint baseline` writes).
 pub fn run_with_baseline(root: &Path, baseline: &Baseline) -> Result<(Report, Baseline), String> {
+    let analysis = analyze(root, baseline)?;
+    Ok((analysis.report, analysis.live))
+}
+
+/// Full analysis: per-file scans (in parallel, results in deterministic
+/// input order), the workspace call graph, the D3v2 reachability pass,
+/// and baseline reconciliation.
+pub fn analyze(root: &Path, baseline: &Baseline) -> Result<Analysis, String> {
     let files = walk::discover(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+
+    // Per-file scans are independent; `par_map_deterministic` returns
+    // results in input order, so the report is byte-identical at any
+    // thread count (pinned by a test).
+    let scans: Vec<Result<rules::FileScan, String>> =
+        ebs_core::parallel::par_map_deterministic(&files, |_, f| {
+            let src =
+                std::fs::read_to_string(&f.abs).map_err(|e| format!("reading {}: {e}", f.rel))?;
+            Ok(rules::scan_file(&f.rel, f.class, f.total, &src))
+        });
     let mut violations: Vec<Violation> = Vec::new();
-    let mut ratchet_by_file: BTreeMap<String, Vec<Violation>> = BTreeMap::new();
-    for f in &files {
-        let src = std::fs::read_to_string(&f.abs).map_err(|e| format!("reading {}: {e}", f.rel))?;
-        let mut outcome = rules::check_source(&f.rel, f.class, f.total, &src);
-        violations.append(&mut outcome.strict);
-        if !outcome.ratchet.is_empty() {
-            ratchet_by_file
-                .entry(f.rel.clone())
+    let mut ratchet_by: BTreeMap<(String, String), Vec<Violation>> = BTreeMap::new();
+    let mut ok_scans: Vec<(usize, rules::FileScan)> = Vec::new();
+    for (i, scan) in scans.into_iter().enumerate() {
+        let mut scan = scan?;
+        violations.append(&mut scan.outcome.strict);
+        for v in scan.outcome.ratchet.drain(..) {
+            ratchet_by
+                .entry((v.rule.to_string(), v.path.clone()))
                 .or_default()
-                .append(&mut outcome.ratchet);
+                .push(v);
         }
+        ok_scans.push((i, scan));
     }
 
-    // Reconcile ratchetable D3 findings with the baseline.
+    // Workspace pass: build the call graph over library-shaped files and
+    // run the transitive-totality analysis.
+    let graph_inputs: Vec<graph::FileItems<'_>> = ok_scans
+        .iter()
+        .filter(|(i, _)| {
+            matches!(
+                files[*i].class,
+                rules::FileClass::Lib | rules::FileClass::Obs
+            )
+        })
+        .map(|(i, scan)| graph::FileItems {
+            rel: &files[*i].rel,
+            total: files[*i].total,
+            items: &scan.items,
+        })
+        .collect();
+    let call_graph = graph::build(&graph_inputs);
+    for v in graph::transitive_totality(&call_graph) {
+        ratchet_by
+            .entry((v.rule.to_string(), v.path.clone()))
+            .or_default()
+            .push(v);
+    }
+
+    // Reconcile ratcheted findings with the baseline, per (rule, file).
     let mut baselined = 0usize;
     let mut stale = Vec::new();
     let mut live = Baseline::default();
-    for (path, found) in &ratchet_by_file {
+    for ((rule, path), found) in &ratchet_by {
         live.counts
-            .entry("D3".to_string())
+            .entry(rule.clone())
             .or_default()
             .insert(path.clone(), found.len());
-        let allowed = baseline.allowed("D3", path);
+        let allowed = baseline.allowed(rule, path);
         if found.len() > allowed {
             for v in found {
                 let mut v = v.clone();
                 v.message = format!(
-                    "{} — file has {} ratcheted D3 site(s) but {BASELINE_FILE} allows {}",
+                    "{} — file has {} ratcheted {rule} site(s) but {BASELINE_FILE} allows {}",
                     v.message,
                     found.len(),
                     allowed
@@ -98,14 +160,16 @@ pub fn run_with_baseline(root: &Path, baseline: &Baseline) -> Result<(Report, Ba
         } else {
             baselined += found.len();
             if found.len() < allowed {
-                stale.push(("D3".to_string(), path.clone(), found.len(), allowed));
+                stale.push((rule.clone(), path.clone(), found.len(), allowed));
             }
         }
     }
     // Baseline entries for files with no remaining findings are stale too.
     for (rule, per_file) in &baseline.counts {
         for (path, &allowed) in per_file {
-            let live_count = ratchet_by_file.get(path).map_or(0, Vec::len);
+            let live_count = ratchet_by
+                .get(&(rule.clone(), path.clone()))
+                .map_or(0, Vec::len);
             if live_count == 0 {
                 stale.push((rule.clone(), path.clone(), 0, allowed));
             }
@@ -115,15 +179,16 @@ pub fn run_with_baseline(root: &Path, baseline: &Baseline) -> Result<(Report, Ba
     stale.dedup();
 
     diag::sort(&mut violations);
-    Ok((
-        Report {
+    Ok(Analysis {
+        report: Report {
             violations,
             files_scanned: files.len(),
             baselined,
             stale,
         },
         live,
-    ))
+        graph: call_graph,
+    })
 }
 
 /// Locate the workspace root: walk up from `start` to the first directory

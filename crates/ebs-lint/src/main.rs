@@ -3,25 +3,32 @@
 //! ```text
 //! cargo run -p ebs-lint -- check [--format json] [--strict-baseline] [--root DIR]
 //! cargo run -p ebs-lint -- baseline [--root DIR]
+//! cargo run -p ebs-lint -- graph <fn-path> [--root DIR]
 //! ```
 //!
+//! `graph` prints a function's callers and callees from the computed
+//! workspace call graph (`<fn-path>` is a bare name like `merge` or a
+//! `::`-path suffix like `ebs_store::stream::StreamSummary::merge`) —
+//! handy for reviewing D3v2 reachability traces.
+//!
 //! Exit codes: 0 clean, 1 violations (or stale baseline under
-//! `--strict-baseline`), 2 usage or I/O error.
+//! `--strict-baseline`, or no `graph` match), 2 usage or I/O error.
 
-use ebs_lint::{baseline::Baseline, diag, find_root, run_with_baseline, BASELINE_FILE};
+use ebs_lint::{analyze, baseline::Baseline, diag, find_root, BASELINE_FILE};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd: Option<&str> = None;
+    let mut query: Option<String> = None;
     let mut format_json = false;
     let mut strict_baseline = false;
     let mut root_arg: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "check" | "baseline" if cmd.is_none() => cmd = Some(arg.as_str()),
+            "check" | "baseline" | "graph" if cmd.is_none() => cmd = Some(arg.as_str()),
             "--format" => match it.next().map(String::as_str) {
                 Some("json") => format_json = true,
                 Some("human") => format_json = false,
@@ -32,12 +39,18 @@ fn main() -> ExitCode {
                 Some(dir) => root_arg = Some(PathBuf::from(dir)),
                 None => return usage("--root expects a directory"),
             },
+            other if cmd == Some("graph") && query.is_none() && !other.starts_with('-') => {
+                query = Some(other.to_string());
+            }
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
     let Some(cmd) = cmd else {
-        return usage("expected a command: check | baseline");
+        return usage("expected a command: check | baseline | graph");
     };
+    if cmd == "graph" && query.is_none() {
+        return usage("graph expects a function path (e.g. `StreamSummary::merge`)");
+    }
 
     let root =
         match root_arg.or_else(|| std::env::current_dir().ok().and_then(|cwd| find_root(&cwd))) {
@@ -55,10 +68,11 @@ fn main() -> ExitCode {
         Err(e) => return fail(&format!("{BASELINE_FILE}: {e}")),
     };
 
-    let (report, live) = match run_with_baseline(&root, &baseline) {
-        Ok(r) => r,
+    let analysis = match analyze(&root, &baseline) {
+        Ok(a) => a,
         Err(e) => return fail(&e),
     };
+    let (report, live) = (analysis.report, analysis.live);
 
     match cmd {
         "baseline" => {
@@ -66,12 +80,38 @@ fn main() -> ExitCode {
             if let Err(e) = std::fs::write(&baseline_path, &text) {
                 return fail(&format!("writing {BASELINE_FILE}: {e}"));
             }
+            let files: usize = live.counts.values().map(|m| m.len()).sum();
             println!(
-                "wrote {} with {} legacy D3 site(s) across {} file(s)",
+                "wrote {} with {} ratcheted site(s) across {} [rule]/file entry(ies)",
                 baseline_path.display(),
                 live.total(),
-                live.counts.get("D3").map_or(0, |m| m.len())
+                files
             );
+            ExitCode::SUCCESS
+        }
+        "graph" => {
+            let graph = &analysis.graph;
+            let query = query.unwrap_or_default();
+            let matches = graph.find(&query);
+            if matches.is_empty() {
+                eprintln!("ebs-lint: no workspace fn matches `{query}`");
+                return ExitCode::FAILURE;
+            }
+            for id in matches {
+                let f = &graph.fns[id];
+                println!("fn {} ({}:{})", f.path(), f.file, f.line);
+                if !f.panics.is_empty() {
+                    println!("  panics: {} live site(s)", f.panics.len());
+                }
+                for c in graph.callers_of(id) {
+                    let g = &graph.fns[c];
+                    println!("  caller: {} ({}:{})", g.path(), g.file, g.line);
+                }
+                for &c in &graph.callees[id] {
+                    let g = &graph.fns[c];
+                    println!("  callee: {} ({}:{})", g.path(), g.file, g.line);
+                }
+            }
             ExitCode::SUCCESS
         }
         _ => {
@@ -105,7 +145,8 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("ebs-lint: {msg}");
     eprintln!(
         "usage: ebs-lint check [--format json|human] [--strict-baseline] [--root DIR]\n\
-                \x20      ebs-lint baseline [--root DIR]"
+                \x20      ebs-lint baseline [--root DIR]\n\
+                \x20      ebs-lint graph <fn-path> [--root DIR]"
     );
     ExitCode::from(2)
 }

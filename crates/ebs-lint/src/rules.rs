@@ -8,6 +8,10 @@
 //! | `D3` | No `unwrap()/expect()/panic!/unreachable!/todo!/unimplemented!` and no unchecked slice indexing. Hard error in *total* modules; ratcheted via `lint-baseline.toml` elsewhere. |
 //! | `D4` | No `println!/eprintln!/print!/eprint!/dbg!` in library code — bins, harnesses, and the obs emitters own the terminal. |
 //! | `D5` | No ambient randomness (`thread_rng`, `rand::…`, `RandomState`, `from_entropy`, `getrandom`, `OsRng`) — only `ebs_core::rng`. |
+//! | `D3v2` | Workspace-level: no fn in a total module may *reach* a panicking construct through the call graph ([`crate::graph`]). Ratcheted. |
+//! | `D6` | No hash-ordered iteration flowing into results without a canonicalizing sort ([`crate::flow`]). Ratcheted. |
+//! | `D7` | No float accumulation in parallel-map closures or `merge` reducers outside the exact-partials pattern ([`crate::flow`]). Ratcheted. |
+//! | `D8` | No `env::var` outside the named `EBS_*` config surface ([`crate::flow`]). Ratcheted. |
 //!
 //! Any finding can be silenced in place with
 //! `// ebs-lint: allow(D3) -- <reason>` on the offending line or the line
@@ -43,9 +47,22 @@ pub enum FileClass {
 pub struct CheckOutcome {
     /// Hard errors: not eligible for the baseline.
     pub strict: Vec<Violation>,
-    /// D3 findings outside total modules: compared against
-    /// `lint-baseline.toml` by the caller (count may only decrease).
+    /// Ratchet-eligible findings (D3 outside total modules, D6/D7/D8):
+    /// compared against `lint-baseline.toml` by the caller, per rule
+    /// section (count may only decrease).
     pub ratchet: Vec<Violation>,
+}
+
+/// Full per-file scan: rule findings plus the parsed item tree the
+/// workspace passes (call graph, D3v2) build on.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Strict + ratchet findings, suppressions already applied.
+    pub outcome: CheckOutcome,
+    /// The file's item tree. Panic sites inside `#[cfg(test)]` fns or
+    /// covered by an `allow(D3)`/`allow(D3v2)` suppression are removed, so
+    /// the reachability pass sees only live, unexcused sites.
+    pub items: crate::items::ItemTree,
 }
 
 /// Keywords that can directly precede `[` without forming an index
@@ -57,13 +74,25 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
     "yield",
 ];
 
-/// All valid rule ids, for suppression validation.
-pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "D4", "D5"];
+/// All valid rule ids, for suppression validation. `D3v2` is the
+/// workspace-level transitive-totality rule ([`crate::graph`]); `D6`-`D8`
+/// are the dataflow rules ([`crate::flow`]).
+pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "D3v2", "D4", "D5", "D6", "D7", "D8"];
+
+/// Rules whose findings ratchet through `lint-baseline.toml` (outside
+/// total modules) instead of failing outright.
+pub const RATCHET_RULES: &[&str] = &["D3", "D3v2", "D6", "D7", "D8"];
 
 /// Scan `src` (at workspace-relative `path`, classified `class`;
 /// `total` = D3-strict total module). Returns strict + ratchet findings,
 /// already filtered through inline suppressions and `#[cfg(test)]` regions.
 pub fn check_source(path: &str, class: FileClass, total: bool, src: &str) -> CheckOutcome {
+    scan_file(path, class, total, src).outcome
+}
+
+/// Like [`check_source`], but also returns the parsed item tree for the
+/// workspace-level passes (one lex, one parse per file).
+pub fn scan_file(path: &str, class: FileClass, total: bool, src: &str) -> FileScan {
     let lexed = lex(src);
     let toks = &lexed.tokens;
     let test_regions = cfg_test_regions(toks, src);
@@ -72,6 +101,7 @@ pub fn check_source(path: &str, class: FileClass, total: bool, src: &str) -> Che
     for v in &mut sup_violations {
         v.path = path.to_string();
     }
+    let mut items = crate::items::parse(path, src, &lexed, &test_regions);
 
     let mut raw: Vec<(Violation, bool)> = Vec::new(); // (violation, ratchetable)
     let mk = |rule: &'static str, t: &Tok, message: String| Violation {
@@ -80,6 +110,7 @@ pub fn check_source(path: &str, class: FileClass, total: bool, src: &str) -> Che
         line: t.line,
         col: t.col,
         message,
+        trace: Vec::new(),
     };
 
     // ---- D1: default-hasher std maps --------------------------------
@@ -259,6 +290,20 @@ pub fn check_source(path: &str, class: FileClass, total: bool, src: &str) -> Che
         }
     }
 
+    // ---- D6/D7/D8: dataflow rules -----------------------------------
+    // Applied to everything that feeds deterministic output — including
+    // bins and examples, which write the gold masters.
+    if matches!(
+        class,
+        FileClass::Lib | FileClass::Bin | FileClass::Example | FileClass::Obs
+    ) {
+        raw.extend(
+            crate::flow::check(path, src, toks, &items)
+                .into_iter()
+                .map(|v| (v, true)),
+        );
+    }
+
     // ---- filter: cfg(test) regions + suppressions -------------------
     let mut out = CheckOutcome::default();
     out.strict.append(&mut sup_violations);
@@ -281,7 +326,21 @@ pub fn check_source(path: &str, class: FileClass, total: bool, src: &str) -> Che
             out.strict.push(v);
         }
     }
-    out
+
+    // Excused panic sites (suppressed D3/D3v2) drop out of the item tree
+    // so the reachability pass does not re-report them.
+    for f in &mut items.fns {
+        f.panics.retain(|p| {
+            !suppressions
+                .iter()
+                .any(|s| (s.rule == "D3" || s.rule == "D3v2") && s.covers == p.line)
+        });
+    }
+
+    FileScan {
+        outcome: out,
+        items,
+    }
 }
 
 /// A validated suppression directive: silences `rule` on line `covers`.
@@ -319,6 +378,7 @@ fn parse_suppressions(
                 line: c.line,
                 col: 1,
                 message: msg,
+                trace: Vec::new(),
             })
         };
         let rest = c.text[at + "ebs-lint:".len()..].trim_start();
@@ -362,7 +422,7 @@ fn parse_suppressions(
 /// Compute `(start_line, end_line)` regions of items gated by
 /// `#[cfg(test)]` or `#[test]`. Brace balancing over the token stream is
 /// exact because strings and comments are already stripped.
-fn cfg_test_regions(toks: &[Tok], src: &str) -> Vec<(u32, u32)> {
+pub fn cfg_test_regions(toks: &[Tok], src: &str) -> Vec<(u32, u32)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -590,7 +650,7 @@ fn count_generic_args(toks: &[Tok], lt: usize) -> usize {
 /// Whether the `[` at token `i` opens an index expression (postfix
 /// position) rather than a slice/array type, pattern, literal, or
 /// attribute.
-fn is_index_expr(toks: &[Tok], src: &str, i: usize) -> bool {
+pub fn is_index_expr(toks: &[Tok], src: &str, i: usize) -> bool {
     if i == 0 {
         return false;
     }

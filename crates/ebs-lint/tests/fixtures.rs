@@ -13,6 +13,8 @@ use std::path::PathBuf;
 const D1: &str = include_str!("fixtures/d1.rs");
 const D2_D4_D5: &str = include_str!("fixtures/d2_d4_d5.rs");
 const D3: &str = include_str!("fixtures/d3.rs");
+const D6_D7_D8: &str = include_str!("fixtures/d6_d7_d8.rs");
+const FLOW_SUPPRESSED: &str = include_str!("fixtures/flow_suppressed.rs");
 const TRAPS: &str = include_str!("fixtures/traps.rs");
 const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
 
@@ -107,6 +109,41 @@ fn d3_ratchets_outside_total_modules_and_hard_errors_inside() {
 }
 
 #[test]
+fn d6_d7_d8_flag_leaks_and_spare_the_canonical_shapes() {
+    let out = scan(FileClass::Lib, false, D6_D7_D8);
+    assert!(out.strict.is_empty(), "got {:?}", spans(&out.strict));
+    let got = spans(&out.ratchet);
+    // The leaks fire: hash iteration into a collect (D6), the locked
+    // accumulator in the parallel closure and the non-positional float
+    // merge (D7), the off-surface env read (D8), plus the `expect` the D7
+    // leak rides on (D3). The canonical shapes — collect-then-sort,
+    // closure-local accumulator, zip-of-partials merge, `EBS_*` read —
+    // stay silent.
+    assert_eq!(
+        got,
+        vec![
+            ("D3", 13, 23),
+            ("D6", 2, 7),
+            ("D7", 13, 16),
+            ("D7", 31, 18),
+            ("D8", 48, 15),
+        ],
+        "got {got:?}"
+    );
+}
+
+#[test]
+fn flow_rules_honour_reasoned_suppressions() {
+    let out = scan(FileClass::Lib, false, FLOW_SUPPRESSED);
+    assert!(
+        out.strict.is_empty() && out.ratchet.is_empty(),
+        "suppressed flow findings leaked: strict {:?} ratchet {:?}",
+        spans(&out.strict),
+        spans(&out.ratchet)
+    );
+}
+
+#[test]
 fn trigger_tokens_in_strings_comments_and_tests_are_ignored() {
     let out = scan(FileClass::Lib, false, TRAPS);
     assert!(
@@ -158,6 +195,13 @@ impl TempWorkspace {
 
     fn write_baseline(&self, text: &str) {
         std::fs::write(self.root.join(ebs_lint::BASELINE_FILE), text).unwrap();
+    }
+
+    /// Add another source file (workspace-relative path).
+    fn write_file(&self, rel: &str, text: &str) {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, text).unwrap();
     }
 }
 
@@ -223,20 +267,208 @@ fn fixing_the_last_site_leaves_an_orphan_stale_entry() {
 }
 
 // ---------------------------------------------------------------------
-// Self-check: the real workspace is clean modulo its checked-in baseline.
+// D3v2 end to end: a total module reaching a panic through another file.
 // ---------------------------------------------------------------------
 
 #[test]
-fn workspace_is_clean_modulo_baseline() {
+fn transitive_panic_from_a_total_module_is_reported_with_a_trace() {
+    // `crates/ebs-stack/src/route.rs` is on the TOTAL_MODULES list, so the
+    // temp workspace inherits its totality; the panic lives one hop away.
+    let ws = TempWorkspace::new("d3v2", "pub fn unrelated() {}\n");
+    ws.write_file(
+        "crates/ebs-stack/src/route.rs",
+        "pub fn plan(x: u32) -> u32 { crate::depth::probe(x) }\n",
+    );
+    ws.write_file(
+        "crates/ebs-stack/src/depth.rs",
+        "pub fn probe(x: u32) -> u32 { x.checked_add(1).unwrap() }\n",
+    );
+    let report = ebs_lint::run(&ws.root).unwrap();
+    let d3v2: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "D3v2")
+        .collect();
+    assert_eq!(d3v2.len(), 1, "got {:?}", report.violations);
+    let v = d3v2[0];
+    assert_eq!(v.path, "crates/ebs-stack/src/depth.rs");
+    assert_eq!(v.trace.len(), 2, "root → helper: {:?}", v.trace);
+    assert!(
+        v.trace[0].contains("ebs-stack::route::plan"),
+        "{:?}",
+        v.trace
+    );
+    assert!(v.trace[1].contains("probe"), "{:?}", v.trace);
+    // The helper's local site also ratchets under plain D3.
+    assert!(report.violations.iter().any(|v| v.rule == "D3"));
+}
+
+#[test]
+fn suppressing_the_helper_site_clears_both_d3_and_d3v2() {
+    let ws = TempWorkspace::new("d3v2-sup", "pub fn unrelated() {}\n");
+    ws.write_file(
+        "crates/ebs-stack/src/route.rs",
+        "pub fn plan(x: u32) -> u32 { crate::depth::probe(x) }\n",
+    );
+    ws.write_file(
+        "crates/ebs-stack/src/depth.rs",
+        "pub fn probe(x: u32) -> u32 {\n\
+            // ebs-lint: allow(D3) -- x is bounded far below u32::MAX by the caller\n\
+            x.checked_add(1).unwrap()\n\
+         }\n",
+    );
+    let report = ebs_lint::run(&ws.root).unwrap();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn d3v2_findings_ratchet_through_the_baseline_like_d3() {
+    let ws = TempWorkspace::new("d3v2-ratchet", "pub fn unrelated() {}\n");
+    ws.write_file(
+        "crates/ebs-stack/src/route.rs",
+        "pub fn plan(x: u32) -> u32 { crate::depth::probe(x) }\n",
+    );
+    ws.write_file(
+        "crates/ebs-stack/src/depth.rs",
+        "pub fn probe(x: u32) -> u32 { x.checked_add(1).unwrap() }\n",
+    );
+    // Baseline both the local D3 site and the reachability finding: clean.
+    ws.write_baseline(
+        "[D3]\n\"crates/ebs-stack/src/depth.rs\" = 1\n\
+         [D3v2]\n\"crates/ebs-stack/src/depth.rs\" = 1\n",
+    );
+    let report = ebs_lint::run(&ws.root).unwrap();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.baselined, 2);
+    assert!(report.stale.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Self-check: the real workspace is clean modulo its checked-in baseline.
+// ---------------------------------------------------------------------
+
+fn workspace_root() -> PathBuf {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(std::path::Path::parent)
         .map(std::path::Path::to_path_buf)
         .unwrap();
     assert!(root.join("Cargo.toml").exists(), "bad root {root:?}");
-    let report = ebs_lint::run(&root).unwrap();
+    root
+}
+
+#[test]
+fn workspace_is_clean_modulo_baseline() {
+    let report = ebs_lint::run(&workspace_root()).unwrap();
     let rendered =
         ebs_lint::diag::render_human(&report.violations, report.files_scanned, report.baselined);
     assert!(report.violations.is_empty(), "{rendered}");
     assert!(report.files_scanned > 100, "walker found too few files");
+}
+
+#[test]
+fn report_is_byte_identical_at_every_thread_count() {
+    // The per-file scans run through `par_map_deterministic`; the rendered
+    // report must not depend on how many workers the map used.
+    let root = workspace_root();
+    let mut renders: Vec<String> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        ebs_core::parallel::set_thread_override(Some(threads));
+        let report = ebs_lint::run(&root).unwrap();
+        renders.push(ebs_lint::diag::render_json(
+            &report.violations,
+            report.files_scanned,
+            report.baselined,
+        ));
+    }
+    ebs_core::parallel::set_thread_override(None);
+    assert!(!renders[0].is_empty());
+    assert_eq!(renders[0], renders[1], "1 vs 2 threads");
+    assert_eq!(renders[0], renders[2], "1 vs 8 threads");
+}
+
+// ---------------------------------------------------------------------
+// Property tests: the lexer → parser → rules → graph stack is total.
+// ---------------------------------------------------------------------
+
+mod never_panics {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Source fragments biased toward the constructs the analyzer cares
+    /// about: item boundaries, suppression directives, panicking calls,
+    /// unbalanced brackets, raw strings, and comment edges.
+    const FRAGMENTS: &[&str] = &[
+        "fn ",
+        "pub ",
+        "impl ",
+        "struct ",
+        "mod ",
+        "use ",
+        "for ",
+        "in ",
+        "match ",
+        "{",
+        "}",
+        "(",
+        ")",
+        "[",
+        "]",
+        "::",
+        ".",
+        ";",
+        ",",
+        "->",
+        "=>",
+        "=",
+        "+=",
+        "a",
+        "b",
+        "f64",
+        "unwrap()",
+        "expect(\"x\")",
+        "panic!(\"y\")",
+        "#[cfg(test)]",
+        "#[test]",
+        "// ebs-lint: allow(D3) -- r\n",
+        "// ebs-lint: allow(",
+        "/*",
+        "*/",
+        "\"",
+        "r#\"",
+        "'",
+        "\n",
+        "env::var(\"EBS_X\")",
+        "par_map_deterministic",
+        "merge",
+        "FxHashMap",
+        ".iter()",
+        ".values()",
+    ];
+
+    proptest! {
+        #[test]
+        fn analyzer_is_total_on_fragment_soup(
+            idx in prop::collection::vec(0usize..44, 0..64),
+            total in any::<bool>(),
+        ) {
+            let src: String = idx.iter().map(|&i| FRAGMENTS[i % FRAGMENTS.len()]).collect();
+            let scan = ebs_lint::rules::scan_file("crates/ebs-x/src/fuzz.rs", FileClass::Lib, total, &src);
+            let graph = ebs_lint::graph::build(&[ebs_lint::graph::FileItems {
+                rel: "crates/ebs-x/src/fuzz.rs",
+                total,
+                items: &scan.items,
+            }]);
+            let _ = ebs_lint::graph::transitive_totality(&graph);
+        }
+
+        #[test]
+        fn analyzer_is_total_on_arbitrary_bytes(
+            bytes in prop::collection::vec(0u32..256, 0..256),
+        ) {
+            let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+            let src = String::from_utf8_lossy(&raw);
+            let _ = ebs_lint::rules::scan_file("crates/ebs-x/src/fuzz.rs", FileClass::Lib, false, &src);
+        }
+    }
 }

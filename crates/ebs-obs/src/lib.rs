@@ -95,10 +95,17 @@ pub fn enabled() -> bool {
 }
 
 /// Add `n` to the global counter `name`. No-op when disabled.
+///
+/// Telemetry is best-effort: a poisoned registry mutex (some thread
+/// panicked while recording) drops the sample instead of cascading the
+/// panic into the — otherwise total — caller. This holds for every
+/// global-registry entry point below.
 #[inline]
 pub fn counter_add(name: &str, n: u64) {
     if enabled() {
-        global().lock().expect("obs registry").counter_add(name, n);
+        if let Ok(mut g) = global().lock() {
+            g.counter_add(name, n);
+        }
     }
 }
 
@@ -106,7 +113,9 @@ pub fn counter_add(name: &str, n: u64) {
 #[inline]
 pub fn gauge_set(name: &str, v: f64) {
     if enabled() {
-        global().lock().expect("obs registry").gauge_set(name, v);
+        if let Ok(mut g) = global().lock() {
+            g.gauge_set(name, v);
+        }
     }
 }
 
@@ -114,10 +123,9 @@ pub fn gauge_set(name: &str, v: f64) {
 #[inline]
 pub fn observe(name: &str, lo: f64, hi: f64, bins: usize, v: f64) {
     if enabled() {
-        global()
-            .lock()
-            .expect("obs registry")
-            .observe(name, lo, hi, bins, v);
+        if let Ok(mut g) = global().lock() {
+            g.observe(name, lo, hi, bins, v);
+        }
     }
 }
 
@@ -126,10 +134,9 @@ pub fn observe(name: &str, lo: f64, hi: f64, bins: usize, v: f64) {
 #[inline]
 pub fn observe_many(name: &str, lo: f64, hi: f64, bins: usize, vs: &[f64]) {
     if enabled() {
-        global()
-            .lock()
-            .expect("obs registry")
-            .observe_many(name, lo, hi, bins, vs);
+        if let Ok(mut g) = global().lock() {
+            g.observe_many(name, lo, hi, bins, vs);
+        }
     }
 }
 
@@ -138,19 +145,26 @@ pub fn observe_many(name: &str, lo: f64, hi: f64, bins: usize, vs: &[f64]) {
 /// counters), then merge once. No-op when disabled.
 pub fn merge(local: &Registry) {
     if enabled() {
-        global().lock().expect("obs registry").merge(local);
+        if let Ok(mut g) = global().lock() {
+            g.merge(local);
+        }
     }
 }
 
-/// Snapshot the global registry (a deep copy).
+/// Snapshot the global registry (a deep copy; empty if poisoned).
 pub fn snapshot() -> Registry {
-    global().lock().expect("obs registry").clone()
+    global()
+        .lock()
+        .map(|g| g.clone())
+        .unwrap_or_else(|_| Registry::new())
 }
 
 /// Clear the global registry (tests, or between independent runs in one
 /// process).
 pub fn reset() {
-    *global().lock().expect("obs registry") = Registry::new();
+    if let Ok(mut g) = global().lock() {
+        *g = Registry::new();
+    }
 }
 
 /// A scoped stage timer: records wall-clock seconds into the global
@@ -174,10 +188,9 @@ impl Drop for StageTimer {
             let secs = start.elapsed().as_secs_f64();
             // Re-check: if obs was force-disabled mid-span, drop the sample.
             if enabled() {
-                global()
-                    .lock()
-                    .expect("obs registry")
-                    .timer_record(&name, secs);
+                if let Ok(mut g) = global().lock() {
+                    g.timer_record(&name, secs);
+                }
             }
         }
     }

@@ -72,6 +72,9 @@ impl Crc32 {
         // compiles away.
         #[inline]
         fn at(t: &[u32; 256], i: u32) -> u32 {
+            // `.get()` here would re-insert the bounds check this helper
+            // exists to elide.
+            // ebs-lint: allow(D3) -- `i & 0xFF` is provably < 256, the table length
             t[(i & 0xFF) as usize]
         }
         #[rustfmt::skip]

@@ -20,12 +20,12 @@
 //! payload buffer and one column scratch — steady-state replay does zero
 //! allocation per chunk.
 
+use std::collections::BTreeMap;
 use std::io::Read;
 
 use ebs_analysis::batch;
 use ebs_analysis::{ccr, p2a};
 use ebs_core::error::EbsError;
-use ebs_core::hash::FxHashMap;
 use ebs_core::io::IoEvent;
 use ebs_core::time::TickSpec;
 
@@ -40,7 +40,7 @@ pub struct StreamSummary {
     ticks: TickSpec,
     vd_bytes: Vec<f64>,
     tick_bytes: Vec<f64>,
-    size_counts: FxHashMap<u32, u64>,
+    size_counts: BTreeMap<u32, u64>,
     events: u64,
     bytes: u64,
     /// Per-dictionary-slot partial sums, reused across chunks.
@@ -54,7 +54,7 @@ impl StreamSummary {
             ticks,
             vd_bytes: vec![0.0; vd_count],
             tick_bytes: vec![0.0; ticks.ticks as usize],
-            size_counts: FxHashMap::default(),
+            size_counts: BTreeMap::new(),
             events: 0,
             bytes: 0,
             dict_partials: Vec::new(),
@@ -212,13 +212,10 @@ impl StreamSummary {
         batch::weighted_cdf_at(&self.sorted_sizes(), self.events, x)
     }
 
-    /// The histogram as sorted pairs. The map iterates in hash order, so
-    /// queries sort explicitly — results stay independent of insertion
-    /// history.
+    /// The histogram as sorted pairs (the `BTreeMap` already iterates in
+    /// key order, so this is a plain collect).
     fn sorted_sizes(&self) -> Vec<(u32, u64)> {
-        let mut pairs: Vec<(u32, u64)> = self.size_counts.iter().map(|(&s, &c)| (s, c)).collect();
-        pairs.sort_unstable();
-        pairs
+        self.size_counts.iter().map(|(&s, &c)| (s, c)).collect()
     }
 }
 

@@ -37,8 +37,12 @@ impl ZipfSampler {
             acc += x;
             cumulative.push(acc);
         }
-        // Guard against floating-point shortfall at the top.
-        *cumulative.last_mut().expect("n > 0") = 1.0;
+        // Guard against floating-point shortfall at the top. `n == 0`
+        // yields an empty sampler rather than a panic; `sample` on it
+        // returns rank 0, the only total answer available.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
         Self { cumulative }
     }
 
@@ -57,7 +61,7 @@ impl ZipfSampler {
         let u = rng.next_f64();
         self.cumulative
             .partition_point(|&c| c < u)
-            .min(self.cumulative.len() - 1)
+            .min(self.cumulative.len().saturating_sub(1))
     }
 }
 

@@ -62,6 +62,7 @@ pub fn build_fleet(config: &WorkloadConfig) -> Result<Fleet, EbsError> {
         for _ in 0..config.cns_per_dc {
             let sku = {
                 let weights: Vec<f64> = WT_SKUS.iter().map(|&(_, w)| w).collect();
+                // ebs-lint: allow(D3) -- choose_weighted index is below weights.len() == WT_SKUS.len()
                 WT_SKUS[rng.choose_weighted(&weights)].0
             };
             let bare = rng.chance(BARE_METAL_FRAC);
@@ -79,12 +80,18 @@ pub fn build_fleet(config: &WorkloadConfig) -> Result<Fleet, EbsError> {
                 break;
             }
             let pick = rng.index(open.len());
+            // ebs-lint: allow(D3) -- pick = rng.index(open.len()) is in bounds
             let slot_idx = open[pick];
+            // ebs-lint: allow(D3) -- open holds only valid slot indices
             let (cn, _) = slots[slot_idx];
+            // ebs-lint: allow(D3) -- sampler rank is below users.len(), non-empty per config.validate()
             let user = users[owner_sampler.sample(&mut rng)];
+            // ebs-lint: allow(D3) -- choose_weighted index is below app_weights.len() == profiles.len()
             let app = profiles[rng.choose_weighted(&app_weights)].app;
             let vm = b.add_vm(cn, user, app);
+            // ebs-lint: allow(D3) -- open holds only valid slot indices
             slots[slot_idx].1 -= 1;
+            // ebs-lint: allow(D3) -- open holds only valid slot indices
             if slots[slot_idx].1 == 0 {
                 open.swap_remove(pick);
             }
@@ -100,12 +107,13 @@ pub fn build_fleet(config: &WorkloadConfig) -> Result<Fleet, EbsError> {
             // One tier per VM: real deployments provision a VM's disks at a
             // consistent service level, which also keeps sibling caps
             // commensurate (the §5 headroom analysis depends on that).
+            // ebs-lint: allow(D3) -- choose_weighted index is below tier_weights.len() == ALL.len()
             let tier = VdTier::ALL[rng.choose_weighted(&profile.tier_weights)];
             for _ in 0..vd_count {
                 let cap_gib = lognormal(&mut rng, profile.capacity_mu_gib, profile.capacity_sigma)
                     .clamp(MIN_CAP_GIB, MAX_CAP_GIB);
                 let capacity_bytes = (cap_gib * GIB as f64) as u64;
-                b.add_vd(vm, tier.spec(capacity_bytes));
+                b.try_add_vd(vm, tier.spec(capacity_bytes))?;
             }
         }
     }

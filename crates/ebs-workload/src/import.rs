@@ -209,8 +209,7 @@ pub fn fleet_from_specs(rows: &[SpecCsvRow]) -> Result<Fleet, EbsError> {
             tput_cap: row.tput_cap,
             iops_cap: row.iops_cap,
         };
-        spec.validate()?; // typed error; add_vd would panic instead
-        b.add_vd(ebs_core::ids::VmId(row.vm), spec);
+        b.try_add_vd(ebs_core::ids::VmId(row.vm), spec)?;
     }
     b.finish()
 }

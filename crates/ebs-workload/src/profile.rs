@@ -44,6 +44,7 @@ impl SizeMix {
 
     /// Draw one IO size.
     pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        // ebs-lint: allow(D3) -- choose_weighted index is below weights.len() == SIZE_CLASSES.len()
         SIZE_CLASSES[rng.choose_weighted(&self.weights)]
     }
 }

@@ -100,10 +100,13 @@ pub fn build_plan(config: &WorkloadConfig, fleet: &Fleet) -> TrafficPlan {
         rng.shuffle(&mut w_write);
         rng.shuffle(&mut w_read);
         for (i, &vd) in vds.iter().enumerate() {
+            // ebs-lint: allow(D3) -- vd is fleet-minted and i is below vds.len() == weights len
             vd_bytes[vd].write += vm_write * w_write[i];
+            // ebs-lint: allow(D3) -- vd is fleet-minted and i is below vds.len() == weights len
             vd_bytes[vd].read += vm_read * w_read[i];
 
             // VD → QP split: writes concentrate harder than reads (§4.2).
+            // ebs-lint: allow(D3) -- vd comes from fleet.vds_of_vm, so the id is fleet-minted
             let d = &fleet.vds[vd];
             let n_qp = d.spec.qp_count as usize;
             let mut qw = zipf_weights(n_qp, profile.qp_zipf_write);
@@ -111,10 +114,10 @@ pub fn build_plan(config: &WorkloadConfig, fleet: &Fleet) -> TrafficPlan {
             rng.shuffle(&mut qw);
             rng.shuffle(&mut qr);
             for (k, qp) in d.qps().enumerate() {
-                qp_weights[qp] = RwWeight {
-                    read: qr[k],
-                    write: qw[k],
-                };
+                // ebs-lint: allow(D3) -- k is below qp_count == each weight len
+                let (read, write) = (qr[k], qw[k]);
+                // ebs-lint: allow(D3) -- qp is fleet-minted, qp_weights covers every minted id
+                qp_weights[qp] = RwWeight { read, write };
             }
         }
     }
@@ -127,6 +130,7 @@ pub fn build_plan(config: &WorkloadConfig, fleet: &Fleet) -> TrafficPlan {
     const MAX_SUSTAINED_UTILIZATION: f64 = 0.85;
     for vd in fleet.vds.iter() {
         let limit = vd.spec.tput_cap * config.duration_secs * MAX_SUSTAINED_UTILIZATION;
+        // ebs-lint: allow(D3) -- vd_bytes is sized from fleet.vds, the ids being iterated
         let b = &mut vd_bytes[vd.id];
         let total = b.read + b.write;
         if total > limit {
